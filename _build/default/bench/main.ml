@@ -1,0 +1,278 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   (Figures 8-18) from a full threshold sweep over the synthetic
+   SPEC2000 suite, prints the worked examples of Figures 5-7, and then
+   runs Bechamel micro-benchmarks — one Test.make per figure (the cost
+   of regenerating that figure's analysis from the sweep data) plus the
+   core computational kernels.
+
+   Usage:  dune exec bench/main.exe                    (full run, ~10 minutes)
+           dune exec bench/main.exe -- --quick         (3 benchmarks only)
+           dune exec bench/main.exe -- --no-micro      (skip Bechamel part)
+           dune exec bench/main.exe -- --no-ablations  (skip design studies) *)
+
+module Suite = Tpdbt_workloads.Suite
+module Runner = Tpdbt_experiments.Runner
+module Figures = Tpdbt_experiments.Figures
+module Table = Tpdbt_experiments.Table
+module Region = Tpdbt_dbt.Region
+module Region_prob = Tpdbt_profiles.Region_prob
+module Stats = Tpdbt_numerics.Stats
+
+(* ------------------------------------------------------------------ *)
+(* Worked examples (Figures 5-7)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mk_region ?(kind = Region.Trace) ?(edges = []) ?(back_edges = []) n =
+  {
+    Region.id = 0;
+    kind;
+    slots = Array.init n (fun i -> i);
+    edges;
+    back_edges;
+    frozen_use = Array.make n 0;
+    frozen_taken = Array.make n 0;
+  }
+
+let worked_examples () =
+  print_endline "Worked examples (paper Figures 5-7)";
+  print_endline "-----------------------------------";
+  let fig6 =
+    mk_region 4
+      ~edges:
+        [
+          { Region.src = 0; dst = 1; role = Region.Taken };
+          { Region.src = 0; dst = 2; role = Region.Not_taken };
+          { Region.src = 1; dst = 3; role = Region.Taken };
+          { Region.src = 2; dst = 3; role = Region.Taken };
+        ]
+  in
+  let prob6 = function 0 -> Some 0.4 | 1 -> Some 0.8 | 2 -> Some 0.9 | _ -> None in
+  Printf.printf "Fig 6 completion probability: %.3f (paper: 0.86)\n"
+    (Region_prob.completion_probability fig6 ~prob:prob6);
+  let fig7 =
+    mk_region ~kind:Region.Loop 4
+      ~edges:
+        [
+          { Region.src = 0; dst = 1; role = Region.Taken };
+          { Region.src = 0; dst = 2; role = Region.Not_taken };
+          { Region.src = 2; dst = 3; role = Region.Taken };
+        ]
+      ~back_edges:
+        [
+          { Region.src = 1; dst = 0; role = Region.Taken };
+          { Region.src = 3; dst = 0; role = Region.Taken };
+        ]
+  in
+  let prob7 = function
+    | 0 -> Some 0.6
+    | 1 -> Some 0.9
+    | 2 -> Some 0.95
+    | 3 -> Some 0.9
+    | _ -> None
+  in
+  Printf.printf
+    "Fig 7 loop-back probability:  %.3f (paper prints 0.886; its own \
+     products sum to 0.882)\n"
+    (Region_prob.loopback_probability fig7 ~prob:prob7);
+  let sd_bp =
+    Stats.weighted_sd
+      [
+        { Stats.predicted = 0.88; actual = 0.65; weight = 1000.0 };
+        { Stats.predicted = 0.977; actual = 0.90; weight = 44000.0 };
+        { Stats.predicted = 0.88; actual = 0.70; weight = 43000.0 };
+        { Stats.predicted = 0.88; actual = 0.20; weight = 6000.0 };
+        { Stats.predicted = 0.5; actual = 0.5; weight = 1000.0 };
+        { Stats.predicted = 0.9; actual = 0.9; weight = 6000.0 };
+      ]
+  in
+  Printf.printf "Fig 5 Sd.BP: %.2f (paper: 0.21)\n" sd_bp;
+  let sd_lp =
+    Stats.weighted_sd
+      [
+        { Stats.predicted = 0.977 *. 0.88; actual = 0.90 *. 0.70; weight = 44000.0 };
+        { Stats.predicted = 0.12; actual = 0.80; weight = 6000.0 };
+      ]
+  in
+  Printf.printf
+    "Fig 5 Sd.LP: %.2f by its formula (paper prints 0.27 from an \
+     inconsistent intermediate)\n"
+    sd_lp;
+  Printf.printf "Fig 5 Sd.CP: %.2f (paper: 0)\n\n"
+    (Stats.weighted_sd
+       [ { Stats.predicted = 1.0; actual = 1.0; weight = 1000.0 } ])
+
+(* ------------------------------------------------------------------ *)
+(* Figure sweep                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let results_dir = "results"
+
+let write_csv id table =
+  if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755;
+  let path = Filename.concat results_dir (id ^ ".csv") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Table.to_csv table))
+
+let run_sweep ~quick =
+  let benches =
+    if quick then List.filter_map Suite.find [ "gzip"; "mcf"; "swim" ]
+    else Suite.all
+  in
+  Printf.eprintf "running the threshold sweep over %d benchmarks...\n%!"
+    (List.length benches);
+  let t0 = Unix.gettimeofday () in
+  let data =
+    Runner.run_many ~progress:(fun n -> Printf.eprintf "  %s\n%!" n) benches
+  in
+  Printf.eprintf "sweep done in %.1fs\n%!" (Unix.gettimeofday () -. t0);
+  data
+
+let print_figures data =
+  List.iter
+    (fun (id, table) ->
+      print_endline id;
+      Table.print ~precision:3 table;
+      print_newline ();
+      write_csv id table)
+    (Figures.all data)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro_benchmarks data =
+  let open Bechamel in
+  let open Toolkit in
+  (* One Test.make per figure: the analysis cost of regenerating that
+     figure from the sweep data. *)
+  let figure_tests =
+    List.map
+      (fun (id, f) -> Test.make ~name:id (Staged.stage (fun () -> f data)))
+      [
+        ("fig8", Figures.fig8);
+        ("fig9", Figures.fig9);
+        ("fig10", Figures.fig10);
+        ("fig11", Figures.fig11);
+        ("fig12", Figures.fig12);
+        ("fig13", Figures.fig13);
+        ("fig14", Figures.fig14);
+        ("fig15", Figures.fig15);
+        ("fig16", Figures.fig16);
+        ("fig17", Figures.fig17);
+        ("fig18", Figures.fig18);
+      ]
+  in
+  let quickstart_program =
+    Tpdbt_isa.Assembler.assemble_exn
+      {|
+.entry main
+main:
+    movi r1, 0
+    movi r2, 2000
+loop:
+    rnd r3, 100
+    movi r4, 70
+    blt r3, r4, hot
+    addi r5, r5, 1
+    jmp join
+hot:
+    addi r6, r6, 1
+join:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    halt
+|}
+  in
+  let engine_run () =
+    let config = Tpdbt_dbt.Engine.config ~threshold:50 () in
+    let engine = Tpdbt_dbt.Engine.create ~config ~seed:1L quickstart_program in
+    ignore (Tpdbt_dbt.Engine.run engine)
+  in
+  let gauss_solve =
+    let n = 20 in
+    let a = Tpdbt_numerics.Matrix.create ~rows:n ~cols:n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        Tpdbt_numerics.Matrix.set a i j
+          (if i = j then 10.0 else 1.0 /. float_of_int (1 + i + j))
+      done
+    done;
+    let b = Array.init n float_of_int in
+    fun () -> ignore (Tpdbt_numerics.Linear_solver.gauss a b)
+  in
+  let schedule =
+    let instrs =
+      Array.init 16 (fun i ->
+          if i mod 3 = 0 then
+            Tpdbt_isa.Instr.Binop
+              ( Tpdbt_isa.Instr.Mul,
+                Tpdbt_isa.Reg.of_int (i mod 8),
+                Tpdbt_isa.Reg.of_int ((i + 1) mod 8),
+                Tpdbt_isa.Reg.of_int 2 )
+          else
+            Tpdbt_isa.Instr.Binopi
+              ( Tpdbt_isa.Instr.Add,
+                Tpdbt_isa.Reg.of_int (i mod 8),
+                Tpdbt_isa.Reg.of_int ((i + 1) mod 8),
+                i ))
+    in
+    fun () -> ignore (Tpdbt_dbt.Optimizer.optimize_block instrs)
+  in
+  let kernel_tests =
+    [
+      Test.make ~name:"engine:two-phase-run-2k-iters" (Staged.stage engine_run);
+      Test.make ~name:"solver:gauss-20x20" (Staged.stage gauss_solve);
+      Test.make ~name:"optimizer:block-16-instrs" (Staged.stage schedule);
+    ]
+  in
+  let grouped =
+    Test.make_grouped ~name:"tpdbt" ~fmt:"%s/%s" (figure_tests @ kernel_tests)
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "Bechamel micro-benchmarks (monotonic clock, ns/run)";
+  print_endline "---------------------------------------------------";
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some [ estimate ] -> (name, estimate) :: acc
+        | Some _ | None -> (name, nan) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-40s %14.1f ns/run\n" name ns)
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let ablation_studies ~quick =
+  print_endline "Ablation studies (design choices; DESIGN.md §3)";
+  print_endline "-----------------------------------------------";
+  let benchmarks = if quick then Some [ "gzip"; "mcf" ] else None in
+  List.iter
+    (fun (id, table) ->
+      print_endline id;
+      Table.print ~precision:3 table;
+      print_newline ();
+      write_csv ("ablation-" ^ id) table)
+    (Tpdbt_experiments.Ablations.all ?benchmarks ())
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let no_micro = List.mem "--no-micro" args in
+  let no_ablations = List.mem "--no-ablations" args in
+  worked_examples ();
+  let data = run_sweep ~quick in
+  print_figures data;
+  if not no_ablations then ablation_studies ~quick;
+  if not no_micro then micro_benchmarks data;
+  Printf.printf "\nCSV copies of every table are in %s/\n" results_dir

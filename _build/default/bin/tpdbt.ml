@@ -1,0 +1,460 @@
+(* tpdbt — command-line driver for the two-phase DBT reproduction.
+
+   Subcommands: asm, dis, check, run, dbt, bench, sweep, profile,
+   analyze, report, ablate. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* asm                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let asm_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output binary path.")
+  in
+  let run file output =
+    let program = or_die (Tpdbt_isa.Assembler.assemble (read_file file)) in
+    let out =
+      match output with
+      | Some o -> o
+      | None -> Filename.remove_extension file ^ ".g32"
+    in
+    Tpdbt_isa.Encode.write_file out program;
+    Printf.printf "assembled %d instructions -> %s\n"
+      (Tpdbt_isa.Program.length program)
+      out
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Assemble G32 assembly text into a binary image.")
+    Term.(const run $ file $ output)
+
+(* ------------------------------------------------------------------ *)
+(* dis                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let dis_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.g32")
+  in
+  let run file =
+    let program = or_die (Tpdbt_isa.Encode.read_file file) in
+    print_string (Tpdbt_isa.Disasm.disassemble program)
+  in
+  Cmd.v
+    (Cmd.info "dis" ~doc:"Disassemble a G32 binary image.")
+    Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run file =
+    let program =
+      if Filename.check_suffix file ".s" then
+        or_die (Tpdbt_isa.Assembler.assemble (read_file file))
+      else or_die (Tpdbt_isa.Encode.read_file file)
+    in
+    match Tpdbt_isa.Check.check program with
+    | [] -> print_endline "clean: no issues found"
+    | issues ->
+        List.iter
+          (fun issue -> Format.printf "%a@." Tpdbt_isa.Check.pp_issue issue)
+          issues;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically check a guest program (unreachable code, \
+          read-before-write, missing halt, bad rnd bounds).")
+    Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* shared run options                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(
+    value & opt int64 1L
+    & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for the guest rnd stream.")
+
+let max_steps_arg =
+  Arg.(
+    value
+    & opt int 200_000_000
+    & info [ "max-steps" ] ~docv:"N" ~doc:"Guest instruction budget.")
+
+let load_program file =
+  if Filename.check_suffix file ".s" then
+    or_die (Tpdbt_isa.Assembler.assemble (read_file file))
+  else or_die (Tpdbt_isa.Encode.read_file file)
+
+(* ------------------------------------------------------------------ *)
+(* run (plain interpreter)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run file seed max_steps =
+    let program = load_program file in
+    let machine = Tpdbt_vm.Machine.create ~seed program in
+    (match Tpdbt_vm.Machine.run ~max_steps machine with
+    | Ok () -> ()
+    | Error trap ->
+        Format.eprintf "trap: %a@." Tpdbt_vm.Machine.pp_trap trap);
+    Printf.printf "steps: %d\n" (Tpdbt_vm.Machine.steps machine);
+    List.iter
+      (fun v -> Printf.printf "out: %d\n" v)
+      (Tpdbt_vm.Machine.outputs machine)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Interpret a guest program directly (no DBT).")
+    Term.(const run $ file $ seed_arg $ max_steps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dbt (two-phase translator)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let dbt_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let threshold =
+    Arg.(
+      value & opt int 1000
+      & info [ "threshold"; "t" ] ~docv:"T"
+          ~doc:"Retranslation threshold (0 = profiling only).")
+  in
+  let show_regions =
+    Arg.(value & flag & info [ "regions" ] ~doc:"Print formed regions.")
+  in
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:"Print the CFG and every region as Graphviz digraphs.")
+  in
+  let run file threshold seed max_steps show_regions dot =
+    let program = load_program file in
+    let config = { (Tpdbt_dbt.Engine.config ~threshold ()) with max_steps } in
+    let engine = Tpdbt_dbt.Engine.create ~config ~seed program in
+    let r = Tpdbt_dbt.Engine.run engine in
+    let c = r.Tpdbt_dbt.Engine.counters in
+    (match r.Tpdbt_dbt.Engine.trap with
+    | None -> ()
+    | Some trap -> Format.eprintf "trap: %a@." Tpdbt_vm.Machine.pp_trap trap);
+    Printf.printf "steps:              %d\n" r.Tpdbt_dbt.Engine.steps;
+    Printf.printf "cycles:             %.0f\n" c.Tpdbt_dbt.Perf_model.cycles;
+    Printf.printf "profiling ops:      %d\n" r.Tpdbt_dbt.Engine.profiling_ops;
+    Printf.printf "blocks translated:  %d\n"
+      c.Tpdbt_dbt.Perf_model.blocks_translated;
+    Printf.printf "regions formed:     %d (in %d rounds)\n"
+      c.Tpdbt_dbt.Perf_model.regions_formed
+      c.Tpdbt_dbt.Perf_model.optimization_rounds;
+    Printf.printf "region entries:     %d\n"
+      c.Tpdbt_dbt.Perf_model.region_entries;
+    Printf.printf "loop-backs:         %d\n" c.Tpdbt_dbt.Perf_model.loop_backs;
+    Printf.printf "completions:        %d\n"
+      c.Tpdbt_dbt.Perf_model.region_completions;
+    Printf.printf "side exits:         %d\n" c.Tpdbt_dbt.Perf_model.side_exits;
+    List.iter
+      (fun v -> Printf.printf "out: %d\n" v)
+      r.Tpdbt_dbt.Engine.outputs;
+    if show_regions then
+      List.iter
+        (fun region -> Format.printf "%a@." Tpdbt_dbt.Region.pp region)
+        r.Tpdbt_dbt.Engine.snapshot.Tpdbt_dbt.Snapshot.regions;
+    if dot then begin
+      let snap = r.Tpdbt_dbt.Engine.snapshot in
+      print_string
+        (Tpdbt_dbt.Dot.block_map ~use:snap.Tpdbt_dbt.Snapshot.use
+           ~taken:snap.Tpdbt_dbt.Snapshot.taken
+           snap.Tpdbt_dbt.Snapshot.block_map);
+      List.iter
+        (fun region -> print_string (Tpdbt_dbt.Dot.region region))
+        snap.Tpdbt_dbt.Snapshot.regions
+    end
+  in
+  Cmd.v
+    (Cmd.info "dbt" ~doc:"Run a guest program under the two-phase translator.")
+    Term.(
+      const run $ file $ threshold $ seed_arg $ max_steps_arg $ show_regions
+      $ dot)
+
+(* ------------------------------------------------------------------ *)
+(* bench (suite inspection)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bench_cmd =
+  let name_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  let dump_asm =
+    Arg.(value & flag & info [ "dump-asm" ] ~doc:"Print the generated assembly.")
+  in
+  let run name dump_asm =
+    match name with
+    | None ->
+        List.iter print_endline Tpdbt_workloads.Suite.names
+    | Some name -> (
+        match Tpdbt_workloads.Suite.find name with
+        | None ->
+            prerr_endline ("unknown benchmark: " ^ name);
+            exit 1
+        | Some bench ->
+            if dump_asm then print_string (Tpdbt_workloads.Spec.source bench)
+            else begin
+              let program, _, _ = Tpdbt_workloads.Spec.build bench in
+              let bmap = Tpdbt_dbt.Block_map.build program in
+              print_string (Tpdbt_workloads.Spec.describe bench);
+              Printf.printf "  => %d instructions, %d basic blocks\n"
+                (Tpdbt_isa.Program.length program)
+                (Tpdbt_dbt.Block_map.block_count bmap)
+            end)
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"List the synthetic SPEC2000 suite or inspect one benchmark.")
+    Term.(const run $ name_arg $ dump_asm)
+
+(* ------------------------------------------------------------------ *)
+(* sweep (the paper's experiments)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let benches =
+    Arg.(
+      value & opt_all string []
+      & info [ "bench"; "b" ] ~docv:"NAME"
+          ~doc:"Benchmark to include (repeatable; default: all 26).")
+  in
+  let figures =
+    Arg.(
+      value & opt_all string []
+      & info [ "figure"; "f" ] ~docv:"ID"
+          ~doc:"Figure to print, e.g. fig8 (repeatable; default: all).")
+  in
+  let csv_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into DIR.")
+  in
+  let run benches figures csv_dir =
+    let selected =
+      match benches with
+      | [] -> Tpdbt_workloads.Suite.all
+      | names ->
+          List.map
+            (fun n ->
+              match Tpdbt_workloads.Suite.find n with
+              | Some b -> b
+              | None ->
+                  prerr_endline ("unknown benchmark: " ^ n);
+                  exit 1)
+            names
+    in
+    let data =
+      Tpdbt_experiments.Runner.run_many
+        ~progress:(fun n -> Printf.eprintf "running %s...\n%!" n)
+        selected
+    in
+    let tables = Tpdbt_experiments.Figures.all data in
+    let tables =
+      match figures with
+      | [] -> tables
+      | wanted -> List.filter (fun (id, _) -> List.mem id wanted) tables
+    in
+    List.iter
+      (fun (id, table) ->
+        print_endline id;
+        Tpdbt_experiments.Table.print ~precision:3 table;
+        print_newline ();
+        match csv_dir with
+        | None -> ()
+        | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            let path = Filename.concat dir (id ^ ".csv") in
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc (Tpdbt_experiments.Table.to_csv table)))
+      tables
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run the paper's threshold sweep and print the figures' tables \
+          (Figures 8-18).")
+    Term.(const run $ benches $ figures $ csv_dir)
+
+(* ------------------------------------------------------------------ *)
+(* profile / analyze (the paper's collect-then-analyse workflow)        *)
+(* ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let threshold =
+    Arg.(
+      value & opt int 0
+      & info [ "threshold"; "t" ] ~docv:"T"
+          ~doc:
+            "Retranslation threshold; 0 collects an AVEP-style full-run \
+             profile.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Profile file to write.")
+  in
+  let run file threshold seed max_steps output =
+    let program = load_program file in
+    let config = { (Tpdbt_dbt.Engine.config ~threshold ()) with max_steps } in
+    let engine = Tpdbt_dbt.Engine.create ~config ~seed program in
+    let result = Tpdbt_dbt.Engine.run engine in
+    (match result.Tpdbt_dbt.Engine.trap with
+    | None -> ()
+    | Some trap -> Format.eprintf "trap: %a@." Tpdbt_vm.Machine.pp_trap trap);
+    let out =
+      match output with
+      | Some o -> o
+      | None -> Filename.remove_extension file ^ ".prof"
+    in
+    Tpdbt_profiles.Profile_io.save out result.Tpdbt_dbt.Engine.snapshot;
+    Printf.printf "profile written to %s (%d profiling operations, %d regions)\n"
+      out result.Tpdbt_dbt.Engine.profiling_ops
+      (List.length result.Tpdbt_dbt.Engine.snapshot.Tpdbt_dbt.Snapshot.regions)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a guest program and write its profile (INIP(T) or AVEP) to a \
+          file for off-line analysis.")
+    Term.(const run $ file $ threshold $ seed_arg $ max_steps_arg $ output)
+
+let report_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"PROFILE.prof")
+  in
+  let avep_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "avep" ] ~docv:"AVEP.prof"
+          ~doc:"Average profile to compare region probabilities against.")
+  in
+  let run file avep_file =
+    let snapshot = or_die (Tpdbt_profiles.Profile_io.load file) in
+    let avep = Option.map (fun f -> or_die (Tpdbt_profiles.Profile_io.load f)) avep_file in
+    print_string (Tpdbt_profiles.Report.render ?avep snapshot)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Summarise a profile file: hottest blocks and region details.")
+    Term.(const run $ file $ avep_file)
+
+let analyze_cmd =
+  let inip_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INIP.prof")
+  in
+  let avep_file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"AVEP.prof")
+  in
+  let run inip_file avep_file =
+    let inip = or_die (Tpdbt_profiles.Profile_io.load inip_file) in
+    let avep = or_die (Tpdbt_profiles.Profile_io.load avep_file) in
+    if inip.Tpdbt_dbt.Snapshot.regions = [] then
+      (* Two flat profiles: the train-vs-AVEP comparison. *)
+      let f = Tpdbt_profiles.Metrics.compare_flat ~predicted:inip ~avep in
+      Printf.printf "flat comparison: Sd.BP=%.4f bp_mismatch=%.3f (%d samples)\n"
+        f.Tpdbt_profiles.Metrics.sd_bp f.Tpdbt_profiles.Metrics.bp_mismatch
+        f.Tpdbt_profiles.Metrics.bp_samples
+    else
+      let c = Tpdbt_profiles.Metrics.compare_snapshots ~inip ~avep in
+      Format.printf "%a@." Tpdbt_profiles.Metrics.pp_comparison c
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Off-line analysis: compare an initial profile against an average \
+          profile (the paper's Sd and mismatch metrics).")
+    Term.(const run $ inip_file $ avep_file)
+
+(* ------------------------------------------------------------------ *)
+(* ablate (design-choice studies)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ablate_cmd =
+  let studies =
+    Arg.(
+      value & opt_all string []
+      & info [ "study"; "s" ] ~docv:"NAME"
+          ~doc:
+            "Study to run: region-formation, min-branch-prob, pool-trigger, \
+             adaptive (repeatable; default: all).")
+  in
+  let benches =
+    Arg.(
+      value & opt_all string []
+      & info [ "bench"; "b" ] ~docv:"NAME"
+          ~doc:"Benchmark to include (repeatable).")
+  in
+  let run studies benches =
+    let benchmarks = match benches with [] -> None | l -> Some l in
+    let tables = Tpdbt_experiments.Ablations.all ?benchmarks () in
+    let tables =
+      match studies with
+      | [] -> tables
+      | wanted -> List.filter (fun (id, _) -> List.mem id wanted) tables
+    in
+    List.iter
+      (fun (id, table) ->
+        print_endline id;
+        Tpdbt_experiments.Table.print ~precision:3 table;
+        print_newline ())
+      tables
+  in
+  Cmd.v
+    (Cmd.info "ablate"
+       ~doc:"Run the ablation studies over the translator's design choices.")
+    Term.(const run $ studies $ benches)
+
+let () =
+  let doc = "two-phase dynamic binary translator profile-accuracy testbed" in
+  let info = Cmd.info "tpdbt" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            asm_cmd; dis_cmd; check_cmd; run_cmd; dbt_cmd; bench_cmd; sweep_cmd;
+            profile_cmd; analyze_cmd; report_cmd; ablate_cmd;
+          ]))

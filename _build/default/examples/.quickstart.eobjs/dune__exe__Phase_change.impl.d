@@ -1,0 +1,1 @@
+examples/phase_change.ml: List Printf Tpdbt_experiments Tpdbt_profiles Tpdbt_workloads

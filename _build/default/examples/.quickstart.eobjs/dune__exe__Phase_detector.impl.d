@@ -1,0 +1,1 @@
+examples/phase_detector.ml: Array List Printf Sys Tpdbt_dbt Tpdbt_profiles Tpdbt_workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Tpdbt_dbt Tpdbt_isa Tpdbt_profiles

@@ -1,0 +1,1 @@
+examples/region_explorer.ml: Format List Printf Tpdbt_dbt Tpdbt_isa Tpdbt_profiles

@@ -1,0 +1,1 @@
+examples/threshold_sweep.ml: Array List Printf String Sys Tpdbt_dbt Tpdbt_experiments Tpdbt_profiles Tpdbt_workloads

@@ -1,0 +1,45 @@
+(* Phase-change study: the Mcf situation of paper §4.
+
+   The synthetic "mcf" benchmark changes branch behaviour twice during
+   its run and inverts its loop trip counts.  This example sweeps the
+   retranslation threshold over it and prints how Sd.BP and the loop
+   trip-count mismatch respond — showing why a single early profiling
+   phase cannot capture phase-changing programs.
+
+   Run with:  dune exec examples/phase_change.exe *)
+
+let () =
+  let bench =
+    match Tpdbt_workloads.Suite.find "mcf" with
+    | Some b -> b
+    | None -> failwith "mcf benchmark missing"
+  in
+  print_endline
+    "mcf: phase changes early and late in the run, plus loop trip-count \
+     inversion\n";
+  let thresholds =
+    [ ("100", 1); ("1k", 10); ("10k", 100); ("160k", 1600); ("4M", 40000) ]
+  in
+  let data = Tpdbt_experiments.Runner.run_benchmark ~thresholds bench in
+  Printf.printf "%8s  %8s  %8s  %11s  %11s\n" "T(paper)" "Sd.BP" "Sd.LP"
+    "BP mismatch" "LP mismatch";
+  List.iter
+    (fun run ->
+      let c = run.Tpdbt_experiments.Runner.comparison in
+      Printf.printf "%8s  %8.4f  %8.4f  %11.3f  %11.3f\n"
+        run.Tpdbt_experiments.Runner.label c.Tpdbt_profiles.Metrics.sd_bp
+        c.Tpdbt_profiles.Metrics.sd_lp c.Tpdbt_profiles.Metrics.bp_mismatch
+        c.Tpdbt_profiles.Metrics.lp_mismatch)
+    data.Tpdbt_experiments.Runner.runs;
+  let train = data.Tpdbt_experiments.Runner.train_flat in
+  Printf.printf "%8s  %8.4f  %8s  %11.3f\n" "train"
+    train.Tpdbt_profiles.Metrics.sd_bp "-"
+    train.Tpdbt_profiles.Metrics.bp_mismatch;
+  print_newline ();
+  print_endline
+    "Reading: the training input (which experiences the same phases, \
+     proportionally) predicts the average behaviour well, while the \
+     initial profile stays inaccurate even at very large thresholds — \
+     the accumulated early-window counters cannot represent a mixture \
+     they have not yet seen.  This is the paper's argument for \
+     phase-aware (continuous or multi-phase) profiling."

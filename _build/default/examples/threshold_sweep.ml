@@ -1,0 +1,53 @@
+(* Threshold sweep on one benchmark: accuracy vs overhead vs speed.
+
+   For a single synthetic benchmark (default "gzip", override with the
+   first command-line argument) this sweeps the paper's retranslation
+   thresholds and prints, per threshold: Sd.BP, the profiling-operation
+   cost relative to a training run, and the performance-model speedup
+   over the smallest threshold.  It reproduces the central trade-off of
+   the paper: optimise early (cheap, slightly wrong) vs late (accurate,
+   far too slow).
+
+   Run with:  dune exec examples/threshold_sweep.exe [-- benchmark] *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "gzip" in
+  let bench =
+    match Tpdbt_workloads.Suite.find name with
+    | Some b -> b
+    | None ->
+        Printf.eprintf "unknown benchmark %s; available: %s\n" name
+          (String.concat " " Tpdbt_workloads.Suite.names);
+        exit 1
+  in
+  Printf.printf "threshold sweep on %s\n\n" name;
+  let data = Tpdbt_experiments.Runner.run_benchmark bench in
+  let train_ops =
+    float_of_int
+      data.Tpdbt_experiments.Runner.train.Tpdbt_dbt.Engine.profiling_ops
+  in
+  let base_cycles =
+    match data.Tpdbt_experiments.Runner.runs with
+    | base :: _ ->
+        base.Tpdbt_experiments.Runner.result.Tpdbt_dbt.Engine.counters
+          .Tpdbt_dbt.Perf_model.cycles
+    | [] -> failwith "no runs"
+  in
+  Printf.printf "%8s  %8s  %14s  %14s  %8s\n" "T(paper)" "Sd.BP"
+    "profile ops" "(vs train)" "speedup";
+  List.iter
+    (fun run ->
+      let result = run.Tpdbt_experiments.Runner.result in
+      let c = run.Tpdbt_experiments.Runner.comparison in
+      let ops = result.Tpdbt_dbt.Engine.profiling_ops in
+      let cycles =
+        result.Tpdbt_dbt.Engine.counters.Tpdbt_dbt.Perf_model.cycles
+      in
+      Printf.printf "%8s  %8.4f  %14d  %13.2f%%  %8.3f\n"
+        run.Tpdbt_experiments.Runner.label c.Tpdbt_profiles.Metrics.sd_bp ops
+        (100.0 *. float_of_int ops /. train_ops)
+        (base_cycles /. cycles))
+    data.Tpdbt_experiments.Runner.runs;
+  Printf.printf "\ntraining-run profiling operations: %.0f\n" train_ops;
+  Printf.printf "Sd.BP(train) reference: %.4f\n"
+    data.Tpdbt_experiments.Runner.train_flat.Tpdbt_profiles.Metrics.sd_bp

@@ -1,0 +1,1 @@
+lib/cfg/dominators.ml: Graph Hashtbl List Traverse

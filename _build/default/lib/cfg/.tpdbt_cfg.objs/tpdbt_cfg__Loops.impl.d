@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Dominators Graph Hashtbl List Traverse

@@ -1,0 +1,1 @@
+lib/cfg/scc.ml: Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/cfg/scc.mli: Graph

@@ -1,0 +1,1 @@
+lib/cfg/traverse.ml: Graph Hashtbl List Queue Result

@@ -1,0 +1,1 @@
+lib/cfg/traverse.mli: Graph Hashtbl

@@ -1,0 +1,52 @@
+type t = { root : int; idom : (int, int) Hashtbl.t; rpo_index : (int, int) Hashtbl.t }
+
+(* Cooper, Harvey & Kennedy, "A Simple, Fast Dominance Algorithm". *)
+let compute g ~root =
+  let rpo = Traverse.reverse_postorder g ~root in
+  let rpo_index = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace rpo_index n i) rpo;
+  let idom = Hashtbl.create 16 in
+  Hashtbl.replace idom root root;
+  let intersect a b =
+    let rec climb a b =
+      if a = b then a
+      else
+        let ia = Hashtbl.find rpo_index a and ib = Hashtbl.find rpo_index b in
+        if ia > ib then climb (Hashtbl.find idom a) b
+        else climb a (Hashtbl.find idom b)
+    in
+    climb a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+        if n <> root then begin
+          let processed_preds =
+            List.filter
+              (fun p -> Hashtbl.mem idom p && Hashtbl.mem rpo_index p)
+              (Graph.preds g n)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if Hashtbl.find_opt idom n <> Some new_idom then begin
+                Hashtbl.replace idom n new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { root; idom; rpo_index }
+
+let idom t n =
+  if n = t.root then None
+  else Hashtbl.find_opt t.idom n
+
+let dominates t a b =
+  if not (Hashtbl.mem t.rpo_index a && Hashtbl.mem t.rpo_index b) then false
+  else
+    let rec climb n = if n = a then true else if n = t.root then a = t.root else climb (Hashtbl.find t.idom n) in
+    climb b

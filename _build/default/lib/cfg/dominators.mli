@@ -1,0 +1,16 @@
+(** Dominator trees (Cooper–Harvey–Kennedy iterative algorithm).
+
+    Used to identify back edges (and hence natural loops) in discovered
+    control-flow graphs. *)
+
+type t
+
+val compute : Graph.t -> root:int -> t
+(** Only nodes reachable from [root] are considered. *)
+
+val idom : t -> int -> int option
+(** Immediate dominator; [None] for the root or unreachable nodes. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] — does [a] dominate [b]?  Reflexive.  [false] if
+    either node is unreachable. *)

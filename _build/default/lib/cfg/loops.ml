@@ -1,0 +1,56 @@
+type loop = {
+  header : int;
+  body : int list;
+  back_edges : (int * int) list;
+}
+
+let back_edges g ~root =
+  let dom = Dominators.compute g ~root in
+  let reach = Traverse.reachable g ~root in
+  let edges = ref [] in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem reach n then
+        List.iter
+          (fun s -> if Dominators.dominates dom s n then edges := (n, s) :: !edges)
+          (Graph.succs g n))
+    (Graph.nodes g);
+  List.rev !edges
+
+(* Natural loop of back edge (latch, header): header + everything that
+   reaches latch backwards without going through header. *)
+let natural_loop g ~header ~latch =
+  let body = Hashtbl.create 8 in
+  Hashtbl.replace body header ();
+  let rec grow n =
+    if not (Hashtbl.mem body n) then begin
+      Hashtbl.replace body n ();
+      List.iter grow (Graph.preds g n)
+    end
+  in
+  grow latch;
+  body
+
+let detect g ~root =
+  let edges = back_edges g ~root in
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (latch, header) ->
+      let existing =
+        match Hashtbl.find_opt by_header header with Some l -> l | None -> []
+      in
+      Hashtbl.replace by_header header ((latch, header) :: existing))
+    edges;
+  Hashtbl.fold
+    (fun header back_edges acc ->
+      let body = Hashtbl.create 8 in
+      List.iter
+        (fun (latch, _) ->
+          Hashtbl.iter
+            (fun n () -> Hashtbl.replace body n ())
+            (natural_loop g ~header ~latch))
+        back_edges;
+      let members = Hashtbl.fold (fun n () l -> n :: l) body [] in
+      { header; body = List.sort compare members; back_edges } :: acc)
+    by_header []
+  |> List.sort (fun a b -> compare a.header b.header)

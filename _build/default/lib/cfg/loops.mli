@@ -1,0 +1,17 @@
+(** Natural-loop detection from back edges.
+
+    A back edge is an edge [t -> h] where [h] dominates [t]; the natural
+    loop of that edge is [h] plus all nodes that reach [t] without
+    passing through [h]. *)
+
+type loop = {
+  header : int;
+  body : int list;  (** includes the header *)
+  back_edges : (int * int) list;  (** latch -> header *)
+}
+
+val detect : Graph.t -> root:int -> loop list
+(** One entry per loop header (back edges sharing a header are merged),
+    ordered by header node id. *)
+
+val back_edges : Graph.t -> root:int -> (int * int) list

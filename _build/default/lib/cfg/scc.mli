@@ -1,0 +1,8 @@
+(** Strongly connected components (Tarjan, iterative). *)
+
+val compute : Graph.t -> int list list
+(** Components in reverse topological order (callees before callers);
+    singleton components without a self edge are trivial. *)
+
+val is_trivial : Graph.t -> int list -> bool
+(** True for a singleton component whose node has no self edge. *)

@@ -1,0 +1,51 @@
+let postorder g ~root =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  (* Explicit stack with a "children pending" marker to avoid deep
+     recursion on long traces. *)
+  let rec visit n =
+    if not (Hashtbl.mem visited n) then begin
+      Hashtbl.replace visited n ();
+      List.iter visit (Graph.succs g n);
+      order := n :: !order
+    end
+  in
+  if Graph.mem_node g root then visit root;
+  List.rev !order
+
+let reverse_postorder g ~root = List.rev (postorder g ~root)
+
+let reachable g ~root =
+  let visited = Hashtbl.create 16 in
+  let rec visit n =
+    if not (Hashtbl.mem visited n) then begin
+      Hashtbl.replace visited n ();
+      List.iter visit (Graph.succs g n)
+    end
+  in
+  if Graph.mem_node g root then visit root;
+  visited
+
+let topological_sort g =
+  let nodes = Graph.nodes g in
+  let indegree = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace indegree n (List.length (Graph.preds g n))) nodes;
+  let ready = Queue.create () in
+  List.iter (fun n -> if Hashtbl.find indegree n = 0 then Queue.add n ready) nodes;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty ready) do
+    let n = Queue.pop ready in
+    order := n :: !order;
+    incr count;
+    List.iter
+      (fun s ->
+        let d = Hashtbl.find indegree s - 1 in
+        Hashtbl.replace indegree s d;
+        if d = 0 then Queue.add s ready)
+      (Graph.succs g n)
+  done;
+  if !count = List.length nodes then Ok (List.rev !order)
+  else Error "topological_sort: graph has a cycle"
+
+let is_acyclic g = Result.is_ok (topological_sort g)

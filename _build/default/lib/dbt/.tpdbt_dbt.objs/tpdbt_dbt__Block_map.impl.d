@@ -1,0 +1,1 @@
+lib/dbt/block_map.ml: Array Format Hashtbl Printf Tpdbt_isa

@@ -1,0 +1,1 @@
+lib/dbt/block_map.mli: Format Tpdbt_isa

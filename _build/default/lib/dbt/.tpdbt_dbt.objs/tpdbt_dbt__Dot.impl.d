@@ -1,0 +1,1 @@
+lib/dbt/dot.ml: Array Block_map Buffer List Printf Region

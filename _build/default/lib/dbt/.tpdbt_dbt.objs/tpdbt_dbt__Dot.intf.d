@@ -1,0 +1,1 @@
+lib/dbt/dot.mli: Block_map Region

@@ -1,0 +1,1 @@
+lib/dbt/engine.ml: Array Block_map Hashtbl List Optimizer Perf_model Region Region_former Snapshot Tpdbt_isa Tpdbt_vm

@@ -1,0 +1,1 @@
+lib/dbt/engine.mli: Block_map Perf_model Snapshot Tpdbt_isa Tpdbt_vm

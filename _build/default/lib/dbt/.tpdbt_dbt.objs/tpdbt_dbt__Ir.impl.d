@@ -1,0 +1,1 @@
+lib/dbt/ir.ml: Array Format List Tpdbt_isa

@@ -1,0 +1,1 @@
+lib/dbt/ir.mli: Format Tpdbt_isa

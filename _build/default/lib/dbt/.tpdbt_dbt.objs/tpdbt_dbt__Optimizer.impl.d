@@ -1,0 +1,1 @@
+lib/dbt/optimizer.ml: Array Block_map Hashtbl Ir List Region Tpdbt_isa

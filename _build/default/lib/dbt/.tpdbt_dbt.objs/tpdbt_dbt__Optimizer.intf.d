@@ -1,0 +1,1 @@
+lib/dbt/optimizer.mli: Block_map Ir Region Tpdbt_isa

@@ -1,0 +1,1 @@
+lib/dbt/perf_model.ml:

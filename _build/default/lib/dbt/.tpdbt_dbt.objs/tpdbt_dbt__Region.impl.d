@@ -1,0 +1,1 @@
+lib/dbt/region.ml: Array Format Hashtbl List Tpdbt_cfg

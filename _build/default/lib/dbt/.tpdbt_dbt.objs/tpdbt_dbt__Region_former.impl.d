@@ -1,0 +1,1 @@
+lib/dbt/region_former.ml: Array Block_map Hashtbl List Region

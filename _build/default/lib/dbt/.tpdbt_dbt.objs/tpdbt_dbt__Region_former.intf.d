@@ -1,0 +1,1 @@
+lib/dbt/region_former.mli: Block_map Region

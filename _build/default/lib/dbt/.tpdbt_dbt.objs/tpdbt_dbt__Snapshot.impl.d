@@ -1,0 +1,1 @@
+lib/dbt/snapshot.ml: Array Block_map List Region

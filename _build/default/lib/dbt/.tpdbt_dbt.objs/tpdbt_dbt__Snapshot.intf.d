@@ -1,0 +1,1 @@
+lib/dbt/snapshot.mli: Block_map Region

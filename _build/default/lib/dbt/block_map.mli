@@ -1,0 +1,61 @@
+(** Static basic-block discovery for a guest program.
+
+    G32 control flow is fully static except for [ret], so the block
+    boundaries a dynamic translator would discover incrementally can be
+    computed up front.  Doing so keeps block identities stable across
+    runs with different inputs and thresholds, which is what lets the
+    paper compare INIP(T), AVEP and INIP(train) block by block.
+
+    Leaders: the program entry, every static branch/call target, every
+    call return site, and every instruction following a block
+    terminator.  A block also ends (with a fall-through edge) just
+    before the next leader. *)
+
+type terminator =
+  | Cond of { taken : int; fallthrough : int }
+      (** Conditional branch; successors are block ids. *)
+  | Goto of int
+  | Call_to of { callee : int; retsite : int }
+  | Return  (** dynamic successor *)
+  | Stop  (** halt *)
+  | Fallthrough of int  (** block cut by a leader; unconditional edge *)
+
+type block = {
+  id : int;
+  start_pc : int;
+  end_pc : int;  (** inclusive *)
+  size : int;  (** instruction count *)
+  terminator : terminator;
+}
+
+type t
+
+val build : Tpdbt_isa.Program.t -> t
+(** Discover the block map of a program. *)
+
+val of_blocks : entry_block:int -> block list -> (t, string) result
+(** Reconstruct a block map from serialised blocks (see
+    [Tpdbt_profiles.Profile_io]).  The blocks must be sorted by id,
+    contiguous from 0, and cover [0 .. max end_pc] without gaps or
+    overlaps. *)
+
+val block_count : t -> int
+val block : t -> int -> block
+(** @raise Invalid_argument on a bad id. *)
+
+val blocks : t -> block list
+(** In block-id order (i.e. ascending start pc). *)
+
+val block_at : t -> int -> int option
+(** [block_at t pc] is the id of the block {e starting} at [pc]. *)
+
+val block_containing : t -> int -> int option
+(** Id of the block whose pc range contains [pc]. *)
+
+val successors : t -> int -> int list
+(** Static successor block ids ([Return]/[Stop] have none). *)
+
+val entry_block : t -> int
+(** Block id of the program entry. *)
+
+val pp_block : Format.formatter -> block -> unit

@@ -1,0 +1,82 @@
+let block_map ?use ?taken (bmap : Block_map.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph cfg {\n  node [shape=box, fontname=\"monospace\"];\n";
+  let count id = match use with Some u when id < Array.length u -> Some u.(id) | _ -> None in
+  let prob id =
+    match (use, taken) with
+    | Some u, Some t when id < Array.length u && u.(id) > 0 ->
+        Some (float_of_int t.(id) /. float_of_int u.(id))
+    | _ -> None
+  in
+  List.iter
+    (fun (b : Block_map.block) ->
+      let label =
+        Printf.sprintf "B%d\\npc %d..%d%s" b.Block_map.id b.Block_map.start_pc
+          b.Block_map.end_pc
+          (match count b.Block_map.id with
+          | Some c -> Printf.sprintf "\\nuse %d" c
+          | None -> "")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  b%d [label=\"%s\"];\n" b.Block_map.id label);
+      let edge ?label dst =
+        Buffer.add_string buf
+          (Printf.sprintf "  b%d -> b%d%s;\n" b.Block_map.id dst
+             (match label with
+             | Some l -> Printf.sprintf " [label=\"%s\"]" l
+             | None -> ""))
+      in
+      match b.Block_map.terminator with
+      | Block_map.Cond { taken = t_dst; fallthrough } ->
+          let t_label, f_label =
+            match prob b.Block_map.id with
+            | Some p -> (Printf.sprintf "T %.2f" p, Printf.sprintf "N %.2f" (1.0 -. p))
+            | None -> ("T", "N")
+          in
+          edge ~label:t_label t_dst;
+          edge ~label:f_label fallthrough
+      | Block_map.Goto dst -> edge dst
+      | Block_map.Fallthrough dst -> edge dst
+      | Block_map.Call_to { callee; retsite } ->
+          edge ~label:"call" callee;
+          edge ~label:"ret-site" retsite
+      | Block_map.Return | Block_map.Stop -> ())
+    (Block_map.blocks bmap);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let region (r : Region.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph region%d {\n  node [shape=box];\n" r.Region.id);
+  Array.iteri
+    (fun slot block ->
+      let prob =
+        match Region.frozen_branch_prob r slot with
+        | Some p -> Printf.sprintf "\\np(taken) %.3f" p
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  s%d [label=\"slot %d: B%d%s\"%s];\n" slot slot block
+           prob
+           (if slot = 0 then ", style=bold" else "")))
+    r.Region.slots;
+  let role_label = function
+    | Region.Taken -> "T"
+    | Region.Not_taken -> "N"
+    | Region.Always -> ""
+  in
+  List.iter
+    (fun (e : Region.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  s%d -> s%d [label=\"%s\"];\n" e.Region.src
+           e.Region.dst (role_label e.Region.role)))
+    r.Region.edges;
+  List.iter
+    (fun (e : Region.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  s%d -> s%d [label=\"%s\", style=dashed];\n"
+           e.Region.src e.Region.dst (role_label e.Region.role)))
+    r.Region.back_edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

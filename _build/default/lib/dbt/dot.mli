@@ -1,0 +1,14 @@
+(** Graphviz (DOT) export of discovered CFGs and regions.
+
+    Handy for inspecting what the translator built:
+    {v tpdbt dbt prog.s --regions | ... v} gives text; these give
+    pictures. *)
+
+val block_map :
+  ?use:int array -> ?taken:int array -> Block_map.t -> string
+(** The whole-program block CFG.  With [use]/[taken], nodes carry
+    execution counts and conditional edges their probabilities. *)
+
+val region : Region.t -> string
+(** One region: slots as nodes (labelled with their block id and frozen
+    branch probability), solid forward edges, dashed back edges. *)

@@ -1,0 +1,454 @@
+module Machine = Tpdbt_vm.Machine
+
+type config = {
+  threshold : int;
+  pool_trigger : int;
+  min_branch_prob : float;
+  max_region_slots : int;
+  enable_duplication : bool;
+  enable_diamonds : bool;
+  trace_scheduling : bool;
+  regions_across_calls : bool;
+  adaptive : bool;
+  reopt_side_exit_rate : float;
+  reopt_min_entries : int;
+  reopt_limit : int;
+  perf : Perf_model.params;
+  max_steps : int;
+}
+
+let config ?(pool_trigger = 16) ?(adaptive = false) ~threshold () =
+  {
+    threshold;
+    pool_trigger;
+    min_branch_prob = 0.7;
+    max_region_slots = 16;
+    enable_duplication = true;
+    enable_diamonds = true;
+    trace_scheduling = false;
+    regions_across_calls = false;
+    adaptive;
+    reopt_side_exit_rate = 0.3;
+    reopt_min_entries = 64;
+    reopt_limit = 3;
+    perf = Perf_model.default;
+    max_steps = 200_000_000;
+  }
+
+let profiling_only = config ~threshold:0 ()
+
+type region_stats = {
+  entries : int;
+  side_exits : int;
+  loop_back_taken : int;
+  loop_back_seen : int;
+}
+
+type result = {
+  snapshot : Snapshot.t;
+  counters : Perf_model.counters;
+  steps : int;
+  profiling_ops : int;
+  outputs : int list;
+  region_stats : (int * region_stats) list;
+  trap : Machine.trap option;
+}
+
+type block_state = Cold | Registered | Optimized
+
+(* Mutable per-region runtime monitor (adaptive mode + continuous loop
+   profiling). *)
+type monitor = {
+  mutable m_entries : int;
+  mutable m_side_exits : int;
+  mutable m_lb_taken : int;
+  mutable m_lb_seen : int;
+  mutable m_disabled : bool;
+      (* adaptive mode: set once a member block has hit the
+         re-optimisation limit — the region is then kept for good,
+         preventing dissolve/reform thrashing on inherently unstable
+         (near-50%) branches *)
+}
+
+type t = {
+  cfg : config;
+  program : Tpdbt_isa.Program.t;
+  machine : Machine.t;
+  bmap : Block_map.t;
+  use : int array;
+  taken : int array;
+  state : block_state array;
+  touched : bool array;
+  dissolve_count : int array;  (* per block, adaptive mode *)
+  region_entry : int array;  (* block id -> region id, or -1 *)
+  regions : (int, Region.t * float array) Hashtbl.t;  (* id -> region, slot cycles *)
+  monitors : (int, monitor) Hashtbl.t;  (* region id -> runtime stats *)
+  mutable regions_rev : Region.t list;
+  mutable next_region_id : int;
+  mutable pool : int list;
+  mutable pool_size : int;
+  counters : Perf_model.counters;
+  mutable trap : Machine.trap option;
+}
+
+let create ?config:(cfg = config ~threshold:1000 ()) ?mem_words ~seed program =
+  let machine = Machine.create ?mem_words ~seed program in
+  let bmap = Block_map.build program in
+  let n = Block_map.block_count bmap in
+  {
+    cfg;
+    program;
+    machine;
+    bmap;
+    use = Array.make n 0;
+    taken = Array.make n 0;
+    state = Array.make n Cold;
+    touched = Array.make n false;
+    dissolve_count = Array.make n 0;
+    region_entry = Array.make n (-1);
+    regions = Hashtbl.create 32;
+    monitors = Hashtbl.create 32;
+    regions_rev = [];
+    next_region_id = 0;
+    pool = [];
+    pool_size = 0;
+    counters = Perf_model.fresh_counters ();
+    trap = None;
+  }
+
+let block_map t = t.bmap
+
+(* Outcome of executing one block on the machine. *)
+type exec_outcome =
+  | Flowed  (* unconditional control transfer or plain fallthrough *)
+  | Took of bool  (* conditional branch outcome *)
+  | Finished  (* machine halted *)
+  | Trapped of Machine.trap
+
+(* Execute the instructions of block [b]; the machine must be at its
+   start.  Returns the outcome of the block's last instruction. *)
+let exec_block t (b : Block_map.block) =
+  let rec go remaining =
+    match Machine.step t.machine with
+    | Error trap -> Trapped trap
+    | Ok event -> (
+        match event with
+        | Machine.Halted -> Finished
+        | Machine.Branched { taken } ->
+            (* The terminator is the block's last instruction. *)
+            Took taken
+        | Machine.Jumped | Machine.Called | Machine.Returned -> Flowed
+        | Machine.Stepped -> if remaining = 1 then Flowed else go (remaining - 1))
+  in
+  go b.Block_map.size
+
+(* ------------------------------------------------------------------ *)
+(* Optimisation phase                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let optimize t =
+  t.counters.Perf_model.optimization_rounds <-
+    t.counters.Perf_model.optimization_rounds + 1;
+  let seeds =
+    List.sort (fun a b -> compare t.use.(b) t.use.(a)) t.pool
+  in
+  let former_cfg =
+    {
+      Region_former.threshold = t.cfg.threshold;
+      min_branch_prob = t.cfg.min_branch_prob;
+      max_slots = t.cfg.max_region_slots;
+      enable_duplication = t.cfg.enable_duplication;
+      enable_diamonds = t.cfg.enable_diamonds;
+      across_calls = t.cfg.regions_across_calls;
+    }
+  in
+  let owner b =
+    match t.state.(b) with
+    | Optimized -> Region_former.Owned
+    | Cold | Registered -> Region_former.Unowned
+  in
+  let new_regions =
+    Region_former.form former_cfg ~block_map:t.bmap ~use:t.use ~taken:t.taken
+      ~owner ~seeds ~first_id:t.next_region_id
+  in
+  List.iter
+    (fun r ->
+      t.next_region_id <- t.next_region_id + 1;
+      let slot_cycles =
+        let code = t.program.Tpdbt_isa.Program.code in
+        if t.cfg.trace_scheduling then
+          Optimizer.region_slot_cycles_pipelined t.bmap ~code r
+        else Optimizer.region_slot_cycles t.bmap ~code r
+      in
+      Hashtbl.replace t.regions r.Region.id (r, slot_cycles);
+      Hashtbl.replace t.monitors r.Region.id
+        {
+          m_entries = 0;
+          m_side_exits = 0;
+          m_lb_taken = 0;
+          m_lb_seen = 0;
+          m_disabled = false;
+        };
+      t.regions_rev <- r :: t.regions_rev;
+      t.counters.Perf_model.regions_formed <-
+        t.counters.Perf_model.regions_formed + 1;
+      (* Retranslation cost: proportional to region size in instructions. *)
+      Array.iter
+        (fun block ->
+          let size = (Block_map.block t.bmap block).Block_map.size in
+          t.counters.Perf_model.cycles <-
+            t.counters.Perf_model.cycles
+            +. (float_of_int size *. t.cfg.perf.Perf_model.optimize_per_instr))
+        r.Region.slots;
+      (* Freeze members; record the region entry for dispatch. *)
+      Array.iter (fun block -> t.state.(block) <- Optimized) r.Region.slots;
+      let entry = Region.entry_block r in
+      if t.region_entry.(entry) < 0 then t.region_entry.(entry) <- r.Region.id)
+    new_regions;
+  t.pool <- [];
+  t.pool_size <- 0
+
+(* Adaptive mode: dissolve a region whose side-exit rate shows that its
+   frozen profile no longer matches execution (the paper's §5
+   "monitoring region side exits to trigger retranslation").  Member
+   blocks not shared with a surviving region return to the profiling
+   phase with fresh counters, so their next profile reflects the new
+   phase; the dispatcher's entry map is rebuilt from the survivors. *)
+let dissolve t (region : Region.t) =
+  Array.iter
+    (fun b -> t.dissolve_count.(b) <- t.dissolve_count.(b) + 1)
+    region.Region.slots;
+  Hashtbl.remove t.regions region.Region.id;
+  Hashtbl.remove t.monitors region.Region.id;
+  t.regions_rev <-
+    List.filter (fun r -> r.Region.id <> region.Region.id) t.regions_rev;
+  t.counters.Perf_model.regions_dissolved <-
+    t.counters.Perf_model.regions_dissolved + 1;
+  let still_member = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ (r, _) ->
+      Array.iter (fun b -> Hashtbl.replace still_member b ()) r.Region.slots)
+    t.regions;
+  Array.iter
+    (fun b ->
+      if not (Hashtbl.mem still_member b) then begin
+        t.state.(b) <- Cold;
+        t.use.(b) <- 0;
+        t.taken.(b) <- 0
+      end)
+    region.Region.slots;
+  Array.fill t.region_entry 0 (Array.length t.region_entry) (-1);
+  List.iter
+    (fun r ->
+      let entry = Region.entry_block r in
+      if t.region_entry.(entry) < 0 then t.region_entry.(entry) <- r.Region.id)
+    (List.rev t.regions_rev)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute block [bid] outside any region, with profiling if it is not
+   yet optimised.  Returns the outcome. *)
+let exec_single t bid =
+  let b = Block_map.block t.bmap bid in
+  let perf = t.cfg.perf in
+  if not t.touched.(bid) then begin
+    t.touched.(bid) <- true;
+    t.counters.Perf_model.blocks_translated <-
+      t.counters.Perf_model.blocks_translated + 1;
+    t.counters.Perf_model.cycles <-
+      t.counters.Perf_model.cycles
+      +. (float_of_int b.Block_map.size
+         *. perf.Perf_model.cold_translate_per_instr)
+  end;
+  let outcome = exec_block t b in
+  (match t.state.(bid) with
+  | Optimized ->
+      (* Side entry to an optimised block: instrumentation removed. *)
+      t.counters.Perf_model.cycles <-
+        t.counters.Perf_model.cycles
+        +. (float_of_int b.Block_map.size
+           *. perf.Perf_model.translated_exec_per_instr)
+  | Cold | Registered ->
+      t.use.(bid) <- t.use.(bid) + 1;
+      let ops =
+        match outcome with
+        | Took true ->
+            t.taken.(bid) <- t.taken.(bid) + 1;
+            2
+        | Took false | Flowed | Finished | Trapped _ -> 1
+      in
+      t.counters.Perf_model.cycles <-
+        t.counters.Perf_model.cycles
+        +. (float_of_int b.Block_map.size
+           *. perf.Perf_model.profiled_exec_per_instr)
+        +. (float_of_int ops *. perf.Perf_model.profiling_op_cost);
+      if t.cfg.threshold > 0 then begin
+        (match t.state.(bid) with
+        | Cold ->
+            if t.use.(bid) >= t.cfg.threshold then begin
+              t.state.(bid) <- Registered;
+              t.pool <- bid :: t.pool;
+              t.pool_size <- t.pool_size + 1
+            end
+        | Registered | Optimized -> ());
+        let registered_twice =
+          match t.state.(bid) with
+          | Registered -> t.use.(bid) >= 2 * t.cfg.threshold
+          | Cold | Optimized -> false
+        in
+        if t.pool_size > 0 && (registered_twice || t.pool_size >= t.cfg.pool_trigger)
+        then optimize t
+      end);
+  outcome
+
+(* Execute inside region [rid] starting at its entry.  Returns the
+   outcome that ended region execution. *)
+let exec_region t rid =
+  let region, slot_cycles = Hashtbl.find t.regions rid in
+  let mon = Hashtbl.find t.monitors rid in
+  let perf = t.cfg.perf in
+  let tail = Region.tail_slot region in
+  t.counters.Perf_model.region_entries <-
+    t.counters.Perf_model.region_entries + 1;
+  mon.m_entries <- mon.m_entries + 1;
+  t.counters.Perf_model.cycles <-
+    t.counters.Perf_model.cycles +. perf.Perf_model.optimized_dispatch;
+  let rec at_slot slot =
+    let bid = region.Region.slots.(slot) in
+    let b = Block_map.block t.bmap bid in
+    assert (Machine.pc t.machine = b.Block_map.start_pc);
+    let outcome = exec_block t b in
+    t.counters.Perf_model.cycles <-
+      t.counters.Perf_model.cycles +. slot_cycles.(slot);
+    match outcome with
+    | Finished | Trapped _ -> outcome
+    | Flowed | Took _ ->
+        let role =
+          match outcome with
+          | Took true -> Some Region.Taken
+          | Took false -> Some Region.Not_taken
+          | Flowed -> (
+              match b.Block_map.terminator with
+              | Block_map.Goto _ | Block_map.Fallthrough _
+              | Block_map.Call_to _ ->
+                  (* A Call_to edge can be region-internal when formed
+                     with regions_across_calls (partial inlining). *)
+                  Some Region.Always
+              | Block_map.Cond _ | Block_map.Return | Block_map.Stop -> None)
+          | Finished | Trapped _ -> None
+        in
+        let matching =
+          match role with
+          | None -> None
+          | Some role ->
+              List.find_opt
+                (fun e -> e.Region.role = role)
+                (Region.out_edges region slot)
+        in
+        let has_back_edge =
+          List.exists (fun e -> e.Region.src = slot) region.Region.back_edges
+        in
+        (match matching with
+        | Some e when e.Region.dst = 0 && region.Region.kind = Region.Loop ->
+            t.counters.Perf_model.loop_backs <-
+              t.counters.Perf_model.loop_backs + 1;
+            (* Continuous loop profiling: the latch executed and looped. *)
+            mon.m_lb_seen <- mon.m_lb_seen + 1;
+            mon.m_lb_taken <- mon.m_lb_taken + 1;
+            at_slot 0
+        | Some e -> at_slot e.Region.dst
+        | None ->
+            if has_back_edge then mon.m_lb_seen <- mon.m_lb_seen + 1;
+            if has_back_edge || slot = tail then
+              t.counters.Perf_model.region_completions <-
+                t.counters.Perf_model.region_completions + 1
+            else begin
+              t.counters.Perf_model.side_exits <-
+                t.counters.Perf_model.side_exits + 1;
+              mon.m_side_exits <- mon.m_side_exits + 1;
+              t.counters.Perf_model.cycles <-
+                t.counters.Perf_model.cycles
+                +. perf.Perf_model.side_exit_penalty;
+              if
+                t.cfg.adaptive && (not mon.m_disabled)
+                && mon.m_entries >= t.cfg.reopt_min_entries
+                && float_of_int mon.m_side_exits
+                   > t.cfg.reopt_side_exit_rate *. float_of_int mon.m_entries
+              then begin
+                let over_limit =
+                  Array.exists
+                    (fun b -> t.dissolve_count.(b) >= t.cfg.reopt_limit)
+                    region.Region.slots
+                in
+                if over_limit then mon.m_disabled <- true
+                else dissolve t region
+              end
+            end;
+            outcome)
+  in
+  at_slot 0
+
+let current_snapshot t =
+  {
+    Snapshot.block_map = t.bmap;
+    use = Array.copy t.use;
+    taken = Array.copy t.taken;
+    regions = List.rev t.regions_rev;
+  }
+
+let run ?(checkpoint_every = 0) ?(on_checkpoint = fun ~steps:_ _ -> ()) t =
+  let next_checkpoint = ref checkpoint_every in
+  let rec loop () =
+    if Machine.halted t.machine then ()
+    else if Machine.steps t.machine >= t.cfg.max_steps then ()
+    else begin
+      let pc = Machine.pc t.machine in
+      match Block_map.block_at t.bmap pc with
+      | None ->
+          (* Control landed mid-block: impossible with static discovery. *)
+          assert false
+      | Some bid -> (
+          let rid = t.region_entry.(bid) in
+          let outcome =
+            if rid >= 0 && t.state.(bid) = Optimized then exec_region t rid
+            else exec_single t bid
+          in
+          if checkpoint_every > 0 && Machine.steps t.machine >= !next_checkpoint
+          then begin
+            on_checkpoint ~steps:(Machine.steps t.machine) (current_snapshot t);
+            next_checkpoint := Machine.steps t.machine + checkpoint_every
+          end;
+          match outcome with
+          | Trapped trap ->
+              t.trap <- Some trap
+          | Finished -> ()
+          | Flowed | Took _ -> loop ())
+    end
+  in
+  loop ();
+  let snapshot = current_snapshot t in
+  let region_stats =
+    Hashtbl.fold
+      (fun id mon acc ->
+        ( id,
+          {
+            entries = mon.m_entries;
+            side_exits = mon.m_side_exits;
+            loop_back_taken = mon.m_lb_taken;
+            loop_back_seen = mon.m_lb_seen;
+          } )
+        :: acc)
+      t.monitors []
+    |> List.sort compare
+  in
+  {
+    snapshot;
+    counters = t.counters;
+    steps = Machine.steps t.machine;
+    profiling_ops = Snapshot.profiling_ops snapshot;
+    outputs = Machine.outputs t.machine;
+    region_stats;
+    trap = t.trap;
+  }

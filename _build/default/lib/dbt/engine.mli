@@ -1,0 +1,103 @@
+(** The two-phase dynamic binary translator.
+
+    Phase 1 (profiling): every block executes under instrumentation
+    that maintains its [use] and [taken] counters.  When a block's [use]
+    reaches the retranslation threshold it is registered in the
+    candidate pool; once the pool holds [pool_trigger] blocks — or a
+    registered block reaches the threshold a second time — the
+    optimisation phase runs.
+
+    Phase 2 (optimisation): regions are formed over the candidates from
+    their current branch probabilities ({!Region_former}), each member
+    block's counters are frozen (they are the INIP(T) data), members are
+    retranslated through the optimiser, and subsequent executions that
+    enter a region at its entry run as optimised code under the
+    performance model.
+
+    A run with [threshold = 0] never optimises: the final counters are
+    the AVEP (reference input) or INIP(train) (training input) profile. *)
+
+type config = {
+  threshold : int;  (** retranslation threshold T; [<= 0] = never optimise *)
+  pool_trigger : int;  (** pool size that triggers the optimisation phase *)
+  min_branch_prob : float;
+  max_region_slots : int;
+  enable_duplication : bool;
+  enable_diamonds : bool;
+  trace_scheduling : bool;
+      (** Schedule regions as traces: result latencies overlap across
+          region-internal edges ({!Optimizer.region_slot_cycles_pipelined}).
+          Off by default — the ablation studies quantify it. *)
+  regions_across_calls : bool;
+      (** Let region formation follow call edges into hot callees
+          (partial inlining); a [ret] ends the region.  Off by default —
+          quantified by the "inlining" ablation. *)
+  adaptive : bool;
+      (** Paper §5 future work: monitor each region's side-exit rate and
+          dissolve regions that keep exiting unexpectedly; their blocks
+          return to the profiling phase (counters reset — a fresh,
+          phase-aware profile) and can be re-optimised later. *)
+  reopt_side_exit_rate : float;
+      (** dissolve when side_exits / entries exceeds this (default 0.3) *)
+  reopt_min_entries : int;
+      (** observe at least this many entries before judging (default 64) *)
+  reopt_limit : int;
+      (** a block may be dissolved at most this many times (default 3);
+          regions containing a block at the limit stop being monitored,
+          which prevents dissolve/reform thrashing on inherently
+          unstable branches *)
+  perf : Perf_model.params;
+  max_steps : int;  (** guest-instruction budget for the run *)
+}
+
+val config : ?pool_trigger:int -> ?adaptive:bool -> threshold:int -> unit -> config
+(** Defaults: pool trigger 16, min branch prob 0.7, 16 slots,
+    duplication and diamonds on, adaptive off (side-exit rate 0.3, min
+    entries 64), {!Perf_model.default}, 200M steps. *)
+
+val profiling_only : config
+(** [threshold = 0]: collect AVEP / INIP(train) profiles. *)
+
+type region_stats = {
+  entries : int;  (** times the dispatcher entered the region *)
+  side_exits : int;  (** unanticipated exits *)
+  loop_back_taken : int;  (** continuous loop profiling: back edges taken *)
+  loop_back_seen : int;  (** ... out of this many latch executions *)
+}
+
+type result = {
+  snapshot : Snapshot.t;
+  counters : Perf_model.counters;
+  steps : int;  (** guest instructions executed *)
+  profiling_ops : int;
+  outputs : int list;
+  region_stats : (int * region_stats) list;
+      (** per surviving region, by region id.  [loop_back_taken /
+          loop_back_seen] is the {e continuously} measured loop-back
+          probability (the lightweight instrumentation of paper §5 /
+          [21]), available even though the region's profile counters are
+          frozen. *)
+  trap : Tpdbt_vm.Machine.trap option;
+      (** [None] for a clean halt (or step-budget stop) *)
+}
+
+type t
+
+val create :
+  ?config:config -> ?mem_words:int -> seed:int64 -> Tpdbt_isa.Program.t -> t
+(** [config] defaults to [config ~threshold:1000 ()]. *)
+
+val run :
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(steps:int -> Snapshot.t -> unit) ->
+  t ->
+  result
+(** Run to halt, trap or step budget, then snapshot.
+
+    If [checkpoint_every] is given (in guest instructions),
+    [on_checkpoint] is called at block boundaries roughly that often
+    with the number of instructions executed and a copy of the current
+    cumulative profile — the raw material for phase analysis
+    ([Tpdbt_profiles.Phases]). *)
+
+val block_map : t -> Block_map.t

@@ -1,0 +1,80 @@
+module Instr = Tpdbt_isa.Instr
+module Reg = Tpdbt_isa.Reg
+
+type operand = Reg of int | Imm of int
+
+type op =
+  | Arith of Instr.binop * int * operand * operand
+  | Move of int * operand
+  | Load of int * operand * int
+  | Store of operand * operand * int
+  | Rnd of int * int
+  | Out of operand
+  | Branch
+
+let lower_instr instr =
+  let r = Reg.to_int in
+  match instr with
+  | Instr.Movi (rd, imm) -> Some (Move (r rd, Imm imm))
+  | Instr.Mov (rd, rs) -> Some (Move (r rd, Reg (r rs)))
+  | Instr.Binop (op, rd, rs1, rs2) ->
+      Some (Arith (op, r rd, Reg (r rs1), Reg (r rs2)))
+  | Instr.Binopi (op, rd, rs, imm) -> Some (Arith (op, r rd, Reg (r rs), Imm imm))
+  | Instr.Load (rd, base, off) -> Some (Load (r rd, Reg (r base), off))
+  | Instr.Store (rsrc, base, off) ->
+      Some (Store (Reg (r rsrc), Reg (r base), off))
+  | Instr.Rnd (rd, bound) -> Some (Rnd (r rd, bound))
+  | Instr.Out rs -> Some (Out (Reg (r rs)))
+  | Instr.Br _ | Instr.Jmp _ | Instr.Call _ | Instr.Ret | Instr.Halt ->
+      Some Branch
+  | Instr.Nop -> None
+
+let lower_block instrs =
+  Array.to_list instrs |> List.filter_map lower_instr
+
+let operand_uses = function Reg r -> [ r ] | Imm _ -> []
+
+let defs = function
+  | Arith (_, dst, _, _) | Move (dst, _) | Load (dst, _, _) | Rnd (dst, _) ->
+      [ dst ]
+  | Store _ | Out _ | Branch -> []
+
+let uses = function
+  | Arith (_, _, a, b) -> operand_uses a @ operand_uses b
+  | Move (_, src) -> operand_uses src
+  | Load (_, base, _) -> operand_uses base
+  | Store (src, base, _) -> operand_uses src @ operand_uses base
+  | Rnd _ -> []
+  | Out src -> operand_uses src
+  | Branch -> []
+
+let latency = function
+  | Arith ((Instr.Mul), _, _, _) -> 3
+  | Arith ((Instr.Div | Instr.Rem), _, _, _) -> 8
+  | Load _ -> 2
+  | Arith _ | Move _ | Store _ | Rnd _ | Out _ | Branch -> 1
+
+let has_side_effect = function
+  | Store _ | Out _ | Rnd _ | Branch -> true
+  | Arith _ | Move _ | Load _ -> false
+
+let touches_memory = function
+  | Load _ | Store _ -> true
+  | Arith _ | Move _ | Rnd _ | Out _ | Branch -> false
+
+let pp_operand ppf = function
+  | Reg r -> Format.fprintf ppf "r%d" r
+  | Imm v -> Format.fprintf ppf "#%d" v
+
+let pp_op ppf = function
+  | Arith (op, dst, a, b) ->
+      Format.fprintf ppf "r%d <- %a %s %a" dst pp_operand a
+        (Instr.binop_name op) pp_operand b
+  | Move (dst, src) -> Format.fprintf ppf "r%d <- %a" dst pp_operand src
+  | Load (dst, base, off) ->
+      Format.fprintf ppf "r%d <- mem(%a + %d)" dst pp_operand base off
+  | Store (src, base, off) ->
+      Format.fprintf ppf "mem(%a + %d) <- %a" pp_operand base off pp_operand src
+  | Rnd (dst, bound) -> Format.fprintf ppf "r%d <- rnd(%d)" dst bound
+  | Out src -> Format.fprintf ppf "out %a" pp_operand src
+  | Branch -> Format.pp_print_string ppf "branch"

@@ -1,0 +1,39 @@
+(** Target IR for the optimisation phase.
+
+    The retranslator lowers each guest block to this three-address form,
+    runs the optimisation passes over it, and schedules the result; the
+    scheduled cycle count is what the performance model charges for an
+    optimised execution of the block.  (Execution semantics always come
+    from the guest interpreter — the IR exists to make the optimisation
+    phase and its cost model concrete, as in IA32EL's retranslation.) *)
+
+type operand = Reg of int | Imm of int
+
+type op =
+  | Arith of Tpdbt_isa.Instr.binop * int * operand * operand
+      (** [dst <- a op b] *)
+  | Move of int * operand
+  | Load of int * operand * int  (** [dst <- mem(base + off)] *)
+  | Store of operand * operand * int  (** [mem(base + off) <- src] *)
+  | Rnd of int * int
+  | Out of operand
+  | Branch  (** block terminator placeholder (1 cycle, must stay last) *)
+
+val lower_block : Tpdbt_isa.Instr.t array -> op list
+(** Lower the guest instructions of one block (terminators become
+    [Branch]; [Nop] disappears). *)
+
+val defs : op -> int list
+(** Registers written. *)
+
+val uses : op -> int list
+(** Registers read. *)
+
+val latency : op -> int
+(** Result latency in cycles: mul 3, div/rem 8, load 2, others 1. *)
+
+val has_side_effect : op -> bool
+(** Stores, [Out], [Rnd] (PRNG stream order) and [Branch]. *)
+
+val touches_memory : op -> bool
+val pp_op : Format.formatter -> op -> unit

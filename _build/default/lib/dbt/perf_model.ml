@@ -1,0 +1,45 @@
+type params = {
+  cold_translate_per_instr : float;
+  profiled_exec_per_instr : float;
+  profiling_op_cost : float;
+  translated_exec_per_instr : float;
+  optimize_per_instr : float;
+  optimized_dispatch : float;
+  side_exit_penalty : float;
+}
+
+let default =
+  {
+    cold_translate_per_instr = 30.0;
+    profiled_exec_per_instr = 6.0;
+    profiling_op_cost = 2.0;
+    translated_exec_per_instr = 3.0;
+    optimize_per_instr = 300.0;
+    optimized_dispatch = 2.0;
+    side_exit_penalty = 6.0;
+  }
+
+type counters = {
+  mutable cycles : float;
+  mutable blocks_translated : int;
+  mutable regions_formed : int;
+  mutable region_entries : int;
+  mutable region_completions : int;
+  mutable loop_backs : int;
+  mutable side_exits : int;
+  mutable optimization_rounds : int;
+  mutable regions_dissolved : int;
+}
+
+let fresh_counters () =
+  {
+    cycles = 0.0;
+    blocks_translated = 0;
+    regions_formed = 0;
+    region_entries = 0;
+    region_completions = 0;
+    loop_backs = 0;
+    side_exits = 0;
+    optimization_rounds = 0;
+    regions_dissolved = 0;
+  }

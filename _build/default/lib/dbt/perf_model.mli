@@ -1,0 +1,44 @@
+(** Cycle-cost parameters for the simulated translator (paper §4.4).
+
+    IA32EL has no interpreter: cold code is translated quickly with
+    instrumentation, so the profiling phase pays per-instruction
+    execution cost plus a counter-update cost, while optimised regions
+    execute at the scheduler-determined cost with a penalty for
+    unanticipated side exits.  One-off costs are charged for the quick
+    translation of each block and for retranslating region members. *)
+
+type params = {
+  cold_translate_per_instr : float;
+      (** one-off, first time a block is reached *)
+  profiled_exec_per_instr : float;
+      (** per instruction while a block still carries instrumentation *)
+  profiling_op_cost : float;  (** per use/taken counter update *)
+  translated_exec_per_instr : float;
+      (** per instruction for an optimised block executed outside its
+          region (side entry) — instrumentation removed *)
+  optimize_per_instr : float;
+      (** one-off retranslation cost per region-member instruction *)
+  optimized_dispatch : float;  (** entering a region from the dispatcher *)
+  side_exit_penalty : float;
+      (** leaving a region through an unanticipated exit *)
+}
+
+val default : params
+(** cold 30, profiled 6, op 2, translated 3, optimise 300, dispatch 2,
+    side exit 6 — calibrated so the Fig 17 threshold sweep reproduces
+    the paper's shape (optimum at mid thresholds). *)
+
+type counters = {
+  mutable cycles : float;
+  mutable blocks_translated : int;
+  mutable regions_formed : int;
+  mutable region_entries : int;
+  mutable region_completions : int;
+  mutable loop_backs : int;
+  mutable side_exits : int;
+  mutable optimization_rounds : int;
+  mutable regions_dissolved : int;
+      (** adaptive mode: regions dissolved for excessive side exits *)
+}
+
+val fresh_counters : unit -> counters

@@ -1,0 +1,89 @@
+type role = Taken | Not_taken | Always
+type edge = { src : int; dst : int; role : role }
+type kind = Trace | Loop
+
+type t = {
+  id : int;
+  kind : kind;
+  slots : int array;
+  edges : edge list;
+  back_edges : edge list;
+  frozen_use : int array;
+  frozen_taken : int array;
+}
+
+let entry_block r = r.slots.(0)
+let slot_count r = Array.length r.slots
+
+let slots_of_block r block =
+  let acc = ref [] in
+  Array.iteri (fun slot b -> if b = block then acc := slot :: !acc) r.slots;
+  List.rev !acc
+
+let tail_slot r =
+  let has_out = Array.make (Array.length r.slots) false in
+  List.iter (fun e -> has_out.(e.src) <- true) r.edges;
+  let rec find slot =
+    if slot < 0 then 0
+    else if not has_out.(slot) then slot
+    else find (slot - 1)
+  in
+  find (Array.length r.slots - 1)
+
+let out_edges r slot =
+  List.filter (fun e -> e.src = slot) r.edges
+  @ List.filter (fun e -> e.src = slot) r.back_edges
+
+let frozen_branch_prob r slot =
+  let use = r.frozen_use.(slot) in
+  if use <= 0 then None
+  else Some (float_of_int r.frozen_taken.(slot) /. float_of_int use)
+
+let forward_graph r =
+  let g = Tpdbt_cfg.Graph.create () in
+  Array.iteri (fun slot _ -> Tpdbt_cfg.Graph.add_node g slot) r.slots;
+  List.iter (fun e -> Tpdbt_cfg.Graph.add_edge g e.src e.dst) r.edges;
+  g
+
+let validate r =
+  let n = Array.length r.slots in
+  let in_range slot = slot >= 0 && slot < n in
+  let bad_edge =
+    List.find_opt
+      (fun e -> not (in_range e.src && in_range e.dst))
+      (r.edges @ r.back_edges)
+  in
+  if n = 0 then Error "region has no slots"
+  else if Array.length r.frozen_use <> n || Array.length r.frozen_taken <> n
+  then Error "frozen counter arrays do not match slot count"
+  else
+    match bad_edge with
+    | Some _ -> Error "edge slot out of range"
+    | None ->
+        if List.exists (fun e -> e.dst <> 0) r.back_edges then
+          Error "back edge not targeting slot 0"
+        else if (r.kind = Loop) <> (r.back_edges <> []) then
+          Error "kind/back-edge mismatch"
+        else
+          let g = forward_graph r in
+          if not (Tpdbt_cfg.Traverse.is_acyclic g) then
+            Error "forward edges contain a cycle"
+          else
+            let reach = Tpdbt_cfg.Traverse.reachable g ~root:0 in
+            if Hashtbl.length reach <> n then
+              Error "not all slots reachable from entry"
+            else Ok ()
+
+let pp_role ppf = function
+  | Taken -> Format.pp_print_string ppf "T"
+  | Not_taken -> Format.pp_print_string ppf "N"
+  | Always -> Format.pp_print_string ppf "A"
+
+let pp ppf r =
+  let kind = match r.kind with Trace -> "trace" | Loop -> "loop" in
+  Format.fprintf ppf "region %d (%s): slots" r.id kind;
+  Array.iteri (fun slot b -> Format.fprintf ppf " %d:B%d" slot b) r.slots;
+  Format.fprintf ppf "; edges";
+  List.iter
+    (fun e -> Format.fprintf ppf " %d-%a->%d" e.src pp_role e.role e.dst)
+    (r.edges @ r.back_edges)

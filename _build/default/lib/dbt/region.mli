@@ -1,0 +1,57 @@
+(** Optimisation regions.
+
+    A region is a small control-flow subgraph over {e slots}; each slot
+    is a (possibly duplicated) copy of a basic block.  Slot 0 is the
+    region entry.  Non-loop regions ("traces", possibly containing
+    hammock diamonds) are DAGs; loop regions additionally have back
+    edges to slot 0.
+
+    Each internal edge is labelled with the {!role} it plays at its
+    source block's terminator, which is what lets both the runtime
+    (match the actual branch outcome against the region) and the
+    analyses (assign a probability to the edge from a block's branch
+    probability) interpret it. *)
+
+type role =
+  | Taken  (** the conditional branch's taken edge *)
+  | Not_taken  (** the conditional branch's fall-through edge *)
+  | Always  (** unconditional (goto / fallthrough) *)
+
+type edge = { src : int; dst : int; role : role }
+(** Slot indices. *)
+
+type kind = Trace | Loop
+
+type t = {
+  id : int;
+  kind : kind;
+  slots : int array;  (** slot -> block id; slot 0 is the entry *)
+  edges : edge list;  (** forward (acyclic) internal edges *)
+  back_edges : edge list;  (** edges to slot 0; non-empty iff [kind = Loop] *)
+  frozen_use : int array;  (** per-slot block [use] count at formation *)
+  frozen_taken : int array;  (** per-slot block [taken] count at formation *)
+}
+
+val entry_block : t -> int
+val slot_count : t -> int
+
+val slots_of_block : t -> int -> int list
+(** All slots holding copies of the given block. *)
+
+val tail_slot : t -> int
+(** The unique slot with no outgoing forward edge (for a [Trace], the
+    block whose execution completes the region). *)
+
+val out_edges : t -> int -> edge list
+(** Forward and back edges leaving a slot. *)
+
+val frozen_branch_prob : t -> int -> float option
+(** [frozen_branch_prob r slot]: taken/use of the slot's block as frozen
+    at region-formation time; [None] if the block never executed or has
+    no conditional terminator recorded (use = 0). *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity: edge slots in range, forward edges acyclic,
+    [Loop] iff back edges present, unique tail reachable from slot 0. *)
+
+val pp : Format.formatter -> t -> unit

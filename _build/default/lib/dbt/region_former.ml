@@ -1,0 +1,190 @@
+type config = {
+  threshold : int;
+  min_branch_prob : float;
+  max_slots : int;
+  enable_duplication : bool;
+  enable_diamonds : bool;
+  across_calls : bool;
+}
+
+let default_config =
+  {
+    threshold = 0;
+    min_branch_prob = 0.7;
+    max_slots = 16;
+    enable_duplication = true;
+    enable_diamonds = true;
+    across_calls = false;
+  }
+
+type owner = Unowned | Owned
+
+(* State of one growing region. *)
+type growing = {
+  mutable slots_rev : int list;
+  mutable nslots : int;
+  mutable edges : Region.edge list;
+  mutable back_edges : Region.edge list;
+  mutable kind : Region.kind;
+  seen : (int, unit) Hashtbl.t;  (* block ids already used as slots *)
+}
+
+let branch_prob ~use ~taken block =
+  if use.(block) <= 0 then 0.5
+  else float_of_int taken.(block) /. float_of_int use.(block)
+
+let form config ~block_map ~use ~taken ~owner ~seeds ~first_id =
+  let taken_this_round = Hashtbl.create 16 in
+  let hot block = use.(block) >= config.threshold in
+  (* A block may join a growing region if it is hot and either unowned
+     (fresh) or duplicable. *)
+  let eligible block =
+    hot block
+    &&
+    let owned =
+      Hashtbl.mem taken_this_round block
+      || match owner block with Owned -> true | Unowned -> false
+    in
+    (not owned) || config.enable_duplication
+  in
+  let unconditional_successor block =
+    match (Block_map.block block_map block).Block_map.terminator with
+    | Block_map.Goto dst | Block_map.Fallthrough dst -> Some dst
+    | Block_map.Cond _ | Block_map.Call_to _ | Block_map.Return
+    | Block_map.Stop ->
+        None
+  in
+  let grow seed =
+    let g =
+      {
+        slots_rev = [ seed ];
+        nslots = 1;
+        edges = [];
+        back_edges = [];
+        kind = Region.Trace;
+        seen = Hashtbl.create 8;
+      }
+    in
+    Hashtbl.replace g.seen seed ();
+    let add_slot block =
+      let slot = g.nslots in
+      g.slots_rev <- block :: g.slots_rev;
+      g.nslots <- g.nslots + 1;
+      Hashtbl.replace g.seen block ();
+      slot
+    in
+    let add_edge src dst role = g.edges <- { Region.src; dst; role } :: g.edges in
+    (* Try to extend from [cur_slot] (holding [cur_block]) along an edge
+       with [role] to [dst].  Returns the new slot to continue from, or
+       None when growth stops. *)
+    let extend cur_slot dst role =
+      if dst = seed then begin
+        g.back_edges <- { Region.src = cur_slot; dst = 0; role } :: g.back_edges;
+        g.kind <- Region.Loop;
+        None
+      end
+      else if Hashtbl.mem g.seen dst then None
+      else if g.nslots >= config.max_slots then None
+      else if not (eligible dst) then None
+      else begin
+        let slot = add_slot dst in
+        add_edge cur_slot slot role;
+        Some slot
+      end
+    in
+    let rec step cur_slot cur_block =
+      let b = Block_map.block block_map cur_block in
+      match b.Block_map.terminator with
+      | Block_map.Return | Block_map.Stop -> ()
+      | Block_map.Call_to { callee; retsite = _ } ->
+          if config.across_calls then follow cur_slot callee Region.Always
+      | Block_map.Goto dst | Block_map.Fallthrough dst -> follow cur_slot dst Region.Always
+      | Block_map.Cond { taken = t_dst; fallthrough = f_dst } ->
+          let p = branch_prob ~use ~taken cur_block in
+          if p >= config.min_branch_prob then follow cur_slot t_dst Region.Taken
+          else if 1.0 -. p >= config.min_branch_prob then
+            follow cur_slot f_dst Region.Not_taken
+          else if config.enable_diamonds then try_diamond cur_slot t_dst f_dst
+          else ()
+    and follow cur_slot dst role =
+      match extend cur_slot dst role with
+      | Some slot -> step slot dst
+      | None -> ()
+    and try_diamond cur_slot t_dst f_dst =
+      (* Grow a hammock: cur -> {t_dst, f_dst} -> join, then continue
+         from the join block. *)
+      let rejoin =
+        match
+          (unconditional_successor t_dst, unconditional_successor f_dst)
+        with
+        | Some jt, Some jf when jt = jf -> Some jt
+        | Some _, Some _ | Some _, None | None, Some _ | None, None -> None
+      in
+      match rejoin with
+      | None -> ()
+      | Some join ->
+          let room = g.nslots + 3 <= config.max_slots in
+          let distinct =
+            t_dst <> f_dst && t_dst <> seed && f_dst <> seed
+            && (not (Hashtbl.mem g.seen t_dst))
+            && not (Hashtbl.mem g.seen f_dst)
+          in
+          let join_ok =
+            join = seed
+            || ((not (Hashtbl.mem g.seen join))
+               && g.nslots + 3 <= config.max_slots
+               && eligible join)
+          in
+          if room && distinct && join_ok && eligible t_dst && eligible f_dst
+          then begin
+            let st = add_slot t_dst in
+            add_edge cur_slot st Region.Taken;
+            let sf = add_slot f_dst in
+            add_edge cur_slot sf Region.Not_taken;
+            if join = seed then begin
+              g.back_edges <-
+                { Region.src = st; dst = 0; role = Region.Always }
+                :: { Region.src = sf; dst = 0; role = Region.Always }
+                :: g.back_edges;
+              g.kind <- Region.Loop
+            end
+            else begin
+              let sj = add_slot join in
+              add_edge st sj Region.Always;
+              add_edge sf sj Region.Always;
+              step sj join
+            end
+          end
+    in
+    step 0 seed;
+    let slots = Array.of_list (List.rev g.slots_rev) in
+    ( slots,
+      List.rev g.edges,
+      List.rev g.back_edges,
+      g.kind )
+  in
+  let next_id = ref first_id in
+  List.filter_map
+    (fun seed ->
+      if Hashtbl.mem taken_this_round seed then None
+      else if not (hot seed) then None
+      else begin
+        let slots, edges, back_edges, kind = grow seed in
+        Array.iter (fun b -> Hashtbl.replace taken_this_round b ()) slots;
+        let frozen_use = Array.map (fun b -> use.(b)) slots in
+        let frozen_taken = Array.map (fun b -> taken.(b)) slots in
+        let region =
+          {
+            Region.id = !next_id;
+            kind;
+            slots;
+            edges;
+            back_edges;
+            frozen_use;
+            frozen_taken;
+          }
+        in
+        incr next_id;
+        Some region
+      end)
+    seeds

@@ -1,0 +1,47 @@
+(** Region formation over candidate (hot) blocks.
+
+    Chang–Hwu-style trace growing seeded at the hottest candidates:
+    from the seed, repeatedly follow the most likely successor while its
+    branch probability meets [min_branch_prob] (the paper's "minimum
+    branch probability", 0.7 in [5]) and the successor is hot.  A
+    successor equal to the seed closes the trace into a {e loop region}.
+    Balanced branches (both arms in [1-p, p] with p < min) whose arms
+    rejoin immediately grow a hammock diamond when [enable_diamonds].
+    A hot successor already owned by an earlier region is copied into
+    the growing region when [enable_duplication] — this is the block
+    duplication that NAVEP later has to normalise.
+
+    Every candidate block ends up optimised: candidates not swallowed by
+    another region seed their own (possibly singleton) region. *)
+
+type config = {
+  threshold : int;  (** hotness requirement for members *)
+  min_branch_prob : float;
+  max_slots : int;
+  enable_duplication : bool;
+  enable_diamonds : bool;
+  across_calls : bool;
+      (** follow call edges into hot callees (partial inlining): the
+          callee's hot path joins the region and a [ret] ends it *)
+}
+
+val default_config : config
+(** threshold 0 (caller overrides), min prob 0.7, 16 slots,
+    duplication and diamonds on, across_calls off. *)
+
+type owner = Unowned | Owned
+(** Whether a block is already a member of some earlier region. *)
+
+val form :
+  config ->
+  block_map:Block_map.t ->
+  use:int array ->
+  taken:int array ->
+  owner:(int -> owner) ->
+  seeds:int list ->
+  first_id:int ->
+  Region.t list
+(** Grow one region per seed (in the given order; seeds swallowed by an
+    earlier region of this round are skipped).  [use]/[taken] are the
+    live profiling counters — they are copied into the regions' frozen
+    counters.  Region ids are assigned from [first_id]. *)

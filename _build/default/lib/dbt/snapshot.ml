@@ -1,0 +1,35 @@
+type t = {
+  block_map : Block_map.t;
+  use : int array;
+  taken : int array;
+  regions : Region.t list;
+}
+
+let branch_prob t block =
+  if block < 0 || block >= Array.length t.use then None
+  else
+    match (Block_map.block t.block_map block).Block_map.terminator with
+    | Block_map.Cond _ ->
+        let use = t.use.(block) in
+        if use <= 0 then None
+        else Some (float_of_int t.taken.(block) /. float_of_int use)
+    | Block_map.Goto _ | Block_map.Call_to _ | Block_map.Return
+    | Block_map.Stop | Block_map.Fallthrough _ ->
+        None
+
+let block_freq t block =
+  if block < 0 || block >= Array.length t.use then 0.0
+  else float_of_int t.use.(block)
+
+let profiling_ops t =
+  let total = ref 0 in
+  Array.iter (fun u -> total := !total + u) t.use;
+  Array.iter (fun k -> total := !total + k) t.taken;
+  !total
+
+let executed_blocks t =
+  let acc = ref [] in
+  Array.iteri (fun id u -> if u > 0 then acc := id :: !acc) t.use;
+  List.rev !acc
+
+let find_region t id = List.find_opt (fun r -> r.Region.id = id) t.regions

@@ -1,0 +1,32 @@
+(** Profile snapshots — the data the paper's off-line analysis consumes.
+
+    A snapshot captures, at end of run, the per-block [use]/[taken]
+    counters (frozen at optimisation time for blocks that entered a
+    region — this is what makes an INIP(T) snapshot an {e initial}
+    profile) together with the regions the optimisation phase formed.
+    An AVEP or INIP(train) snapshot is simply a snapshot from a
+    profiling-only run: full-run counters, no regions. *)
+
+type t = {
+  block_map : Block_map.t;
+  use : int array;  (** indexed by block id *)
+  taken : int array;
+  regions : Region.t list;  (** in formation order *)
+}
+
+val branch_prob : t -> int -> float option
+(** taken/use for a block with a conditional terminator and [use > 0];
+    [None] otherwise. *)
+
+val block_freq : t -> int -> float
+(** The block's [use] count as a float (0 for out-of-range ids). *)
+
+val profiling_ops : t -> int
+(** Total number of counter updates the run performed: sum over blocks
+    of [use + taken] (paper Fig 18's "profiling operations"). *)
+
+val executed_blocks : t -> int list
+(** Ids of blocks with [use > 0]. *)
+
+val find_region : t -> int -> Region.t option
+(** Region by id. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: List Printf Runner Table Tpdbt_dbt Tpdbt_profiles Tpdbt_workloads

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: List Runner Table Tpdbt_dbt Tpdbt_profiles Tpdbt_workloads

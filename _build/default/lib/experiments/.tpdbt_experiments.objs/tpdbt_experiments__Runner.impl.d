@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Format List Tpdbt_dbt Tpdbt_profiles Tpdbt_vm Tpdbt_workloads

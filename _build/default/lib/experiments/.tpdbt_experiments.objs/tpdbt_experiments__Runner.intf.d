@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Tpdbt_dbt Tpdbt_profiles Tpdbt_workloads

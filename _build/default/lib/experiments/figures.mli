@@ -1,0 +1,44 @@
+(** One table generator per figure of the paper's evaluation (§4).
+
+    Every function takes the sweep results of {!Runner.run_many} over
+    the full suite (subsets work too: averages are over the benchmarks
+    present) and returns the table whose rows/series correspond to the
+    figure. *)
+
+val fig8 : Runner.data list -> Table.t
+(** Average Sd.BP(T) for INT and FP, with Sd.BP(train) reference. *)
+
+val fig9 : Runner.data list -> Table.t
+(** Sd.BP(T) per INT benchmark. *)
+
+val fig10 : Runner.data list -> Table.t
+(** Average branch-probability mismatch rates (ranges [0,.3) [.3,.7]
+    (.7,1]) for INT and FP, with the train reference. *)
+
+val fig11 : Runner.data list -> Table.t
+(** BP mismatch per INT benchmark. *)
+
+val fig12 : Runner.data list -> Table.t
+(** BP mismatch per FP benchmark. *)
+
+val fig13 : Runner.data list -> Table.t
+(** Average Sd.CP(T) for INT and FP. *)
+
+val fig14 : Runner.data list -> Table.t
+(** Average Sd.LP(T) for INT and FP. *)
+
+val fig15 : Runner.data list -> Table.t
+(** Average loop trip-count-range mismatch for INT and FP. *)
+
+val fig16 : Runner.data list -> Table.t
+(** LP mismatch per INT benchmark. *)
+
+val fig17 : Runner.data list -> Table.t
+(** Relative performance vs threshold (int, int-no-perl, fp); base is
+    the smallest threshold run (paper: threshold 1). *)
+
+val fig18 : Runner.data list -> Table.t
+(** Profiling operations normalised to the training run. *)
+
+val all : Runner.data list -> (string * Table.t) list
+(** [(figure id, table)] for figures 8–18 in order. *)

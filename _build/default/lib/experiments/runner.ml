@@ -1,0 +1,81 @@
+module Engine = Tpdbt_dbt.Engine
+module Spec = Tpdbt_workloads.Spec
+module Suite = Tpdbt_workloads.Suite
+module Metrics = Tpdbt_profiles.Metrics
+
+type threshold_run = {
+  label : string;
+  scaled : int;
+  result : Engine.result;
+  comparison : Metrics.comparison;
+}
+
+type data = {
+  bench : Spec.t;
+  avep : Engine.result;
+  train : Engine.result;
+  train_flat : Metrics.flat;
+  train_regions : Metrics.comparison;
+  runs : threshold_run list;
+}
+
+let run_input program (input : Spec.input) config =
+  let program = Spec.apply_input program input in
+  let engine = Engine.create ~config ~seed:input.Spec.seed program in
+  let result = Engine.run engine in
+  (match result.Engine.trap with
+  | None -> ()
+  | Some trap ->
+      failwith
+        (Format.asprintf "benchmark run trapped: %a" Tpdbt_vm.Machine.pp_trap
+           trap));
+  result
+
+let run_benchmark ?(thresholds = Suite.thresholds) bench =
+  let program, ref_input, train_input = Spec.build bench in
+  let avep = run_input program ref_input Engine.profiling_only in
+  let train = run_input program train_input Engine.profiling_only in
+  let train_flat =
+    Metrics.compare_flat ~predicted:train.Engine.snapshot
+      ~avep:avep.Engine.snapshot
+  in
+  let train_regions =
+    Tpdbt_profiles.Offline_regions.train_cp_lp ~train:train.Engine.snapshot
+      ~avep:avep.Engine.snapshot
+  in
+  let runs =
+    List.map
+      (fun (label, scaled) ->
+        let result =
+          run_input program ref_input (Engine.config ~threshold:scaled ())
+        in
+        let comparison =
+          Metrics.compare_snapshots ~inip:result.Engine.snapshot
+            ~avep:avep.Engine.snapshot
+        in
+        { label; scaled; result; comparison })
+      thresholds
+  in
+  { bench; avep; train; train_flat; train_regions; runs }
+
+let run_ref bench ~config =
+  let program, ref_input, _train_input = Spec.build bench in
+  run_input program ref_input config
+
+let run_avep bench = run_ref bench ~config:Engine.profiling_only
+
+let run_custom bench ~config =
+  let avep = run_avep bench in
+  let result = run_ref bench ~config in
+  let comparison =
+    Metrics.compare_snapshots ~inip:result.Engine.snapshot
+      ~avep:avep.Engine.snapshot
+  in
+  (result, avep, comparison)
+
+let run_many ?thresholds ?(progress = fun _ -> ()) benches =
+  List.map
+    (fun bench ->
+      progress bench.Spec.name;
+      run_benchmark ?thresholds bench)
+    benches

@@ -1,0 +1,59 @@
+(** Sweep runner: executes one benchmark under every experimental
+    configuration of the paper's methodology (§2).
+
+    For each benchmark it performs:
+    - one profiling-only run with the reference input (AVEP),
+    - one profiling-only run with the training input (INIP(train)),
+    - one two-phase run per retranslation threshold (INIP(T)),
+
+    then compares each INIP(T) against AVEP ({!Tpdbt_profiles.Metrics})
+    and INIP(train) against AVEP. *)
+
+type threshold_run = {
+  label : string;  (** paper-equivalent label, e.g. "2k" *)
+  scaled : int;  (** the actual threshold used *)
+  result : Tpdbt_dbt.Engine.result;
+  comparison : Tpdbt_profiles.Metrics.comparison;
+}
+
+type data = {
+  bench : Tpdbt_workloads.Spec.t;
+  avep : Tpdbt_dbt.Engine.result;
+  train : Tpdbt_dbt.Engine.result;
+  train_flat : Tpdbt_profiles.Metrics.flat;
+  train_regions : Tpdbt_profiles.Metrics.comparison;
+      (** regions formed {e offline} in the training profile
+          ({!Tpdbt_profiles.Offline_regions}) compared against AVEP —
+          supplies the Sd.CP(train) / Sd.LP(train) reference the paper
+          lists as future work. *)
+  runs : threshold_run list;
+}
+
+val run_benchmark :
+  ?thresholds:(string * int) list -> Tpdbt_workloads.Spec.t -> data
+(** Thresholds default to {!Tpdbt_workloads.Suite.thresholds}.  Runs are
+    deterministic (fixed seeds from the spec). *)
+
+val run_many :
+  ?thresholds:(string * int) list ->
+  ?progress:(string -> unit) ->
+  Tpdbt_workloads.Spec.t list ->
+  data list
+(** [progress] is called with each benchmark name before it runs. *)
+
+val run_ref :
+  Tpdbt_workloads.Spec.t ->
+  config:Tpdbt_dbt.Engine.config ->
+  Tpdbt_dbt.Engine.result
+(** One reference-input run under an arbitrary engine configuration. *)
+
+val run_avep : Tpdbt_workloads.Spec.t -> Tpdbt_dbt.Engine.result
+(** Profiling-only reference-input run (the AVEP profile). *)
+
+val run_custom :
+  Tpdbt_workloads.Spec.t ->
+  config:Tpdbt_dbt.Engine.config ->
+  Tpdbt_dbt.Engine.result * Tpdbt_dbt.Engine.result * Tpdbt_profiles.Metrics.comparison
+(** One reference-input run under an arbitrary engine configuration:
+    [(result, avep_result, comparison_vs_avep)].  Used by the ablation
+    studies. *)

@@ -1,0 +1,89 @@
+type t = {
+  title : string;
+  columns : string list;
+  rows : (string * float option list) list;
+}
+
+let make ~title ~columns = { title; columns; rows = [] }
+
+let add_row t label values =
+  let n = List.length t.columns in
+  let len = List.length values in
+  let values =
+    if len = n then values
+    else if len < n then values @ List.init (n - len) (fun _ -> None)
+    else List.filteri (fun i _ -> i < n) values
+  in
+  { t with rows = t.rows @ [ (label, values) ] }
+
+let render ?(precision = 4) t =
+  let cell = function
+    | None -> ""
+    | Some v -> Printf.sprintf "%.*f" precision v
+  in
+  let label_width =
+    List.fold_left
+      (fun acc (label, _) -> max acc (String.length label))
+      (String.length "") t.rows
+  in
+  let col_widths =
+    List.map
+      (fun header ->
+        List.fold_left
+          (fun acc (_, values) ->
+            List.fold_left (fun a v -> max a (String.length (cell v))) acc values)
+          (String.length header) t.rows
+        |> max (String.length header))
+      t.columns
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (String.length t.title) '-');
+  Buffer.add_char buf '\n';
+  let pad width s = Printf.sprintf "%*s" width s in
+  Buffer.add_string buf (pad label_width "");
+  List.iter2
+    (fun header width ->
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (pad width header))
+    t.columns col_widths;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (label, values) ->
+      Buffer.add_string buf (pad label_width label);
+      List.iteri
+        (fun i v ->
+          let width = List.nth col_widths i in
+          Buffer.add_string buf "  ";
+          Buffer.add_string buf (pad width (cell v)))
+        values;
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let escape_csv s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (escape_csv t.title);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (String.concat "," ("" :: List.map escape_csv t.columns));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (label, values) ->
+      let cells =
+        List.map
+          (function None -> "" | Some v -> Printf.sprintf "%.6f" v)
+          values
+      in
+      Buffer.add_string buf (String.concat "," (escape_csv label :: cells));
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let print ?precision t = print_string (render ?precision t)

@@ -1,0 +1,22 @@
+(** Plain-text and CSV rendering of experiment tables.
+
+    A table is a titled grid: one label column followed by one float
+    column per series point (e.g. per retranslation threshold). *)
+
+type t = {
+  title : string;
+  columns : string list;  (** column headers, excluding the label column *)
+  rows : (string * float option list) list;
+      (** row label, one optional value per column ([None] renders
+          blank) *)
+}
+
+val make : title:string -> columns:string list -> t
+val add_row : t -> string -> float option list -> t
+(** Appends; pads or truncates the values to the column count. *)
+
+val render : ?precision:int -> t -> string
+(** Aligned plain text (default 4 decimal places). *)
+
+val to_csv : t -> string
+val print : ?precision:int -> t -> unit

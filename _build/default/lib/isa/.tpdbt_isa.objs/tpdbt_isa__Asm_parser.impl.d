@@ -1,0 +1,1 @@
+lib/isa/asm_parser.ml: Format Instr Lexer List Option Printf Reg String

@@ -1,0 +1,1 @@
+lib/isa/assembler.ml: Array Asm_parser Instr Lexer List Map Printf Program Result String

@@ -1,0 +1,1 @@
+lib/isa/check.ml: Array Format Instr List Program Reg

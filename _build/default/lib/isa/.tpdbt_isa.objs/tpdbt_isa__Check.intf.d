@@ -1,0 +1,1 @@
+lib/isa/check.mli: Format Program Reg

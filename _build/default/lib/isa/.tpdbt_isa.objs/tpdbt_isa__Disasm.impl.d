@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Array Buffer Instr Int List Map Printf Program Reg Seq

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Array Bytes Fun Instr Int32 List Printf Program Reg Result

@@ -1,0 +1,1 @@
+lib/isa/lexer.ml: Format List Printf String

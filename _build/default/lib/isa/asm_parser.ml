@@ -1,0 +1,227 @@
+type target = Name of string | Addr of int
+
+type pseudo =
+  | Movi of Reg.t * int
+  | Mov of Reg.t * Reg.t
+  | Binop of Instr.binop * Reg.t * Reg.t * Reg.t
+  | Binopi of Instr.binop * Reg.t * Reg.t * int
+  | Load of Reg.t * Reg.t * int
+  | Store of Reg.t * Reg.t * int
+  | Br of Instr.cond * Reg.t * Reg.t * target
+  | Jmp of target
+  | Call of target
+  | Ret
+  | Rnd of Reg.t * int
+  | Out of Reg.t
+  | Halt
+  | Nop
+
+type stmt =
+  | Label_def of string
+  | Entry of string
+  | Data of int * int
+  | Ins of pseudo
+
+type located_stmt = { stmt : stmt; line : int }
+
+exception Parse_error of int * string
+
+(* Mutable cursor over the token list. *)
+type state = { mutable rest : Lexer.located list }
+
+let error line fmt = Format.kasprintf (fun msg -> raise (Parse_error (line, msg))) fmt
+
+let peek st =
+  match st.rest with
+  | [] -> { Lexer.token = Lexer.Eof; line = 0 }
+  | tok :: _ -> tok
+
+let advance st =
+  match st.rest with [] -> () | _ :: rest -> st.rest <- rest
+
+let next st =
+  let tok = peek st in
+  advance st;
+  tok
+
+let expect st expected describe =
+  let tok = next st in
+  if tok.Lexer.token <> expected then
+    error tok.Lexer.line "expected %s, found %a" describe Lexer.pp_token
+      tok.Lexer.token
+
+let parse_reg st =
+  let tok = next st in
+  match tok.Lexer.token with
+  | Lexer.Ident name -> (
+      match Reg.of_string_opt name with
+      | Some r -> r
+      | None -> error tok.Lexer.line "expected register, found %S" name)
+  | other -> error tok.Lexer.line "expected register, found %a" Lexer.pp_token other
+
+let parse_int st =
+  let tok = next st in
+  match tok.Lexer.token with
+  | Lexer.Int v -> v
+  | other -> error tok.Lexer.line "expected integer, found %a" Lexer.pp_token other
+
+let parse_target st =
+  let tok = next st in
+  match tok.Lexer.token with
+  | Lexer.Ident name -> Name name
+  | Lexer.Int addr -> Addr addr
+  | other ->
+      error tok.Lexer.line "expected label or address, found %a" Lexer.pp_token
+        other
+
+(* Memory operand: [rN] or [rN+off] (the lexer folds the sign into the
+   integer, so [rN-4] arrives as Lbracket Ident Int(-4) Rbracket). *)
+let parse_mem st =
+  expect st Lexer.Lbracket "'['";
+  let base = parse_reg st in
+  let off =
+    match (peek st).Lexer.token with
+    | Lexer.Rbracket -> 0
+    | Lexer.Int v ->
+        advance st;
+        v
+    | other -> error (peek st).Lexer.line "expected offset or ']', found %a" Lexer.pp_token other
+  in
+  expect st Lexer.Rbracket "']'";
+  (base, off)
+
+let comma st = expect st Lexer.Comma "','"
+
+let binop_of_mnemonic = function
+  | "add" -> Some Instr.Add
+  | "sub" -> Some Instr.Sub
+  | "mul" -> Some Instr.Mul
+  | "div" -> Some Instr.Div
+  | "rem" -> Some Instr.Rem
+  | "and" -> Some Instr.And
+  | "or" -> Some Instr.Or
+  | "xor" -> Some Instr.Xor
+  | "shl" -> Some Instr.Shl
+  | "shr" -> Some Instr.Shr
+  | _ -> None
+
+let cond_of_mnemonic = function
+  | "beq" -> Some Instr.Eq
+  | "bne" -> Some Instr.Ne
+  | "blt" -> Some Instr.Lt
+  | "bge" -> Some Instr.Ge
+  | "ble" -> Some Instr.Le
+  | "bgt" -> Some Instr.Gt
+  | _ -> None
+
+let strip_i_suffix name =
+  let n = String.length name in
+  if n > 1 && name.[n - 1] = 'i' then Some (String.sub name 0 (n - 1)) else None
+
+let parse_instr st line mnemonic =
+  match mnemonic with
+  | "movi" ->
+      let rd = parse_reg st in
+      comma st;
+      let imm = parse_int st in
+      Movi (rd, imm)
+  | "mov" ->
+      let rd = parse_reg st in
+      comma st;
+      let rs = parse_reg st in
+      Mov (rd, rs)
+  | "ld" ->
+      let rd = parse_reg st in
+      comma st;
+      let base, off = parse_mem st in
+      Load (rd, base, off)
+  | "st" ->
+      let rsrc = parse_reg st in
+      comma st;
+      let base, off = parse_mem st in
+      Store (rsrc, base, off)
+  | "jmp" -> Jmp (parse_target st)
+  | "call" -> Call (parse_target st)
+  | "ret" -> Ret
+  | "rnd" ->
+      let rd = parse_reg st in
+      comma st;
+      let bound = parse_int st in
+      Rnd (rd, bound)
+  | "out" -> Out (parse_reg st)
+  | "halt" -> Halt
+  | "nop" -> Nop
+  | name -> (
+      match cond_of_mnemonic name with
+      | Some c ->
+          let rs1 = parse_reg st in
+          comma st;
+          let rs2 = parse_reg st in
+          comma st;
+          let target = parse_target st in
+          Br (c, rs1, rs2, target)
+      | None -> (
+          match binop_of_mnemonic name with
+          | Some op ->
+              let rd = parse_reg st in
+              comma st;
+              let rs1 = parse_reg st in
+              comma st;
+              let rs2 = parse_reg st in
+              Binop (op, rd, rs1, rs2)
+          | None -> (
+              match Option.bind (strip_i_suffix name) binop_of_mnemonic with
+              | Some op ->
+                  let rd = parse_reg st in
+                  comma st;
+                  let rs = parse_reg st in
+                  comma st;
+                  let imm = parse_int st in
+                  Binopi (op, rd, rs, imm)
+              | None -> error line "unknown mnemonic %S" name)))
+
+let parse_directive st line = function
+  | "entry" -> (
+      let tok = next st in
+      match tok.Lexer.token with
+      | Lexer.Ident name -> Entry name
+      | other ->
+          error tok.Lexer.line "expected label after .entry, found %a"
+            Lexer.pp_token other)
+  | "data" ->
+      let addr = parse_int st in
+      let value = parse_int st in
+      Data (addr, value)
+  | name -> error line "unknown directive .%s" name
+
+let parse tokens =
+  let st = { rest = tokens } in
+  let stmts = ref [] in
+  let emit stmt line = stmts := { stmt; line } :: !stmts in
+  let rec loop () =
+    let tok = next st in
+    match tok.Lexer.token with
+    | Lexer.Eof -> ()
+    | Lexer.Newline -> loop ()
+    | Lexer.Directive name ->
+        emit (parse_directive st tok.Lexer.line name) tok.Lexer.line;
+        loop ()
+    | Lexer.Ident name -> (
+        match (peek st).Lexer.token with
+        | Lexer.Colon ->
+            advance st;
+            emit (Label_def name) tok.Lexer.line;
+            loop ()
+        | Lexer.Ident _ | Lexer.Int _ | Lexer.Newline | Lexer.Eof
+        | Lexer.Lbracket ->
+            emit (Ins (parse_instr st tok.Lexer.line name)) tok.Lexer.line;
+            loop ()
+        | (Lexer.Comma | Lexer.Rbracket | Lexer.Directive _) as other ->
+            error tok.Lexer.line "unexpected %a after %S" Lexer.pp_token other
+              name)
+    | other -> error tok.Lexer.line "unexpected %a" Lexer.pp_token other
+  in
+  match loop () with
+  | () -> Ok (List.rev !stmts)
+  | exception Parse_error (line, msg) ->
+      Error (Printf.sprintf "line %d: %s" line msg)

@@ -1,0 +1,35 @@
+(** Parser for G32 assembly: token stream -> statement list.
+
+    Branch targets at this stage are symbolic (label names) or absolute
+    addresses; the {!Assembler} resolves them. *)
+
+type target = Name of string | Addr of int
+
+(** An instruction whose control-flow targets may still be symbolic. *)
+type pseudo =
+  | Movi of Reg.t * int
+  | Mov of Reg.t * Reg.t
+  | Binop of Instr.binop * Reg.t * Reg.t * Reg.t
+  | Binopi of Instr.binop * Reg.t * Reg.t * int
+  | Load of Reg.t * Reg.t * int
+  | Store of Reg.t * Reg.t * int
+  | Br of Instr.cond * Reg.t * Reg.t * target
+  | Jmp of target
+  | Call of target
+  | Ret
+  | Rnd of Reg.t * int
+  | Out of Reg.t
+  | Halt
+  | Nop
+
+type stmt =
+  | Label_def of string
+  | Entry of string  (** [.entry name] *)
+  | Data of int * int  (** [.data addr value] *)
+  | Ins of pseudo
+
+type located_stmt = { stmt : stmt; line : int }
+
+val parse : Lexer.located list -> (located_stmt list, string) result
+(** Parse a token stream produced by {!Lexer.tokenize}.  Errors carry a
+    [line N: ...] prefix. *)

@@ -1,0 +1,11 @@
+(** Two-pass assembler: G32 assembly text -> {!Program.t}.
+
+    Pass 1 assigns instruction indices to labels; pass 2 resolves
+    symbolic branch targets.  The entry point is the label named by
+    [.entry] (default: the first instruction). *)
+
+val assemble : string -> (Program.t, string) result
+(** Assemble a full source string. *)
+
+val assemble_exn : string -> Program.t
+(** @raise Failure with the error message on any assembly error. *)

@@ -1,0 +1,62 @@
+module Int_map = Map.Make (Int)
+
+(* Collect every static branch target so each gets a label. *)
+let label_table (p : Program.t) =
+  let add targets map =
+    List.fold_left
+      (fun map t ->
+        if Int_map.mem t map then map
+        else Int_map.add t (Printf.sprintf "L%d" (Int_map.cardinal map)) map)
+      map targets
+  in
+  let map =
+    Array.to_seqi p.code
+    |> Seq.fold_left
+         (fun map (_pc, instr) ->
+           match instr with
+           | Instr.Br (_, _, _, t) | Instr.Jmp t | Instr.Call t -> add [ t ] map
+           | Instr.Movi _ | Instr.Mov _ | Instr.Binop _ | Instr.Binopi _
+           | Instr.Load _ | Instr.Store _ | Instr.Ret | Instr.Rnd _
+           | Instr.Out _ | Instr.Halt | Instr.Nop ->
+               map)
+         Int_map.empty
+  in
+  add [ p.entry ] map
+
+let disassemble (p : Program.t) =
+  let labels = label_table p in
+  let buf = Buffer.create 1024 in
+  let label_of pc = Int_map.find pc labels in
+  Buffer.add_string buf (Printf.sprintf ".entry %s\n" (label_of p.entry));
+  List.iter
+    (fun (addr, value) ->
+      Buffer.add_string buf (Printf.sprintf ".data %d %d\n" addr value))
+    p.data_init;
+  Array.iteri
+    (fun pc instr ->
+      (match Int_map.find_opt pc labels with
+      | Some l -> Buffer.add_string buf (l ^ ":\n")
+      | None -> ());
+      let text =
+        match instr with
+        | Instr.Br (c, rs1, rs2, t) ->
+            Printf.sprintf "b%s %s, %s, %s" (Instr.cond_name c)
+              (Reg.to_string rs1) (Reg.to_string rs2) (label_of t)
+        | Instr.Jmp t -> Printf.sprintf "jmp %s" (label_of t)
+        | Instr.Call t -> Printf.sprintf "call %s" (label_of t)
+        | Instr.Load (rd, base, off) ->
+            Printf.sprintf "ld %s, [%s%+d]" (Reg.to_string rd)
+              (Reg.to_string base) off
+        | Instr.Store (rsrc, base, off) ->
+            Printf.sprintf "st %s, [%s%+d]" (Reg.to_string rsrc)
+              (Reg.to_string base) off
+        | Instr.Binopi (op, rd, rs, imm) ->
+            Printf.sprintf "%si %s, %s, %d" (Instr.binop_name op)
+              (Reg.to_string rd) (Reg.to_string rs) imm
+        | Instr.Movi _ | Instr.Mov _ | Instr.Binop _ | Instr.Ret
+        | Instr.Rnd _ | Instr.Out _ | Instr.Halt | Instr.Nop ->
+            Instr.to_string instr
+      in
+      Buffer.add_string buf ("    " ^ text ^ "\n"))
+    p.code;
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** Disassembler: {!Program.t} -> assembly text that {!Assembler.assemble}
+    accepts and that round-trips to the same program. *)
+
+val disassemble : Program.t -> string
+(** Renders the program with generated labels ([L0], [L1], ...) at every
+    branch target and the [.entry] / [.data] directives needed to
+    reconstruct the image. *)

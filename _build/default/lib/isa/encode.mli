@@ -1,0 +1,23 @@
+(** Binary encoding of G32 programs.
+
+    Fixed-width encoding: each instruction occupies 8 bytes
+    (opcode, rd, rs1, rs2, 32-bit little-endian immediate).  A program
+    image is a small header (magic ["G32B"], entry point, code length,
+    data-binding count) followed by the code and the initial data
+    bindings.  Immediates are restricted to the signed 32-bit range. *)
+
+val encode_instr : Instr.t -> Bytes.t
+(** 8-byte encoding of one instruction.
+    @raise Invalid_argument if an immediate exceeds 32 bits. *)
+
+val decode_instr : Bytes.t -> pos:int -> (Instr.t, string) result
+(** Decode the 8-byte instruction at [pos]. *)
+
+val encode_program : Program.t -> Bytes.t
+val decode_program : Bytes.t -> (Program.t, string) result
+
+val write_file : string -> Program.t -> unit
+val read_file : string -> (Program.t, string) result
+
+val instr_size : int
+(** Bytes per encoded instruction (8). *)

@@ -1,0 +1,111 @@
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+type cond = Eq | Ne | Lt | Ge | Le | Gt
+
+type t =
+  | Movi of Reg.t * int
+  | Mov of Reg.t * Reg.t
+  | Binop of binop * Reg.t * Reg.t * Reg.t
+  | Binopi of binop * Reg.t * Reg.t * int
+  | Load of Reg.t * Reg.t * int
+  | Store of Reg.t * Reg.t * int
+  | Br of cond * Reg.t * Reg.t * int
+  | Jmp of int
+  | Call of int
+  | Ret
+  | Rnd of Reg.t * int
+  | Out of Reg.t
+  | Halt
+  | Nop
+
+let is_terminator = function
+  | Br _ | Jmp _ | Call _ | Ret | Halt -> true
+  | Movi _ | Mov _ | Binop _ | Binopi _ | Load _ | Store _ | Rnd _ | Out _
+  | Nop ->
+      false
+
+let branch_targets ~pc = function
+  | Br (_, _, _, target) -> [ target; pc + 1 ]
+  | Jmp target -> [ target ]
+  | Call target -> [ target; pc + 1 ]
+  | Ret | Halt -> []
+  | Movi _ | Mov _ | Binop _ | Binopi _ | Load _ | Store _ | Rnd _ | Out _
+  | Nop ->
+      [ pc + 1 ]
+
+let defs = function
+  | Movi (rd, _) | Mov (rd, _) | Binop (_, rd, _, _) | Binopi (_, rd, _, _)
+  | Load (rd, _, _)
+  | Rnd (rd, _) ->
+      [ rd ]
+  | Store _ | Br _ | Jmp _ | Call _ | Ret | Out _ | Halt | Nop -> []
+
+let uses = function
+  | Movi _ | Jmp _ | Call _ | Ret | Rnd _ | Halt | Nop -> []
+  | Mov (_, rs) | Binopi (_, _, rs, _) | Load (_, rs, _) | Out rs -> [ rs ]
+  | Binop (_, _, rs1, rs2) | Store (rs1, rs2, _) | Br (_, rs1, rs2, _) ->
+      [ rs1; rs2 ]
+
+let negate_cond = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Ge -> Lt
+  | Le -> Gt
+  | Gt -> Le
+
+let eval_cond c a b =
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Ge -> a >= b
+  | Le -> a <= b
+  | Gt -> a > b
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+
+let cond_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Ge -> "ge"
+  | Le -> "le"
+  | Gt -> "gt"
+
+let pp ppf instr =
+  match instr with
+  | Movi (rd, imm) -> Format.fprintf ppf "movi %a, %d" Reg.pp rd imm
+  | Mov (rd, rs) -> Format.fprintf ppf "mov %a, %a" Reg.pp rd Reg.pp rs
+  | Binop (op, rd, rs1, rs2) ->
+      Format.fprintf ppf "%s %a, %a, %a" (binop_name op) Reg.pp rd Reg.pp rs1
+        Reg.pp rs2
+  | Binopi (op, rd, rs, imm) ->
+      Format.fprintf ppf "%si %a, %a, %d" (binop_name op) Reg.pp rd Reg.pp rs
+        imm
+  | Load (rd, rs, off) ->
+      Format.fprintf ppf "ld %a, [%a%+d]" Reg.pp rd Reg.pp rs off
+  | Store (rsrc, rbase, off) ->
+      Format.fprintf ppf "st %a, [%a%+d]" Reg.pp rsrc Reg.pp rbase off
+  | Br (c, rs1, rs2, target) ->
+      Format.fprintf ppf "b%s %a, %a, %d" (cond_name c) Reg.pp rs1 Reg.pp rs2
+        target
+  | Jmp target -> Format.fprintf ppf "jmp %d" target
+  | Call target -> Format.fprintf ppf "call %d" target
+  | Ret -> Format.fprintf ppf "ret"
+  | Rnd (rd, bound) -> Format.fprintf ppf "rnd %a, %d" Reg.pp rd bound
+  | Out rs -> Format.fprintf ppf "out %a" Reg.pp rs
+  | Halt -> Format.fprintf ppf "halt"
+  | Nop -> Format.fprintf ppf "nop"
+
+let to_string instr = Format.asprintf "%a" pp instr
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,75 @@
+(** G32 guest instructions.
+
+    Instructions operate on 16 registers and a word-addressed data memory.
+    Code addresses are instruction indices into the program's code array.
+    Values are native OCaml integers interpreted as 32-bit two's-complement
+    quantities by the VM (arithmetic wraps at 32 bits).
+
+    Control flow:
+    - [Br] is the only conditional branch (two-way: taken target or
+      fall-through to the next instruction);
+    - [Jmp]/[Call]/[Ret]/[Halt] are unconditional block terminators.
+
+    The [Rnd] instruction draws from the VM's deterministic pseudo-random
+    stream; synthetic workloads use it to realise controlled branch
+    probabilities. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** Traps on division by zero. *)
+  | Rem  (** Traps on division by zero. *)
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+
+type cond = Eq | Ne | Lt | Ge | Le | Gt
+(** Signed comparisons between two registers. *)
+
+type t =
+  | Movi of Reg.t * int  (** [rd <- imm] *)
+  | Mov of Reg.t * Reg.t  (** [rd <- rs] *)
+  | Binop of binop * Reg.t * Reg.t * Reg.t  (** [rd <- rs1 op rs2] *)
+  | Binopi of binop * Reg.t * Reg.t * int  (** [rd <- rs op imm] *)
+  | Load of Reg.t * Reg.t * int  (** [rd <- mem.(rs + off)] *)
+  | Store of Reg.t * Reg.t * int  (** [mem.(rbase + off) <- rsrc] *)
+  | Br of cond * Reg.t * Reg.t * int  (** [if cond rs1 rs2 then goto addr] *)
+  | Jmp of int  (** [goto addr] *)
+  | Call of int  (** push return address; [goto addr] *)
+  | Ret  (** pop return address and jump to it *)
+  | Rnd of Reg.t * int  (** [rd <- uniform \[0, imm)]; imm must be > 0 *)
+  | Out of Reg.t  (** append register value to the VM output channel *)
+  | Halt
+  | Nop
+
+val is_terminator : t -> bool
+(** True for instructions that end a basic block:
+    [Br], [Jmp], [Call], [Ret], [Halt]. *)
+
+val branch_targets : pc:int -> t -> int list
+(** Possible successor addresses of the instruction at [pc], excluding
+    returns (whose target is dynamic).  [Call] reports both the callee
+    entry and the fall-through return site. *)
+
+val defs : t -> Reg.t list
+(** Registers the instruction writes. *)
+
+val uses : t -> Reg.t list
+(** Registers the instruction reads. *)
+
+val negate_cond : cond -> cond
+
+val eval_cond : cond -> int -> int -> bool
+(** [eval_cond c a b] evaluates the signed comparison [a c b]. *)
+
+val binop_name : binop -> string
+val cond_name : cond -> string
+
+val pp : Format.formatter -> t -> unit
+(** Assembly-like rendering with numeric branch targets. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool

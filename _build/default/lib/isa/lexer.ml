@@ -1,0 +1,97 @@
+type token =
+  | Ident of string
+  | Int of int
+  | Directive of string
+  | Comma
+  | Colon
+  | Lbracket
+  | Rbracket
+  | Newline
+  | Eof
+
+type located = { token : token; line : int }
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+exception Lex_error of string
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit token = tokens := { token; line = !line } :: !tokens in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let read_while pred =
+    let start = !pos in
+    while !pos < n && pred src.[!pos] do
+      advance ()
+    done;
+    String.sub src start (!pos - start)
+  in
+  let lex_int () =
+    let negative =
+      match peek () with
+      | Some ('-' | '+') ->
+          let neg = src.[!pos] = '-' in
+          advance ();
+          neg
+      | Some _ | None -> false
+    in
+    let digits = read_while is_digit in
+    if digits = "" then raise (Lex_error "expected digits after sign");
+    match int_of_string_opt digits with
+    | Some v -> emit (Int (if negative then -v else v))
+    | None -> raise (Lex_error (Printf.sprintf "integer %s out of range" digits))
+  in
+  try
+    while !pos < n do
+      match src.[!pos] with
+      | ' ' | '\t' | '\r' -> advance ()
+      | '\n' ->
+          emit Newline;
+          advance ();
+          incr line
+      | ';' ->
+          let _ = read_while (fun c -> c <> '\n') in
+          ()
+      | ',' ->
+          emit Comma;
+          advance ()
+      | ':' ->
+          emit Colon;
+          advance ()
+      | '[' ->
+          emit Lbracket;
+          advance ()
+      | ']' ->
+          emit Rbracket;
+          advance ()
+      | '.' ->
+          advance ();
+          let name = read_while is_ident_char in
+          if name = "" then raise (Lex_error "empty directive name");
+          emit (Directive name)
+      | ('-' | '+' | '0' .. '9') -> lex_int ()
+      | c when is_ident_start c -> emit (Ident (read_while is_ident_char))
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c))
+    done;
+    emit Eof;
+    Ok (List.rev !tokens)
+  with Lex_error msg -> Error (Printf.sprintf "line %d: %s" !line msg)
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %S" s
+  | Int i -> Format.fprintf ppf "integer %d" i
+  | Directive s -> Format.fprintf ppf "directive .%s" s
+  | Comma -> Format.pp_print_string ppf "','"
+  | Colon -> Format.pp_print_string ppf "':'"
+  | Lbracket -> Format.pp_print_string ppf "'['"
+  | Rbracket -> Format.pp_print_string ppf "']'"
+  | Newline -> Format.pp_print_string ppf "newline"
+  | Eof -> Format.pp_print_string ppf "end of input"

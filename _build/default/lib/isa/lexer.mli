@@ -1,0 +1,25 @@
+(** Tokeniser for the G32 assembly text format.
+
+    The format is line-oriented: [;] starts a comment that runs to end of
+    line; labels are [name:]; directives start with [.] (e.g. [.entry],
+    [.data]); memory operands are written [\[rN+off\]]. *)
+
+type token =
+  | Ident of string  (** mnemonic, register or label name *)
+  | Int of int
+  | Directive of string  (** without the leading dot *)
+  | Comma
+  | Colon
+  | Lbracket
+  | Rbracket
+  | Newline
+  | Eof
+
+type located = { token : token; line : int }
+
+val tokenize : string -> (located list, string) result
+(** Tokenise a whole source string.  The resulting list always ends with
+    [Eof]; every physical line break yields a [Newline].  Errors carry a
+    [line N: ...] prefix. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,45 @@
+type t = { code : Instr.t array; entry : int; data_init : (int * int) list }
+
+let validate_exn code entry =
+  let n = Array.length code in
+  if n = 0 then invalid_arg "Program.make: empty code";
+  if entry < 0 || entry >= n then invalid_arg "Program.make: entry out of range";
+  Array.iteri
+    (fun pc instr ->
+      let check t =
+        if t < 0 || t >= n then
+          invalid_arg
+            (Printf.sprintf "Program.make: target %d of instruction %d (%s) out of range"
+               t pc (Instr.to_string instr))
+      in
+      match instr with
+      | Instr.Br (_, _, _, t) | Instr.Jmp t | Instr.Call t -> check t
+      | Instr.Movi _ | Instr.Mov _ | Instr.Binop _ | Instr.Binopi _
+      | Instr.Load _ | Instr.Store _ | Instr.Ret | Instr.Rnd _ | Instr.Out _
+      | Instr.Halt | Instr.Nop ->
+          ())
+    code
+
+let make ?(entry = 0) ?(data_init = []) code =
+  validate_exn code entry;
+  { code; entry; data_init }
+
+let length p = Array.length p.code
+
+let instr p pc =
+  if pc < 0 || pc >= Array.length p.code then
+    invalid_arg (Printf.sprintf "Program.instr: pc %d out of range" pc)
+  else p.code.(pc)
+
+let validate p =
+  match validate_exn p.code p.entry with
+  | () -> Ok ()
+  | exception Invalid_argument msg -> Error msg
+
+let with_data p data_init = { p with data_init }
+
+let pp ppf p =
+  Format.fprintf ppf "; entry = %d@." p.entry;
+  Array.iteri
+    (fun pc instr -> Format.fprintf ppf "%4d: %a@." pc Instr.pp instr)
+    p.code

@@ -1,0 +1,35 @@
+(** Guest program images.
+
+    A program is a code array (instruction-indexed), an entry point, and
+    an optional set of initial data-memory bindings (the "input" of a
+    run is expressed as initial memory contents plus a PRNG seed; see
+    {!Tpdbt_vm.Machine}). *)
+
+type t = {
+  code : Instr.t array;
+  entry : int;  (** Entry instruction index. *)
+  data_init : (int * int) list;
+      (** [(address, value)] pairs written to data memory before the run. *)
+}
+
+val make : ?entry:int -> ?data_init:(int * int) list -> Instr.t array -> t
+(** [make code] builds a program.  [entry] defaults to [0]; [data_init]
+    defaults to empty.
+    @raise Invalid_argument if [entry] is out of bounds or any branch
+    target points outside the code array. *)
+
+val length : t -> int
+(** Number of instructions. *)
+
+val instr : t -> int -> Instr.t
+(** [instr p pc] is the instruction at [pc].
+    @raise Invalid_argument on out-of-range [pc]. *)
+
+val validate : t -> (unit, string) result
+(** Checks entry and all static branch targets are in range. *)
+
+val with_data : t -> (int * int) list -> t
+(** Replace the initial data bindings (used to switch inputs). *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly-style listing. *)

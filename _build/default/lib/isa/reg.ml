@@ -1,0 +1,25 @@
+type t = int
+
+let count = 16
+
+let of_int i =
+  if i < 0 || i >= count then
+    invalid_arg (Printf.sprintf "Reg.of_int: %d out of range" i)
+  else i
+
+let of_int_opt i = if i < 0 || i >= count then None else Some i
+let to_int r = r
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf r = Format.fprintf ppf "r%d" r
+let to_string r = Printf.sprintf "r%d" r
+
+let of_string_opt s =
+  let n = String.length s in
+  if n < 2 || n > 3 || s.[0] <> 'r' then None
+  else
+    match int_of_string_opt (String.sub s 1 (n - 1)) with
+    | Some i when i >= 0 && i < count -> Some i
+    | Some _ | None -> None
+
+let all = List.init count (fun i -> i)

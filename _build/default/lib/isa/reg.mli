@@ -1,0 +1,35 @@
+(** Guest general-purpose registers.
+
+    The G32 guest machine has 16 general-purpose registers [r0] .. [r15].
+    [r0] is an ordinary register (not hardwired to zero); the code
+    generator conventionally uses [r0] as a scratch zero register. *)
+
+type t
+(** A register. Abstract so that only valid indices [0..15] exist. *)
+
+val count : int
+(** Number of registers (16). *)
+
+val of_int : int -> t
+(** [of_int i] is register [ri].
+    @raise Invalid_argument if [i] is outside [0..count-1]. *)
+
+val of_int_opt : int -> t option
+(** [of_int_opt i] is [Some ri], or [None] if out of range. *)
+
+val to_int : t -> int
+(** Index of the register, in [0..count-1]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints in assembly syntax, e.g. [r7]. *)
+
+val to_string : t -> string
+
+val of_string_opt : string -> t option
+(** Parses assembly syntax ["r7"]; [None] on anything else. *)
+
+val all : t list
+(** All registers, in index order. *)

@@ -1,0 +1,1 @@
+lib/numerics/linear_solver.ml: Array Matrix

@@ -1,0 +1,1 @@
+lib/numerics/markov.ml: Array Hashtbl Linear_solver List Matrix Tpdbt_cfg

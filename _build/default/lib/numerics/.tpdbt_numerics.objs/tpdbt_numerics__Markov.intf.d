@@ -1,0 +1,1 @@
+lib/numerics/markov.mli: Hashtbl Tpdbt_cfg

@@ -1,0 +1,89 @@
+let gauss a b =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then Error "gauss: matrix not square"
+  else if Array.length b <> n then Error "gauss: dimension mismatch"
+  else begin
+    let m = Matrix.copy a in
+    let rhs = Array.copy b in
+    let singular = ref false in
+    (try
+       for col = 0 to n - 1 do
+         (* Partial pivoting: pick the row with the largest magnitude. *)
+         let pivot_row = ref col in
+         for row = col + 1 to n - 1 do
+           if abs_float (Matrix.get m row col) > abs_float (Matrix.get m !pivot_row col)
+           then pivot_row := row
+         done;
+         if abs_float (Matrix.get m !pivot_row col) < 1e-12 then begin
+           singular := true;
+           raise Exit
+         end;
+         Matrix.swap_rows m col !pivot_row;
+         let tmp = rhs.(col) in
+         rhs.(col) <- rhs.(!pivot_row);
+         rhs.(!pivot_row) <- tmp;
+         let pivot = Matrix.get m col col in
+         for row = col + 1 to n - 1 do
+           let factor = Matrix.get m row col /. pivot in
+           if factor <> 0.0 then begin
+             for k = col to n - 1 do
+               Matrix.set m row k (Matrix.get m row k -. (factor *. Matrix.get m col k))
+             done;
+             rhs.(row) <- rhs.(row) -. (factor *. rhs.(col))
+           end
+         done
+       done
+     with Exit -> ());
+    if !singular then Error "gauss: singular matrix"
+    else begin
+      let x = Array.make n 0.0 in
+      for row = n - 1 downto 0 do
+        let acc = ref rhs.(row) in
+        for k = row + 1 to n - 1 do
+          acc := !acc -. (Matrix.get m row k *. x.(k))
+        done;
+        x.(row) <- !acc /. Matrix.get m row row
+      done;
+      Ok x
+    end
+  end
+
+let jacobi ?(max_iters = 10_000) ?(tolerance = 1e-12) a b =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then Error "jacobi: matrix not square"
+  else if Array.length b <> n then Error "jacobi: dimension mismatch"
+  else begin
+    let diag_ok = ref true in
+    for i = 0 to n - 1 do
+      if abs_float (Matrix.get a i i) < 1e-15 then diag_ok := false
+    done;
+    if not !diag_ok then Error "jacobi: zero diagonal entry"
+    else begin
+      let x = Array.make n 0.0 in
+      let next = Array.make n 0.0 in
+      let rec iterate remaining =
+        if remaining = 0 then Error "jacobi: did not converge"
+        else begin
+          let delta = ref 0.0 in
+          for i = 0 to n - 1 do
+            let acc = ref b.(i) in
+            for j = 0 to n - 1 do
+              if j <> i then acc := !acc -. (Matrix.get a i j *. x.(j))
+            done;
+            next.(i) <- !acc /. Matrix.get a i i;
+            delta := max !delta (abs_float (next.(i) -. x.(i)))
+          done;
+          Array.blit next 0 x 0 n;
+          if !delta <= tolerance then Ok (Array.copy x)
+          else iterate (remaining - 1)
+        end
+      in
+      iterate max_iters
+    end
+  end
+
+let residual_norm a x b =
+  let ax = Matrix.mul_vec a x in
+  let norm = ref 0.0 in
+  Array.iteri (fun i v -> norm := max !norm (abs_float (v -. b.(i)))) ax;
+  !norm

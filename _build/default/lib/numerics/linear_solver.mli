@@ -1,0 +1,25 @@
+(** Solvers for systems of linear equations [A x = b].
+
+    Replaces the paper's use of the Intel MKL solver (see DESIGN.md §2).
+    The direct solver is Gaussian elimination with partial pivoting; a
+    Jacobi iteration is provided as an independent cross-check for the
+    diagonally-dominant systems NAVEP produces. *)
+
+val gauss : Matrix.t -> float array -> (float array, string) result
+(** Gaussian elimination with partial pivoting.  The matrix and vector
+    are not modified.  [Error] on non-square input, dimension mismatch,
+    or a (numerically) singular matrix. *)
+
+val jacobi :
+  ?max_iters:int ->
+  ?tolerance:float ->
+  Matrix.t ->
+  float array ->
+  (float array, string) result
+(** Jacobi iteration from the zero vector.  Converges for strictly
+    diagonally dominant systems; [Error] if a diagonal entry is zero or
+    the iteration fails to reach [tolerance] (default [1e-12]) within
+    [max_iters] (default [10_000]). *)
+
+val residual_norm : Matrix.t -> float array -> float array -> float
+(** Max-norm of [A x - b]; used by tests to validate solutions. *)

@@ -1,0 +1,59 @@
+module Graph = Tpdbt_cfg.Graph
+module Traverse = Tpdbt_cfg.Traverse
+
+let solve ~graph ~prob ~known =
+  let known_tbl = Hashtbl.create 16 in
+  List.iter (fun (n, f) -> Hashtbl.replace known_tbl n f) known;
+  let unknowns =
+    List.filter (fun n -> not (Hashtbl.mem known_tbl n)) (Graph.nodes graph)
+  in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace index n i) unknowns;
+  let n = List.length unknowns in
+  let result = Hashtbl.create 16 in
+  Hashtbl.iter (fun node f -> Hashtbl.replace result node f) known_tbl;
+  if n = 0 then Ok result
+  else begin
+    (* Row i:  x_i - sum_{p unknown} prob(p,node_i) x_p
+               = sum_{p known} freq(p) * prob(p,node_i). *)
+    let a = Matrix.create ~rows:n ~cols:n in
+    let b = Array.make n 0.0 in
+    List.iteri
+      (fun i node ->
+        Matrix.set a i i 1.0;
+        List.iter
+          (fun p ->
+            let weight = prob p node in
+            match Hashtbl.find_opt known_tbl p with
+            | Some freq -> b.(i) <- b.(i) +. (freq *. weight)
+            | None ->
+                let j = Hashtbl.find index p in
+                Matrix.add_to a i j (-.weight))
+          (Graph.preds graph node))
+      unknowns;
+    match Linear_solver.gauss a b with
+    | Error _ as e -> e
+    | Ok x ->
+        List.iteri (fun i node -> Hashtbl.replace result node x.(i)) unknowns;
+        Ok result
+  end
+
+let propagate_acyclic ~graph ~prob ~entry ~entry_freq =
+  match Traverse.topological_sort graph with
+  | Error _ -> Error "propagate_acyclic: graph has a cycle"
+  | Ok order ->
+      let freq = Hashtbl.create 16 in
+      List.iter (fun node -> Hashtbl.replace freq node 0.0) (Graph.nodes graph);
+      Hashtbl.replace freq entry entry_freq;
+      List.iter
+        (fun node ->
+          if node <> entry then begin
+            let inflow =
+              List.fold_left
+                (fun acc p -> acc +. (Hashtbl.find freq p *. prob p node))
+                0.0 (Graph.preds graph node)
+            in
+            Hashtbl.replace freq node inflow
+          end)
+        order;
+      Ok freq

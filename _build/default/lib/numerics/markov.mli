@@ -1,0 +1,33 @@
+(** Markov modelling of control flow (Wagner et al., PLDI'94).
+
+    Given a CFG whose edges carry branch probabilities and whose
+    frequencies are known at some nodes, recover the frequencies of the
+    remaining nodes from the flow equations
+
+    {v freq(n) = sum over predecessors p of freq(p) * prob(p -> n) v}
+
+    where each [freq(p)] is either a known constant or another unknown.
+    This is exactly the computation NAVEP needs for blocks duplicated by
+    region formation (paper §3.1). *)
+
+val solve :
+  graph:Tpdbt_cfg.Graph.t ->
+  prob:(int -> int -> float) ->
+  known:(int * float) list ->
+  ((int, float) Hashtbl.t, string) result
+(** Frequencies for every node of [graph].  Nodes listed in [known] keep
+    their given frequency; all others are solved for.  [prob src dst] is
+    the probability of the edge — it is only consulted for edges present
+    in the graph.  [Error] if the induced linear system is singular. *)
+
+val propagate_acyclic :
+  graph:Tpdbt_cfg.Graph.t ->
+  prob:(int -> int -> float) ->
+  entry:int ->
+  entry_freq:float ->
+  ((int, float) Hashtbl.t, string) result
+(** Forward propagation over an acyclic graph: the entry gets
+    [entry_freq], every other node the probability-weighted sum of its
+    predecessors.  Nodes not reachable from [entry] get frequency [0].
+    [Error] if the graph has a cycle.  This is the completion- and
+    loop-back-probability computation of paper §3.2–3.3. *)

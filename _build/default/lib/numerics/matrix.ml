@@ -1,0 +1,69 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let rows m = m.rows
+let cols m = m.cols
+
+let check m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg (Printf.sprintf "Matrix: index (%d,%d) out of %dx%d" i j m.rows m.cols)
+
+let get m i j =
+  check m i j;
+  m.data.((i * m.cols) + j)
+
+let set m i j v =
+  check m i j;
+  m.data.((i * m.cols) + j) <- v
+
+let add_to m i j v =
+  check m i j;
+  m.data.((i * m.cols) + j) <- m.data.((i * m.cols) + j) +. v
+
+let of_arrays arr =
+  let rows = Array.length arr in
+  let cols = if rows = 0 then 0 else Array.length arr.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> cols then invalid_arg "Matrix.of_arrays: ragged input")
+    arr;
+  let m = create ~rows ~cols in
+  Array.iteri (fun i row -> Array.iteri (fun j v -> set m i j v) row) arr;
+  m
+
+let copy m = { m with data = Array.copy m.data }
+
+let identity n =
+  let m = create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    set m i i 1.0
+  done;
+  m
+
+let mul_vec m v =
+  if Array.length v <> m.cols then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.((i * m.cols) + j) *. v.(j))
+      done;
+      !acc)
+
+let swap_rows m i j =
+  if i <> j then
+    for k = 0 to m.cols - 1 do
+      let tmp = m.data.((i * m.cols) + k) in
+      m.data.((i * m.cols) + k) <- m.data.((j * m.cols) + k);
+      m.data.((j * m.cols) + k) <- tmp
+    done
+
+let pp ppf m =
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      Format.fprintf ppf "%10.4f " (get m i j)
+    done;
+    Format.pp_print_newline ppf ()
+  done

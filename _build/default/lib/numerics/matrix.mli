@@ -1,0 +1,28 @@
+(** Small dense matrices of floats (row-major).
+
+    Sized for NAVEP's region-local linear systems: tens of unknowns, not
+    thousands — a dense representation is simplest and fastest here. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** All-zero matrix. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j v] is [set m i j (get m i j +. v)]. *)
+
+val of_arrays : float array array -> t
+(** @raise Invalid_argument on ragged input. *)
+
+val copy : t -> t
+val identity : int -> t
+val mul_vec : t -> float array -> float array
+(** Matrix-vector product.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val swap_rows : t -> int -> int -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+type sample = { predicted : float; actual : float; weight : float }
+
+let weighted_sd samples =
+  let num, den =
+    List.fold_left
+      (fun (num, den) { predicted; actual; weight } ->
+        let d = predicted -. actual in
+        (num +. (d *. d *. weight), den +. weight))
+      (0.0, 0.0) samples
+  in
+  if den <= 0.0 then 0.0 else sqrt (num /. den)
+
+let weighted_mean pairs =
+  let num, den =
+    List.fold_left
+      (fun (num, den) (v, w) -> (num +. (v *. w), den +. w))
+      (0.0, 0.0) pairs
+  in
+  if den <= 0.0 then 0.0 else num /. den
+
+let mismatch_rate ~ranges samples =
+  let num, den =
+    List.fold_left
+      (fun (num, den) { predicted; actual; weight } ->
+        let mismatched = ranges predicted <> ranges actual in
+        ((if mismatched then num +. weight else num), den +. weight))
+      (0.0, 0.0) samples
+  in
+  if den <= 0.0 then 0.0 else num /. den
+
+let mean = function
+  | [] -> 0.0
+  | values -> List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)

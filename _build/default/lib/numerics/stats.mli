@@ -1,0 +1,24 @@
+(** Weighted statistics used by the paper's accuracy metrics (§2).
+
+    Every comparison in the paper is a weighted standard deviation of a
+    predicted probability from an actual probability:
+
+    {v Sd = sqrt( sum_i (P(i) - A(i))^2 * W(i)  /  sum_i W(i) ) v}
+
+    and every "mismatch rate" is a weighted fraction of samples whose
+    predicted and actual values fall in different ranges. *)
+
+type sample = { predicted : float; actual : float; weight : float }
+
+val weighted_sd : sample list -> float
+(** The paper's Sd formula; [0.] on an empty list or zero total weight. *)
+
+val weighted_mean : (float * float) list -> float
+(** [(value, weight)] pairs; [0.] on zero total weight. *)
+
+val mismatch_rate : ranges:(float -> int) -> sample list -> float
+(** Fraction (by weight) of samples with
+    [ranges predicted <> ranges actual]. *)
+
+val mean : float list -> float
+(** Unweighted mean; [0.] on an empty list. *)

@@ -1,0 +1,1 @@
+lib/profiles/metrics.ml: Array Format List Navep Region_prob Tpdbt_dbt Tpdbt_numerics

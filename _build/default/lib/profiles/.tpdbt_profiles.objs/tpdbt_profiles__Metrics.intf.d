@@ -1,0 +1,1 @@
+lib/profiles/metrics.mli: Format Tpdbt_dbt

@@ -1,0 +1,1 @@
+lib/profiles/navep.ml: Array Hashtbl List Tpdbt_cfg Tpdbt_dbt Tpdbt_numerics

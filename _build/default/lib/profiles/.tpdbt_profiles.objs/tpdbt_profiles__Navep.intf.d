@@ -1,0 +1,1 @@
+lib/profiles/navep.mli: Tpdbt_dbt

@@ -1,0 +1,1 @@
+lib/profiles/offline_regions.ml: Array List Metrics Tpdbt_dbt

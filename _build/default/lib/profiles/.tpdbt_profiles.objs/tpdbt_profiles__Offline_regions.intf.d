@@ -1,0 +1,1 @@
+lib/profiles/offline_regions.mli: Metrics Tpdbt_dbt

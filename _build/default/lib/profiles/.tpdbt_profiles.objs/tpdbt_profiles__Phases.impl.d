@@ -1,0 +1,1 @@
+lib/profiles/phases.ml: Array List Tpdbt_dbt

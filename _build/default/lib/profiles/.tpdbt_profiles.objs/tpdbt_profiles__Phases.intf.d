@@ -1,0 +1,1 @@
+lib/profiles/phases.mli: Tpdbt_dbt

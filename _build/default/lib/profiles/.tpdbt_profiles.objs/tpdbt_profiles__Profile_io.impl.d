@@ -1,0 +1,1 @@
+lib/profiles/profile_io.ml: Array Buffer Fun List Printf String Tpdbt_dbt

@@ -1,0 +1,1 @@
+lib/profiles/profile_io.mli: Tpdbt_dbt

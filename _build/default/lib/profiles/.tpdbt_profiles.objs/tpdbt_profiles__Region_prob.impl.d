@@ -1,0 +1,1 @@
+lib/profiles/region_prob.ml: Hashtbl List Tpdbt_cfg Tpdbt_dbt Tpdbt_numerics

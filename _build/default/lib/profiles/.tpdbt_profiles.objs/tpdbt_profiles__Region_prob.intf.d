@@ -1,0 +1,1 @@
+lib/profiles/region_prob.mli: Tpdbt_dbt

@@ -1,0 +1,1 @@
+lib/profiles/report.ml: Array Buffer List Printf Region_prob String Tpdbt_dbt

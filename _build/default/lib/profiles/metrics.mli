@@ -1,0 +1,43 @@
+(** The paper's accuracy metrics (§2): weighted standard deviations of
+    branch / completion / loop-back probabilities between an initial
+    profile INIP(T) and the average profile AVEP, plus the range-based
+    mismatch rates of §4.
+
+    All weights come from AVEP (via NAVEP for duplicated blocks), so a
+    comparison says "how far is the prediction from average behaviour,
+    counting each prediction as often as it actually matters". *)
+
+type comparison = {
+  sd_bp : float;  (** Sd.BP(T) — branch probabilities *)
+  sd_cp : float;  (** Sd.CP(T) — completion probabilities, non-loop regions *)
+  sd_lp : float;  (** Sd.LP(T) — loop-back probabilities, loop regions *)
+  bp_mismatch : float;  (** range mismatch rate of branch probabilities *)
+  lp_mismatch : float;  (** trip-count-range mismatch rate of loops *)
+  bp_samples : int;
+  cp_samples : int;
+  lp_samples : int;
+  navep_fallback : bool;  (** NAVEP used its equal-split fallback *)
+}
+
+type flat = { sd_bp : float; bp_mismatch : float; bp_samples : int }
+(** Comparison of two profiling-only snapshots (no regions) — the
+    INIP(train)-vs-AVEP reference. *)
+
+val bp_range : float -> int
+(** Paper ranges [0,.3) -> 0, [.3,.7] -> 1, (.7,1] -> 2. *)
+
+val lp_range : float -> int
+(** Trip-count ranges via LP: [0,.9) -> 0, [.9,.98] -> 1, (.98,1] -> 2. *)
+
+val compare_snapshots :
+  inip:Tpdbt_dbt.Snapshot.t -> avep:Tpdbt_dbt.Snapshot.t -> comparison
+(** Full INIP(T)-vs-AVEP comparison.  CP is measured over non-loop
+    regions with at least two slots (a singleton trace has no side
+    exits); LP over all loop regions. *)
+
+val compare_flat :
+  predicted:Tpdbt_dbt.Snapshot.t -> avep:Tpdbt_dbt.Snapshot.t -> flat
+(** Block-by-block branch-probability comparison without any region
+    normalisation; used for Sd.BP(train). *)
+
+val pp_comparison : Format.formatter -> comparison -> unit

@@ -1,0 +1,219 @@
+module Snapshot = Tpdbt_dbt.Snapshot
+module Region = Tpdbt_dbt.Region
+module Block_map = Tpdbt_dbt.Block_map
+module Graph = Tpdbt_cfg.Graph
+module Markov = Tpdbt_numerics.Markov
+
+type location = In_region of { region : int; slot : int } | Standalone
+type copy = { node : int; block : int; location : location }
+
+type t = {
+  copies : copy array;
+  freqs : float array;
+  slot_node : (int * int, int) Hashtbl.t;  (* (region id, slot) -> node *)
+  standalone_node : (int, int) Hashtbl.t;  (* block -> node *)
+  block_copies : (int, copy list) Hashtbl.t;
+  fallback : bool;
+}
+
+(* CFG out-edges of a block with AVEP probabilities:
+   (role, successor block, probability). *)
+let out_flow avep block =
+  let bmap = avep.Snapshot.block_map in
+  match (Block_map.block bmap block).Block_map.terminator with
+  | Block_map.Cond { taken; fallthrough } ->
+      let p =
+        match Snapshot.branch_prob avep block with Some p -> p | None -> 0.5
+      in
+      [ (Region.Taken, taken, p); (Region.Not_taken, fallthrough, 1.0 -. p) ]
+  | Block_map.Goto dst | Block_map.Fallthrough dst ->
+      [ (Region.Always, dst, 1.0) ]
+  | Block_map.Call_to { callee; retsite = _ } ->
+      [ (Region.Always, callee, 1.0) ]
+  | Block_map.Return | Block_map.Stop -> []
+
+let build ~inip ~avep =
+  let bmap = inip.Snapshot.block_map in
+  let nblocks = Block_map.block_count bmap in
+  (* 1. Enumerate copies. *)
+  let copies_rev = ref [] in
+  let ncopies = ref 0 in
+  let slot_node = Hashtbl.create 64 in
+  let standalone_node = Hashtbl.create 64 in
+  let block_copies = Hashtbl.create 64 in
+  let in_region = Array.make nblocks false in
+  let add_copy block location =
+    let node = !ncopies in
+    incr ncopies;
+    let c = { node; block; location } in
+    copies_rev := c :: !copies_rev;
+    (match location with
+    | In_region { region; slot } -> Hashtbl.replace slot_node (region, slot) node
+    | Standalone -> Hashtbl.replace standalone_node block node);
+    let existing =
+      match Hashtbl.find_opt block_copies block with Some l -> l | None -> []
+    in
+    Hashtbl.replace block_copies block (existing @ [ c ])
+  in
+  List.iter
+    (fun r ->
+      Array.iteri
+        (fun slot block ->
+          in_region.(block) <- true;
+          add_copy block (In_region { region = r.Region.id; slot }))
+        r.Region.slots)
+    inip.Snapshot.regions;
+  for block = 0 to nblocks - 1 do
+    if not in_region.(block) then add_copy block Standalone
+  done;
+  let copies = Array.of_list (List.rev !copies_rev) in
+  (* Entry copies of a block: slot-0 nodes of regions it heads, plus its
+     standalone node; used as targets for cross (non-region) edges. *)
+  let entry_targets block =
+    let from_regions =
+      List.filter_map
+        (fun c ->
+          match c.location with
+          | In_region { slot = 0; _ } -> Some c.node
+          | In_region _ | Standalone -> None)
+        (match Hashtbl.find_opt block_copies block with
+        | Some l -> l
+        | None -> [])
+    in
+    let standalone =
+      match Hashtbl.find_opt standalone_node block with
+      | Some n -> [ n ]
+      | None -> []
+    in
+    match from_regions @ standalone with
+    | [] ->
+        (* Only non-entry region copies exist: split between all of them
+           (documented approximation). *)
+        List.map
+          (fun c -> c.node)
+          (match Hashtbl.find_opt block_copies block with
+          | Some l -> l
+          | None -> [])
+    | targets -> targets
+  in
+  (* 2. Build the NAVEP flow graph with edge probabilities. *)
+  let g = Graph.create () in
+  Array.iter (fun c -> Graph.add_node g c.node) copies;
+  let edge_prob : (int * int, float) Hashtbl.t = Hashtbl.create 256 in
+  let add_flow src dst p =
+    if p > 0.0 then begin
+      let key = (src, dst) in
+      let existing =
+        match Hashtbl.find_opt edge_prob key with Some v -> v | None -> 0.0
+      in
+      Hashtbl.replace edge_prob key (existing +. p);
+      Graph.add_edge g src dst
+    end
+  in
+  let region_of_id id =
+    List.find (fun r -> r.Region.id = id) inip.Snapshot.regions
+  in
+  let route_external src succ p =
+    match entry_targets succ with
+    | [] -> ()
+    | targets ->
+        let share = p /. float_of_int (List.length targets) in
+        List.iter (fun dst -> add_flow src dst share) targets
+  in
+  Array.iter
+    (fun c ->
+      let flows = out_flow avep c.block in
+      match c.location with
+      | Standalone ->
+          List.iter (fun (_role, succ, p) -> route_external c.node succ p) flows
+      | In_region { region = rid; slot } ->
+          let r = region_of_id rid in
+          let internal = Region.out_edges r slot in
+          List.iter
+            (fun (role, succ, p) ->
+              match
+                List.find_opt (fun e -> e.Region.role = role) internal
+              with
+              | Some e ->
+                  let dst = Hashtbl.find slot_node (rid, e.Region.dst) in
+                  add_flow c.node dst p
+              | None -> route_external c.node succ p)
+            flows)
+    copies;
+  (* 3. Known constants: blocks with a single copy keep their AVEP
+     frequency. *)
+  let copy_count block =
+    match Hashtbl.find_opt block_copies block with
+    | Some l -> List.length l
+    | None -> 0
+  in
+  let known =
+    Array.to_list copies
+    |> List.filter_map (fun c ->
+           if copy_count c.block = 1 then
+             Some (c.node, Snapshot.block_freq avep c.block)
+           else None)
+  in
+  let prob_of src dst =
+    match Hashtbl.find_opt edge_prob (src, dst) with Some p -> p | None -> 0.0
+  in
+  let freqs = Array.make (Array.length copies) 0.0 in
+  let fallback = ref false in
+  (match Markov.solve ~graph:g ~prob:prob_of ~known with
+  | Ok table ->
+      Array.iter
+        (fun c ->
+          freqs.(c.node) <-
+            (match Hashtbl.find_opt table c.node with
+            | Some f -> max 0.0 f
+            | None -> 0.0))
+        copies
+  | Error _ ->
+      fallback := true;
+      Array.iter
+        (fun c ->
+          let k = copy_count c.block in
+          freqs.(c.node) <- Snapshot.block_freq avep c.block /. float_of_int k)
+        copies);
+  (* 4. Renormalise the copies of each duplicated block so they sum to
+     the block's AVEP frequency: the solver fixes the split ratios, AVEP
+     fixes the total (paper §3.1 invariant). *)
+  Hashtbl.iter
+    (fun block cs ->
+      match cs with
+      | [] | [ _ ] -> ()
+      | _ :: _ :: _ ->
+          let total = List.fold_left (fun acc c -> acc +. freqs.(c.node)) 0.0 cs in
+          let target = Snapshot.block_freq avep block in
+          if total > 1e-9 then
+            List.iter
+              (fun c -> freqs.(c.node) <- freqs.(c.node) *. target /. total)
+              cs
+          else begin
+            let k = float_of_int (List.length cs) in
+            List.iter (fun c -> freqs.(c.node) <- target /. k) cs
+          end)
+    block_copies;
+  {
+    copies;
+    freqs;
+    slot_node;
+    standalone_node;
+    block_copies;
+    fallback = !fallback;
+  }
+
+let copies t = Array.to_list t.copies
+
+let copies_of_block t block =
+  match Hashtbl.find_opt t.block_copies block with Some l -> l | None -> []
+
+let freq t node =
+  if node < 0 || node >= Array.length t.freqs then 0.0 else t.freqs.(node)
+
+let node_of_slot t ~region ~slot = Hashtbl.find_opt t.slot_node (region, slot)
+let node_of_standalone t block = Hashtbl.find_opt t.standalone_node block
+let used_fallback t = t.fallback
+
+let total_block_freq t block =
+  List.fold_left (fun acc c -> acc +. t.freqs.(c.node)) 0.0 (copies_of_block t block)

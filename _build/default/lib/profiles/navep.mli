@@ -1,0 +1,43 @@
+(** NAVEP: the average profile normalised onto INIP(T)'s duplicated CFG
+    (paper §3.1).
+
+    Region formation may copy one block into several regions.  AVEP only
+    has one frequency per block, so to weight the per-copy comparisons
+    we rebuild INIP's view of the CFG — one node per (region, slot) copy
+    plus one node per block outside every region — give every copy its
+    original block's AVEP branch probability, and recover per-copy
+    frequencies with Markov modelling of control flow: non-duplicated
+    nodes keep their AVEP frequency as constants, duplicated copies are
+    solved from the flow equations ({!Tpdbt_numerics.Markov.solve}).
+
+    Approximations (documented in DESIGN.md): a CFG edge into a block
+    that only exists as non-entry region copies is split equally between
+    those copies, and if the linear system is singular the block's AVEP
+    frequency is split equally between its copies ([used_fallback]). *)
+
+type location = In_region of { region : int; slot : int } | Standalone
+
+type copy = { node : int; block : int; location : location }
+
+type t
+
+val build : inip:Tpdbt_dbt.Snapshot.t -> avep:Tpdbt_dbt.Snapshot.t -> t
+(** [inip] supplies the region structure, [avep] the probabilities and
+    frequencies. *)
+
+val copies : t -> copy list
+(** Every NAVEP node, in node order. *)
+
+val copies_of_block : t -> int -> copy list
+
+val freq : t -> int -> float
+(** NAVEP frequency of a node. *)
+
+val node_of_slot : t -> region:int -> slot:int -> int option
+val node_of_standalone : t -> int -> int option
+val used_fallback : t -> bool
+(** True if the equal-split fallback replaced the linear solve. *)
+
+val total_block_freq : t -> int -> float
+(** Sum of the frequencies of a block's copies — should equal the
+    block's AVEP frequency (a tested invariant). *)

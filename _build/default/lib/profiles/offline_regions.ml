@@ -1,0 +1,31 @@
+module Snapshot = Tpdbt_dbt.Snapshot
+module Region_former = Tpdbt_dbt.Region_former
+
+let form ?(config = Region_former.default_config) ?(hot_fraction = 0.001)
+    (snapshot : Snapshot.t) =
+  let use = snapshot.Snapshot.use in
+  let hottest = Array.fold_left max 0 use in
+  if hottest = 0 then { snapshot with Snapshot.regions = [] }
+  else begin
+    let threshold =
+      max 1 (int_of_float (hot_fraction *. float_of_int hottest))
+    in
+    let seeds =
+      Array.to_list (Array.mapi (fun id u -> (id, u)) use)
+      |> List.filter (fun (_, u) -> u >= threshold)
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+      |> List.map fst
+    in
+    let regions =
+      Region_former.form
+        { config with Region_former.threshold }
+        ~block_map:snapshot.Snapshot.block_map ~use
+        ~taken:snapshot.Snapshot.taken
+        ~owner:(fun _ -> Region_former.Unowned)
+        ~seeds ~first_id:0
+    in
+    { snapshot with Snapshot.regions = regions }
+  end
+
+let train_cp_lp ~train ~avep =
+  Metrics.compare_snapshots ~inip:(form train) ~avep

@@ -1,0 +1,30 @@
+(** Offline region formation over a completed profile.
+
+    Paper §5, future work: "apply region formation algorithms [5][11] to
+    construct regions in INIP(train) and compute Sd.CP(train) and
+    Sd.LP(train) between INIP(train) and AVEP".
+
+    Given a profiling-only snapshot (full-run counters, no regions) this
+    runs the same region former the translator uses — seeded at the
+    hottest blocks, with the final counters as the profile — and returns
+    a snapshot carrying those regions, which {!Metrics.compare_snapshots}
+    can then evaluate against AVEP. *)
+
+val form :
+  ?config:Tpdbt_dbt.Region_former.config ->
+  ?hot_fraction:float ->
+  Tpdbt_dbt.Snapshot.t ->
+  Tpdbt_dbt.Snapshot.t
+(** [form snapshot] returns [snapshot] with regions formed from its
+    counters.  Blocks whose [use] count is at least [hot_fraction]
+    (default 0.001) of the hottest block's count are candidates; any
+    existing regions are discarded.  [config]'s [threshold] field is
+    overridden by the computed hotness cut-off. *)
+
+val train_cp_lp :
+  train:Tpdbt_dbt.Snapshot.t ->
+  avep:Tpdbt_dbt.Snapshot.t ->
+  Metrics.comparison
+(** Convenience: form regions offline in the training profile and run
+    the full region comparison against AVEP — the paper's missing
+    Sd.CP(train) / Sd.LP(train) reference. *)

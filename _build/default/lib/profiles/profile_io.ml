@@ -1,0 +1,292 @@
+module Snapshot = Tpdbt_dbt.Snapshot
+module Block_map = Tpdbt_dbt.Block_map
+module Region = Tpdbt_dbt.Region
+
+let magic = "TPDBT-PROFILE 1"
+
+let term_to_string = function
+  | Block_map.Cond { taken; fallthrough } ->
+      Printf.sprintf "cond %d %d" taken fallthrough
+  | Block_map.Goto b -> Printf.sprintf "goto %d" b
+  | Block_map.Call_to { callee; retsite } ->
+      Printf.sprintf "call %d %d" callee retsite
+  | Block_map.Return -> "return"
+  | Block_map.Stop -> "stop"
+  | Block_map.Fallthrough b -> Printf.sprintf "fall %d" b
+
+let term_of_words = function
+  | [ "cond"; a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some taken, Some fallthrough -> Ok (Block_map.Cond { taken; fallthrough })
+      | _ -> Error "bad cond")
+  | [ "goto"; a ] -> (
+      match int_of_string_opt a with
+      | Some b -> Ok (Block_map.Goto b)
+      | None -> Error "bad goto")
+  | [ "call"; a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some callee, Some retsite -> Ok (Block_map.Call_to { callee; retsite })
+      | _ -> Error "bad call")
+  | [ "return" ] -> Ok Block_map.Return
+  | [ "stop" ] -> Ok Block_map.Stop
+  | [ "fall"; a ] -> (
+      match int_of_string_opt a with
+      | Some b -> Ok (Block_map.Fallthrough b)
+      | None -> Error "bad fall")
+  | _ -> Error "bad terminator"
+
+let role_to_char = function
+  | Region.Taken -> 'T'
+  | Region.Not_taken -> 'N'
+  | Region.Always -> 'A'
+
+let role_of_string = function
+  | "T" -> Ok Region.Taken
+  | "N" -> Ok Region.Not_taken
+  | "A" -> Ok Region.Always
+  | s -> Error ("bad role " ^ s)
+
+let to_string (snapshot : Snapshot.t) =
+  let buf = Buffer.create 4096 in
+  let bmap = snapshot.Snapshot.block_map in
+  let n = Block_map.block_count bmap in
+  Buffer.add_string buf (magic ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "blocks %d entry %d\n" n (Block_map.entry_block bmap));
+  for id = 0 to n - 1 do
+    let b = Block_map.block bmap id in
+    Buffer.add_string buf
+      (Printf.sprintf "block %d %d %d %s\n" id b.Block_map.start_pc
+         b.Block_map.end_pc
+         (term_to_string b.Block_map.terminator))
+  done;
+  Buffer.add_string buf "counters\n";
+  for id = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%d %d %d\n" id snapshot.Snapshot.use.(id)
+         snapshot.Snapshot.taken.(id))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "regions %d\n" (List.length snapshot.Snapshot.regions));
+  List.iter
+    (fun r ->
+      let kind = match r.Region.kind with Region.Trace -> "trace" | Region.Loop -> "loop" in
+      Buffer.add_string buf
+        (Printf.sprintf "region %d %s %d\n" r.Region.id kind
+           (Array.length r.Region.slots));
+      Array.iteri
+        (fun slot block ->
+          Buffer.add_string buf
+            (Printf.sprintf "slot %d %d %d %d\n" slot block
+               r.Region.frozen_use.(slot) r.Region.frozen_taken.(slot)))
+        r.Region.slots;
+      let emit_edge tag e =
+        Buffer.add_string buf
+          (Printf.sprintf "%s %d %d %c\n" tag e.Region.src e.Region.dst
+             (role_to_char e.Region.role))
+      in
+      List.iter (emit_edge "edge") r.Region.edges;
+      List.iter (emit_edge "back") r.Region.back_edges)
+    snapshot.Snapshot.regions;
+  Buffer.contents buf
+
+exception Bad of string
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map String.trim
+  in
+  let fail msg = raise (Bad msg) in
+  let int_exn s =
+    match int_of_string_opt s with Some v -> v | None -> fail ("bad int " ^ s)
+  in
+  try
+    match lines with
+    | header :: rest when header = magic -> (
+        match rest with
+        | blocks_line :: rest ->
+            let nblocks, entry =
+              match String.split_on_char ' ' blocks_line with
+              | [ "blocks"; n; "entry"; e ] -> (int_exn n, int_exn e)
+              | _ -> fail "bad blocks header"
+            in
+            (* blocks *)
+            let rec read_blocks i acc rest =
+              if i = nblocks then (List.rev acc, rest)
+              else
+                match rest with
+                | line :: rest -> (
+                    match String.split_on_char ' ' line with
+                    | "block" :: id :: start_pc :: end_pc :: term_words ->
+                        let id = int_exn id in
+                        let start_pc = int_exn start_pc in
+                        let end_pc = int_exn end_pc in
+                        let terminator =
+                          match term_of_words term_words with
+                          | Ok t -> t
+                          | Error msg -> fail msg
+                        in
+                        let b =
+                          {
+                            Block_map.id;
+                            start_pc;
+                            end_pc;
+                            size = end_pc - start_pc + 1;
+                            terminator;
+                          }
+                        in
+                        read_blocks (i + 1) (b :: acc) rest
+                    | _ -> fail "expected block line")
+                | [] -> fail "truncated blocks"
+            in
+            let blocks, rest = read_blocks 0 [] rest in
+            let bmap =
+              match Block_map.of_blocks ~entry_block:entry blocks with
+              | Ok m -> m
+              | Error msg -> fail msg
+            in
+            (* counters *)
+            let rest =
+              match rest with
+              | "counters" :: rest -> rest
+              | _ -> fail "expected counters"
+            in
+            let use = Array.make nblocks 0 and taken = Array.make nblocks 0 in
+            let rec read_counters i rest =
+              if i = nblocks then rest
+              else
+                match rest with
+                | line :: rest -> (
+                    match String.split_on_char ' ' line with
+                    | [ id; u; t ] ->
+                        let id = int_exn id in
+                        if id < 0 || id >= nblocks then fail "counter id range";
+                        use.(id) <- int_exn u;
+                        taken.(id) <- int_exn t;
+                        read_counters (i + 1) rest
+                    | _ -> fail "bad counter line")
+                | [] -> fail "truncated counters"
+            in
+            let rest = read_counters 0 rest in
+            (* regions *)
+            let nregions, rest =
+              match rest with
+              | line :: rest -> (
+                  match String.split_on_char ' ' line with
+                  | [ "regions"; n ] -> (int_exn n, rest)
+                  | _ -> fail "expected regions header")
+              | [] -> fail "truncated before regions"
+            in
+            let read_region rest =
+              match rest with
+              | line :: rest -> (
+                  match String.split_on_char ' ' line with
+                  | [ "region"; id; kind; nslots ] ->
+                      let id = int_exn id in
+                      let kind =
+                        match kind with
+                        | "trace" -> Region.Trace
+                        | "loop" -> Region.Loop
+                        | k -> fail ("bad region kind " ^ k)
+                      in
+                      let nslots = int_exn nslots in
+                      let slots = Array.make nslots 0 in
+                      let frozen_use = Array.make nslots 0 in
+                      let frozen_taken = Array.make nslots 0 in
+                      let rec read_slots i rest =
+                        if i = nslots then rest
+                        else
+                          match rest with
+                          | line :: rest -> (
+                              match String.split_on_char ' ' line with
+                              | [ "slot"; slot; block; fu; ft ] ->
+                                  let slot = int_exn slot in
+                                  if slot <> i then fail "slot order";
+                                  slots.(i) <- int_exn block;
+                                  frozen_use.(i) <- int_exn fu;
+                                  frozen_taken.(i) <- int_exn ft;
+                                  read_slots (i + 1) rest
+                              | _ -> fail "bad slot line")
+                          | [] -> fail "truncated slots"
+                      in
+                      let rest = read_slots 0 rest in
+                      (* edges until a non-edge line *)
+                      let rec read_edges edges backs rest =
+                        match rest with
+                        | line :: tail -> (
+                            match String.split_on_char ' ' line with
+                            | [ ("edge" | "back") as tag; src; dst; role ] ->
+                                let e =
+                                  {
+                                    Region.src = int_exn src;
+                                    dst = int_exn dst;
+                                    role =
+                                      (match role_of_string role with
+                                      | Ok r -> r
+                                      | Error msg -> fail msg);
+                                  }
+                                in
+                                if tag = "edge" then
+                                  read_edges (e :: edges) backs tail
+                                else read_edges edges (e :: backs) tail
+                            | _ -> (List.rev edges, List.rev backs, rest))
+                        | [] -> (List.rev edges, List.rev backs, [])
+                      in
+                      let edges, back_edges, rest = read_edges [] [] rest in
+                      let region =
+                        {
+                          Region.id;
+                          kind;
+                          slots;
+                          edges;
+                          back_edges;
+                          frozen_use;
+                          frozen_taken;
+                        }
+                      in
+                      (match Region.validate region with
+                      | Ok () -> ()
+                      | Error msg -> fail ("invalid region: " ^ msg));
+                      (region, rest)
+                  | _ -> fail "expected region line")
+              | [] -> fail "truncated regions"
+            in
+            let rec read_regions i acc rest =
+              if i = nregions then (List.rev acc, rest)
+              else
+                let region, rest = read_region rest in
+                read_regions (i + 1) (region :: acc) rest
+            in
+            let regions, rest = read_regions 0 [] rest in
+            if rest <> [] then fail "trailing garbage";
+            (* Region slots must reference existing blocks. *)
+            List.iter
+              (fun r ->
+                Array.iter
+                  (fun b ->
+                    if b < 0 || b >= nblocks then fail "region block out of range")
+                  r.Region.slots)
+              regions;
+            Ok { Snapshot.block_map = bmap; use; taken; regions }
+        | [] -> Error "empty profile")
+    | _ :: _ -> Error "bad magic"
+    | [] -> Error "empty file"
+  with Bad msg -> Error ("Profile_io: " ^ msg)
+
+let save path snapshot =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string snapshot))
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          of_string (really_input_string ic len))

@@ -1,0 +1,22 @@
+(** Profile files.
+
+    The paper's workflow (§4): "After the information for INIP(T),
+    INIP(train) and AVEP are collected into files, we use an off-line
+    tool to analyze the data."  This module is that file format — a
+    line-oriented text serialisation of {!Tpdbt_dbt.Snapshot.t}
+    (block structure, use/taken counters, regions with frozen counters)
+    — so profiles can be collected by one `tpdbt profile` invocation and
+    analysed by another.
+
+    The format is versioned and self-describing; [load] rejects files
+    whose structure is inconsistent (bad block extents, region slots out
+    of range, counter arrays of the wrong length). *)
+
+val save : string -> Tpdbt_dbt.Snapshot.t -> unit
+(** Write a profile file.
+    @raise Sys_error on I/O failure. *)
+
+val load : string -> (Tpdbt_dbt.Snapshot.t, string) result
+
+val to_string : Tpdbt_dbt.Snapshot.t -> string
+val of_string : string -> (Tpdbt_dbt.Snapshot.t, string) result

@@ -1,0 +1,80 @@
+module Region = Tpdbt_dbt.Region
+module Graph = Tpdbt_cfg.Graph
+module Markov = Tpdbt_numerics.Markov
+
+let edge_probability role ~branch_prob =
+  let p = match branch_prob with Some p -> p | None -> 0.5 in
+  match role with
+  | Region.Taken -> p
+  | Region.Not_taken -> 1.0 -. p
+  | Region.Always -> 1.0
+
+(* Propagate frequency 1 from slot 0 through the region's forward edges
+   (plus, optionally, back edges redirected to a dummy node) and return
+   the resulting per-node frequency table. *)
+let propagate region ~prob ~with_dummy =
+  let nslots = Region.slot_count region in
+  let dummy = nslots in
+  let g = Graph.create () in
+  for slot = 0 to nslots - 1 do
+    Graph.add_node g slot
+  done;
+  let edge_prob = Hashtbl.create 16 in
+  let record src dst p =
+    (* Accumulate in case two parallel roles connect the same slots. *)
+    let key = (src, dst) in
+    let existing =
+      match Hashtbl.find_opt edge_prob key with Some v -> v | None -> 0.0
+    in
+    Hashtbl.replace edge_prob key (existing +. p);
+    Graph.add_edge g src dst
+  in
+  List.iter
+    (fun e ->
+      record e.Region.src e.Region.dst
+        (edge_probability e.Region.role ~branch_prob:(prob e.Region.src)))
+    region.Region.edges;
+  if with_dummy then begin
+    Graph.add_node g dummy;
+    List.iter
+      (fun e ->
+        record e.Region.src dummy
+          (edge_probability e.Region.role ~branch_prob:(prob e.Region.src)))
+      region.Region.back_edges
+  end;
+  let prob_of src dst =
+    match Hashtbl.find_opt edge_prob (src, dst) with
+    | Some p -> p
+    | None -> 0.0
+  in
+  match Markov.propagate_acyclic ~graph:g ~prob:prob_of ~entry:0 ~entry_freq:1.0 with
+  | Ok freq -> freq
+  | Error msg ->
+      (* Region forward edges are acyclic by construction. *)
+      invalid_arg ("Region_prob.propagate: " ^ msg)
+
+let completion_probability region ~prob =
+  let freq = propagate region ~prob ~with_dummy:false in
+  match Hashtbl.find_opt freq (Region.tail_slot region) with
+  | Some f -> f
+  | None -> 0.0
+
+let loopback_probability region ~prob =
+  if region.Region.back_edges = [] then 0.0
+  else begin
+    let freq = propagate region ~prob ~with_dummy:true in
+    match Hashtbl.find_opt freq (Region.slot_count region) with
+    | Some f -> f
+    | None -> 0.0
+  end
+
+let trip_count_of_loopback lp =
+  if lp >= 1.0 -. 1e-9 then 1e9 else 1.0 /. (1.0 -. lp)
+
+type trip_class = Low | Medium | High
+
+let classify_loopback lp =
+  if lp < 0.9 then Low else if lp <= 0.98 then Medium else High
+
+let classify_trip_count t =
+  if t < 10.0 then Low else if t <= 50.0 then Medium else High

@@ -1,0 +1,23 @@
+(** Human-readable summaries of profiles and comparisons.
+
+    Formats the contents of a {!Tpdbt_dbt.Snapshot.t} the way the
+    paper's prose discusses them: hottest blocks with their branch
+    probabilities, regions with completion / loop-back probabilities
+    from their frozen profiles, and — when an average profile is
+    supplied — the side-by-side INIP-vs-AVEP view per region. *)
+
+val hottest_blocks :
+  ?limit:int -> Tpdbt_dbt.Snapshot.t -> (int * int * float option) list
+(** [(block id, use, branch probability)] for the [limit] (default 10)
+    most-executed blocks, hottest first. *)
+
+val region_summary :
+  ?avep:Tpdbt_dbt.Snapshot.t ->
+  Tpdbt_dbt.Snapshot.t ->
+  Tpdbt_dbt.Region.t ->
+  string
+(** One paragraph for a region: kind, members, frozen CP or LP, and —
+    with [avep] — the AVEP-side CP/LP and trip-count classes. *)
+
+val render : ?avep:Tpdbt_dbt.Snapshot.t -> Tpdbt_dbt.Snapshot.t -> string
+(** Full report: totals, hottest blocks, every region. *)

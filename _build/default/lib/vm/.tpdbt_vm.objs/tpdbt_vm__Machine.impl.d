@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Format List Printf Prng Tpdbt_isa

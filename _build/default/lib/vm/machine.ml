@@ -1,0 +1,210 @@
+module Instr = Tpdbt_isa.Instr
+module Program = Tpdbt_isa.Program
+module Reg = Tpdbt_isa.Reg
+
+type trap =
+  | Division_by_zero of int
+  | Memory_fault of { pc : int; addr : int }
+  | Return_without_call of int
+  | Call_stack_overflow of int
+
+type event =
+  | Stepped
+  | Branched of { taken : bool }
+  | Jumped
+  | Called
+  | Returned
+  | Halted
+
+type t = {
+  prog : Program.t;
+  code : Instr.t array;
+  regs : int array;
+  memory : int array;
+  mutable pc : int;
+  mutable call_stack : int list;
+  mutable call_depth : int;
+  prng : Prng.t;
+  mutable outputs_rev : int list;
+  mutable steps : int;
+  mutable halted : bool;
+  mutable trap : trap option;
+}
+
+let max_call_depth = 4096
+
+let create ?(mem_words = 1 lsl 20) ?(seed = 1L) prog =
+  let memory = Array.make mem_words 0 in
+  List.iter
+    (fun (addr, value) ->
+      if addr < 0 || addr >= mem_words then
+        invalid_arg
+          (Printf.sprintf "Machine.create: data binding at %d outside memory"
+             addr)
+      else memory.(addr) <- value)
+    prog.Program.data_init;
+  {
+    prog;
+    code = prog.Program.code;
+    regs = Array.make Reg.count 0;
+    memory;
+    pc = prog.Program.entry;
+    call_stack = [];
+    call_depth = 0;
+    prng = Prng.create ~seed;
+    outputs_rev = [];
+    steps = 0;
+    halted = false;
+    trap = None;
+  }
+
+let program t = t.prog
+let pc t = t.pc
+let halted t = t.halted
+let steps t = t.steps
+let reg t r = t.regs.(Reg.to_int r)
+
+(* Normalise to signed 32-bit two's complement. *)
+let wrap32 v = ((v land 0xFFFFFFFF) lxor 0x80000000) - 0x80000000
+
+let set_reg t r v = t.regs.(Reg.to_int r) <- wrap32 v
+
+let mem t addr =
+  if addr < 0 || addr >= Array.length t.memory then
+    invalid_arg (Printf.sprintf "Machine.mem: address %d out of range" addr)
+  else t.memory.(addr)
+
+let set_mem t addr v =
+  if addr < 0 || addr >= Array.length t.memory then
+    invalid_arg (Printf.sprintf "Machine.set_mem: address %d out of range" addr)
+  else t.memory.(addr) <- wrap32 v
+
+let outputs t = List.rev t.outputs_rev
+
+let eval_binop op a b ~pc =
+  match op with
+  | Instr.Add -> Ok (a + b)
+  | Instr.Sub -> Ok (a - b)
+  | Instr.Mul -> Ok (a * b)
+  | Instr.Div -> if b = 0 then Error (Division_by_zero pc) else Ok (a / b)
+  | Instr.Rem -> if b = 0 then Error (Division_by_zero pc) else Ok (a mod b)
+  | Instr.And -> Ok (a land b)
+  | Instr.Or -> Ok (a lor b)
+  | Instr.Xor -> Ok (a lxor b)
+  | Instr.Shl -> Ok (a lsl (b land 31))
+  | Instr.Shr -> Ok (a asr (b land 31))
+
+let step t =
+  if t.halted then
+    match t.trap with None -> Ok Halted | Some trap -> Error trap
+  else if t.pc < 0 || t.pc >= Array.length t.code then begin
+    (* Falling off the end of the code array stops the machine. *)
+    t.halted <- true;
+    Ok Halted
+  end
+  else begin
+    let pc = t.pc in
+    let instr = t.code.(pc) in
+    t.steps <- t.steps + 1;
+    let regs = t.regs in
+    let fail trap =
+      t.halted <- true;
+      t.trap <- Some trap;
+      Error trap
+    in
+    let continue event =
+      t.pc <- pc + 1;
+      Ok event
+    in
+    match instr with
+    | Instr.Movi (rd, imm) ->
+        regs.(Reg.to_int rd) <- wrap32 imm;
+        continue Stepped
+    | Instr.Mov (rd, rs) ->
+        regs.(Reg.to_int rd) <- regs.(Reg.to_int rs);
+        continue Stepped
+    | Instr.Binop (op, rd, rs1, rs2) -> (
+        match eval_binop op regs.(Reg.to_int rs1) regs.(Reg.to_int rs2) ~pc with
+        | Ok v ->
+            regs.(Reg.to_int rd) <- wrap32 v;
+            continue Stepped
+        | Error trap -> fail trap)
+    | Instr.Binopi (op, rd, rs, imm) -> (
+        match eval_binop op regs.(Reg.to_int rs) imm ~pc with
+        | Ok v ->
+            regs.(Reg.to_int rd) <- wrap32 v;
+            continue Stepped
+        | Error trap -> fail trap)
+    | Instr.Load (rd, base, off) ->
+        let addr = regs.(Reg.to_int base) + off in
+        if addr < 0 || addr >= Array.length t.memory then
+          fail (Memory_fault { pc; addr })
+        else begin
+          regs.(Reg.to_int rd) <- t.memory.(addr);
+          continue Stepped
+        end
+    | Instr.Store (rsrc, base, off) ->
+        let addr = regs.(Reg.to_int base) + off in
+        if addr < 0 || addr >= Array.length t.memory then
+          fail (Memory_fault { pc; addr })
+        else begin
+          t.memory.(addr) <- regs.(Reg.to_int rsrc);
+          continue Stepped
+        end
+    | Instr.Br (c, rs1, rs2, target) ->
+        let taken =
+          Instr.eval_cond c regs.(Reg.to_int rs1) regs.(Reg.to_int rs2)
+        in
+        t.pc <- (if taken then target else pc + 1);
+        Ok (Branched { taken })
+    | Instr.Jmp target ->
+        t.pc <- target;
+        Ok Jumped
+    | Instr.Call target ->
+        if t.call_depth >= max_call_depth then fail (Call_stack_overflow pc)
+        else begin
+          t.call_stack <- (pc + 1) :: t.call_stack;
+          t.call_depth <- t.call_depth + 1;
+          t.pc <- target;
+          Ok Called
+        end
+    | Instr.Ret -> (
+        match t.call_stack with
+        | [] -> fail (Return_without_call pc)
+        | ret :: rest ->
+            t.call_stack <- rest;
+            t.call_depth <- t.call_depth - 1;
+            t.pc <- ret;
+            Ok Returned)
+    | Instr.Rnd (rd, bound) ->
+        regs.(Reg.to_int rd) <- Prng.below t.prng bound;
+        continue Stepped
+    | Instr.Out rs ->
+        t.outputs_rev <- regs.(Reg.to_int rs) :: t.outputs_rev;
+        continue Stepped
+    | Instr.Halt ->
+        t.halted <- true;
+        Ok Halted
+    | Instr.Nop -> continue Stepped
+  end
+
+let run ?(max_steps = max_int) t =
+  let rec loop remaining =
+    if remaining = 0 || t.halted then Ok ()
+    else
+      match step t with
+      | Ok Halted -> Ok ()
+      | Ok (Stepped | Branched _ | Jumped | Called | Returned) ->
+          loop (remaining - 1)
+      | Error trap -> Error trap
+  in
+  loop max_steps
+
+let pp_trap ppf = function
+  | Division_by_zero pc -> Format.fprintf ppf "division by zero at pc %d" pc
+  | Memory_fault { pc; addr } ->
+      Format.fprintf ppf "memory fault at pc %d (address %d)" pc addr
+  | Return_without_call pc ->
+      Format.fprintf ppf "ret without matching call at pc %d" pc
+  | Call_stack_overflow pc ->
+      Format.fprintf ppf "call-stack overflow at pc %d" pc

@@ -1,0 +1,61 @@
+(** Guest machine state and single-step interpreter.
+
+    The machine holds the program, 16 registers, a word-addressed data
+    memory, a call stack (separate from data memory, so guest code cannot
+    corrupt return addresses), the deterministic PRNG backing [rnd], and
+    an output log.  Values are 32-bit two's-complement integers; all
+    arithmetic wraps at 32 bits.
+
+    {!step} executes exactly one instruction and reports what kind of
+    control transfer (if any) it performed — the dynamic binary
+    translator layers its block discovery and profiling on top of these
+    events. *)
+
+type trap =
+  | Division_by_zero of int  (** pc of the faulting instruction *)
+  | Memory_fault of { pc : int; addr : int }
+  | Return_without_call of int
+  | Call_stack_overflow of int
+
+type event =
+  | Stepped  (** straight-line instruction *)
+  | Branched of { taken : bool }  (** conditional branch *)
+  | Jumped
+  | Called
+  | Returned
+  | Halted
+
+type t
+
+val create : ?mem_words:int -> ?seed:int64 -> Tpdbt_isa.Program.t -> t
+(** Fresh machine at the program entry.  [mem_words] defaults to [2^20];
+    [seed] defaults to [1L].  Initial data bindings from the program are
+    applied.
+    @raise Invalid_argument if a data binding is outside memory. *)
+
+val program : t -> Tpdbt_isa.Program.t
+val pc : t -> int
+val halted : t -> bool
+val steps : t -> int
+(** Number of instructions executed so far. *)
+
+val reg : t -> Tpdbt_isa.Reg.t -> int
+val set_reg : t -> Tpdbt_isa.Reg.t -> int -> unit
+val mem : t -> int -> int
+(** @raise Invalid_argument on out-of-range address. *)
+
+val set_mem : t -> int -> int -> unit
+val outputs : t -> int list
+(** Values emitted by [out], oldest first. *)
+
+val step : t -> (event, trap) result
+(** Execute one instruction.  After [Ok Halted] (or an error) the machine
+    no longer advances; further [step] calls return [Ok Halted] /
+    the same trap. *)
+
+val run : ?max_steps:int -> t -> (unit, trap) result
+(** Step until halt (or trap).  [max_steps] (default [max_int]) bounds
+    the number of instructions; exceeding it returns [Ok ()] with the
+    machine still runnable (check {!halted}). *)
+
+val pp_trap : Format.formatter -> trap -> unit

@@ -1,0 +1,20 @@
+(** Deterministic pseudo-random stream (SplitMix64).
+
+    The guest-visible [rnd] instruction draws from this stream, so a run
+    is fully determined by the program, its initial data, and the seed.
+    Distinct inputs of a synthetic benchmark use distinct seeds. *)
+
+type t
+
+val create : seed:int64 -> t
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val below : t -> int -> int
+(** [below t bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)

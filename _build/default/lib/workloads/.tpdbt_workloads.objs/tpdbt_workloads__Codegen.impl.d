@@ -1,0 +1,1 @@
+lib/workloads/codegen.ml: Buffer List Printf

@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Buffer Codegen List Option Printf String Tpdbt_isa

@@ -1,0 +1,1 @@
+lib/workloads/spec.mli: Tpdbt_isa

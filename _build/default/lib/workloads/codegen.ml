@@ -1,0 +1,61 @@
+type t = {
+  buf : Buffer.t;
+  mutable next_label : int;
+  mutable next_param : int;
+  mutable next_scratch : int;
+  mutable params_rev : (int * int * int) list;
+  mutable filler_rot : int;
+}
+
+let param_base = 8
+let scratch_base = 4096
+
+let create () =
+  {
+    buf = Buffer.create 4096;
+    next_label = 0;
+    next_param = param_base;
+    next_scratch = scratch_base;
+    params_rev = [];
+    filler_rot = 0;
+  }
+
+let emit t line =
+  Buffer.add_string t.buf line;
+  Buffer.add_char t.buf '\n'
+
+let emitf t fmt = Printf.ksprintf (emit t) fmt
+
+let fresh_label t prefix =
+  let n = t.next_label in
+  t.next_label <- n + 1;
+  Printf.sprintf "%s_%d" prefix n
+
+let param t ~ref_value ~train_value =
+  let addr = t.next_param in
+  t.next_param <- addr + 1;
+  t.params_rev <- (addr, ref_value, train_value) :: t.params_rev;
+  addr
+
+let scratch_addr t =
+  let addr = t.next_scratch in
+  t.next_scratch <- addr + 1;
+  addr
+
+let params t = List.rev t.params_rev
+let contents t = Buffer.contents t.buf
+
+(* Straight-line filler: rotates through a few instruction shapes so the
+   optimiser and scheduler see varied blocks. *)
+let filler t n =
+  for _ = 1 to n do
+    let k = t.filler_rot in
+    t.filler_rot <- k + 1;
+    match k mod 6 with
+    | 0 -> emit t "    addi r10, r10, 1"
+    | 1 -> emit t "    xor r11, r11, r10"
+    | 2 -> emit t "    muli r12, r10, 3"
+    | 3 -> emitf t "    st r11, [r0+%d]" (scratch_base - 1)
+    | 4 -> emitf t "    ld r13, [r0+%d]" (scratch_base - 1)
+    | _ -> emit t "    addi r13, r13, 7"
+  done

@@ -1,0 +1,39 @@
+(** Assembly-emission context for the synthetic benchmark generator.
+
+    The generator produces G32 assembly text plus a parameter table:
+    every input-dependent quantity (branch-probability thresholds, loop
+    trip means, phase-switch boundaries) is read by the generated code
+    from a data-memory cell, so the same program runs with a reference
+    or a training input purely by changing the initial data bindings.
+
+    Register conventions of generated code:
+    - [r0] constant zero (parameter/scratch base),
+    - [r1] outer-iteration counter, [r2] outer bound,
+    - [r3]–[r9] unit-local scratch,
+    - [r10]–[r13] live accumulators (reported via [out] at the end). *)
+
+type t
+
+val create : unit -> t
+val emit : t -> string -> unit
+(** Append one line of assembly. *)
+
+val emitf : t -> ('a, unit, string, unit) format4 -> 'a
+val fresh_label : t -> string -> string
+(** [fresh_label t "sel"] returns a unique label like [sel_17]. *)
+
+val param : t -> ref_value:int -> train_value:int -> int
+(** Allocate a parameter cell; returns its data-memory address. *)
+
+val scratch_addr : t -> int
+(** Allocate a scratch data cell (disjoint from parameters). *)
+
+val params : t -> (int * int * int) list
+(** [(address, ref value, train value)] for every allocated parameter. *)
+
+val contents : t -> string
+(** The assembly text emitted so far. *)
+
+val filler : t -> int -> unit
+(** Emit [n] straight-line filler instructions (mixed ALU and memory
+    traffic on the accumulator registers). *)

@@ -1,0 +1,293 @@
+type phase = { at : float; value : int }
+
+type scaled_param = {
+  base_ref : int;
+  base_train : int;
+  phases : phase list;
+}
+
+type unit_spec =
+  | Branch of { prob : scaled_param; straight : int; copies : int }
+  | Loop of { trip : scaled_param; jitter : int; body : int; copies : int }
+  | Nest2 of {
+      outer : scaled_param;
+      inner : scaled_param;
+      jitter : int;
+      body : int;
+      copies : int;
+    }
+  | Call_fn of { prob : scaled_param; body : int; copies : int }
+  | Loop_branch of {
+      trip : scaled_param;
+      jitter : int;
+      prob : scaled_param;
+      body : int;
+      copies : int;
+    }
+
+type t = {
+  name : string;
+  suite : [ `Int | `Fp ];
+  units : unit_spec list;
+  ref_iters : int;
+  train_iters : int;
+  ref_seed : int64;
+  train_seed : int64;
+}
+
+type input = { data : (int * int) list; seed : int64 }
+
+let const v = { base_ref = v; base_train = v; phases = [] }
+
+let per_mille p =
+  let v = int_of_float ((p *. 1000.0) +. 0.5) in
+  if v < 0 then 0 else if v > 1000 then 1000 else v
+
+let prob ?train ?(phases = []) p =
+  {
+    base_ref = per_mille p;
+    base_train = per_mille (Option.value train ~default:p);
+    phases = List.map (fun (at, v) -> { at; value = per_mille v }) phases;
+  }
+
+let trip ?train ?(phases = []) mean =
+  {
+    base_ref = mean;
+    base_train = Option.value train ~default:mean;
+    phases = List.map (fun (at, v) -> { at; value = v }) phases;
+  }
+
+(* Emit code selecting the current value of [p] into [rdst].
+
+   Phase selection is branchless (sign-bit masking) so the selector does
+   not itself contribute phase-flipping conditional branches to the
+   profile: for each phase, [rdst] is replaced by the phase value once
+   the outer counter r1 passes the boundary:
+
+     mask  = (r1 - boundary) asr 31        (-1 before, 0 after)
+     rdst ^= (value ^ rdst) land (lnot mask)
+
+   Scratch registers: r5, r7, r9 (disjoint from loop counters r3/r4/r6
+   and the accumulators). *)
+let emit_select ctx spec ~rdst (p : scaled_param) =
+  let value_addr ~ref_value ~train_value =
+    Codegen.param ctx ~ref_value ~train_value
+  in
+  let base =
+    value_addr ~ref_value:p.base_ref ~train_value:p.base_train
+  in
+  Codegen.emitf ctx "    ld %s, [r0+%d]" rdst base;
+  List.iter
+    (fun ph ->
+      (* Phases are program-inherent behaviour changes: the training
+         input goes through them too, at the same fraction of its
+         (shorter) run. *)
+      let boundary =
+        Codegen.param ctx
+          ~ref_value:(int_of_float (ph.at *. float_of_int spec.ref_iters))
+          ~train_value:(int_of_float (ph.at *. float_of_int spec.train_iters))
+      in
+      let value = value_addr ~ref_value:ph.value ~train_value:ph.value in
+      Codegen.emitf ctx "    ld r9, [r0+%d]" boundary;
+      Codegen.emit ctx "    sub r9, r1, r9";
+      Codegen.emit ctx "    shri r9, r9, 31";
+      Codegen.emitf ctx "    ld r5, [r0+%d]" value;
+      Codegen.emitf ctx "    xor r5, r5, %s" rdst;
+      Codegen.emit ctx "    movi r7, -1";
+      Codegen.emit ctx "    xor r7, r9, r7";
+      Codegen.emit ctx "    and r5, r5, r7";
+      Codegen.emitf ctx "    xor %s, %s, r5" rdst rdst)
+    p.phases
+
+(* A probabilistic branch: r8 holds the per-mille threshold. *)
+let emit_branch ctx spec ~prob ~straight =
+  emit_select ctx spec ~rdst:"r8" prob;
+  let taken = Codegen.fresh_label ctx "take" in
+  let join = Codegen.fresh_label ctx "join" in
+  Codegen.emit ctx "    rnd r7, 1000";
+  Codegen.emitf ctx "    blt r7, r8, %s" taken;
+  Codegen.filler ctx (max 1 (straight / 2));
+  Codegen.emitf ctx "    jmp %s" join;
+  Codegen.emitf ctx "%s:" taken;
+  Codegen.filler ctx (max 1 (straight / 2));
+  Codegen.emitf ctx "%s:" join
+
+(* Draw a trip count into [rdst]: mean (phase-selected) +- jitter. *)
+let emit_trip_draw ctx spec ~rdst ~trip ~jitter =
+  emit_select ctx spec ~rdst trip;
+  if jitter > 0 then begin
+    Codegen.emitf ctx "    rnd r7, %d" ((2 * jitter) + 1);
+    Codegen.emitf ctx "    add %s, %s, r7" rdst rdst;
+    Codegen.emitf ctx "    subi %s, %s, %d" rdst rdst jitter
+  end
+
+let emit_loop ctx spec ~trip ~jitter ~body =
+  emit_trip_draw ctx spec ~rdst:"r4" ~trip ~jitter;
+  let head = Codegen.fresh_label ctx "loop" in
+  Codegen.emit ctx "    movi r3, 0";
+  Codegen.emitf ctx "%s:" head;
+  Codegen.filler ctx (max 1 body);
+  Codegen.emit ctx "    addi r3, r3, 1";
+  Codegen.emitf ctx "    blt r3, r4, %s" head
+
+let emit_nest2 ctx spec ~outer ~inner ~jitter ~body =
+  emit_trip_draw ctx spec ~rdst:"r4" ~trip:outer ~jitter:0;
+  let outer_head = Codegen.fresh_label ctx "outer" in
+  let inner_head = Codegen.fresh_label ctx "inner" in
+  Codegen.emit ctx "    movi r3, 0";
+  Codegen.emitf ctx "%s:" outer_head;
+  emit_trip_draw ctx spec ~rdst:"r6" ~trip:inner ~jitter;
+  Codegen.emit ctx "    movi r5, 0";
+  Codegen.emitf ctx "%s:" inner_head;
+  Codegen.filler ctx (max 1 body);
+  Codegen.emit ctx "    addi r5, r5, 1";
+  Codegen.emitf ctx "    blt r5, r6, %s" inner_head;
+  Codegen.emit ctx "    addi r3, r3, 1";
+  Codegen.emitf ctx "    blt r3, r4, %s" outer_head
+
+let generate spec =
+  let ctx = Codegen.create () in
+  let pending_functions = ref [] in
+  Codegen.emit ctx ".entry main";
+  Codegen.emit ctx "main:";
+  Codegen.emit ctx "    movi r0, 0";
+  Codegen.emit ctx "    ld r2, [r0+0]";
+  Codegen.emit ctx "    movi r1, 0";
+  Codegen.emit ctx "    movi r10, 0";
+  Codegen.emit ctx "    movi r11, 0";
+  Codegen.emit ctx "    movi r12, 0";
+  Codegen.emit ctx "    movi r13, 0";
+  Codegen.emit ctx "outer_loop:";
+  List.iter
+    (fun unit_spec ->
+      let copies =
+        match unit_spec with
+        | Branch { copies; _ }
+        | Loop { copies; _ }
+        | Nest2 { copies; _ }
+        | Call_fn { copies; _ }
+        | Loop_branch { copies; _ } ->
+            copies
+      in
+      for _ = 1 to max 1 copies do
+        match unit_spec with
+        | Branch { prob; straight; _ } -> emit_branch ctx spec ~prob ~straight
+        | Loop { trip; jitter; body; _ } -> emit_loop ctx spec ~trip ~jitter ~body
+        | Nest2 { outer; inner; jitter; body; _ } ->
+            emit_nest2 ctx spec ~outer ~inner ~jitter ~body
+        | Call_fn { prob; body; _ } ->
+            let fn = Codegen.fresh_label ctx "fn" in
+            Codegen.emitf ctx "    call %s" fn;
+            pending_functions := (fn, prob, body) :: !pending_functions
+        | Loop_branch { trip; jitter; prob; body; _ } ->
+            emit_trip_draw ctx spec ~rdst:"r4" ~trip ~jitter;
+            let head = Codegen.fresh_label ctx "loopb" in
+            Codegen.emit ctx "    movi r3, 0";
+            Codegen.emitf ctx "%s:" head;
+            emit_branch ctx spec ~prob ~straight:body;
+            Codegen.emit ctx "    addi r3, r3, 1";
+            Codegen.emitf ctx "    blt r3, r4, %s" head
+      done)
+    spec.units;
+  Codegen.emit ctx "    addi r1, r1, 1";
+  Codegen.emit ctx "    blt r1, r2, outer_loop";
+  Codegen.emit ctx "    out r10";
+  Codegen.emit ctx "    out r11";
+  Codegen.emit ctx "    out r12";
+  Codegen.emit ctx "    out r13";
+  Codegen.emit ctx "    halt";
+  List.iter
+    (fun (fn, prob, body) ->
+      Codegen.emitf ctx "%s:" fn;
+      emit_branch ctx spec ~prob ~straight:body;
+      Codegen.emit ctx "    ret")
+    (List.rev !pending_functions);
+  ctx
+
+let source spec = Codegen.contents (generate spec)
+
+let build spec =
+  let ctx = generate spec in
+  let program =
+    match Tpdbt_isa.Assembler.assemble (Codegen.contents ctx) with
+    | Ok p -> p
+    | Error msg ->
+        invalid_arg (Printf.sprintf "Spec.build (%s): %s" spec.name msg)
+  in
+  let params = Codegen.params ctx in
+  let ref_data =
+    (0, spec.ref_iters) :: List.map (fun (addr, rv, _) -> (addr, rv)) params
+  in
+  let train_data =
+    (0, spec.train_iters) :: List.map (fun (addr, _, tv) -> (addr, tv)) params
+  in
+  ( program,
+    { data = ref_data; seed = spec.ref_seed },
+    { data = train_data; seed = spec.train_seed } )
+
+let apply_input program input =
+  Tpdbt_isa.Program.with_data program input.data
+
+let describe_param ~unit_label (p : scaled_param) =
+  let base =
+    if unit_label = "prob" then
+      Printf.sprintf "%.3f" (float_of_int p.base_ref /. 1000.0)
+    else string_of_int p.base_ref
+  in
+  let train =
+    if p.base_train = p.base_ref then ""
+    else if unit_label = "prob" then
+      Printf.sprintf " (train %.3f)" (float_of_int p.base_train /. 1000.0)
+    else Printf.sprintf " (train %d)" p.base_train
+  in
+  let phases =
+    match p.phases with
+    | [] -> ""
+    | phases ->
+        let one ph =
+          if unit_label = "prob" then
+            Printf.sprintf "%.3f@%.4f" (float_of_int ph.value /. 1000.0) ph.at
+          else Printf.sprintf "%d@%.4f" ph.value ph.at
+        in
+        Printf.sprintf " [phases: %s]" (String.concat ", " (List.map one phases))
+  in
+  base ^ train ^ phases
+
+let describe spec =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s (%s): %d reference / %d training iterations\n"
+       spec.name
+       (match spec.suite with `Int -> "INT" | `Fp -> "FP")
+       spec.ref_iters spec.train_iters);
+  List.iter
+    (fun unit_spec ->
+      let line =
+        match unit_spec with
+        | Branch { prob; straight; copies } ->
+            Printf.sprintf "branch      p=%s straight=%d x%d"
+              (describe_param ~unit_label:"prob" prob)
+              straight copies
+        | Loop { trip; jitter; body; copies } ->
+            Printf.sprintf "loop        trip=%s +-%d body=%d x%d"
+              (describe_param ~unit_label:"trip" trip)
+              jitter body copies
+        | Nest2 { outer; inner; jitter; body; copies } ->
+            Printf.sprintf "nest2       outer=%s inner=%s +-%d body=%d x%d"
+              (describe_param ~unit_label:"trip" outer)
+              (describe_param ~unit_label:"trip" inner)
+              jitter body copies
+        | Call_fn { prob; body; copies } ->
+            Printf.sprintf "call        p=%s body=%d x%d"
+              (describe_param ~unit_label:"prob" prob)
+              body copies
+        | Loop_branch { trip; jitter; prob; body; copies } ->
+            Printf.sprintf "loop-branch trip=%s +-%d p=%s body=%d x%d"
+              (describe_param ~unit_label:"trip" trip)
+              jitter
+              (describe_param ~unit_label:"prob" prob)
+              body copies
+      in
+      Buffer.add_string buf ("  " ^ line ^ "\n"))
+    spec.units;
+  Buffer.contents buf

@@ -1,0 +1,93 @@
+(** Synthetic benchmark descriptors and their realisation.
+
+    A benchmark is an outer loop over a list of {e units}; each unit
+    contributes one or more static code copies of a behavioural pattern:
+
+    - [Branch]: a conditional branch with a controlled taken
+      probability (possibly input-dependent and phase-dependent);
+    - [Loop]: an inner loop with a controlled trip-count distribution;
+    - [Nest2]: a two-level loop nest (the inner block belongs to both
+      loops — the Mcf situation of paper Fig 1 that leads to block
+      duplication);
+    - [Call_fn]: a call to a branchy out-of-line function.
+
+    Every controlled quantity is a {!scaled_param}: a reference-input
+    value, a training-input value, and an optional list of {e phases}
+    that change the value mid-run under the reference input (this is how
+    phase-change benchmarks like Mcf and startup-phase benchmarks like
+    Gzip are realised).  Probabilities are expressed in per-mille. *)
+
+type phase = { at : float; value : int }
+(** Switch to [value] once the outer iteration counter passes
+    [at *. iters] — phases are program-inherent behaviour changes, so
+    they apply under {e both} inputs, scaled to each input's run length.
+    Phases apply in list order. *)
+
+type scaled_param = {
+  base_ref : int;  (** pre-phase value under the reference input *)
+  base_train : int;  (** pre-phase value under the training input *)
+  phases : phase list;
+}
+
+type unit_spec =
+  | Branch of { prob : scaled_param; straight : int; copies : int }
+      (** [straight]: filler instructions on each arm; [copies]: number
+          of distinct static instances. *)
+  | Loop of { trip : scaled_param; jitter : int; body : int; copies : int }
+      (** Trip count drawn uniformly from [mean - jitter, mean + jitter]
+          (at least 1 iteration). *)
+  | Nest2 of {
+      outer : scaled_param;
+      inner : scaled_param;
+      jitter : int;
+      body : int;
+      copies : int;
+    }
+  | Call_fn of { prob : scaled_param; body : int; copies : int }
+  | Loop_branch of {
+      trip : scaled_param;
+      jitter : int;
+      prob : scaled_param;
+      body : int;
+      copies : int;
+    }
+      (** A loop whose body contains a probabilistic branch — the
+          branch's [use] count grows [trip] times faster than the outer
+          counter, which is how late-phase FP branches (Wupwise) are
+          realised. *)
+
+type t = {
+  name : string;
+  suite : [ `Int | `Fp ];
+  units : unit_spec list;
+  ref_iters : int;
+  train_iters : int;
+  ref_seed : int64;
+  train_seed : int64;
+}
+
+type input = { data : (int * int) list; seed : int64 }
+
+val const : int -> scaled_param
+(** Same value for both inputs, no phases. *)
+
+val prob : ?train:float -> ?phases:(float * float) list -> float -> scaled_param
+(** Probabilities as floats in [0,1]; [train] defaults to the reference
+    value; [phases] are [(fraction, new probability)]. *)
+
+val trip : ?train:int -> ?phases:(float * int) list -> int -> scaled_param
+
+val source : t -> string
+(** The generated assembly text. *)
+
+val describe : t -> string
+(** Human-readable summary of the descriptor: one line per unit with its
+    controlled quantities, phases and training divergence. *)
+
+val build : t -> Tpdbt_isa.Program.t * input * input
+(** [(program, ref_input, train_input)].  The program reads its outer
+    iteration bound and all parameters from data memory, so the two
+    inputs share the code image. *)
+
+val apply_input : Tpdbt_isa.Program.t -> input -> Tpdbt_isa.Program.t
+(** Program with the input's data bindings installed. *)

@@ -1,0 +1,359 @@
+let scale = 100
+
+let thresholds =
+  [
+    ("100", 1);
+    ("200", 2);
+    ("500", 5);
+    ("1k", 10);
+    ("2k", 20);
+    ("5k", 50);
+    ("10k", 100);
+    ("20k", 200);
+    ("40k", 400);
+    ("80k", 800);
+    ("160k", 1600);
+    ("1M", 10000);
+    ("4M", 40000);
+  ]
+
+let int_iters = 60_000
+let int_train_iters = 20_000
+let fp_iters = 2_500
+let fp_train_iters = 800
+
+let int_bench ~seed name units =
+  {
+    Spec.name;
+    suite = `Int;
+    units;
+    ref_iters = int_iters;
+    train_iters = int_train_iters;
+    ref_seed = Int64.of_int (seed * 7919);
+    train_seed = Int64.of_int ((seed * 7919) + 13);
+  }
+
+let fp_bench ~seed name units =
+  {
+    Spec.name;
+    suite = `Fp;
+    units;
+    ref_iters = fp_iters;
+    train_iters = fp_train_iters;
+    ref_seed = Int64.of_int (seed * 104729);
+    train_seed = Int64.of_int ((seed * 104729) + 29);
+  }
+
+open Spec
+
+(* ------------------------------------------------------------------ *)
+(* INT                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Gzip: strong startup phase — branches flip at ~8 executions (paper:
+   between thresholds 500 and 1k), plus a later drift that only very
+   large thresholds capture. *)
+let gzip =
+  int_bench ~seed:1 "gzip"
+    [
+      Branch
+        { prob = prob 0.15 ~phases:[ (0.00005, 0.85) ]; straight = 4; copies = 4 };
+      Branch
+        { prob = prob 0.25 ~phases:[ (0.00005, 0.6) ]; straight = 4; copies = 2 };
+      Branch
+        { prob = prob 0.2 ~phases:[ (0.015, 0.8) ]; straight = 4; copies = 3 };
+      Branch { prob = prob 0.9 ~train:0.85; straight = 4; copies = 3 };
+      Loop { trip = trip 6; jitter = 2; body = 3; copies = 2 };
+    ]
+
+(* Vpr: loop trip class flips once loop bodies have run ~800 times
+   (paper: classification incorrect until T >= 80k). *)
+let vpr =
+  int_bench ~seed:2 "vpr"
+    [
+      Loop
+        {
+          trip = trip 30 ~phases:[ (0.0002, 150) ];
+          jitter = 0;
+          body = 4;
+          copies = 3;
+        };
+      Loop
+        {
+          trip = trip 120 ~phases:[ (0.0002, 6) ];
+          jitter = 2;
+          body = 4;
+          copies = 2;
+        };
+      Branch { prob = prob 0.75 ~train:0.7; straight = 4; copies = 4 };
+      Branch { prob = prob 0.45; straight = 4; copies = 2 };
+    ]
+
+(* Gcc (cc1): many blocks, moderate accuracy, loop classes also flip
+   late. *)
+let gcc =
+  int_bench ~seed:3 "gcc"
+    [
+      Branch { prob = prob 0.65 ~train:0.5; straight = 3; copies = 6 };
+      Branch { prob = prob 0.85; straight = 3; copies = 5 };
+      Branch { prob = prob 0.35 ~phases:[ (0.01, 0.5) ]; straight = 3; copies = 4 };
+      Loop
+        {
+          trip = trip 40 ~phases:[ (0.00025, 180) ];
+          jitter = 0;
+          body = 3;
+          copies = 3;
+        };
+      Call_fn { prob = prob 0.8; body = 4; copies = 3 };
+    ]
+
+(* Mcf: phase changes early (paper 5k–10k) and late (paper 160k–4M) plus
+   trip-count inversion: initially-high-trip loops go low and vice
+   versa.  The nested unit reproduces Fig 1's shared inner block. *)
+let mcf =
+  int_bench ~seed:4 "mcf"
+    [
+      (* Branches at loop frequency with two phase changes: one at ~60
+         executions (the paper's 5k-10k change) and one at ~15000 (its
+         160k-4M change). *)
+      Loop_branch
+        {
+          trip = trip 25;
+          jitter = 2;
+          prob = prob 0.85 ~train:0.6 ~phases:[ (0.00004, 0.25); (0.01, 0.6) ];
+          body = 3;
+          copies = 2;
+        };
+      (* A phase change so late (past 60% of the run) that even the
+         largest threshold's accumulated window cannot represent the
+         average: mcf stays mispredicted at 4M. *)
+      Loop_branch
+        {
+          trip = trip 25;
+          jitter = 2;
+          prob = prob 0.4 ~train:0.5 ~phases:[ (0.00004, 0.75); (0.6, 0.15) ];
+          body = 3;
+          copies = 2;
+        };
+      Loop
+        {
+          trip = trip 150 ~phases:[ (0.00002, 4) ];
+          jitter = 1;
+          body = 3;
+          copies = 2;
+        };
+      Loop
+        {
+          trip = trip 4 ~phases:[ (0.00002, 150) ];
+          jitter = 1;
+          body = 3;
+          copies = 2;
+        };
+      Nest2
+        {
+          outer = trip 8;
+          inner = trip 40 ~phases:[ (0.00005, 5) ];
+          jitter = 2;
+          body = 3;
+          copies = 1;
+        };
+    ]
+
+(* Crafty: branches sitting exactly on the 0.3 / 0.7 range boundaries —
+   sampling noise keeps flipping their range at every threshold. *)
+let crafty =
+  int_bench ~seed:5 "crafty"
+    [
+      Branch { prob = prob 0.70; straight = 3; copies = 4 };
+      Branch { prob = prob 0.30; straight = 3; copies = 4 };
+      Branch { prob = prob 0.695; straight = 3; copies = 2 };
+      Branch { prob = prob 0.305; straight = 3; copies = 2 };
+      Branch { prob = prob 0.9 ~train:0.8; straight = 3; copies = 3 };
+      Loop { trip = trip 12; jitter = 4; body = 3; copies = 2 };
+    ]
+
+(* Parser: accuracy improves steadily with T — several drifts spread
+   across the run. *)
+let parser =
+  int_bench ~seed:6 "parser"
+    [
+      Branch
+        {
+          prob = prob 0.2 ~phases:[ (0.002, 0.45); (0.05, 0.6) ];
+          straight = 3;
+          copies = 4;
+        };
+      Branch
+        { prob = prob 0.45 ~phases:[ (0.3, 0.15) ]; straight = 3; copies = 3 };
+      Branch { prob = prob 0.75 ~train:0.7; straight = 3; copies = 3 };
+      Loop { trip = trip 10; jitter = 3; body = 3; copies = 2 };
+    ]
+
+(* Eon: very stable reference behaviour, training input slightly off —
+   the initial profile beats the training input from T = 100 on. *)
+let eon =
+  int_bench ~seed:7 "eon"
+    [
+      Branch { prob = prob 0.9 ~train:0.65; straight = 4; copies = 4 };
+      Branch { prob = prob 0.15 ~train:0.4; straight = 4; copies = 3 };
+      Branch { prob = prob 0.8 ~train:0.6; straight = 4; copies = 3 };
+      Loop { trip = trip 20 ~train:9; jitter = 2; body = 4; copies = 2 };
+    ]
+
+(* Perlbmk: reference branches rock-stable; the training input exercises
+   entirely different paths (paper: train mismatch ~50%). *)
+let perlbmk =
+  int_bench ~seed:8 "perlbmk"
+    [
+      Branch { prob = prob 0.95 ~train:0.25; straight = 8; copies = 5 };
+      Branch { prob = prob 0.05 ~train:0.75; straight = 8; copies = 4 };
+      Branch { prob = prob 0.9 ~train:0.4; straight = 8; copies = 3 };
+      Loop { trip = trip 6 ~train:45; jitter = 1; body = 3; copies = 1 };
+    ]
+
+(* Gap: like parser, steady improvement with T. *)
+let gap =
+  int_bench ~seed:9 "gap"
+    [
+      Branch
+        {
+          prob = prob 0.25 ~phases:[ (0.005, 0.45); (0.15, 0.6) ];
+          straight = 3;
+          copies = 4;
+        };
+      Branch
+        { prob = prob 0.5 ~phases:[ (0.02, 0.8) ]; straight = 3; copies = 3 };
+      Branch { prob = prob 0.88; straight = 3; copies = 3 };
+      Loop { trip = trip 25; jitter = 5; body = 3; copies = 2 };
+    ]
+
+(* Vortex: call-heavy, flat and reasonably accurate. *)
+let vortex =
+  int_bench ~seed:10 "vortex"
+    [
+      Call_fn { prob = prob 0.82; body = 4; copies = 4 };
+      Call_fn { prob = prob 0.25 ~train:0.35; body = 4; copies = 3 };
+      Branch { prob = prob 0.75; straight = 3; copies = 4 };
+      Loop { trip = trip 8; jitter = 2; body = 3; copies = 2 };
+    ]
+
+(* Bzip2: stable, initial profile better than train from the start. *)
+let bzip2 =
+  int_bench ~seed:11 "bzip2"
+    [
+      Branch { prob = prob 0.85 ~train:0.6; straight = 4; copies = 4 };
+      Branch { prob = prob 0.2 ~train:0.45; straight = 4; copies = 3 };
+      Loop { trip = trip 30 ~train:12; jitter = 3; body = 4; copies = 3 };
+      Branch { prob = prob 0.55; straight = 4; copies = 2 };
+    ]
+
+(* Twolf: stable with mild training skew. *)
+let twolf =
+  int_bench ~seed:12 "twolf"
+    [
+      Branch { prob = prob 0.78 ~train:0.55; straight = 4; copies = 4 };
+      Branch { prob = prob 0.4 ~train:0.3; straight = 4; copies = 3 };
+      Branch { prob = prob 0.95; straight = 4; copies = 3 };
+      Loop { trip = trip 18; jitter = 3; body = 3; copies = 2 };
+    ]
+
+let int_benchmarks =
+  [ gzip; vpr; gcc; mcf; crafty; parser; eon; perlbmk; gap; vortex; bzip2; twolf ]
+
+(* ------------------------------------------------------------------ *)
+(* FP                                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Wupwise: a branch deep inside a hot loop changes phase once the loop
+   body has run ~30k times (paper: mismatch ~20% until T reaches 1M). *)
+let wupwise =
+  fp_bench ~seed:21 "wupwise"
+    [
+      Loop_branch
+        {
+          trip = trip 120;
+          jitter = 4;
+          prob = prob 0.3 ~phases:[ (0.01, 0.9) ];
+          body = 3;
+          copies = 2;
+        };
+      Loop { trip = trip 200; jitter = 5; body = 4; copies = 2 };
+      Branch { prob = prob 0.9; straight = 4; copies = 2 };
+    ]
+
+let stable_fp ~seed name ~trips ~branch_prob ~train_delta =
+  fp_bench ~seed name
+    [
+      Loop { trip = trip (List.nth trips 0); jitter = 3; body = 4; copies = 2 };
+      Loop { trip = trip (List.nth trips 1); jitter = 4; body = 4; copies = 2 };
+      Nest2
+        {
+          outer = trip 10;
+          inner = trip (List.nth trips 2);
+          jitter = 3;
+          body = 3;
+          copies = 1;
+        };
+      (* A boundary-condition branch inside a hot loop whose behaviour
+         shifts under the training input (different problem size): this
+         is what makes Sd.BP(train) visible for FP while the reference
+         run itself is rock-stable. *)
+      Loop_branch
+        {
+          trip = trip 60;
+          jitter = 3;
+          prob = prob branch_prob ~train:(branch_prob -. train_delta -. 0.1);
+          body = 3;
+          copies = 1;
+        };
+      Branch
+        {
+          prob = prob branch_prob ~train:(branch_prob -. train_delta);
+          straight = 4;
+          copies = 2;
+        };
+    ]
+
+let swim = stable_fp ~seed:22 "swim" ~trips:[ 300; 150; 80 ] ~branch_prob:0.92 ~train_delta:0.1
+let mgrid = stable_fp ~seed:23 "mgrid" ~trips:[ 250; 120; 60 ] ~branch_prob:0.9 ~train_delta:0.08
+let applu = stable_fp ~seed:24 "applu" ~trips:[ 180; 220; 100 ] ~branch_prob:0.88 ~train_delta:0.1
+let mesa = stable_fp ~seed:25 "mesa" ~trips:[ 90; 60; 40 ] ~branch_prob:0.8 ~train_delta:0.08
+let galgel = stable_fp ~seed:26 "galgel" ~trips:[ 320; 200; 120 ] ~branch_prob:0.93 ~train_delta:0.08
+let art = stable_fp ~seed:27 "art" ~trips:[ 150; 100; 70 ] ~branch_prob:0.85 ~train_delta:0.06
+let equake = stable_fp ~seed:28 "equake" ~trips:[ 200; 130; 90 ] ~branch_prob:0.87 ~train_delta:0.05
+let facerec = stable_fp ~seed:29 "facerec" ~trips:[ 170; 110; 60 ] ~branch_prob:0.89 ~train_delta:0.04
+let ammp = stable_fp ~seed:30 "ammp" ~trips:[ 140; 95; 55 ] ~branch_prob:0.84 ~train_delta:0.07
+
+(* Lucas / Apsi: stable reference behaviour but a training input that
+   predicts it badly (paper: train mismatch 25% / 20%). *)
+let lucas =
+  fp_bench ~seed:31 "lucas"
+    [
+      Loop { trip = trip 260 ~train:25; jitter = 3; body = 4; copies = 2 };
+      Branch { prob = prob 0.9 ~train:0.35; straight = 4; copies = 3 };
+      Branch { prob = prob 0.2 ~train:0.65; straight = 4; copies = 2 };
+      Loop { trip = trip 120; jitter = 4; body = 4; copies = 1 };
+    ]
+
+let apsi =
+  fp_bench ~seed:32 "apsi"
+    [
+      Loop { trip = trip 180 ~train:30; jitter = 4; body = 4; copies = 2 };
+      Branch { prob = prob 0.85 ~train:0.45; straight = 4; copies = 3 };
+      Branch { prob = prob 0.75; straight = 4; copies = 2 };
+      Nest2
+        { outer = trip 12; inner = trip 70; jitter = 2; body = 3; copies = 1 };
+    ]
+
+let fma3d = stable_fp ~seed:33 "fma3d" ~trips:[ 160; 105; 75 ] ~branch_prob:0.86 ~train_delta:0.05
+let sixtrack = stable_fp ~seed:34 "sixtrack" ~trips:[ 280; 190; 110 ] ~branch_prob:0.91 ~train_delta:0.04
+
+let fp_benchmarks =
+  [
+    wupwise; swim; mgrid; applu; mesa; galgel; art; equake; facerec; ammp;
+    lucas; fma3d; sixtrack; apsi;
+  ]
+
+let all = int_benchmarks @ fp_benchmarks
+let find name = List.find_opt (fun b -> b.Spec.name = name) all
+let names = List.map (fun b -> b.Spec.name) all

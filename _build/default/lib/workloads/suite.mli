@@ -1,0 +1,30 @@
+(** The synthetic SPEC2000 suite: 12 INT and 14 FP benchmarks.
+
+    Each descriptor is tuned so that the profile-accuracy study
+    reproduces the per-benchmark findings of the paper's §4 (see
+    DESIGN.md §5 for the tuning table): Mcf's phase changes and loop
+    trip-count inversion, Gzip's startup phase, Perlbmk's
+    unrepresentative training input, Crafty's threshold-straddling
+    branches, Vpr/Gcc's late loop-class flips, Wupwise's late branch
+    phase, Lucas/Apsi's unrepresentative training inputs, and the
+    generally stable, loop-dominated FP behaviour. *)
+
+val int_benchmarks : Spec.t list
+(** gzip vpr gcc mcf crafty parser eon perlbmk gap vortex bzip2 twolf. *)
+
+val fp_benchmarks : Spec.t list
+(** wupwise swim mgrid applu mesa galgel art equake facerec ammp lucas
+    fma3d sixtrack apsi. *)
+
+val all : Spec.t list
+val find : string -> Spec.t option
+val names : string list
+
+val scale : int
+(** Threshold scale factor vs the paper: 100.  A paper threshold label
+    of 2k corresponds to a scaled threshold of 20 here (run lengths are
+    scaled identically, see DESIGN.md §2). *)
+
+val thresholds : (string * int) list
+(** The paper's 13 retranslation thresholds as [(paper label, scaled
+    value)]: 100 -> 1 ... 4M -> 40000. *)

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Gen Hashtbl List QCheck QCheck_alcotest Result Test Tpdbt_cfg

@@ -1,0 +1,1 @@
+test/test_dbt.ml: Alcotest Array Format List Printf QCheck QCheck_alcotest Result String Tpdbt_dbt Tpdbt_isa Tpdbt_vm

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Fun Lazy List Printf String Tpdbt_dbt Tpdbt_experiments Tpdbt_profiles Tpdbt_workloads

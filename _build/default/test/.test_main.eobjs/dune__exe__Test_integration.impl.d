@@ -1,0 +1,1 @@
+test/test_integration.ml: Array Int64 List Printf QCheck QCheck_alcotest Result Tpdbt_dbt Tpdbt_profiles Tpdbt_workloads

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bytes Filename Format Fun Gen List QCheck QCheck_alcotest Result String Sys Test Tpdbt_isa

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Gen Hashtbl List Printf QCheck QCheck_alcotest Result Test Tpdbt_cfg Tpdbt_numerics

@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Array List Tpdbt_dbt Tpdbt_numerics Tpdbt_profiles

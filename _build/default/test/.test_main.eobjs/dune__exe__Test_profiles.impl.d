@@ -1,0 +1,1 @@
+test/test_profiles.ml: Alcotest Array Filename Fun List Printf Result String Sys Tpdbt_dbt Tpdbt_isa Tpdbt_profiles

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest Test Tpdbt_isa Tpdbt_vm

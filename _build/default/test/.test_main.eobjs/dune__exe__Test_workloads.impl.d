@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Format List Printf Result String Tpdbt_dbt Tpdbt_isa Tpdbt_vm Tpdbt_workloads

@@ -1,0 +1,240 @@
+(* Cross-layer property tests: random benchmark descriptors are
+   generated, realised to guest programs, run through the two-phase
+   engine at random thresholds, and the system's end-to-end invariants
+   are checked:
+
+   - translation never changes program semantics (outputs and steps
+     identical to a profiling-only run);
+   - every formed region is structurally valid;
+   - frozen counters stay near the threshold;
+   - NAVEP copy frequencies are non-negative and sum to each block's
+     AVEP frequency;
+   - profile files round-trip the snapshot;
+   - metrics are within their mathematical ranges. *)
+
+module Spec = Tpdbt_workloads.Spec
+module Engine = Tpdbt_dbt.Engine
+module Snapshot = Tpdbt_dbt.Snapshot
+module Region = Tpdbt_dbt.Region
+module Block_map = Tpdbt_dbt.Block_map
+module Metrics = Tpdbt_profiles.Metrics
+module Navep = Tpdbt_profiles.Navep
+
+(* ------------------------------------------------------------------ *)
+(* Random benchmark descriptors                                         *)
+(* ------------------------------------------------------------------ *)
+
+let unit_gen =
+  let open QCheck.Gen in
+  let prob_gen =
+    let* base = float_range 0.05 0.95 in
+    let* phased = bool in
+    if phased then
+      let* at = float_range 0.1 0.8 in
+      let* v = float_range 0.05 0.95 in
+      return (Spec.prob base ~phases:[ (at, v) ])
+    else return (Spec.prob base)
+  in
+  let trip_gen =
+    let* mean = int_range 2 40 in
+    return (Spec.trip mean)
+  in
+  frequency
+    [
+      ( 4,
+        let* prob = prob_gen in
+        let* straight = int_range 1 6 in
+        let* copies = int_range 1 3 in
+        return (Spec.Branch { prob; straight; copies }) );
+      ( 2,
+        let* trip = trip_gen in
+        let* jitter = int_range 0 2 in
+        let* body = int_range 1 4 in
+        return (Spec.Loop { trip; jitter; body; copies = 1 }) );
+      ( 1,
+        let* outer = trip_gen in
+        let* inner = trip_gen in
+        return
+          (Spec.Nest2 { outer; inner; jitter = 1; body = 2; copies = 1 }) );
+      ( 1,
+        let* prob = prob_gen in
+        return (Spec.Call_fn { prob; body = 2; copies = 1 }) );
+      ( 1,
+        let* trip = trip_gen in
+        let* prob = prob_gen in
+        return
+          (Spec.Loop_branch { trip; jitter = 1; prob; body = 2; copies = 1 })
+      );
+    ]
+
+let spec_gen =
+  let open QCheck.Gen in
+  let* units = list_size (int_range 1 5) unit_gen in
+  let* iters = int_range 500 4000 in
+  let* seed = int_range 1 10_000 in
+  return
+    {
+      Spec.name = "random";
+      suite = `Int;
+      units;
+      ref_iters = iters;
+      train_iters = max 100 (iters / 3);
+      ref_seed = Int64.of_int seed;
+      train_seed = Int64.of_int (seed + 1);
+    }
+
+let spec_threshold_gen =
+  QCheck.Gen.(
+    let* spec = spec_gen in
+    let* threshold = oneofl [ 1; 3; 10; 40; 150 ] in
+    return (spec, threshold))
+
+let print_spec (spec, threshold) =
+  Printf.sprintf "units=%d iters=%d seed=%Ld threshold=%d"
+    (List.length spec.Spec.units)
+    spec.Spec.ref_iters spec.Spec.ref_seed threshold
+
+let arbitrary =
+  QCheck.make ~print:print_spec spec_threshold_gen
+
+let run_pair (spec, threshold) =
+  let program, ref_input, _ = Spec.build spec in
+  let program = Spec.apply_input program ref_input in
+  let run config =
+    Engine.run
+      (Engine.create ~config ~seed:ref_input.Spec.seed program)
+  in
+  let inip = run (Engine.config ~threshold ()) in
+  let avep = run Engine.profiling_only in
+  (inip, avep)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prop_semantics_preserved =
+  QCheck.Test.make ~name:"translation preserves semantics" ~count:40 arbitrary
+    (fun input ->
+      let inip, avep = run_pair input in
+      inip.Engine.trap = None && avep.Engine.trap = None
+      && inip.Engine.outputs = avep.Engine.outputs
+      && inip.Engine.steps = avep.Engine.steps)
+
+let prop_regions_valid =
+  QCheck.Test.make ~name:"all regions validate" ~count:40 arbitrary
+    (fun input ->
+      let inip, _ = run_pair input in
+      List.for_all
+        (fun region -> Result.is_ok (Region.validate region))
+        inip.Engine.snapshot.Snapshot.regions)
+
+let prop_frozen_counters_near_threshold =
+  QCheck.Test.make ~name:"frozen counters bounded" ~count:25 arbitrary
+    (fun ((_, threshold) as input) ->
+      let inip, _ = run_pair input in
+      (* A block freezes between registration (use = T) and the next
+         optimisation trigger; duplicated loop bodies can accumulate
+         more before the pool fires, but never more than the global
+         trigger allows: use the generous bound T * pool_trigger + slack
+         scaled by the hottest loop factor. *)
+      let bound = max 200 (threshold * 16 * 45) in
+      List.for_all
+        (fun region ->
+          Array.for_all (fun u -> u <= bound) region.Region.frozen_use)
+        inip.Engine.snapshot.Snapshot.regions)
+
+let prop_navep_invariants =
+  QCheck.Test.make ~name:"NAVEP frequencies partition AVEP" ~count:25 arbitrary
+    (fun input ->
+      let inip, avep = run_pair input in
+      let navep =
+        Navep.build ~inip:inip.Engine.snapshot ~avep:avep.Engine.snapshot
+      in
+      let bmap = inip.Engine.snapshot.Snapshot.block_map in
+      let ok = ref true in
+      for block = 0 to Block_map.block_count bmap - 1 do
+        let copies = Navep.copies_of_block navep block in
+        List.iter
+          (fun (c : Navep.copy) ->
+            if Navep.freq navep c.Navep.node < -1e-9 then ok := false)
+          copies;
+        let expected = Snapshot.block_freq avep.Engine.snapshot block in
+        if copies <> [] && expected > 0.0 then begin
+          let total = Navep.total_block_freq navep block in
+          if abs_float (total -. expected) > 1e-6 *. (1.0 +. expected) then
+            ok := false
+        end
+      done;
+      !ok)
+
+let prop_metrics_in_range =
+  QCheck.Test.make ~name:"metrics are within range" ~count:25 arbitrary
+    (fun input ->
+      let inip, avep = run_pair input in
+      let c =
+        Metrics.compare_snapshots ~inip:inip.Engine.snapshot
+          ~avep:avep.Engine.snapshot
+      in
+      let in01 v = v >= 0.0 && v <= 1.0 +. 1e-9 in
+      in01 c.Metrics.bp_mismatch && in01 c.Metrics.lp_mismatch
+      && c.Metrics.sd_bp >= 0.0 && c.Metrics.sd_bp <= 1.0 +. 1e-9
+      && c.Metrics.sd_cp >= 0.0 && c.Metrics.sd_lp >= 0.0)
+
+let prop_profile_io_roundtrip =
+  QCheck.Test.make ~name:"profile files roundtrip" ~count:20 arbitrary
+    (fun input ->
+      let inip, _ = run_pair input in
+      let snapshot = inip.Engine.snapshot in
+      match
+        Tpdbt_profiles.Profile_io.of_string
+          (Tpdbt_profiles.Profile_io.to_string snapshot)
+      with
+      | Error _ -> false
+      | Ok loaded ->
+          loaded.Snapshot.use = snapshot.Snapshot.use
+          && loaded.Snapshot.taken = snapshot.Snapshot.taken
+          && List.length loaded.Snapshot.regions
+             = List.length snapshot.Snapshot.regions)
+
+let prop_adaptive_semantics =
+  QCheck.Test.make ~name:"adaptive mode preserves semantics" ~count:20
+    arbitrary (fun (spec, threshold) ->
+      let program, ref_input, _ = Spec.build spec in
+      let program = Spec.apply_input program ref_input in
+      let run config =
+        Engine.run (Engine.create ~config ~seed:ref_input.Spec.seed program)
+      in
+      let fixed = run (Engine.config ~threshold ()) in
+      let adaptive = run (Engine.config ~adaptive:true ~threshold ()) in
+      fixed.Engine.outputs = adaptive.Engine.outputs
+      && fixed.Engine.steps = adaptive.Engine.steps)
+
+let prop_profiling_ops_monotone =
+  QCheck.Test.make ~name:"profiling ops grow with threshold" ~count:15
+    (QCheck.make ~print:(fun s -> print_spec (s, 0)) spec_gen)
+    (fun spec ->
+      let program, ref_input, _ = Spec.build spec in
+      let program = Spec.apply_input program ref_input in
+      let ops threshold =
+        let config =
+          if threshold = 0 then Engine.profiling_only
+          else Engine.config ~threshold ()
+        in
+        (Engine.run (Engine.create ~config ~seed:ref_input.Spec.seed program))
+          .Engine.profiling_ops
+      in
+      let o10 = ops 10 and o100 = ops 100 and avep = ops 0 in
+      o10 <= o100 + 1000 && o100 <= avep + 1000)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_semantics_preserved;
+      prop_regions_valid;
+      prop_frozen_counters_near_threshold;
+      prop_navep_invariants;
+      prop_metrics_in_range;
+      prop_profile_io_roundtrip;
+      prop_adaptive_semantics;
+      prop_profiling_ops_monotone;
+    ]

@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "tpdbt"
+    [
+      ("isa", Test_isa.suite);
+      ("vm", Test_vm.suite);
+      ("cfg", Test_cfg.suite);
+      ("numerics", Test_numerics.suite);
+      ("dbt", Test_dbt.suite);
+      ("profiles", Test_profiles.suite);
+      ("paper-examples", Test_paper_examples.suite);
+      ("workloads", Test_workloads.suite);
+      ("experiments", Test_experiments.suite);
+      ("integration", Test_integration.suite);
+    ]

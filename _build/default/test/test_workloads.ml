@@ -1,0 +1,327 @@
+(* Tests for the workload generator and the synthetic SPEC2000 suite. *)
+
+module Spec = Tpdbt_workloads.Spec
+module Suite = Tpdbt_workloads.Suite
+module Codegen = Tpdbt_workloads.Codegen
+module Program = Tpdbt_isa.Program
+module Machine = Tpdbt_vm.Machine
+module Engine = Tpdbt_dbt.Engine
+module Snapshot = Tpdbt_dbt.Snapshot
+module Block_map = Tpdbt_dbt.Block_map
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Codegen                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_codegen_labels_unique () =
+  let ctx = Codegen.create () in
+  let a = Codegen.fresh_label ctx "x" and b = Codegen.fresh_label ctx "x" in
+  checkb "unique" true (a <> b)
+
+let test_codegen_params () =
+  let ctx = Codegen.create () in
+  let a = Codegen.param ctx ~ref_value:10 ~train_value:20 in
+  let b = Codegen.param ctx ~ref_value:30 ~train_value:40 in
+  checkb "distinct addresses" true (a <> b);
+  checkb "recorded" true
+    (Codegen.params ctx = [ (a, 10, 20); (b, 30, 40) ]);
+  let s = Codegen.scratch_addr ctx in
+  checkb "scratch disjoint from params" true (s > b)
+
+let test_codegen_filler_assembles () =
+  let ctx = Codegen.create () in
+  Codegen.emit ctx ".entry main";
+  Codegen.emit ctx "main:";
+  Codegen.filler ctx 20;
+  Codegen.emit ctx "    halt";
+  match Tpdbt_isa.Assembler.assemble (Codegen.contents ctx) with
+  | Ok p -> checki "filler instrs + halt" 21 (Program.length p)
+  | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* Spec construction                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_prob_per_mille () =
+  let p = Spec.prob 0.7 in
+  checki "ref" 700 p.Spec.base_ref;
+  checki "train defaults to ref" 700 p.Spec.base_train;
+  let q = Spec.prob ~train:0.2 ~phases:[ (0.5, 0.9) ] 0.7 in
+  checki "train" 200 q.Spec.base_train;
+  (match q.Spec.phases with
+  | [ { Spec.at = 0.5; value = 900 } ] -> ()
+  | _ -> Alcotest.fail "phases wrong");
+  let clamped = Spec.prob 1.5 in
+  checki "clamped" 1000 clamped.Spec.base_ref
+
+let mini_spec =
+  {
+    Spec.name = "mini";
+    suite = `Int;
+    units =
+      [
+        Spec.Branch { prob = Spec.prob 0.8 ~train:0.3; straight = 2; copies = 2 };
+        Spec.Loop { trip = Spec.trip 5; jitter = 1; body = 2; copies = 1 };
+        Spec.Nest2
+          {
+            outer = Spec.trip 3;
+            inner = Spec.trip 4;
+            jitter = 1;
+            body = 2;
+            copies = 1;
+          };
+        Spec.Call_fn { prob = Spec.prob 0.6; body = 2; copies = 1 };
+        Spec.Loop_branch
+          {
+            trip = Spec.trip 4;
+            jitter = 0;
+            prob = Spec.prob 0.5;
+            body = 2;
+            copies = 1;
+          };
+      ];
+    ref_iters = 2000;
+    train_iters = 500;
+    ref_seed = 11L;
+    train_seed = 12L;
+  }
+
+let test_spec_builds_and_runs () =
+  let program, ref_input, train_input = Spec.build mini_spec in
+  checkb "validates" true (Result.is_ok (Program.validate program));
+  (* Both inputs run to completion. *)
+  List.iter
+    (fun (input : Spec.input) ->
+      let p = Spec.apply_input program input in
+      let m = Machine.create ~seed:input.Spec.seed p in
+      match Machine.run ~max_steps:10_000_000 m with
+      | Ok () -> checkb "halted" true (Machine.halted m)
+      | Error trap -> Alcotest.failf "trap: %a" Machine.pp_trap trap)
+    [ ref_input; train_input ]
+
+let test_spec_inputs_differ () =
+  let _, ref_input, train_input = Spec.build mini_spec in
+  checkb "iters differ" true
+    (List.assoc 0 ref_input.Spec.data <> List.assoc 0 train_input.Spec.data);
+  checkb "seeds differ" true (ref_input.Spec.seed <> train_input.Spec.seed)
+
+let test_spec_deterministic () =
+  let a, _, _ = Spec.build mini_spec in
+  let b, _, _ = Spec.build mini_spec in
+  checkb "same program" true (a.Program.code = b.Program.code)
+
+let test_spec_source_parses () =
+  checkb "source assembles" true
+    (Result.is_ok (Tpdbt_isa.Assembler.assemble (Spec.source mini_spec)))
+
+(* Realised branch probability matches the descriptor. *)
+let test_spec_branch_probability_realised () =
+  let spec =
+    {
+      mini_spec with
+      Spec.units =
+        [ Spec.Branch { prob = Spec.prob 0.8; straight = 2; copies = 1 } ];
+      ref_iters = 20000;
+    }
+  in
+  let program, ref_input, _ = Spec.build spec in
+  let p = Spec.apply_input program ref_input in
+  let engine =
+    Engine.create ~config:Engine.profiling_only ~seed:ref_input.Spec.seed p
+  in
+  let result = Engine.run engine in
+  let snap = result.Engine.snapshot in
+  (* Find the measured branch: a conditional block with taken ratio near
+     0.8 and use = 20000. *)
+  let found =
+    List.exists
+      (fun block ->
+        match Snapshot.branch_prob snap block with
+        | Some prob ->
+            snap.Snapshot.use.(block) = 20000 && abs_float (prob -. 0.8) < 0.02
+        | None -> false)
+      (Snapshot.executed_blocks snap)
+  in
+  checkb "80% branch realised" true found
+
+(* Realised loop trip count matches the descriptor. *)
+let test_spec_trip_count_realised () =
+  let spec =
+    {
+      mini_spec with
+      Spec.units = [ Spec.Loop { trip = Spec.trip 10; jitter = 0; body = 2; copies = 1 } ];
+      ref_iters = 5000;
+    }
+  in
+  let program, ref_input, _ = Spec.build spec in
+  let p = Spec.apply_input program ref_input in
+  let engine =
+    Engine.create ~config:Engine.profiling_only ~seed:ref_input.Spec.seed p
+  in
+  let result = Engine.run engine in
+  let snap = result.Engine.snapshot in
+  (* The loop-back branch executes 10 * 5000 times with ~0.9 taken. *)
+  let found =
+    List.exists
+      (fun block ->
+        snap.Snapshot.use.(block) = 50000
+        &&
+        match Snapshot.branch_prob snap block with
+        | Some prob -> abs_float (prob -. 0.9) < 0.01
+        | None -> false)
+      (Snapshot.executed_blocks snap)
+  in
+  checkb "trip-10 loop realised" true found
+
+(* Phase switches actually change behaviour mid-run. *)
+let test_spec_phase_applies () =
+  let spec =
+    {
+      mini_spec with
+      Spec.units =
+        [
+          Spec.Branch
+            { prob = Spec.prob 0.1 ~phases:[ (0.5, 0.9) ]; straight = 2; copies = 1 };
+        ];
+      ref_iters = 20000;
+    }
+  in
+  let program, ref_input, _ = Spec.build spec in
+  let p = Spec.apply_input program ref_input in
+  let engine =
+    Engine.create ~config:Engine.profiling_only ~seed:ref_input.Spec.seed p
+  in
+  let snap = (Engine.run engine).Engine.snapshot in
+  (* AVEP sees the 50/50 mixture of 0.1 and 0.9: about 0.5. *)
+  let found =
+    List.exists
+      (fun block ->
+        snap.Snapshot.use.(block) = 20000
+        &&
+        match Snapshot.branch_prob snap block with
+        | Some prob -> abs_float (prob -. 0.5) < 0.03
+        | None -> false)
+      (Snapshot.executed_blocks snap)
+  in
+  checkb "phase mixture observed" true found
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_describe () =
+  let text = Spec.describe mini_spec in
+  checkb "mentions name" true
+    (String.length text > 0 && String.sub text 0 4 = "mini");
+  (* One line per unit plus the header. *)
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  checki "header + units" (1 + List.length mini_spec.Spec.units)
+    (List.length lines)
+
+let test_suite_composition () =
+  checki "12 INT" 12 (List.length Suite.int_benchmarks);
+  checki "14 FP" 14 (List.length Suite.fp_benchmarks);
+  checki "26 total" 26 (List.length Suite.all);
+  let names = Suite.names in
+  checki "unique names" 26
+    (List.length (List.sort_uniq compare names));
+  checkb "find" true (Suite.find "mcf" <> None);
+  checkb "find missing" true (Suite.find "nope" = None)
+
+let test_suite_thresholds_scaled () =
+  checki "13 thresholds" 13 (List.length Suite.thresholds);
+  checki "scale" 100 Suite.scale;
+  (* Labels correspond to scaled values * 100. *)
+  List.iter
+    (fun (label, scaled) ->
+      let paper =
+        match label with
+        | "1k" -> 1_000
+        | "2k" -> 2_000
+        | "5k" -> 5_000
+        | "10k" -> 10_000
+        | "20k" -> 20_000
+        | "40k" -> 40_000
+        | "80k" -> 80_000
+        | "160k" -> 160_000
+        | "1M" -> 1_000_000
+        | "4M" -> 4_000_000
+        | n -> int_of_string n
+      in
+      checki label paper (scaled * Suite.scale))
+    Suite.thresholds
+
+let test_suite_programs_build () =
+  List.iter
+    (fun bench ->
+      let program, ref_input, train_input = Spec.build bench in
+      checkb (bench.Spec.name ^ " validates") true
+        (Result.is_ok (Program.validate program));
+      checkb (bench.Spec.name ^ " has data") true (ref_input.Spec.data <> []);
+      checkb (bench.Spec.name ^ " train shorter") true
+        (List.assoc 0 train_input.Spec.data < List.assoc 0 ref_input.Spec.data);
+      let bmap = Block_map.build program in
+      checkb
+        (Printf.sprintf "%s has enough blocks (%d)" bench.Spec.name
+           (Block_map.block_count bmap))
+        true
+        (Block_map.block_count bmap >= 20))
+    Suite.all
+
+let test_suite_programs_statically_clean () =
+  (* Every generated benchmark passes the static checker: no unreachable
+     code, no read-before-write, a reachable halt, valid rnd bounds. *)
+  List.iter
+    (fun bench ->
+      let program, _, _ = Spec.build bench in
+      match Tpdbt_isa.Check.check program with
+      | [] -> ()
+      | issues ->
+          Alcotest.failf "%s: %s" bench.Spec.name
+            (String.concat "; "
+               (List.map
+                  (Format.asprintf "%a" Tpdbt_isa.Check.pp_issue)
+                  issues)))
+    Suite.all
+
+let test_suite_programs_halt () =
+  (* Run each benchmark with a tiny iteration count: must halt cleanly. *)
+  List.iter
+    (fun bench ->
+      let short = { bench with Spec.ref_iters = 20 } in
+      let program, ref_input, _ = Spec.build short in
+      let p = Spec.apply_input program ref_input in
+      let m = Machine.create ~seed:ref_input.Spec.seed p in
+      match Machine.run ~max_steps:5_000_000 m with
+      | Ok () ->
+          checkb (bench.Spec.name ^ " halts") true (Machine.halted m)
+      | Error trap ->
+          Alcotest.failf "%s trapped: %a" bench.Spec.name Machine.pp_trap trap)
+    Suite.all
+
+let suite =
+  [
+    ("codegen labels unique", `Quick, test_codegen_labels_unique);
+    ("codegen params", `Quick, test_codegen_params);
+    ("codegen filler assembles", `Quick, test_codegen_filler_assembles);
+    ("prob per-mille", `Quick, test_prob_per_mille);
+    ("spec builds and runs", `Quick, test_spec_builds_and_runs);
+    ("spec inputs differ", `Quick, test_spec_inputs_differ);
+    ("spec deterministic", `Quick, test_spec_deterministic);
+    ("spec source parses", `Quick, test_spec_source_parses);
+    ("spec branch probability realised", `Quick,
+     test_spec_branch_probability_realised);
+    ("spec trip count realised", `Quick, test_spec_trip_count_realised);
+    ("spec phase applies", `Quick, test_spec_phase_applies);
+    ("spec describe", `Quick, test_spec_describe);
+    ("suite composition", `Quick, test_suite_composition);
+    ("suite thresholds scaled", `Quick, test_suite_thresholds_scaled);
+    ("suite programs build", `Quick, test_suite_programs_build);
+    ("suite programs statically clean", `Quick, test_suite_programs_statically_clean);
+    ("suite programs halt", `Quick, test_suite_programs_halt);
+  ]
