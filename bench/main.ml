@@ -190,6 +190,17 @@ join:
     let engine = Tpdbt_dbt.Engine.create ~config ~seed:1L quickstart_program in
     ignore (Tpdbt_dbt.Engine.run engine)
   in
+  (* Same run with telemetry flowing into a metrics collector: the
+     difference against the run above is the cost of enabling the
+     tracer (the null-sink run must stay at the undisturbed cost). *)
+  let engine_run_traced () =
+    let registry = Tpdbt_telemetry.Metrics.create () in
+    let sink = Tpdbt_telemetry.Sink.collect ~into:registry in
+    let config = Tpdbt_dbt.Engine.config ~threshold:50 ~sink () in
+    let engine = Tpdbt_dbt.Engine.create ~config ~seed:1L quickstart_program in
+    ignore (Tpdbt_dbt.Engine.run engine);
+    sink.Tpdbt_telemetry.Sink.close ()
+  in
   let gauss_solve =
     let n = 20 in
     let a = Tpdbt_numerics.Matrix.create ~rows:n ~cols:n in
@@ -223,6 +234,8 @@ join:
   let kernel_tests =
     [
       Test.make ~name:"engine:two-phase-run-2k-iters" (Staged.stage engine_run);
+      Test.make ~name:"engine:two-phase-run-2k-iters-traced"
+        (Staged.stage engine_run_traced);
       Test.make ~name:"solver:gauss-20x20" (Staged.stage gauss_solve);
       Test.make ~name:"optimizer:block-16-instrs" (Staged.stage schedule);
     ]
@@ -265,8 +278,24 @@ let ablation_studies ~quick =
       write_csv ("ablation-" ^ id) table)
     (Tpdbt_experiments.Ablations.all ?benchmarks ())
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [--quick] [--no-micro] [--no-ablations]\n\n\
+    \  --quick          run 3 benchmarks instead of the full suite\n\
+    \  --no-micro       skip the Bechamel micro-benchmarks\n\
+    \  --no-ablations   skip the design-choice ablation studies"
+
 let () =
-  let args = Array.to_list Sys.argv in
+  let known = [ "--quick"; "--no-micro"; "--no-ablations" ] in
+  let args = List.tl (Array.to_list Sys.argv) in
+  (match List.filter (fun a -> not (List.mem a known)) args with
+  | [] -> ()
+  | unknown ->
+      List.iter
+        (fun a -> prerr_endline ("unknown argument: " ^ a))
+        unknown;
+      usage ();
+      exit 2);
   let quick = List.mem "--quick" args in
   let no_micro = List.mem "--no-micro" args in
   let no_ablations = List.mem "--no-ablations" args in

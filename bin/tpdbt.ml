@@ -1,7 +1,7 @@
 (* tpdbt — command-line driver for the two-phase DBT reproduction.
 
    Subcommands: asm, dis, check, run, dbt, bench, sweep, profile,
-   analyze, report, ablate. *)
+   analyze, report, ablate, trace. *)
 
 open Cmdliner
 
@@ -410,6 +410,131 @@ let analyze_cmd =
     Term.(const run $ inip_file $ avep_file)
 
 (* ------------------------------------------------------------------ *)
+(* trace (telemetry capture)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let module Tel = Tpdbt_telemetry in
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:
+            "Suite benchmark name (see $(b,tpdbt bench)) or a guest program \
+             file (.s or .g32).")
+  in
+  let threshold =
+    Arg.(
+      value & opt int 50
+      & info [ "threshold"; "t" ] ~docv:"T"
+          ~doc:"Retranslation threshold for the traced run.")
+  in
+  let adaptive =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:"Enable adaptive region dissolution (paper \194\1675).")
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "trace-out"
+      & info [ "o"; "out-dir" ] ~docv:"DIR"
+          ~doc:"Directory for the emitted files (created if missing).")
+  in
+  let max_events =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-events" ] ~docv:"N"
+          ~doc:
+            "Cap on events kept in memory for the summary and the Chrome \
+             trace; the JSONL log always streams the full run.")
+  in
+  let write_file path contents =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc contents)
+  in
+  let run workload threshold adaptive seed max_steps out_dir max_events =
+    if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+    let name =
+      Filename.remove_extension (Filename.basename workload)
+    in
+    let events_path = Filename.concat out_dir (name ^ ".events.jsonl") in
+    let trace_path = Filename.concat out_dir (name ^ ".trace.json") in
+    let metrics_path = Filename.concat out_dir (name ^ ".metrics.json") in
+    let events_oc = open_out events_path in
+    let result, buffer, metrics =
+      Fun.protect
+        ~finally:(fun () -> close_out events_oc)
+        (fun () ->
+          let jsonl = Tel.Sink.jsonl events_oc in
+          let config =
+            {
+              (Tpdbt_dbt.Engine.config ~threshold ~adaptive ()) with
+              max_steps;
+            }
+          in
+          match Tpdbt_workloads.Suite.find workload with
+          | Some bench ->
+              Tpdbt_experiments.Runner.run_traced ~limit:max_events
+                ~extra_sinks:[ jsonl ] bench ~config
+          | None ->
+              if not (Sys.file_exists workload) then begin
+                prerr_endline
+                  ("unknown workload (neither a suite benchmark nor a file): "
+                 ^ workload);
+                exit 1
+              end;
+              let program = load_program workload in
+              let metrics = Tel.Metrics.create () in
+              let mem_sink, buffer = Tel.Sink.memory ~limit:max_events () in
+              let collector = Tel.Sink.collect ~into:metrics in
+              let sink = Tel.Sink.tee [ mem_sink; collector; jsonl ] in
+              let config = { config with Tpdbt_dbt.Engine.sink } in
+              let engine = Tpdbt_dbt.Engine.create ~config ~seed program in
+              let result = Tpdbt_dbt.Engine.run engine in
+              sink.Tel.Sink.close ();
+              Tpdbt_dbt.Perf_model.record
+                result.Tpdbt_dbt.Engine.counters metrics;
+              (result, buffer, metrics))
+    in
+    let events = Tel.Sink.contents buffer in
+    if Tel.Sink.dropped buffer > 0 then
+      Printf.eprintf
+        "note: kept the first %d events in memory (%d more dropped); the \
+         summary and Chrome trace are truncated, the JSONL log is complete\n"
+        (List.length events)
+        (Tel.Sink.dropped buffer);
+    (match result.Tpdbt_dbt.Engine.trap with
+    | None -> ()
+    | Some trap -> Format.eprintf "trap: %a@." Tpdbt_vm.Machine.pp_trap trap);
+    let trace_json = Tel.Chrome_trace.to_json ~process_name:name events in
+    (match Tel.Json.validate trace_json with
+    | Ok () -> ()
+    | Error msg ->
+        prerr_endline ("internal error: trace export " ^ msg);
+        exit 2);
+    write_file trace_path trace_json;
+    write_file metrics_path (Tel.Metrics.to_json metrics);
+    print_string (Tel.Summary.render events);
+    print_newline ();
+    print_string (Tel.Metrics.render metrics);
+    Printf.printf "\nwrote %s (%d events)\nwrote %s\nwrote %s\n" events_path
+      (List.length events) trace_path metrics_path
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a workload with full telemetry: write a JSONL event log, a \
+          Chrome trace_event file (chrome://tracing / Perfetto) and a \
+          metrics dump, and print a run summary.")
+    Term.(
+      const run $ workload $ threshold $ adaptive $ seed_arg $ max_steps_arg
+      $ out_dir $ max_events)
+
+(* ------------------------------------------------------------------ *)
 (* ablate (design-choice studies)                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -456,5 +581,5 @@ let () =
        (Cmd.group info
           [
             asm_cmd; dis_cmd; check_cmd; run_cmd; dbt_cmd; bench_cmd; sweep_cmd;
-            profile_cmd; analyze_cmd; report_cmd; ablate_cmd;
+            profile_cmd; analyze_cmd; report_cmd; ablate_cmd; trace_cmd;
           ]))

@@ -1,4 +1,6 @@
 module Machine = Tpdbt_vm.Machine
+module Event = Tpdbt_telemetry.Event
+module Sink = Tpdbt_telemetry.Sink
 
 type config = {
   threshold : int;
@@ -15,9 +17,11 @@ type config = {
   reopt_limit : int;
   perf : Perf_model.params;
   max_steps : int;
+  sink : Sink.t;
 }
 
-let config ?(pool_trigger = 16) ?(adaptive = false) ~threshold () =
+let config ?(pool_trigger = 16) ?(adaptive = false) ?(sink = Sink.null)
+    ~threshold () =
   {
     threshold;
     pool_trigger;
@@ -33,6 +37,7 @@ let config ?(pool_trigger = 16) ?(adaptive = false) ~threshold () =
     reopt_limit = 3;
     perf = Perf_model.default;
     max_steps = 200_000_000;
+    sink;
   }
 
 let profiling_only = config ~threshold:0 ()
@@ -89,6 +94,9 @@ type t = {
   mutable pool_size : int;
   counters : Perf_model.counters;
   mutable trap : Machine.trap option;
+  trace : bool;
+      (* telemetry enabled?  Checked before constructing any event, so
+         the default null sink costs nothing on the hot paths. *)
 }
 
 let create ?config:(cfg = config ~threshold:1000 ()) ?mem_words ~seed program =
@@ -114,9 +122,14 @@ let create ?config:(cfg = config ~threshold:1000 ()) ?mem_words ~seed program =
     pool_size = 0;
     counters = Perf_model.fresh_counters ();
     trap = None;
+    trace = not (Sink.is_null cfg.sink);
   }
 
 let block_map t = t.bmap
+
+(* Call only under [if t.trace then ...] so disabled telemetry never
+   allocates an event. *)
+let emit t event = t.cfg.sink.Sink.emit ~step:(Machine.steps t.machine) event
 
 (* Outcome of executing one block on the machine. *)
 type exec_outcome =
@@ -147,6 +160,7 @@ let exec_block t (b : Block_map.block) =
 (* ------------------------------------------------------------------ *)
 
 let optimize t =
+  if t.trace then emit t (Event.Phase_begin { phase = "optimize" });
   t.counters.Perf_model.optimization_rounds <-
     t.counters.Perf_model.optimization_rounds + 1;
   let seeds =
@@ -192,6 +206,26 @@ let optimize t =
       t.regions_rev <- r :: t.regions_rev;
       t.counters.Perf_model.regions_formed <-
         t.counters.Perf_model.regions_formed + 1;
+      if t.trace then begin
+        let instrs =
+          Array.fold_left
+            (fun acc block ->
+              acc + (Block_map.block t.bmap block).Block_map.size)
+            0 r.Region.slots
+        in
+        emit t
+          (Event.Region_formed
+             {
+               region = r.Region.id;
+               kind =
+                 (match r.Region.kind with
+                 | Region.Trace -> Event.Trace
+                 | Region.Loop -> Event.Loop);
+               slots = Array.length r.Region.slots;
+               instrs;
+               entry_block = Region.entry_block r;
+             })
+      end;
       (* Retranslation cost: proportional to region size in instructions. *)
       Array.iter
         (fun block ->
@@ -206,7 +240,8 @@ let optimize t =
       if t.region_entry.(entry) < 0 then t.region_entry.(entry) <- r.Region.id)
     new_regions;
   t.pool <- [];
-  t.pool_size <- 0
+  t.pool_size <- 0;
+  if t.trace then emit t (Event.Phase_end { phase = "optimize" })
 
 (* Adaptive mode: dissolve a region whose side-exit rate shows that its
    frozen profile no longer matches execution (the paper's §5
@@ -255,6 +290,8 @@ let exec_single t bid =
   let perf = t.cfg.perf in
   if not t.touched.(bid) then begin
     t.touched.(bid) <- true;
+    if t.trace then
+      emit t (Event.Block_translated { block = bid; size = b.Block_map.size });
     t.counters.Perf_model.blocks_translated <-
       t.counters.Perf_model.blocks_translated + 1;
     t.counters.Perf_model.cycles <-
@@ -290,7 +327,15 @@ let exec_single t bid =
             if t.use.(bid) >= t.cfg.threshold then begin
               t.state.(bid) <- Registered;
               t.pool <- bid :: t.pool;
-              t.pool_size <- t.pool_size + 1
+              t.pool_size <- t.pool_size + 1;
+              if t.trace then
+                emit t
+                  (Event.Block_registered
+                     {
+                       block = bid;
+                       use = t.use.(bid);
+                       threshold = t.cfg.threshold;
+                     })
             end
         | Registered | Optimized -> ());
         let registered_twice =
@@ -299,7 +344,18 @@ let exec_single t bid =
           | Cold | Optimized -> false
         in
         if t.pool_size > 0 && (registered_twice || t.pool_size >= t.cfg.pool_trigger)
-        then optimize t
+        then begin
+          if t.trace then
+            emit t
+              (Event.Pool_trigger
+                 {
+                   pool_size = t.pool_size;
+                   reason =
+                     (if registered_twice then Event.Registered_twice
+                      else Event.Pool_full);
+                 });
+          optimize t
+        end
       end);
   outcome
 
@@ -312,6 +368,7 @@ let exec_region t rid =
   let tail = Region.tail_slot region in
   t.counters.Perf_model.region_entries <-
     t.counters.Perf_model.region_entries + 1;
+  if t.trace then emit t (Event.Region_entry { region = rid });
   mon.m_entries <- mon.m_entries + 1;
   t.counters.Perf_model.cycles <-
     t.counters.Perf_model.cycles +. perf.Perf_model.optimized_dispatch;
@@ -361,13 +418,17 @@ let exec_region t rid =
         | Some e -> at_slot e.Region.dst
         | None ->
             if has_back_edge then mon.m_lb_seen <- mon.m_lb_seen + 1;
-            if has_back_edge || slot = tail then
+            if has_back_edge || slot = tail then begin
               t.counters.Perf_model.region_completions <-
-                t.counters.Perf_model.region_completions + 1
+                t.counters.Perf_model.region_completions + 1;
+              if t.trace then emit t (Event.Region_completion { region = rid })
+            end
             else begin
               t.counters.Perf_model.side_exits <-
                 t.counters.Perf_model.side_exits + 1;
               mon.m_side_exits <- mon.m_side_exits + 1;
+              if t.trace then
+                emit t (Event.Region_side_exit { region = rid; slot });
               t.counters.Perf_model.cycles <-
                 t.counters.Perf_model.cycles
                 +. perf.Perf_model.side_exit_penalty;
@@ -383,7 +444,17 @@ let exec_region t rid =
                     region.Region.slots
                 in
                 if over_limit then mon.m_disabled <- true
-                else dissolve t region
+                else begin
+                  if t.trace then
+                    emit t
+                      (Event.Region_dissolved
+                         {
+                           region = rid;
+                           entries = mon.m_entries;
+                           side_exits = mon.m_side_exits;
+                         });
+                  dissolve t region
+                end
               end
             end;
             outcome)
@@ -399,6 +470,7 @@ let current_snapshot t =
   }
 
 let run ?(checkpoint_every = 0) ?(on_checkpoint = fun ~steps:_ _ -> ()) t =
+  if t.trace then emit t (Event.Phase_begin { phase = "run" });
   let next_checkpoint = ref checkpoint_every in
   let rec loop () =
     if Machine.halted t.machine then ()
@@ -428,6 +500,7 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun ~steps:_ _ -> ()) t =
     end
   in
   loop ();
+  if t.trace then emit t (Event.Phase_end { phase = "run" });
   let snapshot = current_snapshot t in
   let region_stats =
     Hashtbl.fold

@@ -48,12 +48,25 @@ type config = {
           unstable branches *)
   perf : Perf_model.params;
   max_steps : int;  (** guest-instruction budget for the run *)
+  sink : Tpdbt_telemetry.Sink.t;
+      (** Telemetry sink receiving structured {!Tpdbt_telemetry.Event}s
+          stamped with the guest-instruction counter.  Defaults to
+          {!Tpdbt_telemetry.Sink.null}, which the engine detects and
+          short-circuits — a run with the null sink performs no
+          telemetry work at all.  The engine never closes the sink;
+          the caller owns it. *)
 }
 
-val config : ?pool_trigger:int -> ?adaptive:bool -> threshold:int -> unit -> config
+val config :
+  ?pool_trigger:int ->
+  ?adaptive:bool ->
+  ?sink:Tpdbt_telemetry.Sink.t ->
+  threshold:int ->
+  unit ->
+  config
 (** Defaults: pool trigger 16, min branch prob 0.7, 16 slots,
     duplication and diamonds on, adaptive off (side-exit rate 0.3, min
-    entries 64), {!Perf_model.default}, 200M steps. *)
+    entries 64), {!Perf_model.default}, 200M steps, null sink. *)
 
 val profiling_only : config
 (** [threshold = 0]: collect AVEP / INIP(train) profiles. *)

@@ -43,3 +43,20 @@ let fresh_counters () =
     optimization_rounds = 0;
     regions_dissolved = 0;
   }
+
+let record c registry =
+  let module M = Tpdbt_telemetry.Metrics in
+  let g = M.gauge registry "perf.cycles" in
+  M.set g (M.gauge_value g +. c.cycles);
+  List.iter
+    (fun (name, v) -> M.add (M.counter registry ("perf." ^ name)) v)
+    [
+      ("blocks_translated", c.blocks_translated);
+      ("regions_formed", c.regions_formed);
+      ("region_entries", c.region_entries);
+      ("region_completions", c.region_completions);
+      ("loop_backs", c.loop_backs);
+      ("side_exits", c.side_exits);
+      ("optimization_rounds", c.optimization_rounds);
+      ("regions_dissolved", c.regions_dissolved);
+    ]

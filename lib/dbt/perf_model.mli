@@ -42,3 +42,9 @@ type counters = {
 }
 
 val fresh_counters : unit -> counters
+
+val record : counters -> Tpdbt_telemetry.Metrics.t -> unit
+(** Accumulate a run's counters into a metrics registry under [perf.*]
+    names ([perf.cycles] as a gauge, the rest as counters).  Recording
+    several runs into the same registry sums them, so a sweep can
+    aggregate its whole fleet of runs into one registry. *)

@@ -58,15 +58,33 @@ let run_benchmark ?(thresholds = Suite.thresholds) bench =
   in
   { bench; avep; train; train_flat; train_regions; runs }
 
-let run_ref bench ~config =
+let run_ref ?sink bench ~config =
+  let config =
+    match sink with None -> config | Some sink -> { config with Engine.sink }
+  in
   let program, ref_input, _train_input = Spec.build bench in
   run_input program ref_input config
 
 let run_avep bench = run_ref bench ~config:Engine.profiling_only
 
-let run_custom bench ~config =
+(* The standard observability bundle: buffer the event stream, derive
+   metrics from it, and fold the run's perf-model counters into the
+   same registry.  Extra sinks (e.g. a streaming JSONL writer) ride
+   along via [extra_sinks]. *)
+let run_traced ?limit ?(extra_sinks = []) bench ~config =
+  let module Tel = Tpdbt_telemetry in
+  let metrics = Tel.Metrics.create () in
+  let mem_sink, buffer = Tel.Sink.memory ?limit () in
+  let collector = Tel.Sink.collect ~into:metrics in
+  let sink = Tel.Sink.tee (mem_sink :: collector :: extra_sinks) in
+  let result = run_ref ~sink bench ~config in
+  sink.Tel.Sink.close ();
+  Tpdbt_dbt.Perf_model.record result.Engine.counters metrics;
+  (result, buffer, metrics)
+
+let run_custom ?sink bench ~config =
   let avep = run_avep bench in
-  let result = run_ref bench ~config in
+  let result = run_ref ?sink bench ~config in
   let comparison =
     Metrics.compare_snapshots ~inip:result.Engine.snapshot
       ~avep:avep.Engine.snapshot

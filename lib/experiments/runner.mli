@@ -42,18 +42,38 @@ val run_many :
 (** [progress] is called with each benchmark name before it runs. *)
 
 val run_ref :
+  ?sink:Tpdbt_telemetry.Sink.t ->
   Tpdbt_workloads.Spec.t ->
   config:Tpdbt_dbt.Engine.config ->
   Tpdbt_dbt.Engine.result
-(** One reference-input run under an arbitrary engine configuration. *)
+(** One reference-input run under an arbitrary engine configuration.
+    [sink] overrides the configuration's telemetry sink. *)
 
 val run_avep : Tpdbt_workloads.Spec.t -> Tpdbt_dbt.Engine.result
 (** Profiling-only reference-input run (the AVEP profile). *)
 
+val run_traced :
+  ?limit:int ->
+  ?extra_sinks:Tpdbt_telemetry.Sink.t list ->
+  Tpdbt_workloads.Spec.t ->
+  config:Tpdbt_dbt.Engine.config ->
+  Tpdbt_dbt.Engine.result
+  * Tpdbt_telemetry.Sink.buffer
+  * Tpdbt_telemetry.Metrics.t
+(** One fully-instrumented reference-input run: buffers the event
+    stream (at most [limit] events, {!Tpdbt_telemetry.Sink.memory}'s
+    default otherwise), aggregates the standard event metrics
+    ({!Tpdbt_telemetry.Sink.collect}) and the run's [perf.*] counters
+    ({!Tpdbt_dbt.Perf_model.record}) into a fresh registry, and closes
+    every sink.  [extra_sinks] (e.g. a streaming JSONL writer) receive
+    the same events; they are closed too.  Powers [tpdbt trace]. *)
+
 val run_custom :
+  ?sink:Tpdbt_telemetry.Sink.t ->
   Tpdbt_workloads.Spec.t ->
   config:Tpdbt_dbt.Engine.config ->
   Tpdbt_dbt.Engine.result * Tpdbt_dbt.Engine.result * Tpdbt_profiles.Metrics.comparison
 (** One reference-input run under an arbitrary engine configuration:
     [(result, avep_result, comparison_vs_avep)].  Used by the ablation
-    studies. *)
+    studies.  [sink], if given, observes the custom run (not the AVEP
+    reference run). *)

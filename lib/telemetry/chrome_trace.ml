@@ -1,0 +1,64 @@
+(* One trace_event object.  [extra] fields come after the common ones;
+   payload (if any) nests under "args". *)
+let trace_event ~name ~cat ~ph ~ts ?(extra = []) ?args () =
+  let fields =
+    [
+      ("name", Json.quote name);
+      ("cat", Json.quote cat);
+      ("ph", Json.quote ph);
+      ("ts", string_of_int ts);
+      ("pid", "1");
+      ("tid", "1");
+    ]
+    @ extra
+    @ match args with None -> [] | Some a -> [ ("args", Json.obj a) ]
+  in
+  Json.obj fields
+
+let region_name region = Printf.sprintf "region %d" region
+
+let of_stamped { Event.step = ts; event } =
+  match event with
+  | Event.Phase_begin { phase } ->
+      trace_event ~name:phase ~cat:"phase" ~ph:"B" ~ts ()
+  | Event.Phase_end { phase } ->
+      trace_event ~name:phase ~cat:"phase" ~ph:"E" ~ts ()
+  | Event.Region_entry { region } ->
+      trace_event ~name:(region_name region) ~cat:"region" ~ph:"b" ~ts
+        ~extra:[ ("id", string_of_int region) ]
+        ()
+  | Event.Region_side_exit { region; slot } ->
+      trace_event ~name:(region_name region) ~cat:"region" ~ph:"e" ~ts
+        ~extra:[ ("id", string_of_int region) ]
+        ~args:[ ("exit", {|"side_exit"|}); ("slot", string_of_int slot) ]
+        ()
+  | Event.Region_completion { region } ->
+      trace_event ~name:(region_name region) ~cat:"region" ~ph:"e" ~ts
+        ~extra:[ ("id", string_of_int region) ]
+        ~args:[ ("exit", {|"completion"|}) ]
+        ()
+  | other ->
+      trace_event ~name:(Event.kind_name other) ~cat:"engine" ~ph:"i" ~ts
+        ~extra:[ ("s", {|"t"|}) ]
+        ~args:(Event.payload other) ()
+
+let to_json ?(process_name = "tpdbt") events =
+  let metadata =
+    Json.obj
+      [
+        ("name", {|"process_name"|});
+        ("ph", {|"M"|});
+        ("pid", "1");
+        ("args", Json.obj [ ("name", Json.quote process_name) ]);
+      ]
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf {|{"traceEvents":[|};
+  Buffer.add_string buf metadata;
+  List.iter
+    (fun stamped ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (of_stamped stamped))
+    events;
+  Buffer.add_string buf {|],"displayTimeUnit":"ms"}|};
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Chrome [trace_event] export.
+
+    Renders a stamped event stream as a JSON object with a
+    ["traceEvents"] array loadable in [chrome://tracing] / Perfetto.
+    The engine's guest-instruction counter maps directly onto the
+    timestamp axis (1 step = 1 microsecond of trace time):
+
+    - {!Event.Phase_begin}/{!Event.Phase_end} become duration events
+      ([ph:"B"]/[ph:"E"]) — the run and each optimisation round appear
+      as nested spans;
+    - each region-entry ... side-exit/completion interval becomes an
+      async span ([ph:"b"]/[ph:"e"]) with the region id as the async
+      id, so every region gets its own named track;
+    - all other events become instant events ([ph:"i"]) carrying their
+      payload in [args]. *)
+
+val to_json : ?process_name:string -> Event.stamped list -> string
+(** Events must be in emission order (non-decreasing [step]).
+    [process_name] (default ["tpdbt"]) labels the trace's single
+    process via a metadata event. *)

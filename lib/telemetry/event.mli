@@ -1,0 +1,58 @@
+(** Structured engine events.
+
+    One constructor per observable action of the two-phase translator;
+    each is stamped with the engine's guest-instruction counter, which
+    serves as the logical clock of the run (the simulated translator has
+    no wall clock).  The type is deliberately self-contained — plain
+    ints and strings — so the telemetry library has no dependency on the
+    engine and any layer can consume the events. *)
+
+type region_kind = Trace | Loop
+
+type pool_reason =
+  | Pool_full  (** the candidate pool reached [pool_trigger] blocks *)
+  | Registered_twice  (** a registered block reached 2x the threshold *)
+
+type t =
+  | Block_translated of { block : int; size : int }
+      (** first execution: quick cold translation with instrumentation *)
+  | Block_registered of { block : int; use : int; threshold : int }
+      (** the block's use counter crossed the retranslation threshold *)
+  | Pool_trigger of { pool_size : int; reason : pool_reason }
+      (** the candidate pool fired; an optimisation round follows *)
+  | Region_formed of {
+      region : int;
+      kind : region_kind;
+      slots : int;
+      instrs : int;
+      entry_block : int;
+    }
+  | Region_entry of { region : int }
+  | Region_side_exit of { region : int; slot : int }
+      (** execution left the region through an unanticipated exit *)
+  | Region_completion of { region : int }
+      (** execution reached the region tail or took a loop back edge *)
+  | Region_dissolved of { region : int; entries : int; side_exits : int }
+      (** adaptive mode: the region's side-exit rate exceeded the limit *)
+  | Phase_begin of { phase : string }
+  | Phase_end of { phase : string }
+      (** phase transitions; nested ("run" encloses each "optimize") *)
+
+type stamped = { step : int; event : t }
+(** [step] is the guest-instruction count when the event fired. *)
+
+val kind_name : t -> string
+(** Stable snake_case identifier, e.g. ["region_side_exit"]. *)
+
+val region_kind_name : region_kind -> string
+val pool_reason_name : pool_reason -> string
+
+val payload : t -> (string * string) list
+(** Constructor-specific fields as [(key, rendered JSON value)] pairs
+    — the building block of both exporters. *)
+
+val to_json : stamped -> string
+(** One JSON object (single line, no trailing newline):
+    [{"step":..,"kind":..,<payload fields>}]. *)
+
+val pp : Format.formatter -> stamped -> unit

@@ -1,0 +1,190 @@
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let obj fields =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (quote k);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf v)
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let arr items =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf v)
+    items;
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Validator: recursive descent over the grammar of RFC 8259.           *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of int * string
+
+let validate s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then pos := !pos + l
+    else fail ("expected " ^ word)
+  in
+  let hex_digit () =
+    match peek () with
+    | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+    | _ -> fail "expected hex digit"
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              hex_digit ();
+              hex_digit ();
+              hex_digit ();
+              hex_digit ();
+              go ()
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let digits () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some '0' .. '9' ->
+          advance ();
+          go ()
+      | _ -> ()
+    in
+    go ();
+    if !pos = start then fail "expected digit"
+  in
+  let number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    (match peek () with
+    | Some '0' -> advance ()
+    | Some '1' .. '9' -> digits ()
+    | _ -> fail "expected digit");
+    (match peek () with
+    | Some '.' ->
+        advance ();
+        digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' -> obj_lit ()
+    | Some '[' -> arr_lit ()
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+    | None -> fail "unexpected end of input");
+    skip_ws ()
+  and obj_lit () =
+    expect '{';
+    skip_ws ();
+    (match peek () with
+    | Some '}' -> ()
+    | _ ->
+        let rec members () =
+          skip_ws ();
+          string_lit ();
+          skip_ws ();
+          expect ':';
+          value ();
+          match peek () with
+          | Some ',' ->
+              advance ();
+              members ()
+          | _ -> ()
+        in
+        members ());
+    expect '}'
+  and arr_lit () =
+    expect '[';
+    skip_ws ();
+    (match peek () with
+    | Some ']' -> ()
+    | _ ->
+        let rec elements () =
+          value ();
+          match peek () with
+          | Some ',' ->
+              advance ();
+              elements ()
+          | _ -> ()
+        in
+        elements ());
+    expect ']'
+  in
+  match
+    value ();
+    if !pos <> n then fail "trailing garbage"
+  with
+  | () -> Ok ()
+  | exception Bad (at, msg) ->
+      Error (Printf.sprintf "invalid JSON at offset %d: %s" at msg)

@@ -1,0 +1,20 @@
+(** Minimal JSON support for the exporters.
+
+    Emission works over pre-rendered value strings — callers pass
+    [string_of_int], [quote]d strings, or nested [obj]/[arr] output —
+    which keeps the exporters allocation-light and dependency-free.
+    [validate] is a strict RFC 8259 syntax checker used by the tests and
+    the [tpdbt trace] self-check; it builds no document tree. *)
+
+val quote : string -> string
+(** Quote and escape a string literal. *)
+
+val obj : (string * string) list -> string
+(** [obj [(k, v); ...]] renders [{"k":v,...}]; values must already be
+    valid JSON text. *)
+
+val arr : string list -> string
+
+val validate : string -> (unit, string) result
+(** [Error msg] carries the offset and reason of the first syntax
+    error.  Exactly one top-level value is required. *)

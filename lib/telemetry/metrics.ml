@@ -1,0 +1,169 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  bounds : float array;  (* strictly increasing; implicit +inf after *)
+  counts : int array;  (* length = Array.length bounds + 1 *)
+  mutable total : int;
+  mutable sum : float;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = (string, instrument) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let clash name found want =
+  invalid_arg
+    (Printf.sprintf "Metrics.%s: %S is already a %s" want name
+       (kind_name found))
+
+let counter t name =
+  match Hashtbl.find_opt t name with
+  | Some (Counter c) -> c
+  | Some other -> clash name other "counter"
+  | None ->
+      let c = { c = 0 } in
+      Hashtbl.add t name (Counter c);
+      c
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let counter_value c = c.c
+
+let gauge t name =
+  match Hashtbl.find_opt t name with
+  | Some (Gauge g) -> g
+  | Some other -> clash name other "gauge"
+  | None ->
+      let g = { g = 0.0 } in
+      Hashtbl.add t name (Gauge g);
+      g
+
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let histogram t name ~buckets =
+  match Hashtbl.find_opt t name with
+  | Some (Histogram h) -> h
+  | Some other -> clash name other "histogram"
+  | None ->
+      if buckets = [] then invalid_arg "Metrics.histogram: no buckets";
+      let bounds = Array.of_list buckets in
+      Array.iteri
+        (fun i b ->
+          if i > 0 && b <= bounds.(i - 1) then
+            invalid_arg "Metrics.histogram: bounds not increasing")
+        bounds;
+      let h =
+        {
+          bounds;
+          counts = Array.make (Array.length bounds + 1) 0;
+          total = 0;
+          sum = 0.0;
+        }
+      in
+      Hashtbl.add t name (Histogram h);
+      h
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec find i = if i >= n || v <= h.bounds.(i) then i else find (i + 1) in
+  let i = find 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.total <- h.total + 1;
+  h.sum <- h.sum +. v
+
+let histogram_count h = h.total
+let histogram_sum h = h.sum
+
+let bucket_counts h =
+  List.init
+    (Array.length h.counts)
+    (fun i ->
+      let bound =
+        if i < Array.length h.bounds then h.bounds.(i) else infinity
+      in
+      (bound, h.counts.(i)))
+
+let sorted t =
+  Hashtbl.fold (fun name inst acc -> (name, inst) :: acc) t []
+  |> List.sort compare
+
+let names t = List.map fst (sorted t)
+
+let pp_bound b = if b = infinity then "+inf" else Printf.sprintf "%g" b
+
+let render t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, inst) ->
+      match inst with
+      | Counter c -> Buffer.add_string buf (Printf.sprintf "%-40s %d\n" name c.c)
+      | Gauge g -> Buffer.add_string buf (Printf.sprintf "%-40s %g\n" name g.g)
+      | Histogram h ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-40s count=%d sum=%g\n" name h.total h.sum);
+          List.iter
+            (fun (bound, count) ->
+              if count > 0 then
+                Buffer.add_string buf
+                  (Printf.sprintf "  le %-10s %d\n" (pp_bound bound) count))
+            (bucket_counts h))
+    (sorted t);
+  Buffer.contents buf
+
+let to_json t =
+  let pick f =
+    List.filter_map (fun (name, inst) -> f name inst) (sorted t)
+  in
+  let counters =
+    pick (fun name -> function
+      | Counter c -> Some (name, string_of_int c.c)
+      | _ -> None)
+  in
+  let gauges =
+    pick (fun name -> function
+      | Gauge g -> Some (name, Printf.sprintf "%.17g" g.g)
+      | _ -> None)
+  in
+  let histograms =
+    pick (fun name -> function
+      | Histogram h ->
+          let buckets =
+            List.map
+              (fun (bound, count) ->
+                Json.obj
+                  [
+                    ( "le",
+                      if bound = infinity then {|"+inf"|}
+                      else Printf.sprintf "%.17g" bound );
+                    ("count", string_of_int count);
+                  ])
+              (bucket_counts h)
+          in
+          Some
+            ( name,
+              Json.obj
+                [
+                  ("count", string_of_int h.total);
+                  ("sum", Printf.sprintf "%.17g" h.sum);
+                  ("buckets", Json.arr buckets);
+                ] )
+      | _ -> None)
+  in
+  Json.obj
+    [
+      ("counters", Json.obj counters);
+      ("gauges", Json.obj gauges);
+      ("histograms", Json.obj histograms);
+    ]

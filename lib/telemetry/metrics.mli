@@ -1,0 +1,61 @@
+(** Named metrics registry: counters, gauges and fixed-bucket
+    histograms.
+
+    The registry subsumes the engine's mutable {e performance-model}
+    counters — a run records those totals here next to the
+    event-derived distributions (region sizes, side-exit rates) that
+    plain counters cannot express.  Lookup by name is idempotent:
+    requesting an existing instrument returns it, so independent layers
+    can contribute to the same registry without coordination.
+
+    Instruments are cheap mutable cells; the registry is not
+    thread-safe (the engine is single-threaded). *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** @raise Invalid_argument if the name is held by another instrument
+    kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : t -> string -> buckets:float list -> histogram
+(** [buckets] are upper bounds, strictly increasing; an implicit
+    [+inf] bucket is appended.  Re-requesting an existing histogram
+    ignores [buckets].
+    @raise Invalid_argument on empty or non-increasing bounds, or a
+    name clash with another instrument kind. *)
+
+val observe : histogram -> float -> unit
+
+val histogram_count : histogram -> int
+(** Total number of observations. *)
+
+val histogram_sum : histogram -> float
+
+val bucket_counts : histogram -> (float * int) list
+(** [(upper_bound, count)] per bucket, non-cumulative; the final bound
+    is [infinity]. *)
+
+val names : t -> string list
+(** All registered instrument names, sorted. *)
+
+val render : t -> string
+(** Human-readable dump, one instrument per line (histograms span
+    several), sorted by name. *)
+
+val to_json : t -> string
+(** One JSON object:
+    [{"counters":{..},"gauges":{..},"histograms":{..}}]. *)

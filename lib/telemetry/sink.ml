@@ -1,0 +1,85 @@
+type t = { emit : step:int -> Event.t -> unit; close : unit -> unit }
+
+let null = { emit = (fun ~step:_ _ -> ()); close = (fun () -> ()) }
+let is_null t = t == null
+let of_fun emit = { emit; close = (fun () -> ()) }
+
+type buffer = {
+  mutable events : Event.stamped list;  (* newest first *)
+  mutable count : int;
+  limit : int;
+  mutable lost : int;
+}
+
+let memory ?(limit = 1_000_000) () =
+  let buf = { events = []; count = 0; limit; lost = 0 } in
+  let emit ~step event =
+    if buf.count < buf.limit then begin
+      buf.events <- { Event.step; event } :: buf.events;
+      buf.count <- buf.count + 1
+    end
+    else buf.lost <- buf.lost + 1
+  in
+  ({ emit; close = (fun () -> ()) }, buf)
+
+let contents buf = List.rev buf.events
+let dropped buf = buf.lost
+
+let jsonl oc =
+  let emit ~step event =
+    output_string oc (Event.to_json { Event.step; event });
+    output_char oc '\n'
+  in
+  { emit; close = (fun () -> flush oc) }
+
+let collect ~into:registry =
+  (* Per-region entry/side-exit tallies for the side-exit-rate
+     distribution, finalised at close. *)
+  let entries = Hashtbl.create 16 in
+  let side_exits = Hashtbl.create 16 in
+  let bump table region =
+    Hashtbl.replace table region
+      (1 + Option.value ~default:0 (Hashtbl.find_opt table region))
+  in
+  let slots_hist =
+    Metrics.histogram registry "region.slots"
+      ~buckets:[ 1.; 2.; 4.; 8.; 16.; 32. ]
+  in
+  let instrs_hist =
+    Metrics.histogram registry "region.instrs"
+      ~buckets:[ 4.; 8.; 16.; 32.; 64.; 128.; 256. ]
+  in
+  let emit ~step:_ event =
+    Metrics.incr (Metrics.counter registry ("events." ^ Event.kind_name event));
+    match event with
+    | Event.Region_formed { slots; instrs; _ } ->
+        Metrics.observe slots_hist (float_of_int slots);
+        Metrics.observe instrs_hist (float_of_int instrs)
+    | Event.Region_entry { region } -> bump entries region
+    | Event.Region_side_exit { region; _ } -> bump side_exits region
+    | _ -> ()
+  in
+  let closed = ref false in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      let rate_hist =
+        Metrics.histogram registry "region.side_exit_rate"
+          ~buckets:[ 0.01; 0.05; 0.1; 0.2; 0.3; 0.5; 0.75; 1.0 ]
+      in
+      Hashtbl.fold (fun region n acc -> (region, n) :: acc) entries []
+      |> List.sort compare
+      |> List.iter (fun (region, n) ->
+             let exits =
+               Option.value ~default:0 (Hashtbl.find_opt side_exits region)
+             in
+             Metrics.observe rate_hist (float_of_int exits /. float_of_int n))
+    end
+  in
+  { emit; close }
+
+let tee sinks =
+  {
+    emit = (fun ~step event -> List.iter (fun s -> s.emit ~step event) sinks);
+    close = (fun () -> List.iter (fun s -> s.close ()) sinks);
+  }

@@ -1,0 +1,99 @@
+type region_row = {
+  mutable kind : string;
+  mutable slots : int;
+  mutable formed_at : int;
+  mutable entries : int;
+  mutable side_exits : int;
+  mutable completions : int;
+  mutable dissolved_at : int option;
+}
+
+let render events =
+  let kind_counts = Hashtbl.create 16 in
+  let regions : (int, region_row) Hashtbl.t = Hashtbl.create 16 in
+  let row region =
+    match Hashtbl.find_opt regions region with
+    | Some r -> r
+    | None ->
+        let r =
+          {
+            kind = "?";
+            slots = 0;
+            formed_at = 0;
+            entries = 0;
+            side_exits = 0;
+            completions = 0;
+            dissolved_at = None;
+          }
+        in
+        Hashtbl.add regions region r;
+        r
+  in
+  let pool_fires = ref [] in
+  let last_step = ref 0 in
+  List.iter
+    (fun { Event.step; event } ->
+      last_step := step;
+      let kind = Event.kind_name event in
+      Hashtbl.replace kind_counts kind
+        (1 + Option.value ~default:0 (Hashtbl.find_opt kind_counts kind));
+      match event with
+      | Event.Pool_trigger { pool_size; reason } ->
+          pool_fires := (step, pool_size, reason) :: !pool_fires
+      | Event.Region_formed { region; kind; slots; _ } ->
+          let r = row region in
+          r.kind <- Event.region_kind_name kind;
+          r.slots <- slots;
+          r.formed_at <- step
+      | Event.Region_entry { region } ->
+          let r = row region in
+          r.entries <- r.entries + 1
+      | Event.Region_side_exit { region; _ } ->
+          let r = row region in
+          r.side_exits <- r.side_exits + 1
+      | Event.Region_completion { region } ->
+          let r = row region in
+          r.completions <- r.completions + 1
+      | Event.Region_dissolved { region; _ } ->
+          (row region).dissolved_at <- Some step
+      | _ -> ())
+    events;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "run summary: %d events over %d steps\n"
+       (List.length events) !last_step);
+  Buffer.add_string buf "\nevent counts:\n";
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) kind_counts []
+  |> List.sort compare
+  |> List.iter (fun (k, n) ->
+         Buffer.add_string buf (Printf.sprintf "  %-24s %d\n" k n));
+  (match List.rev !pool_fires with
+  | [] -> ()
+  | fires ->
+      Buffer.add_string buf "\noptimisation rounds:\n";
+      List.iter
+        (fun (step, pool_size, reason) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  step %-10d pool=%-3d (%s)\n" step pool_size
+               (Event.pool_reason_name reason)))
+        fires);
+  let rows =
+    Hashtbl.fold (fun id r acc -> (id, r) :: acc) regions []
+    |> List.sort compare
+  in
+  if rows <> [] then begin
+    Buffer.add_string buf
+      "\nregions:\n\
+      \  id    kind   slots  formed@      entries   side-exits  \
+       completions  dissolved@\n";
+    List.iter
+      (fun (id, r) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-5d %-6s %-6d %-12d %-9d %-11d %-12d %s\n" id
+             r.kind r.slots r.formed_at r.entries r.side_exits r.completions
+             (match r.dissolved_at with
+             | Some s -> string_of_int s
+             | None -> "-")))
+      rows
+  end;
+  Buffer.contents buf

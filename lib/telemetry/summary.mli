@@ -1,0 +1,12 @@
+(** Human-readable run summary.
+
+    Condenses a stamped event stream into the story of the run: how
+    much cold translation happened, when the pool fired, what regions
+    were formed and how they behaved.  Intended for terminal output
+    after [tpdbt trace]; the machine-readable forms are the JSONL log
+    and {!Metrics.to_json}. *)
+
+val render : Event.stamped list -> string
+(** Events must be in emission order.  Includes per-event-kind totals,
+    the step of each optimisation round, and a per-region table
+    (kind, slots, entries, side exits, completions, dissolution). *)

@@ -11,4 +11,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
       ("integration", Test_integration.suite);
+      ("telemetry", Test_telemetry.suite);
     ]
