@@ -7,7 +7,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test fmt check clean
+.PHONY: all build test fmt check clean faults-smoke
 
 all: build
 
@@ -17,6 +17,13 @@ build:
 test:
 	$(DUNE) runtest
 
+# Seeded fault-injection smoke: two campaigns with a fixed seed must
+# finish with zero uncaught exceptions (tpdbt faults exits non-zero
+# otherwise).
+faults-smoke: build
+	$(DUNE) exec bin/tpdbt.exe -- faults gzip --trials 4 --seed 11
+	$(DUNE) exec bin/tpdbt.exe -- faults swim --trials 4 --seed 11
+
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 		echo "checking formatting (dune build @fmt)"; \
@@ -25,7 +32,7 @@ fmt:
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-check: build test fmt
+check: build test faults-smoke fmt
 
 clean:
 	$(DUNE) clean

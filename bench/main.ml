@@ -123,11 +123,19 @@ let run_sweep ~quick =
   Printf.eprintf "running the threshold sweep over %d benchmarks...\n%!"
     (List.length benches);
   let t0 = Unix.gettimeofday () in
-  let data =
-    Runner.run_many ~progress:(fun n -> Printf.eprintf "  %s\n%!" n) benches
+  let sweep =
+    Runner.run_many
+      ~progress:(fun n status ->
+        Printf.eprintf "  %s (%s)\n%!" n (Runner.status_name status))
+      benches
   in
+  List.iter
+    (fun { Runner.failed; error } ->
+      Printf.eprintf "  failed %s: %s\n%!" failed.Tpdbt_workloads.Spec.name
+        (Tpdbt_dbt.Error.to_string error))
+    sweep.Runner.failures;
   Printf.eprintf "sweep done in %.1fs\n%!" (Unix.gettimeofday () -. t0);
-  data
+  sweep.Runner.data
 
 let print_figures data =
   List.iter

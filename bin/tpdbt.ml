@@ -17,6 +17,19 @@ let or_die = function
       prerr_endline ("error: " ^ msg);
       exit 1
 
+(* Same, for operations whose failures are typed engine errors. *)
+let or_die_err = function
+  | Ok v -> v
+  | Error e ->
+      prerr_endline ("error: " ^ Tpdbt_dbt.Error.to_string e);
+      exit 1
+
+let warn_error = function
+  | None -> ()
+  | Some e ->
+      let label = if Tpdbt_dbt.Error.fatal e then "error" else "note" in
+      Format.eprintf "%s: %s@." label (Tpdbt_dbt.Error.to_string e)
+
 (* ------------------------------------------------------------------ *)
 (* asm                                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -165,9 +178,7 @@ let dbt_cmd =
     let engine = Tpdbt_dbt.Engine.create ~config ~seed program in
     let r = Tpdbt_dbt.Engine.run engine in
     let c = r.Tpdbt_dbt.Engine.counters in
-    (match r.Tpdbt_dbt.Engine.trap with
-    | None -> ()
-    | Some trap -> Format.eprintf "trap: %a@." Tpdbt_vm.Machine.pp_trap trap);
+    warn_error r.Tpdbt_dbt.Engine.error;
     Printf.printf "steps:              %d\n" r.Tpdbt_dbt.Engine.steps;
     Printf.printf "cycles:             %.0f\n" c.Tpdbt_dbt.Perf_model.cycles;
     Printf.printf "profiling ops:      %d\n" r.Tpdbt_dbt.Engine.profiling_ops;
@@ -265,7 +276,18 @@ let sweep_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into DIR.")
   in
-  let run benches figures csv_dir =
+  let checkpoint_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"DIR"
+          ~doc:
+            "Checkpoint each completed benchmark into DIR and resume from \
+             any checkpoints already there — a killed sweep restarted with \
+             the same DIR re-runs only what it hadn't finished.")
+  in
+  let run benches figures csv_dir checkpoint_dir =
+    let module Runner = Tpdbt_experiments.Runner in
     let selected =
       match benches with
       | [] -> Tpdbt_workloads.Suite.all
@@ -279,12 +301,22 @@ let sweep_cmd =
                   exit 1)
             names
     in
-    let data =
-      Tpdbt_experiments.Runner.run_many
-        ~progress:(fun n -> Printf.eprintf "running %s...\n%!" n)
-        selected
+    let progress n = function
+      | Runner.Started -> Printf.eprintf "running %s...\n%!" n
+      | status -> Printf.eprintf "%s: %s\n%!" n (Runner.status_name status)
     in
-    let tables = Tpdbt_experiments.Figures.all data in
+    let sweep =
+      match checkpoint_dir with
+      | Some dir ->
+          Tpdbt_experiments.Checkpoint.run_many ~progress ~dir selected
+      | None -> Runner.run_many ~progress selected
+    in
+    List.iter
+      (fun { Runner.failed; error } ->
+        Printf.eprintf "failed %s: %s\n%!" failed.Tpdbt_workloads.Spec.name
+          (Tpdbt_dbt.Error.to_string error))
+      sweep.Runner.failures;
+    let tables = Tpdbt_experiments.Figures.all sweep.Runner.data in
     let tables =
       match figures with
       | [] -> tables
@@ -305,14 +337,16 @@ let sweep_cmd =
               ~finally:(fun () -> close_out oc)
               (fun () ->
                 output_string oc (Tpdbt_experiments.Table.to_csv table)))
-      tables
+      tables;
+    if sweep.Runner.failures <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "Run the paper's threshold sweep and print the figures' tables \
-          (Figures 8-18).")
-    Term.(const run $ benches $ figures $ csv_dir)
+          (Figures 8-18).  Benchmarks that fail with a typed error are \
+          reported and skipped; the rest of the sweep still runs.")
+    Term.(const run $ benches $ figures $ csv_dir $ checkpoint_dir)
 
 (* ------------------------------------------------------------------ *)
 (* profile / analyze (the paper's collect-then-analyse workflow)        *)
@@ -341,9 +375,7 @@ let profile_cmd =
     let config = { (Tpdbt_dbt.Engine.config ~threshold ()) with max_steps } in
     let engine = Tpdbt_dbt.Engine.create ~config ~seed program in
     let result = Tpdbt_dbt.Engine.run engine in
-    (match result.Tpdbt_dbt.Engine.trap with
-    | None -> ()
-    | Some trap -> Format.eprintf "trap: %a@." Tpdbt_vm.Machine.pp_trap trap);
+    warn_error result.Tpdbt_dbt.Engine.error;
     let out =
       match output with
       | Some o -> o
@@ -373,8 +405,10 @@ let report_cmd =
           ~doc:"Average profile to compare region probabilities against.")
   in
   let run file avep_file =
-    let snapshot = or_die (Tpdbt_profiles.Profile_io.load file) in
-    let avep = Option.map (fun f -> or_die (Tpdbt_profiles.Profile_io.load f)) avep_file in
+    let snapshot = or_die_err (Tpdbt_profiles.Profile_io.load file) in
+    let avep =
+      Option.map (fun f -> or_die_err (Tpdbt_profiles.Profile_io.load f)) avep_file
+    in
     print_string (Tpdbt_profiles.Report.render ?avep snapshot)
   in
   Cmd.v
@@ -390,8 +424,8 @@ let analyze_cmd =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"AVEP.prof")
   in
   let run inip_file avep_file =
-    let inip = or_die (Tpdbt_profiles.Profile_io.load inip_file) in
-    let avep = or_die (Tpdbt_profiles.Profile_io.load avep_file) in
+    let inip = or_die_err (Tpdbt_profiles.Profile_io.load inip_file) in
+    let avep = or_die_err (Tpdbt_profiles.Profile_io.load avep_file) in
     if inip.Tpdbt_dbt.Snapshot.regions = [] then
       (* Two flat profiles: the train-vs-AVEP comparison. *)
       let f = Tpdbt_profiles.Metrics.compare_flat ~predicted:inip ~avep in
@@ -507,9 +541,7 @@ let trace_cmd =
          summary and Chrome trace are truncated, the JSONL log is complete\n"
         (List.length events)
         (Tel.Sink.dropped buffer);
-    (match result.Tpdbt_dbt.Engine.trap with
-    | None -> ()
-    | Some trap -> Format.eprintf "trap: %a@." Tpdbt_vm.Machine.pp_trap trap);
+    warn_error result.Tpdbt_dbt.Engine.error;
     let trace_json = Tel.Chrome_trace.to_json ~process_name:name events in
     (match Tel.Json.validate trace_json with
     | Ok () -> ()
@@ -573,6 +605,96 @@ let ablate_cmd =
        ~doc:"Run the ablation studies over the translator's design choices.")
     Term.(const run $ studies $ benches)
 
+(* ------------------------------------------------------------------ *)
+(* faults (seeded fault-injection campaign)                             *)
+(* ------------------------------------------------------------------ *)
+
+let faults_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Suite benchmark name (see $(b,tpdbt bench)).")
+  in
+  let threshold =
+    Arg.(
+      value & opt int 20
+      & info [ "threshold"; "t" ] ~docv:"T"
+          ~doc:"Retranslation threshold for the campaign runs.")
+  in
+  let trials =
+    Arg.(
+      value & opt int 8
+      & info [ "trials"; "n" ] ~docv:"N" ~doc:"Number of faulty runs.")
+  in
+  let arms =
+    Arg.(
+      value & opt int 4
+      & info [ "arms" ] ~docv:"N" ~doc:"Fault arms per trial plan.")
+  in
+  let kinds =
+    Arg.(
+      value & opt_all string []
+      & info [ "kind"; "k" ] ~docv:"KIND"
+          ~doc:
+            "Fault kind to draw from: retranslate_fail, block_corrupt, \
+             region_abort, guest_trap (repeatable; default: all).")
+  in
+  let show_plans =
+    Arg.(
+      value & flag
+      & info [ "plans" ] ~doc:"Also print each trial's fault plan.")
+  in
+  let run workload threshold trials arms kinds seed show_plans =
+    let module Campaign = Tpdbt_experiments.Campaign in
+    let module Fault = Tpdbt_faults.Fault in
+    let bench =
+      match Tpdbt_workloads.Suite.find workload with
+      | Some b -> b
+      | None ->
+          prerr_endline ("unknown benchmark: " ^ workload);
+          exit 1
+    in
+    let kinds =
+      match kinds with
+      | [] -> None
+      | names ->
+          Some
+            (List.map
+               (fun n ->
+                 match Fault.kind_of_name n with
+                 | Some k -> k
+                 | None ->
+                     prerr_endline ("unknown fault kind: " ^ n);
+                     exit 1)
+               names)
+    in
+    let campaign =
+      try Campaign.run ?kinds ~threshold ~trials ~arms ~seed bench
+      with Tpdbt_dbt.Error.Error e ->
+        prerr_endline ("error: clean run failed: " ^ Tpdbt_dbt.Error.to_string e);
+        exit 1
+    in
+    Format.printf "%a@." Campaign.render campaign;
+    if show_plans then
+      List.iter
+        (fun tr ->
+          Format.printf "trial %d plan: %a@." tr.Campaign.index
+            Tpdbt_faults.Plan.pp tr.Campaign.plan)
+        campaign.Campaign.trials;
+    if not (Campaign.ok campaign) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run a seeded fault-injection campaign against a benchmark and \
+          print the survival/recovery summary.  Exits non-zero if any \
+          trial let an exception escape the engine.")
+    Term.(
+      const run $ workload $ threshold $ trials $ arms $ kinds $ seed_arg
+      $ show_plans)
+
 let () =
   let doc = "two-phase dynamic binary translator profile-accuracy testbed" in
   let info = Cmd.info "tpdbt" ~version:"1.0.0" ~doc in
@@ -582,4 +704,5 @@ let () =
           [
             asm_cmd; dis_cmd; check_cmd; run_cmd; dbt_cmd; bench_cmd; sweep_cmd;
             profile_cmd; analyze_cmd; report_cmd; ablate_cmd; trace_cmd;
+            faults_cmd;
           ]))

@@ -1,6 +1,8 @@
 module Machine = Tpdbt_vm.Machine
 module Event = Tpdbt_telemetry.Event
 module Sink = Tpdbt_telemetry.Sink
+module Fault = Tpdbt_faults.Fault
+module Injector = Tpdbt_faults.Injector
 
 type config = {
   threshold : int;
@@ -18,10 +20,12 @@ type config = {
   perf : Perf_model.params;
   max_steps : int;
   sink : Sink.t;
+  faults : Tpdbt_faults.Plan.t option;
+  retry_limit : int;
 }
 
-let config ?(pool_trigger = 16) ?(adaptive = false) ?(sink = Sink.null)
-    ~threshold () =
+let config ?(pool_trigger = 16) ?(adaptive = false) ?(sink = Sink.null) ?faults
+    ?(retry_limit = 3) ~threshold () =
   {
     threshold;
     pool_trigger;
@@ -38,6 +42,8 @@ let config ?(pool_trigger = 16) ?(adaptive = false) ?(sink = Sink.null)
     perf = Perf_model.default;
     max_steps = 200_000_000;
     sink;
+    faults;
+    retry_limit;
   }
 
 let profiling_only = config ~threshold:0 ()
@@ -56,8 +62,12 @@ type result = {
   profiling_ops : int;
   outputs : int list;
   region_stats : (int * region_stats) list;
-  trap : Machine.trap option;
+  error : Error.t option;
+  faults : Fault.report option;
 }
+
+let trap result =
+  match result.error with Some (Error.Trap t) -> Some t | Some _ | None -> None
 
 type block_state = Cold | Registered | Optimized
 
@@ -92,8 +102,17 @@ type t = {
   mutable next_region_id : int;
   mutable pool : int list;
   mutable pool_size : int;
+  mutable pool_trigger_now : int;
+      (* effective pool trigger: decays (halves) after an injected
+         retranslation failure so the retry happens promptly, and is
+         restored to the configured value by a clean optimisation
+         round *)
+  fault_fails : int array;
+      (* per block: injected retranslation failures / formation aborts
+         of regions rooted there — the bounded-retry budget *)
+  inj : Injector.t option;
   counters : Perf_model.counters;
-  mutable trap : Machine.trap option;
+  mutable error : Error.t option;
   trace : bool;
       (* telemetry enabled?  Checked before constructing any event, so
          the default null sink costs nothing on the hot paths. *)
@@ -120,8 +139,11 @@ let create ?config:(cfg = config ~threshold:1000 ()) ?mem_words ~seed program =
     next_region_id = 0;
     pool = [];
     pool_size = 0;
+    pool_trigger_now = cfg.pool_trigger;
+    fault_fails = Array.make n 0;
+    inj = Option.map Injector.create cfg.faults;
     counters = Perf_model.fresh_counters ();
-    trap = None;
+    error = None;
     trace = not (Sink.is_null cfg.sink);
   }
 
@@ -159,6 +181,80 @@ let exec_block t (b : Block_map.block) =
 (* Optimisation phase                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Injected retranslation failure: the region is not installed.  Its
+   members keep their profiles and return to the candidate pool, and
+   the pool trigger decays so the retry fires promptly; past the retry
+   budget the engine gives up with a typed error (the IA32EL-style
+   bail-out). *)
+let recover_retranslation_failure t inj arm (r : Region.t) =
+  let step = Machine.steps t.machine in
+  let entry = Region.entry_block r in
+  Injector.record inj arm ~fired_step:step ~target:r.Region.id;
+  t.counters.Perf_model.faults_injected <-
+    t.counters.Perf_model.faults_injected + 1;
+  if t.trace then
+    emit t
+      (Event.Fault_injected
+         { fault = Fault.kind_name Fault.Retranslate_fail; target = r.Region.id });
+  t.fault_fails.(entry) <- t.fault_fails.(entry) + 1;
+  if t.fault_fails.(entry) > t.cfg.retry_limit then
+    t.error <-
+      Some
+        (Error.Retranslation_failed
+           { region = r.Region.id; block = entry; attempts = t.fault_fails.(entry) })
+  else begin
+    t.pool_trigger_now <- max 1 (t.pool_trigger_now / 2);
+    t.counters.Perf_model.retrans_retries <-
+      t.counters.Perf_model.retrans_retries + 1;
+    if t.trace then
+      emit t (Event.Recovery { action = Event.Retry; target = r.Region.id });
+    Array.iter
+      (fun b ->
+        if t.state.(b) <> Optimized then begin
+          t.state.(b) <- Registered;
+          if not (List.mem b t.pool) then begin
+            t.pool <- b :: t.pool;
+            t.pool_size <- t.pool_size + 1
+          end
+        end)
+      r.Region.slots
+  end
+
+(* Injected formation abort: the half-built region is thrown away and
+   its members return to cold profiling code with fresh counters (the
+   dissolution recovery path); past the retry budget the engine gives
+   up with a typed error. *)
+let recover_region_abort t inj arm (r : Region.t) =
+  let step = Machine.steps t.machine in
+  let entry = Region.entry_block r in
+  Injector.record inj arm ~fired_step:step ~target:r.Region.id;
+  t.counters.Perf_model.faults_injected <-
+    t.counters.Perf_model.faults_injected + 1;
+  if t.trace then
+    emit t
+      (Event.Fault_injected
+         { fault = Fault.kind_name Fault.Region_abort; target = r.Region.id });
+  t.fault_fails.(entry) <- t.fault_fails.(entry) + 1;
+  if t.fault_fails.(entry) > t.cfg.retry_limit then
+    t.error <-
+      Some
+        (Error.Region_aborted
+           { region = r.Region.id; block = entry; attempts = t.fault_fails.(entry) })
+  else begin
+    t.counters.Perf_model.fault_dissolves <-
+      t.counters.Perf_model.fault_dissolves + 1;
+    if t.trace then
+      emit t (Event.Recovery { action = Event.Dissolve; target = r.Region.id });
+    Array.iter
+      (fun b ->
+        if t.state.(b) <> Optimized then begin
+          t.state.(b) <- Cold;
+          t.use.(b) <- 0;
+          t.taken.(b) <- 0
+        end)
+      r.Region.slots
+  end
+
 let optimize t =
   if t.trace then emit t (Event.Phase_begin { phase = "optimize" });
   t.counters.Perf_model.optimization_rounds <-
@@ -166,6 +262,11 @@ let optimize t =
   let seeds =
     List.sort (fun a b -> compare t.use.(b) t.use.(a)) t.pool
   in
+  (* Clear the pool before committing regions: recovery from an
+     injected retranslation failure re-pools the failed region's
+     members, and those must survive to the next round. *)
+  t.pool <- [];
+  t.pool_size <- 0;
   let former_cfg =
     {
       Region_former.threshold = t.cfg.threshold;
@@ -185,9 +286,7 @@ let optimize t =
     Region_former.form former_cfg ~block_map:t.bmap ~use:t.use ~taken:t.taken
       ~owner ~seeds ~first_id:t.next_region_id
   in
-  List.iter
-    (fun r ->
-      t.next_region_id <- t.next_region_id + 1;
+  let commit r =
       let slot_cycles =
         let code = t.program.Tpdbt_isa.Program.code in
         if t.cfg.trace_scheduling then
@@ -237,10 +336,28 @@ let optimize t =
       (* Freeze members; record the region entry for dispatch. *)
       Array.iter (fun block -> t.state.(block) <- Optimized) r.Region.slots;
       let entry = Region.entry_block r in
-      if t.region_entry.(entry) < 0 then t.region_entry.(entry) <- r.Region.id)
+      if t.region_entry.(entry) < 0 then t.region_entry.(entry) <- r.Region.id
+  in
+  let clean_round = ref true in
+  List.iter
+    (fun r ->
+      t.next_region_id <- t.next_region_id + 1;
+      if t.error = None then begin
+        let step = Machine.steps t.machine in
+        match t.inj with
+        | None -> commit r
+        | Some inj -> (
+            match Injector.take inj ~step Fault.Region_abort with
+            | Some arm -> recover_region_abort t inj arm r
+            | None -> (
+                match Injector.take inj ~step Fault.Retranslate_fail with
+                | Some arm ->
+                    clean_round := false;
+                    recover_retranslation_failure t inj arm r
+                | None -> commit r))
+      end)
     new_regions;
-  t.pool <- [];
-  t.pool_size <- 0;
+  if !clean_round then t.pool_trigger_now <- t.cfg.pool_trigger;
   if t.trace then emit t (Event.Phase_end { phase = "optimize" })
 
 (* Adaptive mode: dissolve a region whose side-exit rate shows that its
@@ -343,7 +460,7 @@ let exec_single t bid =
           | Registered -> t.use.(bid) >= 2 * t.cfg.threshold
           | Cold | Optimized -> false
         in
-        if t.pool_size > 0 && (registered_twice || t.pool_size >= t.cfg.pool_trigger)
+        if t.pool_size > 0 && (registered_twice || t.pool_size >= t.pool_trigger_now)
         then begin
           if t.trace then
             emit t
@@ -375,7 +492,13 @@ let exec_region t rid =
   let rec at_slot slot =
     let bid = region.Region.slots.(slot) in
     let b = Block_map.block t.bmap bid in
-    assert (Machine.pc t.machine = b.Block_map.start_pc);
+    if Machine.pc t.machine <> b.Block_map.start_pc then begin
+      (* The region's layout no longer matches execution — surface a
+         typed error instead of dying on an assertion. *)
+      t.error <- Some (Error.Dispatch_lost { pc = Machine.pc t.machine });
+      Finished
+    end
+    else
     let outcome = exec_block t b in
     t.counters.Perf_model.cycles <-
       t.counters.Perf_model.cycles +. slot_cycles.(slot);
@@ -461,6 +584,76 @@ let exec_region t rid =
   in
   at_slot 0
 
+(* Injected corruption of block [bid]'s translated code.  The
+   translation is discarded (the next execution pays the cold
+   translation again) and any region holding the block is dissolved
+   back to cold profiling code via the adaptive-dissolution path. *)
+let corrupt_block t bid =
+  t.counters.Perf_model.faults_injected <-
+    t.counters.Perf_model.faults_injected + 1;
+  if t.trace then
+    emit t
+      (Event.Fault_injected
+         { fault = Fault.kind_name Fault.Block_corrupt; target = bid });
+  t.touched.(bid) <- false;
+  t.counters.Perf_model.blocks_retranslated <-
+    t.counters.Perf_model.blocks_retranslated + 1;
+  let owners =
+    Hashtbl.fold
+      (fun _ (r, _) acc ->
+        if Array.exists (fun b -> b = bid) r.Region.slots then r :: acc
+        else acc)
+      t.regions []
+  in
+  List.iter
+    (fun r ->
+      t.counters.Perf_model.fault_dissolves <-
+        t.counters.Perf_model.fault_dissolves + 1;
+      if t.trace then
+        emit t (Event.Recovery { action = Event.Dissolve; target = r.Region.id });
+      dissolve t r)
+    owners;
+  if t.trace then
+    emit t (Event.Recovery { action = Event.Retranslate; target = bid })
+
+(* Faults whose site is the dispatch loop: guest traps (poison the
+   instruction about to execute) and block corruption (pick a
+   translated victim from the arm's salt). *)
+let inject_dispatch_faults t inj =
+  let step = Machine.steps t.machine in
+  (match Injector.take inj ~step Fault.Guest_trap with
+  | None -> ()
+  | Some arm ->
+      let pc = Machine.pc t.machine in
+      Machine.poison t.machine pc;
+      t.counters.Perf_model.faults_injected <-
+        t.counters.Perf_model.faults_injected + 1;
+      Injector.record inj arm ~fired_step:step ~target:pc;
+      if t.trace then
+        emit t
+          (Event.Fault_injected
+             { fault = Fault.kind_name Fault.Guest_trap; target = pc }));
+  match Injector.take inj ~step Fault.Block_corrupt with
+  | None -> ()
+  | Some arm ->
+      let n = Array.length t.touched in
+      let start =
+        if n = 0 then 0
+        else
+          Int64.to_int
+            (Int64.rem (Int64.logand arm.Fault.salt Int64.max_int)
+               (Int64.of_int n))
+      in
+      let victim = ref (-1) in
+      let i = ref 0 in
+      while !victim < 0 && !i < n do
+        let b = (start + !i) mod n in
+        if t.touched.(b) then victim := b;
+        incr i
+      done;
+      Injector.record inj arm ~fired_step:step ~target:!victim;
+      if !victim >= 0 then corrupt_block t !victim
+
 let current_snapshot t =
   {
     Snapshot.block_map = t.bmap;
@@ -474,13 +667,23 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun ~steps:_ _ -> ()) t =
   let next_checkpoint = ref checkpoint_every in
   let rec loop () =
     if Machine.halted t.machine then ()
-    else if Machine.steps t.machine >= t.cfg.max_steps then ()
+    else if t.error <> None then ()
+    else if Machine.steps t.machine >= t.cfg.max_steps then
+      t.error <-
+        Some
+          (Error.Limit_exceeded
+             { steps = Machine.steps t.machine; max_steps = t.cfg.max_steps })
     else begin
+      (match t.inj with
+      | Some inj when Injector.due inj ~step:(Machine.steps t.machine) ->
+          inject_dispatch_faults t inj
+      | Some _ | None -> ());
       let pc = Machine.pc t.machine in
       match Block_map.block_at t.bmap pc with
       | None ->
-          (* Control landed mid-block: impossible with static discovery. *)
-          assert false
+          (* Control landed mid-block: the dispatcher and the block map
+             disagree.  Stop with a typed error instead of asserting. *)
+          t.error <- Some (Error.Dispatch_lost { pc })
       | Some bid -> (
           let rid = t.region_entry.(bid) in
           let outcome =
@@ -493,8 +696,7 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun ~steps:_ _ -> ()) t =
             next_checkpoint := Machine.steps t.machine + checkpoint_every
           end;
           match outcome with
-          | Trapped trap ->
-              t.trap <- Some trap
+          | Trapped trap -> t.error <- Some (Error.Trap trap)
           | Finished -> ()
           | Flowed | Took _ -> loop ())
     end
@@ -523,5 +725,6 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun ~steps:_ _ -> ()) t =
     profiling_ops = Snapshot.profiling_ops snapshot;
     outputs = Machine.outputs t.machine;
     region_stats;
-    trap = t.trap;
+    error = t.error;
+    faults = Option.map Injector.report t.inj;
   }

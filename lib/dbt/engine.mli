@@ -55,18 +55,30 @@ type config = {
           short-circuits — a run with the null sink performs no
           telemetry work at all.  The engine never closes the sink;
           the caller owns it. *)
+  faults : Tpdbt_faults.Plan.t option;
+      (** Deterministic fault plan ({!Tpdbt_faults.Plan}).  Each arm
+          fires at the first matching injection site whose
+          guest-instruction step is at or past the arm's step; arms
+          that never find a site are reported unfired. *)
+  retry_limit : int;
+      (** Recovery budget: how many injected retranslation failures /
+          formation aborts a single entry block may absorb before the
+          run stops with a typed {!Error.t} (default 3). *)
 }
 
 val config :
   ?pool_trigger:int ->
   ?adaptive:bool ->
   ?sink:Tpdbt_telemetry.Sink.t ->
+  ?faults:Tpdbt_faults.Plan.t ->
+  ?retry_limit:int ->
   threshold:int ->
   unit ->
   config
 (** Defaults: pool trigger 16, min branch prob 0.7, 16 slots,
     duplication and diamonds on, adaptive off (side-exit rate 0.3, min
-    entries 64), {!Perf_model.default}, 200M steps, null sink. *)
+    entries 64), {!Perf_model.default}, 200M steps, null sink, no
+    faults, retry limit 3. *)
 
 val profiling_only : config
 (** [threshold = 0]: collect AVEP / INIP(train) profiles. *)
@@ -90,9 +102,19 @@ type result = {
           probability (the lightweight instrumentation of paper §5 /
           [21]), available even though the region's profile counters are
           frozen. *)
-  trap : Tpdbt_vm.Machine.trap option;
-      (** [None] for a clean halt (or step-budget stop) *)
+  error : Error.t option;
+      (** [None] for a clean halt.  Guest traps, exhausted recovery
+          budgets, a blown step budget ({!Error.Limit_exceeded}) and
+          dispatcher confusion after corruption all land here as typed
+          errors instead of exceptions. *)
+  faults : Tpdbt_faults.Fault.report option;
+      (** Present iff the run was configured with a fault plan: which
+          arms fired (and on what victim) and which never found a
+          site. *)
 }
+
+val trap : result -> Tpdbt_vm.Machine.trap option
+(** Convenience: the guest trap, when [error] is [Some (Trap _)]. *)
 
 type t
 

@@ -1,0 +1,49 @@
+type t =
+  | Trap of Tpdbt_vm.Machine.trap
+  | Retranslation_failed of { region : int; block : int; attempts : int }
+  | Region_aborted of { region : int; block : int; attempts : int }
+  | Limit_exceeded of { steps : int; max_steps : int }
+  | Dispatch_lost of { pc : int }
+  | Corrupt_profile of { line : int; field : string; reason : string }
+  | Io_error of string
+
+exception Error of t
+
+(* Budget exhaustion describes a run that was cut short, not one that
+   went wrong: several ref workloads legitimately outlive the default
+   budget, and the sweep harness has always kept their partial runs.
+   Everything else ends the run. *)
+let fatal = function Limit_exceeded _ -> false | _ -> true
+
+let pp ppf = function
+  | Trap trap -> Format.fprintf ppf "trap: %a" Tpdbt_vm.Machine.pp_trap trap
+  | Retranslation_failed { region; block; attempts } ->
+      Format.fprintf ppf
+        "retranslation of region %d (entry block %d) failed %d times" region
+        block attempts
+  | Region_aborted { region; block; attempts } ->
+      Format.fprintf ppf
+        "formation of region %d (entry block %d) aborted %d times" region block
+        attempts
+  | Limit_exceeded { steps; max_steps } ->
+      Format.fprintf ppf
+        "run watchdog: %d guest instructions executed without halting (budget \
+         %d)"
+        steps max_steps
+  | Dispatch_lost { pc } ->
+      Format.fprintf ppf "dispatcher lost sync with the block map at pc %d" pc
+  | Corrupt_profile { line; field; reason } ->
+      if line = 0 then
+        Format.fprintf ppf "corrupt profile: %s (%s) at end of file" reason
+          field
+      else
+        Format.fprintf ppf "corrupt profile: %s (%s) at line %d" reason field
+          line
+  | Io_error msg -> Format.fprintf ppf "i/o error: %s" msg
+
+let to_string t = Format.asprintf "%a" pp t
+
+let () =
+  Printexc.register_printer (function
+    | Error t -> Some ("Tpdbt_dbt.Error.Error: " ^ to_string t)
+    | _ -> None)

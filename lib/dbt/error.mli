@@ -1,0 +1,45 @@
+(** Typed error taxonomy for the translator and its tooling.
+
+    Every guest-reachable failure path — a guest trap, a retranslation
+    that keeps failing, a region formation that keeps aborting, the
+    run watchdog, a desynchronised dispatcher, a corrupt profile file —
+    is a constructor here, so callers can match on what went wrong
+    instead of parsing exception strings, and so no raw exception
+    escapes {!Engine.run} or the sweep runner. *)
+
+type t =
+  | Trap of Tpdbt_vm.Machine.trap
+      (** the guest trapped (including injected illegal instructions) *)
+  | Retranslation_failed of { region : int; block : int; attempts : int }
+      (** optimised retranslation of the region rooted at [block]
+          failed [attempts] times — past the bounded-retry limit, the
+          engine gives up on the run (the IA32EL-style bail-out) *)
+  | Region_aborted of { region : int; block : int; attempts : int }
+      (** region formation rooted at [block] aborted mid-way more than
+          the retry limit allows *)
+  | Limit_exceeded of { steps : int; max_steps : int }
+      (** the run watchdog: the guest-instruction budget ran out before
+          the program halted *)
+  | Dispatch_lost of { pc : int }
+      (** the dispatcher lost sync with the block map (control landed
+          where no block starts, or a region slot's block was not at
+          its expected pc) — an internal invariant violation surfaced
+          as data, not as an assertion failure *)
+  | Corrupt_profile of { line : int; field : string; reason : string }
+      (** a profile file failed load-time validation; [line] is
+          1-based, 0 for end-of-file truncation *)
+  | Io_error of string
+
+exception Error of t
+(** For the few call sites that must raise (e.g. a legacy wrapper);
+    everything else passes [t] in a [result]. *)
+
+val fatal : t -> bool
+(** Does this error invalidate the run's results?  [Limit_exceeded] is
+    the one non-fatal constructor: the run was cut short by its budget
+    but everything it did compute is sound, so the sweep harness keeps
+    the partial run (several ref workloads legitimately outlive the
+    default budget).  Every other constructor is fatal. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

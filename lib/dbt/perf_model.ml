@@ -29,6 +29,10 @@ type counters = {
   mutable side_exits : int;
   mutable optimization_rounds : int;
   mutable regions_dissolved : int;
+  mutable faults_injected : int;
+  mutable retrans_retries : int;
+  mutable fault_dissolves : int;
+  mutable blocks_retranslated : int;
 }
 
 let fresh_counters () =
@@ -42,6 +46,10 @@ let fresh_counters () =
     side_exits = 0;
     optimization_rounds = 0;
     regions_dissolved = 0;
+    faults_injected = 0;
+    retrans_retries = 0;
+    fault_dissolves = 0;
+    blocks_retranslated = 0;
   }
 
 let record c registry =
@@ -59,4 +67,8 @@ let record c registry =
       ("side_exits", c.side_exits);
       ("optimization_rounds", c.optimization_rounds);
       ("regions_dissolved", c.regions_dissolved);
+      ("faults_injected", c.faults_injected);
+      ("retrans_retries", c.retrans_retries);
+      ("fault_dissolves", c.fault_dissolves);
+      ("blocks_retranslated", c.blocks_retranslated);
     ]

@@ -39,6 +39,15 @@ type counters = {
   mutable optimization_rounds : int;
   mutable regions_dissolved : int;
       (** adaptive mode: regions dissolved for excessive side exits *)
+  mutable faults_injected : int;
+      (** injected faults that found a victim (fault campaigns) *)
+  mutable retrans_retries : int;
+      (** recovery: retranslation retries after injected failures *)
+  mutable fault_dissolves : int;
+      (** recovery: regions dissolved because of corruption or an
+          aborted formation *)
+  mutable blocks_retranslated : int;
+      (** recovery: corrupted blocks whose translation was discarded *)
 }
 
 val fresh_counters : unit -> counters

@@ -1,0 +1,140 @@
+module Engine = Tpdbt_dbt.Engine
+module Error = Tpdbt_dbt.Error
+module Perf_model = Tpdbt_dbt.Perf_model
+module Spec = Tpdbt_workloads.Spec
+module Fault = Tpdbt_faults.Fault
+module Plan = Tpdbt_faults.Plan
+module Prng = Tpdbt_vm.Prng
+
+type outcome =
+  | Recovered
+  | Degraded
+  | Failed of Error.t
+  | Uncaught of string
+
+type trial = {
+  index : int;
+  plan : Plan.t;
+  outcome : outcome;
+  report : Fault.report option;
+  counters : Perf_model.counters option;
+}
+
+type t = {
+  bench : Spec.t;
+  threshold : int;
+  seed : int64;
+  clean : Engine.result;
+  trials : trial list;
+}
+
+let outcome_name = function
+  | Recovered -> "recovered"
+  | Degraded -> "degraded"
+  | Failed _ -> "failed"
+  | Uncaught _ -> "uncaught"
+
+let classify (clean : Engine.result) (r : Engine.result) =
+  match r.Engine.error with
+  | Some e when Error.fatal e -> Failed e
+  | _ ->
+      if
+        r.Engine.outputs = clean.Engine.outputs
+        && r.Engine.steps = clean.Engine.steps
+      then Recovered
+      else Degraded
+
+let run ?(threshold = 20) ?(trials = 8) ?(arms = 4)
+    ?(kinds = Fault.all_kinds) ~seed bench =
+  let config = Engine.config ~threshold () in
+  let clean = Runner.run_ref bench ~config in
+  (match clean.Engine.error with
+  | Some e when Error.fatal e -> raise (Error.Error e)
+  | _ -> ());
+  let prng = Prng.create ~seed in
+  let trials =
+    List.init trials (fun index ->
+        let plan_seed = Prng.next_int64 prng in
+        let plan =
+          Plan.make ~kinds ~count:arms
+            ~horizon:(max 1 clean.Engine.steps)
+            ~seed:plan_seed ()
+        in
+        let config = Engine.config ~threshold ~faults:plan () in
+        match Runner.run_ref bench ~config with
+        | result ->
+            {
+              index;
+              plan;
+              outcome = classify clean result;
+              report = result.Engine.faults;
+              counters = Some result.Engine.counters;
+            }
+        | exception e ->
+            {
+              index;
+              plan;
+              outcome = Uncaught (Printexc.to_string e);
+              report = None;
+              counters = None;
+            })
+  in
+  { bench; threshold; seed; clean; trials }
+
+type tally = { recovered : int; degraded : int; failed : int; uncaught : int }
+
+let tally t =
+  List.fold_left
+    (fun acc tr ->
+      match tr.outcome with
+      | Recovered -> { acc with recovered = acc.recovered + 1 }
+      | Degraded -> { acc with degraded = acc.degraded + 1 }
+      | Failed _ -> { acc with failed = acc.failed + 1 }
+      | Uncaught _ -> { acc with uncaught = acc.uncaught + 1 })
+    { recovered = 0; degraded = 0; failed = 0; uncaught = 0 }
+    t.trials
+
+let ok t = (tally t).uncaught = 0
+
+let render ppf t =
+  let n = List.length t.trials in
+  Format.fprintf ppf
+    "@[<v>fault campaign: %s (threshold %d, seed 0x%Lx, %d trials)@,\
+     clean run: %d steps, %d outputs@,"
+    t.bench.Spec.name t.threshold t.seed n t.clean.Engine.steps
+    (List.length t.clean.Engine.outputs);
+  List.iter
+    (fun tr ->
+      let injected, armed =
+        match tr.report with
+        | Some r -> (Fault.injected r, Plan.count tr.plan)
+        | None -> (0, Plan.count tr.plan)
+      in
+      Format.fprintf ppf "  trial %d: %-9s injected %d/%d" tr.index
+        (outcome_name tr.outcome) injected armed;
+      (match tr.counters with
+      | Some c ->
+          Format.fprintf ppf "  retries %d dissolves %d retranslated %d"
+            c.Perf_model.retrans_retries c.Perf_model.fault_dissolves
+            c.Perf_model.blocks_retranslated
+      | None -> ());
+      (match tr.outcome with
+      | Failed e -> Format.fprintf ppf "  [%s]" (Error.to_string e)
+      | Uncaught msg -> Format.fprintf ppf "  [uncaught: %s]" msg
+      | Recovered | Degraded -> ());
+      Format.fprintf ppf "@,")
+    t.trials;
+  let { recovered; degraded; failed; uncaught } = tally t in
+  let injected_total =
+    List.fold_left
+      (fun acc tr ->
+        match tr.report with Some r -> acc + Fault.injected r | None -> acc)
+      0 t.trials
+  in
+  let armed_total =
+    List.fold_left (fun acc tr -> acc + Plan.count tr.plan) 0 t.trials
+  in
+  Format.fprintf ppf
+    "outcomes: %d recovered, %d degraded, %d failed, %d uncaught (%d shots \
+     landed / %d arms)@]"
+    recovered degraded failed uncaught injected_total armed_total

@@ -1,0 +1,67 @@
+(** Seeded fault campaigns: does the two-phase engine survive injected
+    failures, and at what cost?
+
+    A campaign first runs the benchmark clean (no faults) as the
+    reference, then runs [trials] faulty runs, each under a
+    {!Tpdbt_faults.Plan} whose seed is drawn from the campaign seed —
+    the whole campaign is a pure function of
+    [(bench, threshold, seed, trials, arms, kinds)].
+
+    Outcomes are judged against the clean run: a {e recovered} trial
+    finished with no fatal error and guest-identical behaviour (same outputs,
+    same instruction count) despite the injected faults; {e degraded}
+    finished but diverged; {e failed} ended with a typed
+    {!Tpdbt_dbt.Error.t} (expected for [Guest_trap] arms and exhausted
+    recovery budgets); {e uncaught} means an exception escaped the
+    engine — the one outcome the robustness work forbids. *)
+
+type outcome =
+  | Recovered
+  | Degraded
+  | Failed of Tpdbt_dbt.Error.t
+  | Uncaught of string
+
+type trial = {
+  index : int;
+  plan : Tpdbt_faults.Plan.t;
+  outcome : outcome;
+  report : Tpdbt_faults.Fault.report option;
+      (** which arms fired, and on what *)
+  counters : Tpdbt_dbt.Perf_model.counters option;
+      (** [None] only for [Uncaught] trials *)
+}
+
+type t = {
+  bench : Tpdbt_workloads.Spec.t;
+  threshold : int;
+  seed : int64;
+  clean : Tpdbt_dbt.Engine.result;
+  trials : trial list;
+}
+
+val run :
+  ?threshold:int ->
+  ?trials:int ->
+  ?arms:int ->
+  ?kinds:Tpdbt_faults.Fault.kind list ->
+  seed:int64 ->
+  Tpdbt_workloads.Spec.t ->
+  t
+(** Defaults: threshold 20 (the paper's 2k label, scaled), 8 trials of
+    4 arms each, all fault kinds.  Plan horizons are the clean run's
+    instruction count, so every arm lands inside the run.
+    @raise Tpdbt_dbt.Error.Error if the {e clean} run fails fatally
+    ({!Tpdbt_dbt.Error.fatal}) — the campaign needs a healthy
+    baseline.  A budget-limited clean run is kept: its horizon and its
+    partial outputs are the (deterministic) baseline. *)
+
+type tally = { recovered : int; degraded : int; failed : int; uncaught : int }
+
+val tally : t -> tally
+val outcome_name : outcome -> string
+
+val ok : t -> bool
+(** No uncaught exceptions — the campaign's pass criterion. *)
+
+val render : Format.formatter -> t -> unit
+(** Survival / recovery summary: one line per trial plus totals. *)

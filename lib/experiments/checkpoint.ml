@@ -1,0 +1,229 @@
+module Engine = Tpdbt_dbt.Engine
+module Perf_model = Tpdbt_dbt.Perf_model
+module Spec = Tpdbt_workloads.Spec
+module Suite = Tpdbt_workloads.Suite
+module Profile_io = Tpdbt_profiles.Profile_io
+
+let magic = "TPDBT-CKPT 1"
+
+(* ---- serialisation ---------------------------------------------------- *)
+
+let counters_to_line (c : Perf_model.counters) =
+  (* %h round-trips the float exactly; every other field is an int. *)
+  Printf.sprintf "counters %h %d %d %d %d %d %d %d %d %d %d %d %d"
+    c.Perf_model.cycles c.blocks_translated c.regions_formed c.region_entries
+    c.region_completions c.loop_backs c.side_exits c.optimization_rounds
+    c.regions_dissolved c.faults_injected c.retrans_retries c.fault_dissolves
+    c.blocks_retranslated
+
+let result_to_buf buf (r : Engine.result) =
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "steps %d" r.Engine.steps;
+  add "profiling_ops %d" r.Engine.profiling_ops;
+  add "outputs %d%s" (List.length r.Engine.outputs)
+    (String.concat ""
+       (List.map (fun v -> " " ^ string_of_int v) r.Engine.outputs));
+  Buffer.add_string buf (counters_to_line r.Engine.counters ^ "\n");
+  add "regstats %d" (List.length r.Engine.region_stats);
+  List.iter
+    (fun (id, (s : Engine.region_stats)) ->
+      add "regstat %d %d %d %d %d" id s.Engine.entries s.Engine.side_exits
+        s.Engine.loop_back_taken s.Engine.loop_back_seen)
+    r.Engine.region_stats;
+  let text = Profile_io.to_string r.Engine.snapshot in
+  let nlines = String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 text in
+  add "snapshot %d" nlines;
+  Buffer.add_string buf text
+
+let data_to_string (d : Runner.data) =
+  let buf = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "%s" magic;
+  add "bench %s" d.Runner.bench.Spec.name;
+  add "thresholds %d" (List.length d.Runner.runs);
+  List.iter
+    (fun (r : Runner.threshold_run) ->
+      add "threshold %s %d" r.Runner.label r.Runner.scaled)
+    d.Runner.runs;
+  add "avep";
+  result_to_buf buf d.Runner.avep;
+  add "train";
+  result_to_buf buf d.Runner.train;
+  List.iter
+    (fun (r : Runner.threshold_run) ->
+      add "run %s %d" r.Runner.label r.Runner.scaled;
+      result_to_buf buf r.Runner.result)
+    d.Runner.runs;
+  add "end";
+  Buffer.contents buf
+
+(* ---- parsing ---------------------------------------------------------- *)
+
+exception Malformed
+
+let parse_data spec text =
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let cursor = ref 0 in
+  let next () =
+    if !cursor >= Array.length lines then raise Malformed
+    else (
+      incr cursor;
+      lines.(!cursor - 1))
+  in
+  let expect s = if next () <> s then raise Malformed in
+  let int_exn s =
+    match int_of_string_opt s with Some v -> v | None -> raise Malformed
+  in
+  let words () = String.split_on_char ' ' (next ()) in
+  let read_result () =
+    let steps =
+      match words () with [ "steps"; n ] -> int_exn n | _ -> raise Malformed
+    in
+    let profiling_ops =
+      match words () with
+      | [ "profiling_ops"; n ] -> int_exn n
+      | _ -> raise Malformed
+    in
+    let outputs =
+      match words () with
+      | "outputs" :: n :: vs when List.length vs = int_exn n ->
+          List.map int_exn vs
+      | _ -> raise Malformed
+    in
+    let counters =
+      match words () with
+      | [ "counters"; cy; a; b; c; d; e; f; g; h; i; j; k; l ] -> (
+          match float_of_string_opt cy with
+          | None -> raise Malformed
+          | Some cycles ->
+              {
+                Perf_model.cycles;
+                blocks_translated = int_exn a;
+                regions_formed = int_exn b;
+                region_entries = int_exn c;
+                region_completions = int_exn d;
+                loop_backs = int_exn e;
+                side_exits = int_exn f;
+                optimization_rounds = int_exn g;
+                regions_dissolved = int_exn h;
+                faults_injected = int_exn i;
+                retrans_retries = int_exn j;
+                fault_dissolves = int_exn k;
+                blocks_retranslated = int_exn l;
+              })
+      | _ -> raise Malformed
+    in
+    let nstats =
+      match words () with
+      | [ "regstats"; n ] -> int_exn n
+      | _ -> raise Malformed
+    in
+    let region_stats =
+      List.init nstats (fun _ ->
+          match words () with
+          | [ "regstat"; id; en; se; lbt; lbs ] ->
+              ( int_exn id,
+                {
+                  Engine.entries = int_exn en;
+                  side_exits = int_exn se;
+                  loop_back_taken = int_exn lbt;
+                  loop_back_seen = int_exn lbs;
+                } )
+          | _ -> raise Malformed)
+    in
+    let nlines =
+      match words () with
+      | [ "snapshot"; n ] -> int_exn n
+      | _ -> raise Malformed
+    in
+    if nlines < 0 then raise Malformed;
+    let snap_buf = Buffer.create 4096 in
+    for _ = 1 to nlines do
+      Buffer.add_string snap_buf (next ());
+      Buffer.add_char snap_buf '\n'
+    done;
+    let snapshot =
+      match Profile_io.of_string (Buffer.contents snap_buf) with
+      | Ok s -> s
+      | Error _ -> raise Malformed
+    in
+    {
+      Engine.snapshot;
+      counters;
+      steps;
+      profiling_ops;
+      outputs;
+      region_stats;
+      error = None;
+      faults = None;
+    }
+  in
+  try
+    expect magic;
+    (match words () with
+    | [ "bench"; name ] when name = spec.Spec.name -> ()
+    | _ -> raise Malformed);
+    let nruns =
+      match words () with
+      | [ "thresholds"; n ] -> int_exn n
+      | _ -> raise Malformed
+    in
+    let labels =
+      List.init nruns (fun _ ->
+          match words () with
+          | [ "threshold"; label; scaled ] -> (label, int_exn scaled)
+          | _ -> raise Malformed)
+    in
+    expect "avep";
+    let avep = read_result () in
+    expect "train";
+    let train = read_result () in
+    let raw_runs =
+      List.map
+        (fun (label, scaled) ->
+          (match words () with
+          | [ "run"; l; s ] when l = label && int_exn s = scaled -> ()
+          | _ -> raise Malformed);
+          (label, scaled, read_result ()))
+        labels
+    in
+    expect "end";
+    Some (labels, Runner.assemble spec avep train raw_runs)
+  with Malformed -> None
+
+(* ---- files ------------------------------------------------------------ *)
+
+let path ~dir spec = Filename.concat dir (spec.Spec.name ^ ".ckpt")
+
+let save ~dir (d : Runner.data) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let final = path ~dir d.Runner.bench in
+  let tmp = final ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (data_to_string d));
+  Sys.rename tmp final
+
+let load ?(thresholds = Suite.thresholds) ~dir spec =
+  let file = path ~dir spec in
+  if not (Sys.file_exists file) then None
+  else
+    let text =
+      let ic = open_in file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match parse_data spec text with
+    | Some (labels, data) when labels = thresholds -> Some data
+    | Some _ | None -> None
+
+let data_of_string spec text = Option.map snd (parse_data spec text)
+
+let hooks ?thresholds ~dir () =
+  ((fun d -> save ~dir d), fun spec -> load ?thresholds ~dir spec)
+
+let run_many ?thresholds ?progress ~dir benches =
+  let save, load = hooks ?thresholds ~dir () in
+  Runner.run_many ?thresholds ?progress ~save ~load benches

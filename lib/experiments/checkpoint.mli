@@ -1,0 +1,53 @@
+(** Resumable sweeps: one checkpoint file per completed benchmark.
+
+    A checkpoint stores only the {e raw} engine results (snapshots via
+    {!Tpdbt_profiles.Profile_io}, counters with the cycles float in
+    lossless [%h] form, steps, outputs, region stats); every derived
+    comparison is recomputed on load through {!Runner.assemble}, which
+    is pure — so a sweep resumed from checkpoints produces output
+    byte-identical to an uninterrupted one.
+
+    Files are written atomically (temp file + rename): a sweep killed
+    mid-write never leaves a truncated checkpoint, and a corrupt or
+    stale file (wrong benchmark, different threshold list, malformed
+    content) is treated as absent — the benchmark simply re-runs. *)
+
+val path : dir:string -> Tpdbt_workloads.Spec.t -> string
+(** [<dir>/<bench-name>.ckpt]. *)
+
+val save : dir:string -> Runner.data -> unit
+(** Write the benchmark's checkpoint atomically, creating [dir] if
+    needed.
+    @raise Sys_error on I/O failure. *)
+
+val load :
+  ?thresholds:(string * int) list ->
+  dir:string ->
+  Tpdbt_workloads.Spec.t ->
+  Runner.data option
+(** [None] if the file is absent, malformed, for another benchmark, or
+    recorded under a different threshold list (default
+    {!Tpdbt_workloads.Suite.thresholds}). *)
+
+val hooks :
+  ?thresholds:(string * int) list ->
+  dir:string ->
+  unit ->
+  (Runner.data -> unit) * (Tpdbt_workloads.Spec.t -> Runner.data option)
+(** [(save, load)] closures for {!Runner.run_many}'s [?save]/[?load]. *)
+
+val run_many :
+  ?thresholds:(string * int) list ->
+  ?progress:(string -> Runner.status -> unit) ->
+  dir:string ->
+  Tpdbt_workloads.Spec.t list ->
+  Runner.sweep
+(** {!Runner.run_many} with checkpointing wired in: completed
+    benchmarks are saved to [dir] and already-checkpointed ones are
+    restored instead of re-run. *)
+
+val data_to_string : Runner.data -> string
+val data_of_string : Tpdbt_workloads.Spec.t -> string -> Runner.data option
+(** The serialisation itself, for tests.  [data_of_string] needs the
+    spec because checkpoints reference the benchmark by name rather
+    than re-encoding the descriptor. *)

@@ -1,4 +1,5 @@
 module Engine = Tpdbt_dbt.Engine
+module Error = Tpdbt_dbt.Error
 module Spec = Tpdbt_workloads.Spec
 module Suite = Tpdbt_workloads.Suite
 module Metrics = Tpdbt_profiles.Metrics
@@ -23,18 +24,16 @@ let run_input program (input : Spec.input) config =
   let program = Spec.apply_input program input in
   let engine = Engine.create ~config ~seed:input.Spec.seed program in
   let result = Engine.run engine in
-  (match result.Engine.trap with
-  | None -> ()
-  | Some trap ->
-      failwith
-        (Format.asprintf "benchmark run trapped: %a" Tpdbt_vm.Machine.pp_trap
-           trap));
-  result
+  match result.Engine.error with
+  | Some e when Error.fatal e -> Error e
+  | _ -> Ok result
 
-let run_benchmark ?(thresholds = Suite.thresholds) bench =
-  let program, ref_input, train_input = Spec.build bench in
-  let avep = run_input program ref_input Engine.profiling_only in
-  let train = run_input program train_input Engine.profiling_only in
+let ( let* ) = Result.bind
+
+(* Derived data (comparisons, flat metrics, offline regions) is a pure
+   function of the three raw runs — checkpoint resume stores only the
+   raw runs and rebuilds the rest through this. *)
+let assemble bench avep train raw_runs =
   let train_flat =
     Metrics.compare_flat ~predicted:train.Engine.snapshot
       ~avep:avep.Engine.snapshot
@@ -45,27 +44,51 @@ let run_benchmark ?(thresholds = Suite.thresholds) bench =
   in
   let runs =
     List.map
-      (fun (label, scaled) ->
-        let result =
-          run_input program ref_input (Engine.config ~threshold:scaled ())
-        in
+      (fun (label, scaled, result) ->
         let comparison =
           Metrics.compare_snapshots ~inip:result.Engine.snapshot
             ~avep:avep.Engine.snapshot
         in
         { label; scaled; result; comparison })
-      thresholds
+      raw_runs
   in
   { bench; avep; train; train_flat; train_regions; runs }
+
+let run_benchmark_result ?(thresholds = Suite.thresholds) bench =
+  let program, ref_input, train_input = Spec.build bench in
+  let* avep = run_input program ref_input Engine.profiling_only in
+  let* train = run_input program train_input Engine.profiling_only in
+  let rec threshold_runs acc = function
+    | [] -> Ok (List.rev acc)
+    | (label, scaled) :: tl -> (
+        match
+          run_input program ref_input (Engine.config ~threshold:scaled ())
+        with
+        | Ok result -> threshold_runs ((label, scaled, result) :: acc) tl
+        | Error e -> Error e)
+  in
+  let* raw_runs = threshold_runs [] thresholds in
+  Ok (assemble bench avep train raw_runs)
+
+let run_benchmark ?thresholds bench =
+  match run_benchmark_result ?thresholds bench with
+  | Ok data -> data
+  | Error e -> raise (Error.Error e)
 
 let run_ref ?sink bench ~config =
   let config =
     match sink with None -> config | Some sink -> { config with Engine.sink }
   in
   let program, ref_input, _train_input = Spec.build bench in
-  run_input program ref_input config
+  let program = Spec.apply_input program ref_input in
+  let engine = Engine.create ~config ~seed:ref_input.Spec.seed program in
+  Engine.run engine
 
-let run_avep bench = run_ref bench ~config:Engine.profiling_only
+let run_avep bench =
+  let result = run_ref bench ~config:Engine.profiling_only in
+  match result.Engine.error with
+  | None -> result
+  | Some e -> raise (Error.Error e)
 
 (* The standard observability bundle: buffer the event stream, derive
    metrics from it, and fold the run's perf-model counters into the
@@ -85,15 +108,48 @@ let run_traced ?limit ?(extra_sinks = []) bench ~config =
 let run_custom ?sink bench ~config =
   let avep = run_avep bench in
   let result = run_ref ?sink bench ~config in
+  (match result.Engine.error with
+  | None -> ()
+  | Some e -> raise (Error.Error e));
   let comparison =
     Metrics.compare_snapshots ~inip:result.Engine.snapshot
       ~avep:avep.Engine.snapshot
   in
   (result, avep, comparison)
 
-let run_many ?thresholds ?(progress = fun _ -> ()) benches =
-  List.map
+type status =
+  | Started
+  | Finished
+  | Failed of Error.t
+  | Resumed
+
+type failure = { failed : Spec.t; error : Error.t }
+type sweep = { data : data list; failures : failure list }
+
+let status_name = function
+  | Started -> "started"
+  | Finished -> "ok"
+  | Failed _ -> "failed"
+  | Resumed -> "resumed"
+
+let run_many ?thresholds ?(progress = fun _ _ -> ()) ?save ?load benches =
+  let data = ref [] and failures = ref [] in
+  List.iter
     (fun bench ->
-      progress bench.Spec.name;
-      run_benchmark ?thresholds bench)
-    benches
+      let name = bench.Spec.name in
+      match Option.bind load (fun f -> f bench) with
+      | Some d ->
+          progress name Resumed;
+          data := d :: !data
+      | None -> (
+          progress name Started;
+          match run_benchmark_result ?thresholds bench with
+          | Ok d ->
+              Option.iter (fun f -> f d) save;
+              progress name Finished;
+              data := d :: !data
+          | Error e ->
+              progress name (Failed e);
+              failures := { failed = bench; error = e } :: !failures))
+    benches;
+  { data = List.rev !data; failures = List.rev !failures }

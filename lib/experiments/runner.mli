@@ -32,14 +32,59 @@ type data = {
 val run_benchmark :
   ?thresholds:(string * int) list -> Tpdbt_workloads.Spec.t -> data
 (** Thresholds default to {!Tpdbt_workloads.Suite.thresholds}.  Runs are
-    deterministic (fixed seeds from the spec). *)
+    deterministic (fixed seeds from the spec).
+    @raise Tpdbt_dbt.Error.Error if any constituent run ends with a
+    {e fatal} typed error (guest trap, exhausted recovery).  A run that
+    merely blows its step budget ([Limit_exceeded], the one non-fatal
+    error) is kept as a partial run — several ref workloads
+    legitimately outlive the default budget. *)
+
+val run_benchmark_result :
+  ?thresholds:(string * int) list ->
+  Tpdbt_workloads.Spec.t ->
+  (data, Tpdbt_dbt.Error.t) result
+(** Like {!run_benchmark} but failures stay values — the form sweeps
+    use to isolate a failing benchmark without losing the others. *)
+
+val assemble :
+  Tpdbt_workloads.Spec.t ->
+  Tpdbt_dbt.Engine.result ->
+  Tpdbt_dbt.Engine.result ->
+  (string * int * Tpdbt_dbt.Engine.result) list ->
+  data
+(** [assemble bench avep train runs] rebuilds the derived comparisons
+    from raw engine results.  Derivation is pure, so a {!data} restored
+    from checkpointed raw runs is identical to one computed live —
+    the property checkpoint resume ({!Checkpoint}) relies on. *)
+
+type status =
+  | Started  (** about to run *)
+  | Finished  (** completed cleanly (after [save], if any) *)
+  | Failed of Tpdbt_dbt.Error.t  (** isolated per-benchmark failure *)
+  | Resumed  (** restored from a checkpoint; not re-run *)
+
+type failure = { failed : Tpdbt_workloads.Spec.t; error : Tpdbt_dbt.Error.t }
+
+type sweep = { data : data list; failures : failure list }
+(** Both in input order; a benchmark appears in exactly one list. *)
+
+val status_name : status -> string
+(** ["started"], ["ok"], ["failed"], ["resumed"]. *)
 
 val run_many :
   ?thresholds:(string * int) list ->
-  ?progress:(string -> unit) ->
+  ?progress:(string -> status -> unit) ->
+  ?save:(data -> unit) ->
+  ?load:(Tpdbt_workloads.Spec.t -> data option) ->
   Tpdbt_workloads.Spec.t list ->
-  data list
-(** [progress] is called with each benchmark name before it runs. *)
+  sweep
+(** Sweep over benchmarks with per-benchmark failure isolation: a run
+    that ends with a typed error lands in [failures] and the sweep
+    continues.  [progress] is called with the benchmark name as each
+    one starts and again when it finishes (ok / failed / resumed).
+    [load] is consulted before running a benchmark — returning [Some]
+    skips the run entirely — and [save] receives each freshly computed
+    {!data}; wire both to {!Checkpoint.hooks} for resumable sweeps. *)
 
 val run_ref :
   ?sink:Tpdbt_telemetry.Sink.t ->
@@ -47,10 +92,13 @@ val run_ref :
   config:Tpdbt_dbt.Engine.config ->
   Tpdbt_dbt.Engine.result
 (** One reference-input run under an arbitrary engine configuration.
-    [sink] overrides the configuration's telemetry sink. *)
+    [sink] overrides the configuration's telemetry sink.  Never raises:
+    inspect [result.error] — fault campaigns need the partial result of
+    a failed run. *)
 
 val run_avep : Tpdbt_workloads.Spec.t -> Tpdbt_dbt.Engine.result
-(** Profiling-only reference-input run (the AVEP profile). *)
+(** Profiling-only reference-input run (the AVEP profile).
+    @raise Tpdbt_dbt.Error.Error if the run ends with a typed error. *)
 
 val run_traced :
   ?limit:int ->
@@ -76,4 +124,6 @@ val run_custom :
 (** One reference-input run under an arbitrary engine configuration:
     [(result, avep_result, comparison_vs_avep)].  Used by the ablation
     studies.  [sink], if given, observes the custom run (not the AVEP
-    reference run). *)
+    reference run).
+    @raise Tpdbt_dbt.Error.Error if either run ends with a typed
+    error. *)

@@ -1,0 +1,39 @@
+type kind = Retranslate_fail | Block_corrupt | Region_abort | Guest_trap
+
+let all_kinds = [ Retranslate_fail; Block_corrupt; Region_abort; Guest_trap ]
+let recoverable_kinds = [ Retranslate_fail; Block_corrupt; Region_abort ]
+
+let kind_name = function
+  | Retranslate_fail -> "retranslate_fail"
+  | Block_corrupt -> "block_corrupt"
+  | Region_abort -> "region_abort"
+  | Guest_trap -> "guest_trap"
+
+let kind_of_name = function
+  | "retranslate_fail" -> Some Retranslate_fail
+  | "block_corrupt" -> Some Block_corrupt
+  | "region_abort" -> Some Region_abort
+  | "guest_trap" -> Some Guest_trap
+  | _ -> None
+
+type arm = { step : int; kind : kind; salt : int64 }
+type shot = { arm : arm; fired_step : int; target : int }
+type report = { fired : shot list; unfired : arm list }
+
+let injected report =
+  List.length (List.filter (fun s -> s.target >= 0) report.fired)
+
+let pp_arm ppf arm =
+  Format.fprintf ppf "@[<h>%s@@%d@]" (kind_name arm.kind) arm.step
+
+let pp_shot ppf shot =
+  Format.fprintf ppf "@[<h>%s armed@%d fired@%d target %d@]"
+    (kind_name shot.arm.kind) shot.arm.step shot.fired_step shot.target
+
+let pp_report ppf report =
+  Format.fprintf ppf "@[<v>fired %d (%d with a victim):@,"
+    (List.length report.fired) (injected report);
+  List.iter (fun s -> Format.fprintf ppf "  %a@," pp_shot s) report.fired;
+  Format.fprintf ppf "unfired %d:@," (List.length report.unfired);
+  List.iter (fun a -> Format.fprintf ppf "  %a@," pp_arm a) report.unfired;
+  Format.fprintf ppf "@]"

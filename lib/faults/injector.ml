@@ -1,0 +1,28 @@
+type t = {
+  mutable pending : Fault.arm list;  (* sorted by step *)
+  mutable fired_rev : Fault.shot list;
+}
+
+let create plan = { pending = Plan.arms plan; fired_rev = [] }
+
+let due t ~step =
+  match t.pending with [] -> false | arm :: _ -> arm.Fault.step <= step
+
+let take t ~step kind =
+  let rec split acc = function
+    | [] -> None
+    | arm :: _ when arm.Fault.step > step -> None
+    | arm :: rest when arm.Fault.kind = kind ->
+        t.pending <- List.rev_append acc rest;
+        Some arm
+    | arm :: rest -> split (arm :: acc) rest
+  in
+  split [] t.pending
+
+let record t arm ~fired_step ~target =
+  t.fired_rev <- { Fault.arm; fired_step; target } :: t.fired_rev
+
+let fired t = List.rev t.fired_rev
+
+let report t =
+  { Fault.fired = List.rev t.fired_rev; unfired = t.pending }

@@ -1,0 +1,26 @@
+(** Runtime state of a fault plan during one engine run.
+
+    The engine polls {!due} once per dispatched block (a single integer
+    compare against the earliest pending arm), and at each concrete
+    injection site calls {!take} for the site's kind; a consumed arm is
+    recorded with {!record} once the victim is known.  Arms left
+    pending at end of run surface in {!report} as unfired. *)
+
+type t
+
+val create : Plan.t -> t
+val due : t -> step:int -> bool
+(** Is any pending arm's step [<= step]?  O(1). *)
+
+val take : t -> step:int -> Fault.kind -> Fault.arm option
+(** Consume the earliest pending arm of [kind] with [arm.step <= step],
+    if any.  The caller must follow up with {!record}. *)
+
+val record : t -> Fault.arm -> fired_step:int -> target:int -> unit
+(** Log a consumed arm as fired ([target = -1] when it found no
+    victim). *)
+
+val fired : t -> Fault.shot list
+(** Shots so far, in firing order. *)
+
+val report : t -> Fault.report

@@ -1,0 +1,31 @@
+module Prng = Tpdbt_vm.Prng
+
+type t = { seed : int64; arms : Fault.arm list }
+
+let sort_arms arms =
+  List.stable_sort (fun a b -> compare a.Fault.step b.Fault.step) arms
+
+let make ?(kinds = Fault.all_kinds) ?(count = 4) ~horizon ~seed () =
+  if kinds = [] then invalid_arg "Plan.make: empty kind list";
+  if count < 0 then invalid_arg "Plan.make: negative count";
+  if horizon <= 0 then invalid_arg "Plan.make: horizon must be positive";
+  let prng = Prng.create ~seed in
+  let kinds = Array.of_list kinds in
+  let arms =
+    List.init count (fun _ ->
+        let step = Prng.below prng horizon in
+        let kind = kinds.(Prng.below prng (Array.length kinds)) in
+        let salt = Prng.next_int64 prng in
+        { Fault.step; kind; salt })
+  in
+  { seed; arms = sort_arms arms }
+
+let of_arms ~seed arms = { seed; arms = sort_arms arms }
+let seed t = t.seed
+let arms t = t.arms
+let count t = List.length t.arms
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>plan seed=%Ld:" t.seed;
+  List.iter (fun a -> Format.fprintf ppf " %a" Fault.pp_arm a) t.arms;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** Seeded, deterministic fault plans.
+
+    A plan is a finite list of {!Fault.arm}s drawn from a SplitMix64
+    stream: the arm steps are uniform over [0, horizon), kinds are
+    uniform over the requested kind set, and each arm carries a salt
+    for victim selection.  The same [(seed, kinds, count, horizon)]
+    always yields the same plan, so a faulty run is exactly as
+    reproducible as a clean one. *)
+
+type t
+
+val make :
+  ?kinds:Fault.kind list -> ?count:int -> horizon:int -> seed:int64 -> unit -> t
+(** [kinds] defaults to {!Fault.all_kinds} (duplicates allowed — listing
+    a kind twice doubles its weight); [count] defaults to 4; [horizon]
+    is the step range the arms are drawn from, typically the clean
+    run's instruction count.
+    @raise Invalid_argument if [kinds] is empty, [count < 0] or
+    [horizon <= 0]. *)
+
+val of_arms : seed:int64 -> Fault.arm list -> t
+(** A hand-written plan (tests, targeted campaigns).  Arms are sorted
+    by step; [seed] only labels the plan. *)
+
+val seed : t -> int64
+val arms : t -> Fault.arm list
+(** Sorted by ascending [step]. *)
+
+val count : t -> int
+val pp : Format.formatter -> t -> unit

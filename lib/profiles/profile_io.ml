@@ -1,6 +1,7 @@
 module Snapshot = Tpdbt_dbt.Snapshot
 module Block_map = Tpdbt_dbt.Block_map
 module Region = Tpdbt_dbt.Region
+module Error = Tpdbt_dbt.Error
 
 let magic = "TPDBT-PROFILE 1"
 
@@ -90,43 +91,67 @@ let to_string (snapshot : Snapshot.t) =
     snapshot.Snapshot.regions;
   Buffer.contents buf
 
-exception Bad of string
+exception Bad of Error.t
+
+(* A counter / block / region count larger than this is treated as
+   corruption rather than handed to [Array.make] (a hostile header could
+   otherwise ask for gigabytes or raise [Invalid_argument]). *)
+let max_count = 1_000_000
 
 let of_string text =
+  (* Lines carry their 1-based position in the original text so errors
+     point at the offending line; blank lines are skipped but keep the
+     numbering.  Line 0 means "at end of file". *)
   let lines =
     String.split_on_char '\n' text
-    |> List.filter (fun l -> String.trim l <> "")
-    |> List.map String.trim
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
   in
-  let fail msg = raise (Bad msg) in
-  let int_exn s =
-    match int_of_string_opt s with Some v -> v | None -> fail ("bad int " ^ s)
+  let fail ~line ~field reason =
+    raise (Bad (Error.Corrupt_profile { line; field; reason }))
   in
+  let int_exn ~line ~field s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail ~line ~field ("not an integer: " ^ s)
+  in
+  let count_exn ~line ~field s =
+    let v = int_exn ~line ~field s in
+    if v < 0 then fail ~line ~field (Printf.sprintf "negative count %d" v);
+    if v > max_count then
+      fail ~line ~field (Printf.sprintf "count %d exceeds limit %d" v max_count);
+    v
+  in
+  let eol_line rest = match rest with [] -> 0 | (line, _) :: _ -> line in
   try
     match lines with
-    | header :: rest when header = magic -> (
+    | (_, header) :: rest when header = magic -> (
         match rest with
-        | blocks_line :: rest ->
+        | (bline, blocks_line) :: rest ->
             let nblocks, entry =
               match String.split_on_char ' ' blocks_line with
-              | [ "blocks"; n; "entry"; e ] -> (int_exn n, int_exn e)
-              | _ -> fail "bad blocks header"
+              | [ "blocks"; n; "entry"; e ] ->
+                  ( count_exn ~line:bline ~field:"blocks" n,
+                    int_exn ~line:bline ~field:"entry" e )
+              | _ -> fail ~line:bline ~field:"blocks" "bad blocks header"
             in
             (* blocks *)
             let rec read_blocks i acc rest =
               if i = nblocks then (List.rev acc, rest)
               else
                 match rest with
-                | line :: rest -> (
-                    match String.split_on_char ' ' line with
+                | (line, text) :: rest -> (
+                    match String.split_on_char ' ' text with
                     | "block" :: id :: start_pc :: end_pc :: term_words ->
-                        let id = int_exn id in
-                        let start_pc = int_exn start_pc in
-                        let end_pc = int_exn end_pc in
+                        let id = int_exn ~line ~field:"block.id" id in
+                        let start_pc =
+                          int_exn ~line ~field:"block.start_pc" start_pc
+                        in
+                        let end_pc = int_exn ~line ~field:"block.end_pc" end_pc in
                         let terminator =
                           match term_of_words term_words with
                           | Ok t -> t
-                          | Error msg -> fail msg
+                          | Error msg -> fail ~line ~field:"block.terminator" msg
                         in
                         let b =
                           {
@@ -138,60 +163,85 @@ let of_string text =
                           }
                         in
                         read_blocks (i + 1) (b :: acc) rest
-                    | _ -> fail "expected block line")
-                | [] -> fail "truncated blocks"
+                    | _ -> fail ~line ~field:"block" "expected block line")
+                | [] ->
+                    fail ~line:0 ~field:"block"
+                      (Printf.sprintf "truncated: %d of %d blocks" i nblocks)
             in
             let blocks, rest = read_blocks 0 [] rest in
             let bmap =
               match Block_map.of_blocks ~entry_block:entry blocks with
               | Ok m -> m
-              | Error msg -> fail msg
+              | Error msg -> fail ~line:bline ~field:"blocks" msg
             in
             (* counters *)
             let rest =
               match rest with
-              | "counters" :: rest -> rest
-              | _ -> fail "expected counters"
+              | (_, "counters") :: rest -> rest
+              | _ ->
+                  fail ~line:(eol_line rest) ~field:"counters"
+                    "expected counters header"
             in
             let use = Array.make nblocks 0 and taken = Array.make nblocks 0 in
             let rec read_counters i rest =
               if i = nblocks then rest
               else
                 match rest with
-                | line :: rest -> (
-                    match String.split_on_char ' ' line with
+                | (line, text) :: rest -> (
+                    match String.split_on_char ' ' text with
                     | [ id; u; t ] ->
-                        let id = int_exn id in
-                        if id < 0 || id >= nblocks then fail "counter id range";
-                        use.(id) <- int_exn u;
-                        taken.(id) <- int_exn t;
+                        let id = int_exn ~line ~field:"counter.id" id in
+                        if id < 0 || id >= nblocks then
+                          fail ~line ~field:"counter.id"
+                            (Printf.sprintf "block id %d out of range [0,%d)" id
+                               nblocks);
+                        let u = int_exn ~line ~field:"counter.use" u in
+                        let t = int_exn ~line ~field:"counter.taken" t in
+                        if u < 0 then
+                          fail ~line ~field:"counter.use"
+                            (Printf.sprintf "negative counter %d" u);
+                        if t < 0 then
+                          fail ~line ~field:"counter.taken"
+                            (Printf.sprintf "negative counter %d" t);
+                        if t > u then
+                          fail ~line ~field:"counter.taken"
+                            (Printf.sprintf "taken %d exceeds use %d" t u);
+                        use.(id) <- u;
+                        taken.(id) <- t;
                         read_counters (i + 1) rest
-                    | _ -> fail "bad counter line")
-                | [] -> fail "truncated counters"
+                    | _ -> fail ~line ~field:"counter" "bad counter line")
+                | [] ->
+                    fail ~line:0 ~field:"counter"
+                      (Printf.sprintf "truncated: %d of %d counters" i nblocks)
             in
             let rest = read_counters 0 rest in
             (* regions *)
             let nregions, rest =
               match rest with
-              | line :: rest -> (
-                  match String.split_on_char ' ' line with
-                  | [ "regions"; n ] -> (int_exn n, rest)
-                  | _ -> fail "expected regions header")
-              | [] -> fail "truncated before regions"
+              | (line, text) :: rest -> (
+                  match String.split_on_char ' ' text with
+                  | [ "regions"; n ] ->
+                      (count_exn ~line ~field:"regions" n, rest)
+                  | _ -> fail ~line ~field:"regions" "expected regions header")
+              | [] -> fail ~line:0 ~field:"regions" "truncated before regions"
             in
             let read_region rest =
               match rest with
-              | line :: rest -> (
-                  match String.split_on_char ' ' line with
+              | (rline, text) :: rest -> (
+                  match String.split_on_char ' ' text with
                   | [ "region"; id; kind; nslots ] ->
-                      let id = int_exn id in
+                      let id = int_exn ~line:rline ~field:"region.id" id in
                       let kind =
                         match kind with
                         | "trace" -> Region.Trace
                         | "loop" -> Region.Loop
-                        | k -> fail ("bad region kind " ^ k)
+                        | k ->
+                            fail ~line:rline ~field:"region.kind"
+                              ("bad region kind " ^ k)
                       in
-                      let nslots = int_exn nslots in
+                      let nslots =
+                        count_exn ~line:rline ~field:"region.slots" nslots
+                      in
                       let slots = Array.make nslots 0 in
                       let frozen_use = Array.make nslots 0 in
                       let frozen_taken = Array.make nslots 0 in
@@ -199,33 +249,61 @@ let of_string text =
                         if i = nslots then rest
                         else
                           match rest with
-                          | line :: rest -> (
-                              match String.split_on_char ' ' line with
+                          | (line, text) :: rest -> (
+                              match String.split_on_char ' ' text with
                               | [ "slot"; slot; block; fu; ft ] ->
-                                  let slot = int_exn slot in
-                                  if slot <> i then fail "slot order";
-                                  slots.(i) <- int_exn block;
-                                  frozen_use.(i) <- int_exn fu;
-                                  frozen_taken.(i) <- int_exn ft;
+                                  let slot =
+                                    int_exn ~line ~field:"slot.index" slot
+                                  in
+                                  if slot <> i then
+                                    fail ~line ~field:"slot.index"
+                                      (Printf.sprintf "slot %d out of order \
+                                                       (expected %d)"
+                                         slot i);
+                                  let block =
+                                    int_exn ~line ~field:"slot.block" block
+                                  in
+                                  if block < 0 || block >= nblocks then
+                                    fail ~line ~field:"slot.block"
+                                      (Printf.sprintf
+                                         "block id %d out of range [0,%d)"
+                                         block nblocks);
+                                  let fu =
+                                    int_exn ~line ~field:"slot.frozen_use" fu
+                                  in
+                                  let ft =
+                                    int_exn ~line ~field:"slot.frozen_taken" ft
+                                  in
+                                  if fu < 0 || ft < 0 then
+                                    fail ~line ~field:"slot"
+                                      "negative frozen counter";
+                                  slots.(i) <- block;
+                                  frozen_use.(i) <- fu;
+                                  frozen_taken.(i) <- ft;
                                   read_slots (i + 1) rest
-                              | _ -> fail "bad slot line")
-                          | [] -> fail "truncated slots"
+                              | _ -> fail ~line ~field:"slot" "bad slot line")
+                          | [] ->
+                              fail ~line:0 ~field:"slot"
+                                (Printf.sprintf "truncated: %d of %d slots" i
+                                   nslots)
                       in
                       let rest = read_slots 0 rest in
                       (* edges until a non-edge line *)
                       let rec read_edges edges backs rest =
                         match rest with
-                        | line :: tail -> (
-                            match String.split_on_char ' ' line with
+                        | (line, text) :: tail -> (
+                            match String.split_on_char ' ' text with
                             | [ ("edge" | "back") as tag; src; dst; role ] ->
                                 let e =
                                   {
-                                    Region.src = int_exn src;
-                                    dst = int_exn dst;
+                                    Region.src =
+                                      int_exn ~line ~field:"edge.src" src;
+                                    dst = int_exn ~line ~field:"edge.dst" dst;
                                     role =
                                       (match role_of_string role with
                                       | Ok r -> r
-                                      | Error msg -> fail msg);
+                                      | Error msg ->
+                                          fail ~line ~field:"edge.role" msg);
                                   }
                                 in
                                 if tag = "edge" then
@@ -248,10 +326,12 @@ let of_string text =
                       in
                       (match Region.validate region with
                       | Ok () -> ()
-                      | Error msg -> fail ("invalid region: " ^ msg));
+                      | Error msg ->
+                          fail ~line:rline ~field:"region"
+                            ("invalid region: " ^ msg));
                       (region, rest)
-                  | _ -> fail "expected region line")
-              | [] -> fail "truncated regions"
+                  | _ -> fail ~line:rline ~field:"region" "expected region line")
+              | [] -> fail ~line:0 ~field:"region" "truncated regions"
             in
             let rec read_regions i acc rest =
               if i = nregions then (List.rev acc, rest)
@@ -260,20 +340,20 @@ let of_string text =
                 read_regions (i + 1) (region :: acc) rest
             in
             let regions, rest = read_regions 0 [] rest in
-            if rest <> [] then fail "trailing garbage";
-            (* Region slots must reference existing blocks. *)
-            List.iter
-              (fun r ->
-                Array.iter
-                  (fun b ->
-                    if b < 0 || b >= nblocks then fail "region block out of range")
-                  r.Region.slots)
-              regions;
+            (match rest with
+            | [] -> ()
+            | (line, _) :: _ -> fail ~line ~field:"trailer" "trailing garbage");
             Ok { Snapshot.block_map = bmap; use; taken; regions }
-        | [] -> Error "empty profile")
-    | _ :: _ -> Error "bad magic"
-    | [] -> Error "empty file"
-  with Bad msg -> Error ("Profile_io: " ^ msg)
+        | [] ->
+            Error (Error.Corrupt_profile
+                     { line = 0; field = "blocks"; reason = "empty profile" }))
+    | (line, _) :: _ ->
+        Error (Error.Corrupt_profile
+                 { line; field = "magic"; reason = "bad magic" })
+    | [] ->
+        Error (Error.Corrupt_profile
+                 { line = 0; field = "magic"; reason = "empty file" })
+  with Bad err -> Error err
 
 let save path snapshot =
   let oc = open_out path in
@@ -283,7 +363,7 @@ let save path snapshot =
 
 let load path =
   match open_in path with
-  | exception Sys_error msg -> Error msg
+  | exception Sys_error msg -> Error (Error.Io_error msg)
   | ic ->
       Fun.protect
         ~finally:(fun () -> close_in ic)

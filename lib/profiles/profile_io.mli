@@ -10,13 +10,17 @@
 
     The format is versioned and self-describing; [load] rejects files
     whose structure is inconsistent (bad block extents, region slots out
-    of range, counter arrays of the wrong length). *)
+    of range, truncated sections, negative or non-numeric counters,
+    hostile element counts) with a typed
+    {!Tpdbt_dbt.Error.Corrupt_profile} carrying the 1-based line number
+    (0 = end of file) and the field that failed validation.  I/O
+    failures surface as {!Tpdbt_dbt.Error.Io_error}. *)
 
 val save : string -> Tpdbt_dbt.Snapshot.t -> unit
 (** Write a profile file.
     @raise Sys_error on I/O failure. *)
 
-val load : string -> (Tpdbt_dbt.Snapshot.t, string) result
+val load : string -> (Tpdbt_dbt.Snapshot.t, Tpdbt_dbt.Error.t) result
 
 val to_string : Tpdbt_dbt.Snapshot.t -> string
-val of_string : string -> (Tpdbt_dbt.Snapshot.t, string) result
+val of_string : string -> (Tpdbt_dbt.Snapshot.t, Tpdbt_dbt.Error.t) result

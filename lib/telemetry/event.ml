@@ -2,6 +2,8 @@ type region_kind = Trace | Loop
 
 type pool_reason = Pool_full | Registered_twice
 
+type recovery_action = Retry | Dissolve | Retranslate
+
 type t =
   | Block_translated of { block : int; size : int }
   | Block_registered of { block : int; use : int; threshold : int }
@@ -19,6 +21,8 @@ type t =
   | Region_dissolved of { region : int; entries : int; side_exits : int }
   | Phase_begin of { phase : string }
   | Phase_end of { phase : string }
+  | Fault_injected of { fault : string; target : int }
+  | Recovery of { action : recovery_action; target : int }
 
 type stamped = { step : int; event : t }
 
@@ -33,8 +37,19 @@ let kind_name = function
   | Region_dissolved _ -> "region_dissolved"
   | Phase_begin _ -> "phase_begin"
   | Phase_end _ -> "phase_end"
+  | Fault_injected _ -> "fault.injected"
+  | Recovery { action; _ } -> (
+      match action with
+      | Retry -> "recovery.retry"
+      | Dissolve -> "recovery.dissolve"
+      | Retranslate -> "recovery.retranslate")
 
 let region_kind_name = function Trace -> "trace" | Loop -> "loop"
+
+let recovery_action_name = function
+  | Retry -> "retry"
+  | Dissolve -> "dissolve"
+  | Retranslate -> "retranslate"
 
 let pool_reason_name = function
   | Pool_full -> "pool_full"
@@ -75,6 +90,13 @@ let payload = function
       ]
   | Phase_begin { phase } -> [ ("phase", Json.quote phase) ]
   | Phase_end { phase } -> [ ("phase", Json.quote phase) ]
+  | Fault_injected { fault; target } ->
+      [ ("fault", Json.quote fault); ("target", string_of_int target) ]
+  | Recovery { action; target } ->
+      [
+        ("action", Json.quote (recovery_action_name action));
+        ("target", string_of_int target);
+      ]
 
 let to_json { step; event } =
   let fields =

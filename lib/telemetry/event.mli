@@ -13,6 +13,11 @@ type pool_reason =
   | Pool_full  (** the candidate pool reached [pool_trigger] blocks *)
   | Registered_twice  (** a registered block reached 2x the threshold *)
 
+type recovery_action =
+  | Retry  (** failed retranslation: members re-pooled, trigger decayed *)
+  | Dissolve  (** region(s) dissolved back to cold profiling code *)
+  | Retranslate  (** a corrupted block will be cold-translated again *)
+
 type t =
   | Block_translated of { block : int; size : int }
       (** first execution: quick cold translation with instrumentation *)
@@ -37,15 +42,24 @@ type t =
   | Phase_begin of { phase : string }
   | Phase_end of { phase : string }
       (** phase transitions; nested ("run" encloses each "optimize") *)
+  | Fault_injected of { fault : string; target : int }
+      (** the fault injector fired; [fault] is the
+          {!Tpdbt_faults.Fault.kind_name} and [target] the victim id
+          (block, region or pc; [-1] when no victim was available) *)
+  | Recovery of { action : recovery_action; target : int }
+      (** the engine's recovery response to an injected fault *)
 
 type stamped = { step : int; event : t }
 (** [step] is the guest-instruction count when the event fired. *)
 
 val kind_name : t -> string
-(** Stable snake_case identifier, e.g. ["region_side_exit"]. *)
+(** Stable snake_case identifier, e.g. ["region_side_exit"].  Fault
+    events use dotted names: ["fault.injected"], ["recovery.retry"],
+    ["recovery.dissolve"], ["recovery.retranslate"]. *)
 
 val region_kind_name : region_kind -> string
 val pool_reason_name : pool_reason -> string
+val recovery_action_name : recovery_action -> string
 
 val payload : t -> (string * string) list
 (** Constructor-specific fields as [(key, rendered JSON value)] pairs

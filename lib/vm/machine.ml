@@ -7,6 +7,8 @@ type trap =
   | Memory_fault of { pc : int; addr : int }
   | Return_without_call of int
   | Call_stack_overflow of int
+  | Illegal_instruction of int
+  | Branch_out_of_range of { pc : int; target : int }
 
 type event =
   | Stepped
@@ -29,6 +31,10 @@ type t = {
   mutable steps : int;
   mutable halted : bool;
   mutable trap : trap option;
+  mutable has_poison : bool;
+  poisoned : (int, unit) Hashtbl.t;
+      (* pcs whose code word has been corrupted (fault injection);
+         executing one raises [Illegal_instruction] *)
 }
 
 let max_call_depth = 4096
@@ -56,6 +62,8 @@ let create ?(mem_words = 1 lsl 20) ?(seed = 1L) prog =
     steps = 0;
     halted = false;
     trap = None;
+    has_poison = false;
+    poisoned = Hashtbl.create 4;
   }
 
 let program t = t.prog
@@ -80,6 +88,14 @@ let set_mem t addr v =
   else t.memory.(addr) <- wrap32 v
 
 let outputs t = List.rev t.outputs_rev
+
+let poison t pc =
+  if pc < 0 || pc >= Array.length t.code then
+    invalid_arg (Printf.sprintf "Machine.poison: pc %d out of range" pc);
+  t.has_poison <- true;
+  Hashtbl.replace t.poisoned pc ()
+
+let poisoned t pc = t.has_poison && Hashtbl.mem t.poisoned pc
 
 let eval_binop op a b ~pc =
   match op with
@@ -116,6 +132,19 @@ let step t =
       t.pc <- pc + 1;
       Ok event
     in
+    let transfer_to target event =
+      (* Explicit control transfers must land inside the code image;
+         plain fallthrough past the last instruction still halts. *)
+      if target < 0 || target >= Array.length t.code then
+        fail (Branch_out_of_range { pc; target })
+      else begin
+        t.pc <- target;
+        Ok event
+      end
+    in
+    if t.has_poison && Hashtbl.mem t.poisoned pc then
+      fail (Illegal_instruction pc)
+    else
     match instr with
     | Instr.Movi (rd, imm) ->
         regs.(Reg.to_int rd) <- wrap32 imm;
@@ -155,13 +184,16 @@ let step t =
         let taken =
           Instr.eval_cond c regs.(Reg.to_int rs1) regs.(Reg.to_int rs2)
         in
-        t.pc <- (if taken then target else pc + 1);
-        Ok (Branched { taken })
-    | Instr.Jmp target ->
-        t.pc <- target;
-        Ok Jumped
+        if taken then transfer_to target (Branched { taken = true })
+        else begin
+          t.pc <- pc + 1;
+          Ok (Branched { taken = false })
+        end
+    | Instr.Jmp target -> transfer_to target Jumped
     | Instr.Call target ->
         if t.call_depth >= max_call_depth then fail (Call_stack_overflow pc)
+        else if target < 0 || target >= Array.length t.code then
+          fail (Branch_out_of_range { pc; target })
         else begin
           t.call_stack <- (pc + 1) :: t.call_stack;
           t.call_depth <- t.call_depth + 1;
@@ -208,3 +240,7 @@ let pp_trap ppf = function
       Format.fprintf ppf "ret without matching call at pc %d" pc
   | Call_stack_overflow pc ->
       Format.fprintf ppf "call-stack overflow at pc %d" pc
+  | Illegal_instruction pc ->
+      Format.fprintf ppf "illegal instruction at pc %d" pc
+  | Branch_out_of_range { pc; target } ->
+      Format.fprintf ppf "branch at pc %d to out-of-range target %d" pc target

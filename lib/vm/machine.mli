@@ -16,6 +16,12 @@ type trap =
   | Memory_fault of { pc : int; addr : int }
   | Return_without_call of int
   | Call_stack_overflow of int
+  | Illegal_instruction of int
+      (** the instruction at this pc was poisoned ({!poison}) — the
+          model of corrupted code memory *)
+  | Branch_out_of_range of { pc : int; target : int }
+      (** an explicit control transfer (branch taken, jmp, call) left
+          the code image *)
 
 type event =
   | Stepped  (** straight-line instruction *)
@@ -47,6 +53,14 @@ val mem : t -> int -> int
 val set_mem : t -> int -> int -> unit
 val outputs : t -> int list
 (** Values emitted by [out], oldest first. *)
+
+val poison : t -> int -> unit
+(** Corrupt the instruction at this pc: executing it henceforth traps
+    with {!Illegal_instruction}.  Fault injection uses this to model a
+    corrupted code word.
+    @raise Invalid_argument if the pc is outside the code image. *)
+
+val poisoned : t -> int -> bool
 
 val step : t -> (event, trap) result
 (** Execute one instruction.  After [Ok Halted] (or an error) the machine

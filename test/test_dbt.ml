@@ -11,6 +11,7 @@ module Region_former = Tpdbt_dbt.Region_former
 module Ir = Tpdbt_dbt.Ir
 module Optimizer = Tpdbt_dbt.Optimizer
 module Engine = Tpdbt_dbt.Engine
+module Error = Tpdbt_dbt.Error
 module Snapshot = Tpdbt_dbt.Snapshot
 module Perf_model = Tpdbt_dbt.Perf_model
 
@@ -760,7 +761,7 @@ let test_engine_preserves_semantics () =
   let result = run_engine ~threshold:50 ~seed:42L hot_loop_src in
   checkb "same outputs" true (Machine.outputs m = result.Engine.outputs);
   checki "same steps" (Machine.steps m) result.Engine.steps;
-  checkb "no trap" true (result.Engine.trap = None)
+  checkb "no error" true (result.Engine.error = None)
 
 let test_engine_semantics_across_thresholds () =
   let reference = run_engine ~threshold:0 hot_loop_src in
@@ -844,7 +845,7 @@ let test_engine_trap_reported () =
   let result =
     run_engine ~threshold:0 "movi r1, 1\nmovi r2, 0\ndiv r3, r1, r2\nhalt"
   in
-  match result.Engine.trap with
+  match Engine.trap result with
   | Some (Machine.Division_by_zero _) -> ()
   | Some other -> Alcotest.failf "wrong trap: %a" Machine.pp_trap other
   | None -> Alcotest.fail "expected trap"
@@ -855,7 +856,14 @@ let test_engine_max_steps () =
   let engine = Engine.create ~config ~seed:1L p in
   let result = Engine.run engine in
   checkb "stopped at budget" true (result.Engine.steps <= 1001);
-  checkb "no trap" true (result.Engine.trap = None)
+  match result.Engine.error with
+  | Some (Error.Limit_exceeded { max_steps; _ } as e) ->
+      checki "budget reported" 1000 max_steps;
+      (* Budget exhaustion must stay non-fatal: the sweep harness keeps
+         budget-limited partial runs (mcf outlives the default budget). *)
+      checkb "limit is non-fatal" false (Error.fatal e)
+  | Some other -> Alcotest.failf "wrong error: %s" (Error.to_string other)
+  | None -> Alcotest.fail "expected Limit_exceeded"
 
 let simple_loop_10k =
   {|

@@ -78,10 +78,12 @@ let mini name suite =
 
 let mini_thresholds = [ ("100", 1); ("1k", 10); ("10k", 100) ]
 
-let mini_data =
+let mini_sweep =
   lazy
     (Runner.run_many ~thresholds:mini_thresholds
        [ mini "mini-int" `Int; mini "mini-fp" `Fp ])
+
+let mini_data = lazy ((Lazy.force mini_sweep).Runner.data)
 
 let test_runner_structure () =
   let data = Lazy.force mini_data in

@@ -116,7 +116,7 @@ let prop_semantics_preserved =
   QCheck.Test.make ~name:"translation preserves semantics" ~count:40 arbitrary
     (fun input ->
       let inip, avep = run_pair input in
-      inip.Engine.trap = None && avep.Engine.trap = None
+      inip.Engine.error = None && avep.Engine.error = None
       && inip.Engine.outputs = avep.Engine.outputs
       && inip.Engine.steps = avep.Engine.steps)
 

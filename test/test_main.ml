@@ -10,6 +10,7 @@ let () =
       ("paper-examples", Test_paper_examples.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
+      ("faults", Test_faults.suite);
       ("integration", Test_integration.suite);
       ("telemetry", Test_telemetry.suite);
     ]

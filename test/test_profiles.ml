@@ -485,7 +485,7 @@ let test_profile_io_roundtrip () =
         Tpdbt_profiles.Profile_io.of_string
           (Tpdbt_profiles.Profile_io.to_string snapshot)
       with
-      | Error msg -> Alcotest.fail msg
+      | Error e -> Alcotest.fail (Tpdbt_dbt.Error.to_string e)
       | Ok loaded ->
           checkb "use roundtrip" true (loaded.Snapshot.use = snapshot.Snapshot.use);
           checkb "taken roundtrip" true
@@ -518,7 +518,7 @@ let test_profile_io_file_roundtrip () =
       Tpdbt_profiles.Profile_io.save path inip;
       match Tpdbt_profiles.Profile_io.load path with
       | Ok loaded -> checkb "file roundtrip" true (loaded.Snapshot.use = inip.Snapshot.use)
-      | Error msg -> Alcotest.fail msg)
+      | Error e -> Alcotest.fail (Tpdbt_dbt.Error.to_string e))
 
 let test_profile_io_metrics_preserved () =
   (* Analysing loaded profiles must give the same metrics as in-memory
@@ -529,7 +529,7 @@ let test_profile_io_metrics_preserved () =
       Tpdbt_profiles.Profile_io.of_string (Tpdbt_profiles.Profile_io.to_string s)
     with
     | Ok s -> s
-    | Error msg -> Alcotest.fail msg
+    | Error e -> Alcotest.fail (Tpdbt_dbt.Error.to_string e)
   in
   let direct = Metrics.compare_snapshots ~inip ~avep in
   let loaded =
@@ -555,6 +555,54 @@ let test_profile_io_rejects_garbage () =
   reject
     "TPDBT-PROFILE 1\nblocks 1 entry 0\nblock 0 0 0 stop\ncounters\n0 1 0\nregions 1\nregion 0 loop 1\nslot 0 0 5 3\n"
   (* loop without back edges fails region validation *)
+
+let test_profile_io_typed_rejections () =
+  (* Each malformed class must surface as a typed Corrupt_profile
+     naming the offending field and line (0 = end of file). *)
+  let expect_field text field line =
+    match Tpdbt_profiles.Profile_io.of_string text with
+    | Ok _ -> Alcotest.failf "accepted malformed profile (%s)" field
+    | Error (Tpdbt_dbt.Error.Corrupt_profile c) ->
+        Alcotest.(check string) ("field for " ^ field) field c.field;
+        Alcotest.(check int) ("line for " ^ field) line c.line
+    | Error other ->
+        Alcotest.failf "wrong error class: %s" (Tpdbt_dbt.Error.to_string other)
+  in
+  (* truncated: counters section missing entries *)
+  expect_field "TPDBT-PROFILE 1\nblocks 1 entry 0\nblock 0 0 0 stop\ncounters\n"
+    "counter" 0;
+  (* negative counter *)
+  expect_field
+    "TPDBT-PROFILE 1\nblocks 1 entry 0\nblock 0 0 0 stop\ncounters\n0 -3 0\nregions 0\n"
+    "counter.use" 5;
+  (* NaN / non-numeric counter *)
+  expect_field
+    "TPDBT-PROFILE 1\nblocks 1 entry 0\nblock 0 0 0 stop\ncounters\n0 nan 0\nregions 0\n"
+    "counter.use" 5;
+  (* taken exceeding use is impossible in a real profile *)
+  expect_field
+    "TPDBT-PROFILE 1\nblocks 1 entry 0\nblock 0 0 0 stop\ncounters\n0 1 2\nregions 0\n"
+    "counter.taken" 5;
+  (* out-of-range block id in the counter section *)
+  expect_field
+    "TPDBT-PROFILE 1\nblocks 1 entry 0\nblock 0 0 0 stop\ncounters\n7 1 0\nregions 0\n"
+    "counter.id" 5;
+  (* hostile block count: must be rejected, not handed to Array.make *)
+  expect_field "TPDBT-PROFILE 1\nblocks 99999999999 entry 0\n" "blocks" 2;
+  (* hostile slot count inside a region *)
+  expect_field
+    "TPDBT-PROFILE 1\nblocks 1 entry 0\nblock 0 0 0 stop\ncounters\n0 1 0\nregions 1\nregion 0 trace 2000001\n"
+    "region.slots" 7;
+  (* region slot referencing a nonexistent block *)
+  expect_field
+    "TPDBT-PROFILE 1\nblocks 1 entry 0\nblock 0 0 0 stop\ncounters\n0 1 0\nregions 1\nregion 0 trace 1\nslot 0 9 1 0\n"
+    "slot.block" 8;
+  (* load of a missing file is a typed I/O error *)
+  match Tpdbt_profiles.Profile_io.load "/nonexistent/tpdbt.prof" with
+  | Error (Tpdbt_dbt.Error.Io_error _) -> ()
+  | Error other ->
+      Alcotest.failf "wrong error class: %s" (Tpdbt_dbt.Error.to_string other)
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
 
 let suite =
   [
@@ -594,4 +642,5 @@ let suite =
     ("profile io file roundtrip", `Quick, test_profile_io_file_roundtrip);
     ("profile io metrics preserved", `Quick, test_profile_io_metrics_preserved);
     ("profile io rejects garbage", `Quick, test_profile_io_rejects_garbage);
+    ("profile io typed rejections", `Quick, test_profile_io_typed_rejections);
   ]

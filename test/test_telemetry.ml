@@ -106,7 +106,9 @@ let test_event_ordering () =
         ->
           checkb "exit after entry" true (Hashtbl.mem entered region)
       | Event.Region_dissolved { region; _ } ->
-          checkb "dissolved after formation" true (Hashtbl.mem formed region))
+          checkb "dissolved after formation" true (Hashtbl.mem formed region)
+      | Event.Fault_injected _ | Event.Recovery _ ->
+          checkb "no faults in clean run" true false)
     events;
   checkb "pool triggered" true (!pool_triggers > 0);
   checkb "regions formed" true (Hashtbl.length formed > 0);
