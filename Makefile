@@ -7,7 +7,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test fmt check clean faults-smoke
+.PHONY: all build test fmt check clean faults-smoke cache-smoke
 
 all: build
 
@@ -19,10 +19,19 @@ test:
 
 # Seeded fault-injection smoke: two campaigns with a fixed seed must
 # finish with zero uncaught exceptions (tpdbt faults exits non-zero
-# otherwise).
+# otherwise).  --shadow 1 arms the shadow-execution oracle so injected
+# silent corruption is detected instead of classified uncaught.
 faults-smoke: build
-	$(DUNE) exec bin/tpdbt.exe -- faults gzip --trials 4 --seed 11
-	$(DUNE) exec bin/tpdbt.exe -- faults swim --trials 4 --seed 11
+	$(DUNE) exec bin/tpdbt.exe -- faults gzip --trials 4 --seed 11 --shadow 1
+	$(DUNE) exec bin/tpdbt.exe -- faults swim --trials 4 --seed 11 --shadow 1
+
+# Bounded code-cache smoke: at a quarter of each benchmark's translated
+# footprint, all three eviction policies must complete with guest
+# behaviour identical to the unbounded baseline, and the capacity must
+# actually bind (tpdbt cache exits non-zero otherwise).
+cache-smoke: build
+	$(DUNE) exec bin/tpdbt.exe -- cache gzip --frac 0.25 --expect-evictions
+	$(DUNE) exec bin/tpdbt.exe -- cache perlbmk --frac 0.25 --expect-evictions
 
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \
@@ -32,7 +41,7 @@ fmt:
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-check: build test faults-smoke fmt
+check: build test faults-smoke cache-smoke fmt
 
 clean:
 	$(DUNE) clean

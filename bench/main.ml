@@ -147,6 +147,27 @@ let print_figures data =
     (Figures.all data)
 
 (* ------------------------------------------------------------------ *)
+(* Cache-size axis (bounded code cache, Fig-17-style)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounded runs thrash by design, so this axis sweeps the two cheap
+   benchmarks only — the full-suite version is `tpdbt cache`. *)
+let cache_axis () =
+  print_endline "Cache-size axis (cycles vs unbounded cache)";
+  print_endline "-------------------------------------------";
+  let benches = List.filter_map Suite.find [ "gzip"; "perlbmk" ] in
+  let t0 = Unix.gettimeofday () in
+  let sweeps =
+    List.map (fun b -> Runner.run_cache_sweep ~fracs:[ 0.25; 0.5; 1.0 ] b)
+      benches
+  in
+  let table = Figures.cache_sweep sweeps in
+  Table.print ~precision:3 table;
+  write_csv "cache-sweep" table;
+  Printf.eprintf "cache axis done in %.1fs\n%!" (Unix.gettimeofday () -. t0);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -239,11 +260,23 @@ join:
     in
     fun () -> ignore (Tpdbt_dbt.Optimizer.optimize_block instrs)
   in
+  (* Same run again under a tight code cache: the delta against the
+     unbounded run is the eviction/retranslation machinery's own cost. *)
+  let engine_run_bounded () =
+    let config =
+      Tpdbt_dbt.Engine.config ~threshold:50 ~cache_capacity:8
+        ~cache_backoff:100 ()
+    in
+    let engine = Tpdbt_dbt.Engine.create ~config ~seed:1L quickstart_program in
+    ignore (Tpdbt_dbt.Engine.run engine)
+  in
   let kernel_tests =
     [
       Test.make ~name:"engine:two-phase-run-2k-iters" (Staged.stage engine_run);
       Test.make ~name:"engine:two-phase-run-2k-iters-traced"
         (Staged.stage engine_run_traced);
+      Test.make ~name:"engine:two-phase-run-2k-iters-bounded-cache"
+        (Staged.stage engine_run_bounded);
       Test.make ~name:"solver:gauss-20x20" (Staged.stage gauss_solve);
       Test.make ~name:"optimizer:block-16-instrs" (Staged.stage schedule);
     ]
@@ -288,13 +321,14 @@ let ablation_studies ~quick =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--quick] [--no-micro] [--no-ablations]\n\n\
+    "usage: main.exe [--quick] [--no-micro] [--no-ablations] [--no-cache]\n\n\
     \  --quick          run 3 benchmarks instead of the full suite\n\
     \  --no-micro       skip the Bechamel micro-benchmarks\n\
-    \  --no-ablations   skip the design-choice ablation studies"
+    \  --no-ablations   skip the design-choice ablation studies\n\
+    \  --no-cache       skip the bounded code-cache size axis"
 
 let () =
-  let known = [ "--quick"; "--no-micro"; "--no-ablations" ] in
+  let known = [ "--quick"; "--no-micro"; "--no-ablations"; "--no-cache" ] in
   let args = List.tl (Array.to_list Sys.argv) in
   (match List.filter (fun a -> not (List.mem a known)) args with
   | [] -> ()
@@ -307,9 +341,11 @@ let () =
   let quick = List.mem "--quick" args in
   let no_micro = List.mem "--no-micro" args in
   let no_ablations = List.mem "--no-ablations" args in
+  let no_cache = List.mem "--no-cache" args in
   worked_examples ();
   let data = run_sweep ~quick in
   print_figures data;
+  if not no_cache then cache_axis ();
   if not no_ablations then ablation_studies ~quick;
   if not no_micro then micro_benchmarks data;
   Printf.printf "\nCSV copies of every table are in %s/\n" results_dir

@@ -1,7 +1,7 @@
 (* tpdbt — command-line driver for the two-phase DBT reproduction.
 
    Subcommands: asm, dis, check, run, dbt, bench, sweep, profile,
-   analyze, report, ablate, trace. *)
+   analyze, report, ablate, trace, faults, cache. *)
 
 open Cmdliner
 
@@ -153,6 +153,26 @@ let run_cmd =
 (* dbt (two-phase translator)                                           *)
 (* ------------------------------------------------------------------ *)
 
+let policy_arg =
+  let parse s =
+    match Tpdbt_dbt.Code_cache.policy_of_name s with
+    | Some p -> Ok p
+    | None -> Error (`Msg ("unknown eviction policy: " ^ s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Tpdbt_dbt.Code_cache.policy_name p)
+  in
+  Arg.conv (parse, print)
+
+let shadow_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shadow" ] ~docv:"N"
+        ~doc:
+          "Shadow-execution oracle sampling period: replay every Nth region \
+           entry on the cold path and compare architectural state \
+           (0 = off).")
+
 let dbt_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
@@ -172,9 +192,35 @@ let dbt_cmd =
       & info [ "dot" ]
           ~doc:"Print the CFG and every region as Graphviz digraphs.")
   in
-  let run file threshold seed max_steps show_regions dot =
+  let cache_capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-capacity" ] ~docv:"INSTRS"
+          ~doc:
+            "Bound the code cache to this many translated guest \
+             instructions (default: unbounded).")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_arg Tpdbt_dbt.Code_cache.Lru
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Eviction policy for a bounded cache: flush_all, lru or \
+             hot_protect.")
+  in
+  let run file threshold seed max_steps show_regions dot cache_capacity policy
+      shadow_sample =
     let program = load_program file in
-    let config = { (Tpdbt_dbt.Engine.config ~threshold ()) with max_steps } in
+    let config =
+      {
+        (Tpdbt_dbt.Engine.config ~threshold ?cache_capacity
+           ~cache_policy:policy ~shadow_sample ())
+        with
+        max_steps;
+      }
+    in
     let engine = Tpdbt_dbt.Engine.create ~config ~seed program in
     let r = Tpdbt_dbt.Engine.run engine in
     let c = r.Tpdbt_dbt.Engine.counters in
@@ -193,6 +239,18 @@ let dbt_cmd =
     Printf.printf "completions:        %d\n"
       c.Tpdbt_dbt.Perf_model.region_completions;
     Printf.printf "side exits:         %d\n" c.Tpdbt_dbt.Perf_model.side_exits;
+    Printf.printf "cache peak:         %d instrs\n"
+      c.Tpdbt_dbt.Perf_model.cache_peak_instrs;
+    if cache_capacity <> None then
+      Printf.printf "cache evictions:    %d (%d instrs, %d flushes)\n"
+        c.Tpdbt_dbt.Perf_model.cache_evictions
+        c.Tpdbt_dbt.Perf_model.cache_evicted_instrs
+        c.Tpdbt_dbt.Perf_model.cache_flushes;
+    if shadow_sample > 0 then
+      Printf.printf "shadow replays:     %d (%d divergences, %d quarantined)\n"
+        c.Tpdbt_dbt.Perf_model.shadow_replays
+        c.Tpdbt_dbt.Perf_model.shadow_divergences
+        c.Tpdbt_dbt.Perf_model.regions_quarantined;
     List.iter
       (fun v -> Printf.printf "out: %d\n" v)
       r.Tpdbt_dbt.Engine.outputs;
@@ -215,7 +273,7 @@ let dbt_cmd =
     (Cmd.info "dbt" ~doc:"Run a guest program under the two-phase translator.")
     Term.(
       const run $ file $ threshold $ seed_arg $ max_steps_arg $ show_regions
-      $ dot)
+      $ dot $ cache_capacity $ policy $ shadow_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench (suite inspection)                                             *)
@@ -639,14 +697,15 @@ let faults_cmd =
       & info [ "kind"; "k" ] ~docv:"KIND"
           ~doc:
             "Fault kind to draw from: retranslate_fail, block_corrupt, \
-             region_abort, guest_trap (repeatable; default: all).")
+             region_abort, guest_trap, silent_corruption, cache_thrash \
+             (repeatable; default: all).")
   in
   let show_plans =
     Arg.(
       value & flag
       & info [ "plans" ] ~doc:"Also print each trial's fault plan.")
   in
-  let run workload threshold trials arms kinds seed show_plans =
+  let run workload threshold trials arms kinds seed shadow_sample show_plans =
     let module Campaign = Tpdbt_experiments.Campaign in
     let module Fault = Tpdbt_faults.Fault in
     let bench =
@@ -671,7 +730,7 @@ let faults_cmd =
                names)
     in
     let campaign =
-      try Campaign.run ?kinds ~threshold ~trials ~arms ~seed bench
+      try Campaign.run ?kinds ~threshold ~trials ~arms ~shadow_sample ~seed bench
       with Tpdbt_dbt.Error.Error e ->
         prerr_endline ("error: clean run failed: " ^ Tpdbt_dbt.Error.to_string e);
         exit 1
@@ -690,10 +749,155 @@ let faults_cmd =
        ~doc:
          "Run a seeded fault-injection campaign against a benchmark and \
           print the survival/recovery summary.  Exits non-zero if any \
-          trial let an exception escape the engine.")
+          trial let an exception escape the engine or executed silently \
+          corrupted code undetected (run with $(b,--shadow) to arm the \
+          oracle).")
     Term.(
       const run $ workload $ threshold $ trials $ arms $ kinds $ seed_arg
-      $ show_plans)
+      $ shadow_arg $ show_plans)
+
+(* ------------------------------------------------------------------ *)
+(* cache (bounded code-cache sweep)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let cache_cmd =
+  let module Runner = Tpdbt_experiments.Runner in
+  let benches =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Suite benchmark names (default: gzip).")
+  in
+  let threshold =
+    Arg.(
+      value & opt int 20
+      & info [ "threshold"; "t" ] ~docv:"T"
+          ~doc:"Retranslation threshold for the sweep runs.")
+  in
+  let fracs =
+    Arg.(
+      value
+      & opt_all float []
+      & info [ "frac" ] ~docv:"F"
+          ~doc:
+            "Cache capacity as a fraction of the benchmark's translated \
+             footprint (repeatable; default: 0.125 0.25 0.5 1.0).")
+  in
+  let policies =
+    Arg.(
+      value
+      & opt_all policy_arg []
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Eviction policy to sweep: flush_all, lru or hot_protect \
+             (repeatable; default: all three).")
+  in
+  let expect_evictions =
+    Arg.(
+      value & flag
+      & info [ "expect-evictions" ]
+          ~doc:
+            "Fail unless the sweep actually evicted something — guards a \
+             smoke test against capacities that never bind.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV.")
+  in
+  let run benches threshold fracs policies shadow_sample expect_evictions csv =
+    let benches = match benches with [] -> [ "gzip" ] | l -> l in
+    let selected =
+      List.map
+        (fun n ->
+          match Tpdbt_workloads.Suite.find n with
+          | Some b -> b
+          | None ->
+              prerr_endline ("unknown benchmark: " ^ n);
+              exit 1)
+        benches
+    in
+    let fracs = match fracs with [] -> None | l -> Some l in
+    let policies = match policies with [] -> None | l -> Some l in
+    let sweeps =
+      List.map
+        (fun bench ->
+          Runner.run_cache_sweep ~threshold ?fracs ?policies ~shadow_sample
+            bench)
+        selected
+    in
+    (* Invariant first: a bounded cache costs cycles, never behaviour. *)
+    let violations = ref 0 in
+    let evictions = ref 0 in
+    List.iter
+      (fun (s : Runner.cache_data) ->
+        let base = s.Runner.baseline in
+        List.iter
+          (fun (p : Runner.cache_point) ->
+            let r = p.Runner.bounded in
+            let c = r.Tpdbt_dbt.Engine.counters in
+            evictions := !evictions + c.Tpdbt_dbt.Perf_model.cache_evictions;
+            warn_error r.Tpdbt_dbt.Engine.error;
+            if
+              r.Tpdbt_dbt.Engine.outputs <> base.Tpdbt_dbt.Engine.outputs
+              || r.Tpdbt_dbt.Engine.steps <> base.Tpdbt_dbt.Engine.steps
+            then begin
+              incr violations;
+              Printf.eprintf
+                "BEHAVIOUR DIVERGED: %s policy %s frac %g (capacity %d)\n%!"
+                s.Runner.cache_bench.Tpdbt_workloads.Spec.name
+                (Tpdbt_dbt.Code_cache.policy_name p.Runner.policy)
+                p.Runner.frac p.Runner.capacity
+            end)
+          s.Runner.points;
+        Printf.printf "%s: footprint %d instrs, baseline %.0f cycles\n"
+          s.Runner.cache_bench.Tpdbt_workloads.Spec.name s.Runner.footprint
+          s.Runner.baseline.Tpdbt_dbt.Engine.counters.Tpdbt_dbt.Perf_model
+            .cycles)
+      sweeps;
+    let table = Tpdbt_experiments.Figures.cache_sweep sweeps in
+    Tpdbt_experiments.Table.print ~precision:3 table;
+    (match csv with
+    | None -> ()
+    | Some path -> (
+        let path =
+          (* Accept a directory (the sweep command's --csv convention)
+             as well as a file path. *)
+          if Sys.file_exists path && Sys.is_directory path then
+            Filename.concat path "cache_sweep.csv"
+          else path
+        in
+        try
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (Tpdbt_experiments.Table.to_csv table))
+        with Sys_error msg ->
+          Printf.eprintf "cannot write CSV: %s\n%!" msg;
+          exit 1));
+    Printf.printf "total evictions across sweep: %d\n" !evictions;
+    if !violations > 0 then begin
+      Printf.eprintf "%d sweep point(s) changed guest behaviour\n%!"
+        !violations;
+      exit 1
+    end;
+    if expect_evictions && !evictions = 0 then begin
+      prerr_endline "expected evictions, saw none (capacity never bound)";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Sweep bounded code-cache capacities over eviction policies and \
+          print cycles relative to an unbounded cache.  Exits non-zero if \
+          any bounded run changes guest behaviour (outputs or step count) \
+          relative to the unbounded baseline.")
+    Term.(
+      const run $ benches $ threshold $ fracs $ policies $ shadow_arg
+      $ expect_evictions $ csv)
 
 let () =
   let doc = "two-phase dynamic binary translator profile-accuracy testbed" in
@@ -704,5 +908,5 @@ let () =
           [
             asm_cmd; dis_cmd; check_cmd; run_cmd; dbt_cmd; bench_cmd; sweep_cmd;
             profile_cmd; analyze_cmd; report_cmd; ablate_cmd; trace_cmd;
-            faults_cmd;
+            faults_cmd; cache_cmd;
           ]))

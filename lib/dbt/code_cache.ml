@@ -1,0 +1,166 @@
+type policy = Flush_all | Lru | Hot_protect
+type entry_kind = Block | Region
+
+type entry = {
+  ekind : entry_kind;
+  id : int;
+  size : int;
+  mutable stamp : int;
+  mutable corrupt : int64 option;
+}
+
+type stats = {
+  mutable evictions : int;
+  mutable flushes : int;
+  mutable evicted_instrs : int;
+  mutable peak : int;
+}
+
+type t = {
+  pol : policy;
+  capacity : int option;
+  hot_window : int;
+  table : (entry_kind * int, entry) Hashtbl.t;
+  mutable occupied : int;
+  st : stats;
+}
+
+let create ?capacity ?(policy = Lru) ?(hot_window = 10_000) () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Code_cache.create: capacity <= 0"
+  | Some _ | None -> ());
+  if hot_window < 0 then invalid_arg "Code_cache.create: hot_window < 0";
+  {
+    pol = policy;
+    capacity;
+    hot_window;
+    table = Hashtbl.create 64;
+    occupied = 0;
+    st = { evictions = 0; flushes = 0; evicted_instrs = 0; peak = 0 };
+  }
+
+let bounded t = t.capacity <> None
+let policy t = t.pol
+let used t = t.occupied
+let peak t = t.st.peak
+let stats t = t.st
+let mem t ekind id = Hashtbl.mem t.table (ekind, id)
+
+(* Victim total order: oldest stamp first, blocks before regions at
+   equal stamps, then id — never hash-table iteration order. *)
+let kind_rank = function Block -> 0 | Region -> 1
+
+let entry_order a b =
+  match compare a.stamp b.stamp with
+  | 0 -> (
+      match compare (kind_rank a.ekind) (kind_rank b.ekind) with
+      | 0 -> compare a.id b.id
+      | c -> c)
+  | c -> c
+
+let drop t e =
+  Hashtbl.remove t.table (e.ekind, e.id);
+  t.occupied <- t.occupied - e.size
+
+let evict t e =
+  drop t e;
+  t.st.evictions <- t.st.evictions + 1;
+  t.st.evicted_instrs <- t.st.evicted_instrs + e.size
+
+let residents_sorted ?except t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      match except with Some x when x == e -> acc | Some _ | None -> e :: acc)
+    t.table []
+  |> List.sort entry_order
+
+let flush_keeping ?except t =
+  let victims = residents_sorted ?except t in
+  List.iter (evict t) victims;
+  if victims <> [] then t.st.flushes <- t.st.flushes + 1;
+  victims
+
+let flush t = flush_keeping t
+
+(* Evict the (stamp, kind, id)-least unprotected entry; [None] when
+   every candidate is protected (Hot_protect soft overflow). *)
+let pick_victim t ~now ~except =
+  let protected_ e =
+    t.pol = Hot_protect && e.ekind = Region && now - e.stamp <= t.hot_window
+  in
+  Hashtbl.fold
+    (fun _ e best ->
+      if e == except || protected_ e then best
+      else
+        match best with
+        | Some b when entry_order b e <= 0 -> best
+        | Some _ | None -> Some e)
+    t.table None
+
+let insert t ~now ~ekind ~id ~size =
+  if size < 0 then invalid_arg "Code_cache.insert: negative size";
+  (match Hashtbl.find_opt t.table (ekind, id) with
+  | Some old -> drop t old
+  | None -> ());
+  let e = { ekind; id; size; stamp = now; corrupt = None } in
+  Hashtbl.replace t.table (ekind, id) e;
+  t.occupied <- t.occupied + size;
+  if t.occupied > t.st.peak then t.st.peak <- t.occupied;
+  match t.capacity with
+  | None -> []
+  | Some cap ->
+      if t.occupied <= cap then []
+      else if t.pol = Flush_all then flush_keeping ~except:e t
+      else begin
+        let victims = ref [] in
+        let exhausted = ref false in
+        while t.occupied > cap && not !exhausted do
+          match pick_victim t ~now ~except:e with
+          | None -> exhausted := true
+          | Some v ->
+              evict t v;
+              victims := v :: !victims
+        done;
+        List.rev !victims
+      end
+
+let touch t ~now ekind id =
+  match Hashtbl.find_opt t.table (ekind, id) with
+  | Some e -> e.stamp <- now
+  | None -> ()
+
+let remove t ekind id =
+  match Hashtbl.find_opt t.table (ekind, id) with
+  | Some e -> drop t e
+  | None -> ()
+
+let resident_regions t =
+  Hashtbl.fold
+    (fun (ekind, id) _ acc -> if ekind = Region then id :: acc else acc)
+    t.table []
+  |> List.sort compare
+
+let corrupt_region t id ~salt =
+  match Hashtbl.find_opt t.table (Region, id) with
+  | Some e ->
+      e.corrupt <- Some salt;
+      true
+  | None -> false
+
+let corruption t ekind id =
+  match Hashtbl.find_opt t.table (ekind, id) with
+  | Some e -> e.corrupt
+  | None -> None
+
+let policy_name = function
+  | Flush_all -> "flush_all"
+  | Lru -> "lru"
+  | Hot_protect -> "hot_protect"
+
+let policy_of_name = function
+  | "flush_all" -> Some Flush_all
+  | "lru" -> Some Lru
+  | "hot_protect" -> Some Hot_protect
+  | _ -> None
+
+let all_policies = [ Flush_all; Lru; Hot_protect ]

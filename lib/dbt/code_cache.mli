@@ -1,0 +1,110 @@
+(** Bounded code cache: the budget and eviction policy for every
+    translated block and optimised region the engine keeps.
+
+    The paper's IA32EL model translates once and keeps everything; a
+    production translator cannot — code-cache capacity and flush policy
+    are a first-order design axis.  This module owns the accounting:
+    each resident {e entry} (a translated block or an optimised region)
+    is charged its size in {e translated guest instructions} against a
+    configurable capacity.  Inserting past the capacity evicts victims
+    according to the policy; the engine turns each victim back into
+    cold (block) or profiling (region) code and re-pays translation
+    when it is next needed, charging the churn through
+    {!Perf_model.params.evict_per_instr}.
+
+    An unbounded cache ([capacity = None], the default) never evicts
+    and never stamps, so the classic always-resident behaviour — and
+    its byte-identical figures — is the zero-cost default.  Peak
+    occupancy is tracked either way: it is how a sweep measures a
+    workload's translated footprint before shrinking the cache
+    relative to it.
+
+    Everything here is deterministic: victims are selected by a total
+    order (stamp, then entry kind, then id), never by hash-table
+    iteration order. *)
+
+type policy =
+  | Flush_all  (** over capacity: evict every other entry (full flush) *)
+  | Lru  (** evict least-recently-used entries until within capacity *)
+  | Hot_protect
+      (** LRU over blocks and {e cold} regions only: a region entered
+          within the last [hot_window] guest instructions is never
+          evicted.  If every candidate is protected the cache soft
+          overflows rather than evict hot code — the dampener against
+          eviction/retranslation thrash. *)
+
+type entry_kind = Block | Region
+
+type entry = {
+  ekind : entry_kind;
+  id : int;  (** block id or region id *)
+  size : int;  (** translated guest instructions *)
+  mutable stamp : int;  (** guest step of last insert/touch *)
+  mutable corrupt : int64 option;
+      (** silent-corruption salt ({!corrupt_region}); [None] = clean *)
+}
+
+type stats = {
+  mutable evictions : int;  (** victims evicted (entries, not instrs) *)
+  mutable flushes : int;  (** whole-cache flushes (policy or injected) *)
+  mutable evicted_instrs : int;  (** translated instructions discarded *)
+  mutable peak : int;  (** high-water occupancy in instructions *)
+}
+
+type t
+
+val create : ?capacity:int -> ?policy:policy -> ?hot_window:int -> unit -> t
+(** [capacity] in translated guest instructions; omitted = unbounded.
+    [policy] defaults to [Lru], [hot_window] to [10_000] guest
+    instructions.
+    @raise Invalid_argument if [capacity <= 0] or [hot_window < 0]. *)
+
+val bounded : t -> bool
+val policy : t -> policy
+val used : t -> int
+val peak : t -> int
+val stats : t -> stats
+val mem : t -> entry_kind -> int -> bool
+
+val insert : t -> now:int -> ekind:entry_kind -> id:int -> size:int -> entry list
+(** Make [(ekind, id)] resident with the given size, stamped [now],
+    evicting victims as the policy demands until the cache is within
+    capacity again.  Returns the victims (never including the entry
+    just inserted) in eviction order; the caller must de-install each
+    one.  Re-inserting a resident entry updates its size and stamp.
+    A single entry larger than the whole capacity stays resident
+    alone — the cache soft overflows rather than refuse code the
+    engine is about to run. *)
+
+val touch : t -> now:int -> entry_kind -> int -> unit
+(** Refresh the recency stamp of a resident entry (region entry /
+    block dispatch).  Unknown entries are ignored.  The engine only
+    calls this when {!bounded} — stamps are meaningless without a
+    capacity. *)
+
+val remove : t -> entry_kind -> int -> unit
+(** De-install without eviction accounting — for dissolution and
+    quarantine, where the region is leaving for its own reasons. *)
+
+val flush : t -> entry list
+(** Evict everything (counted as one flush plus per-entry evictions) —
+    the [Cache_thrash] fault and the [Flush_all] policy share this.
+    Returns the victims in deterministic (stamp, kind, id) order. *)
+
+val resident_regions : t -> int list
+(** Ids of resident region entries, ascending — the deterministic
+    victim pool for silent-corruption injection. *)
+
+val corrupt_region : t -> int -> salt:int64 -> bool
+(** Mark a resident region's translated code as silently corrupted
+    (no trap, wrong results).  Returns [false] if the region is not
+    resident.  The mark survives {!touch} and is cleared by eviction,
+    {!remove} or re-{!insert}. *)
+
+val corruption : t -> entry_kind -> int -> int64 option
+
+val policy_name : policy -> string
+(** ["flush_all"], ["lru"], ["hot_protect"]. *)
+
+val policy_of_name : string -> policy option
+val all_policies : policy list

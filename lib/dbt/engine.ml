@@ -22,10 +22,17 @@ type config = {
   sink : Sink.t;
   faults : Tpdbt_faults.Plan.t option;
   retry_limit : int;
+  cache_capacity : int option;
+  cache_policy : Code_cache.policy;
+  cache_backoff : int;
+  shadow_sample : int;
+  max_quarantines : int;
 }
 
 let config ?(pool_trigger = 16) ?(adaptive = false) ?(sink = Sink.null) ?faults
-    ?(retry_limit = 3) ~threshold () =
+    ?(retry_limit = 3) ?cache_capacity ?(cache_policy = Code_cache.Lru)
+    ?(cache_backoff = 1000) ?(shadow_sample = 0) ?(max_quarantines = 4)
+    ~threshold () =
   {
     threshold;
     pool_trigger;
@@ -44,6 +51,11 @@ let config ?(pool_trigger = 16) ?(adaptive = false) ?(sink = Sink.null) ?faults
     sink;
     faults;
     retry_limit;
+    cache_capacity;
+    cache_policy;
+    cache_backoff;
+    shadow_sample;
+    max_quarantines;
   }
 
 let profiling_only = config ~threshold:0 ()
@@ -110,6 +122,20 @@ type t = {
   fault_fails : int array;
       (* per block: injected retranslation failures / formation aborts
          of regions rooted there — the bounded-retry budget *)
+  cache : Code_cache.t;
+  quarantined : bool array;
+      (* per block: member of a region the shadow oracle quarantined —
+         never registered or re-optimised again, but keeps profiling *)
+  mutable quarantine_count : int;
+  mutable degraded : bool;
+      (* the bounded-quarantine watchdog tripped: profiling-only from
+         here on *)
+  mutable last_round_step : int;
+      (* guest step of the last optimisation round — under a bounded
+         cache, rounds are spaced at least [cache_backoff] steps apart
+         so eviction-driven re-pooling cannot re-trigger the optimiser
+         on every block execution (the thrash stays in the cycle
+         model, not in wall-clock) *)
   inj : Injector.t option;
   counters : Perf_model.counters;
   mutable error : Error.t option;
@@ -141,6 +167,15 @@ let create ?config:(cfg = config ~threshold:1000 ()) ?mem_words ~seed program =
     pool_size = 0;
     pool_trigger_now = cfg.pool_trigger;
     fault_fails = Array.make n 0;
+    cache =
+      Code_cache.create ?capacity:cfg.cache_capacity ~policy:cfg.cache_policy
+        ();
+    quarantined = Array.make n false;
+    quarantine_count = 0;
+    degraded = false;
+    (* [- backoff] keeps [steps - last_round_step] overflow-free and
+       lets the first round fire immediately. *)
+    last_round_step = -cfg.cache_backoff;
     inj = Option.map Injector.create cfg.faults;
     counters = Perf_model.fresh_counters ();
     error = None;
@@ -176,6 +211,88 @@ let exec_block t (b : Block_map.block) =
         | Machine.Stepped -> if remaining = 1 then Flowed else go (remaining - 1))
   in
   go b.Block_map.size
+
+(* ------------------------------------------------------------------ *)
+(* Region bookkeeping shared by dissolution, eviction and quarantine    *)
+(* ------------------------------------------------------------------ *)
+
+let region_instrs t (r : Region.t) =
+  Array.fold_left
+    (fun acc b -> acc + (Block_map.block t.bmap b).Block_map.size)
+    0 r.Region.slots
+
+let unlink_region t rid =
+  Hashtbl.remove t.regions rid;
+  Hashtbl.remove t.monitors rid;
+  t.regions_rev <- List.filter (fun r -> r.Region.id <> rid) t.regions_rev
+
+(* Rebuild the dispatcher's entry map from the surviving regions, in
+   formation order. *)
+let rebuild_region_entries t =
+  Array.fill t.region_entry 0 (Array.length t.region_entry) (-1);
+  List.iter
+    (fun r ->
+      let entry = Region.entry_block r in
+      if t.region_entry.(entry) < 0 then t.region_entry.(entry) <- r.Region.id)
+    (List.rev t.regions_rev)
+
+let still_in_region t =
+  let tbl = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ (r, _) ->
+      Array.iter (fun b -> Hashtbl.replace tbl b ()) r.Region.slots)
+    t.regions;
+  fun b -> Hashtbl.mem tbl b
+
+(* A region evicted by the bounded code cache is not gone for cause:
+   its members fall back to profiled execution with their counters
+   {e preserved} and return to the candidate pool, so a later
+   optimisation round can re-form it — paying the retranslation cost
+   again.  That churn is exactly what the cache-size sweep measures. *)
+let evict_region t rid =
+  match Hashtbl.find_opt t.regions rid with
+  | None -> ()
+  | Some (r, _) ->
+      unlink_region t rid;
+      let still = still_in_region t in
+      Array.iter
+        (fun b ->
+          if not (still b) then
+            if t.quarantined.(b) then t.state.(b) <- Cold
+            else begin
+              t.state.(b) <- Registered;
+              if (not t.degraded) && not (List.mem b t.pool) then begin
+                t.pool <- b :: t.pool;
+                t.pool_size <- t.pool_size + 1
+              end
+            end)
+        r.Region.slots;
+      rebuild_region_entries t
+
+let apply_victims t victims =
+  List.iter
+    (fun (v : Code_cache.entry) ->
+      t.counters.Perf_model.cycles <-
+        t.counters.Perf_model.cycles
+        +. (float_of_int v.Code_cache.size
+           *. t.cfg.perf.Perf_model.evict_per_instr);
+      if t.trace then
+        emit t
+          (Event.Cache_evicted
+             {
+               entry_kind =
+                 (match v.Code_cache.ekind with
+                 | Code_cache.Block -> "block"
+                 | Code_cache.Region -> "region");
+               id = v.Code_cache.id;
+               size = v.Code_cache.size;
+             });
+      match v.Code_cache.ekind with
+      | Code_cache.Block ->
+          (* The next execution pays cold translation again. *)
+          t.touched.(v.Code_cache.id) <- false
+      | Code_cache.Region -> evict_region t v.Code_cache.id)
+    victims
 
 (* ------------------------------------------------------------------ *)
 (* Optimisation phase                                                   *)
@@ -257,6 +374,7 @@ let recover_region_abort t inj arm (r : Region.t) =
 
 let optimize t =
   if t.trace then emit t (Event.Phase_begin { phase = "optimize" });
+  t.last_round_step <- Machine.steps t.machine;
   t.counters.Perf_model.optimization_rounds <-
     t.counters.Perf_model.optimization_rounds + 1;
   let seeds =
@@ -305,13 +423,8 @@ let optimize t =
       t.regions_rev <- r :: t.regions_rev;
       t.counters.Perf_model.regions_formed <-
         t.counters.Perf_model.regions_formed + 1;
-      if t.trace then begin
-        let instrs =
-          Array.fold_left
-            (fun acc block ->
-              acc + (Block_map.block t.bmap block).Block_map.size)
-            0 r.Region.slots
-        in
+      let instrs = region_instrs t r in
+      if t.trace then
         emit t
           (Event.Region_formed
              {
@@ -323,8 +436,7 @@ let optimize t =
                slots = Array.length r.Region.slots;
                instrs;
                entry_block = Region.entry_block r;
-             })
-      end;
+             });
       (* Retranslation cost: proportional to region size in instructions. *)
       Array.iter
         (fun block ->
@@ -336,7 +448,13 @@ let optimize t =
       (* Freeze members; record the region entry for dispatch. *)
       Array.iter (fun block -> t.state.(block) <- Optimized) r.Region.slots;
       let entry = Region.entry_block r in
-      if t.region_entry.(entry) < 0 then t.region_entry.(entry) <- r.Region.id
+      if t.region_entry.(entry) < 0 then t.region_entry.(entry) <- r.Region.id;
+      (* Charge the region to the code cache; over capacity, the
+         policy's victims are de-installed here and now. *)
+      apply_victims t
+        (Code_cache.insert t.cache
+           ~now:(Machine.steps t.machine)
+           ~ekind:Code_cache.Region ~id:r.Region.id ~size:instrs)
   in
   let clean_round = ref true in
   List.iter
@@ -370,31 +488,20 @@ let dissolve t (region : Region.t) =
   Array.iter
     (fun b -> t.dissolve_count.(b) <- t.dissolve_count.(b) + 1)
     region.Region.slots;
-  Hashtbl.remove t.regions region.Region.id;
-  Hashtbl.remove t.monitors region.Region.id;
-  t.regions_rev <-
-    List.filter (fun r -> r.Region.id <> region.Region.id) t.regions_rev;
+  unlink_region t region.Region.id;
+  Code_cache.remove t.cache Code_cache.Region region.Region.id;
   t.counters.Perf_model.regions_dissolved <-
     t.counters.Perf_model.regions_dissolved + 1;
-  let still_member = Hashtbl.create 16 in
-  Hashtbl.iter
-    (fun _ (r, _) ->
-      Array.iter (fun b -> Hashtbl.replace still_member b ()) r.Region.slots)
-    t.regions;
+  let still = still_in_region t in
   Array.iter
     (fun b ->
-      if not (Hashtbl.mem still_member b) then begin
+      if not (still b) then begin
         t.state.(b) <- Cold;
         t.use.(b) <- 0;
         t.taken.(b) <- 0
       end)
     region.Region.slots;
-  Array.fill t.region_entry 0 (Array.length t.region_entry) (-1);
-  List.iter
-    (fun r ->
-      let entry = Region.entry_block r in
-      if t.region_entry.(entry) < 0 then t.region_entry.(entry) <- r.Region.id)
-    (List.rev t.regions_rev)
+  rebuild_region_entries t
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch loop                                                        *)
@@ -414,8 +521,16 @@ let exec_single t bid =
     t.counters.Perf_model.cycles <-
       t.counters.Perf_model.cycles
       +. (float_of_int b.Block_map.size
-         *. perf.Perf_model.cold_translate_per_instr)
-  end;
+         *. perf.Perf_model.cold_translate_per_instr);
+    apply_victims t
+      (Code_cache.insert t.cache
+         ~now:(Machine.steps t.machine)
+         ~ekind:Code_cache.Block ~id:bid ~size:b.Block_map.size)
+  end
+  else if Code_cache.bounded t.cache then
+    Code_cache.touch t.cache
+      ~now:(Machine.steps t.machine)
+      Code_cache.Block bid;
   let outcome = exec_block t b in
   (match t.state.(bid) with
   | Optimized ->
@@ -438,10 +553,11 @@ let exec_single t bid =
         +. (float_of_int b.Block_map.size
            *. perf.Perf_model.profiled_exec_per_instr)
         +. (float_of_int ops *. perf.Perf_model.profiling_op_cost);
-      if t.cfg.threshold > 0 then begin
+      if t.cfg.threshold > 0 && not t.degraded then begin
         (match t.state.(bid) with
         | Cold ->
-            if t.use.(bid) >= t.cfg.threshold then begin
+            if t.use.(bid) >= t.cfg.threshold && not t.quarantined.(bid)
+            then begin
               t.state.(bid) <- Registered;
               t.pool <- bid :: t.pool;
               t.pool_size <- t.pool_size + 1;
@@ -460,7 +576,13 @@ let exec_single t bid =
           | Registered -> t.use.(bid) >= 2 * t.cfg.threshold
           | Cold | Optimized -> false
         in
-        if t.pool_size > 0 && (registered_twice || t.pool_size >= t.pool_trigger_now)
+        let backoff_ok =
+          (not (Code_cache.bounded t.cache))
+          || Machine.steps t.machine - t.last_round_step >= t.cfg.cache_backoff
+        in
+        if
+          t.pool_size > 0 && backoff_ok
+          && (registered_twice || t.pool_size >= t.pool_trigger_now)
         then begin
           if t.trace then
             emit t
@@ -476,11 +598,107 @@ let exec_single t bid =
       end);
   outcome
 
+(* ------------------------------------------------------------------ *)
+(* Quarantine and the bounded-quarantine watchdog                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Too many quarantines: the optimiser itself is suspect.  Drop every
+   region (profile counters preserved), empty the pool, and run
+   profiling-only for the rest of the run — degraded but correct. *)
+let degrade t =
+  t.degraded <- true;
+  t.counters.Perf_model.watchdog_degraded <- 1;
+  let rs =
+    Hashtbl.fold (fun _ (r, _) acc -> r :: acc) t.regions []
+    |> List.sort (fun a b -> compare a.Region.id b.Region.id)
+  in
+  List.iter
+    (fun (r : Region.t) ->
+      unlink_region t r.Region.id;
+      Code_cache.remove t.cache Code_cache.Region r.Region.id;
+      Array.iter
+        (fun b -> if t.state.(b) = Optimized then t.state.(b) <- Cold)
+        r.Region.slots)
+    rs;
+  t.pool <- [];
+  t.pool_size <- 0;
+  rebuild_region_entries t;
+  if t.trace then
+    emit t (Event.Engine_degraded { quarantines = t.quarantine_count })
+
+(* Shadow divergence: the region's translated code produced wrong
+   architectural state.  Quarantine it — dissolve with the members'
+   use/taken counters {e preserved} (they are real executions; the
+   AVEP profile must survive) and bar the members from ever being
+   registered or re-optimised again. *)
+let quarantine t rid (region : Region.t) =
+  let preserved_use =
+    Array.fold_left (fun acc b -> acc + t.use.(b)) 0 region.Region.slots
+  in
+  unlink_region t rid;
+  Code_cache.remove t.cache Code_cache.Region rid;
+  t.counters.Perf_model.regions_quarantined <-
+    t.counters.Perf_model.regions_quarantined + 1;
+  t.quarantine_count <- t.quarantine_count + 1;
+  let still = still_in_region t in
+  Array.iter
+    (fun b ->
+      t.quarantined.(b) <- true;
+      if not (still b) then t.state.(b) <- Cold)
+    region.Region.slots;
+  rebuild_region_entries t;
+  if t.trace then
+    emit t (Event.Region_quarantined { region = rid; preserved_use });
+  if t.quarantine_count > t.cfg.max_quarantines then degrade t
+
+(* Shadow-execution oracle: replay what the region just executed
+   block-by-block on the cold path and compare architectural state.
+   The interpreter {e is} the cold path here, so the replay is charged
+   as cycles and the reference register file is the machine's own; the
+   translated side's registers differ exactly when the region's cached
+   code image carries a silent corruption, whose salt perturbs one
+   register — the wrong-result execution the oracle exists to catch. *)
+let shadow_check t rid ~steps_before =
+  let perf = t.cfg.perf in
+  let replayed = Machine.steps t.machine - steps_before in
+  t.counters.Perf_model.shadow_replays <-
+    t.counters.Perf_model.shadow_replays + 1;
+  t.counters.Perf_model.cycles <-
+    t.counters.Perf_model.cycles
+    +. (float_of_int replayed *. perf.Perf_model.shadow_replay_per_instr);
+  let reference =
+    Array.of_list
+      (List.map (fun r -> Machine.reg t.machine r) Tpdbt_isa.Reg.all)
+  in
+  let translated = Array.copy reference in
+  (match Code_cache.corruption t.cache Code_cache.Region rid with
+  | None -> ()
+  | Some salt ->
+      let nregs = Array.length translated in
+      let idx =
+        Int64.to_int
+          (Int64.rem (Int64.logand salt Int64.max_int) (Int64.of_int nregs))
+      in
+      (* [lor 1] keeps the perturbation nonzero for every salt. *)
+      let delta = 1 lor Int64.to_int (Int64.logand salt 0xffffL) in
+      translated.(idx) <- translated.(idx) lxor delta);
+  let diverged = ref (-1) in
+  Array.iteri
+    (fun i v -> if !diverged < 0 && v <> reference.(i) then diverged := i)
+    translated;
+  if !diverged >= 0 then begin
+    t.counters.Perf_model.shadow_divergences <-
+      t.counters.Perf_model.shadow_divergences + 1;
+    if t.trace then
+      emit t (Event.Shadow_divergence { region = rid; reg = !diverged });
+    match Hashtbl.find_opt t.regions rid with
+    | Some (region, _) -> quarantine t rid region
+    | None -> ()
+  end
+
 (* Execute inside region [rid] starting at its entry.  Returns the
    outcome that ended region execution. *)
-let exec_region t rid =
-  let region, slot_cycles = Hashtbl.find t.regions rid in
-  let mon = Hashtbl.find t.monitors rid in
+let exec_region_body t rid region slot_cycles mon =
   let perf = t.cfg.perf in
   let tail = Region.tail_slot region in
   t.counters.Perf_model.region_entries <-
@@ -584,6 +802,35 @@ let exec_region t rid =
   in
   at_slot 0
 
+(* Region dispatch: look the region up defensively (a bounded cache may
+   have evicted it between the dispatcher reading [region_entry] and
+   this call firing — e.g. a [Cache_thrash] flush in the same step),
+   decide {e before} execution whether this entry is shadow-sampled
+   (the decision depends only on the monitor's entry count, so it is
+   deterministic and independent of the oracle's own effects), run the
+   body, then replay-and-compare on the sampled entries. *)
+let exec_region t rid =
+  match (Hashtbl.find_opt t.regions rid, Hashtbl.find_opt t.monitors rid) with
+  | Some (region, slot_cycles), Some mon ->
+      let steps_before = Machine.steps t.machine in
+      if Code_cache.bounded t.cache then
+        Code_cache.touch t.cache ~now:steps_before Code_cache.Region rid;
+      if Code_cache.corruption t.cache Code_cache.Region rid <> None then
+        t.counters.Perf_model.corrupted_entries <-
+          t.counters.Perf_model.corrupted_entries + 1;
+      let sampled =
+        t.cfg.shadow_sample > 0 && mon.m_entries mod t.cfg.shadow_sample = 0
+      in
+      let outcome = exec_region_body t rid region slot_cycles mon in
+      (if sampled && t.error = None then
+         match outcome with
+         | Trapped _ -> ()
+         | Flowed | Took _ | Finished -> shadow_check t rid ~steps_before);
+      outcome
+  | (None, _) | (_, None) ->
+      t.error <- Some (Error.Dispatch_lost { pc = Machine.pc t.machine });
+      Finished
+
 (* Injected corruption of block [bid]'s translated code.  The
    translation is discarded (the next execution pays the cold
    translation again) and any region holding the block is dissolved
@@ -596,6 +843,7 @@ let corrupt_block t bid =
       (Event.Fault_injected
          { fault = Fault.kind_name Fault.Block_corrupt; target = bid });
   t.touched.(bid) <- false;
+  Code_cache.remove t.cache Code_cache.Block bid;
   t.counters.Perf_model.blocks_retranslated <-
     t.counters.Perf_model.blocks_retranslated + 1;
   let owners =
@@ -617,22 +865,74 @@ let corrupt_block t bid =
     emit t (Event.Recovery { action = Event.Retranslate; target = bid })
 
 (* Faults whose site is the dispatch loop: guest traps (poison the
-   instruction about to execute) and block corruption (pick a
-   translated victim from the arm's salt). *)
+   instruction about to execute), block corruption (pick a translated
+   victim from the arm's salt), silent corruption of a resident region
+   and whole-cache thrash. *)
 let inject_dispatch_faults t inj =
   let step = Machine.steps t.machine in
   (match Injector.take inj ~step Fault.Guest_trap with
   | None -> ()
   | Some arm ->
       let pc = Machine.pc t.machine in
-      Machine.poison t.machine pc;
-      t.counters.Perf_model.faults_injected <-
-        t.counters.Perf_model.faults_injected + 1;
-      Injector.record inj arm ~fired_step:step ~target:pc;
-      if t.trace then
-        emit t
-          (Event.Fault_injected
-             { fault = Fault.kind_name Fault.Guest_trap; target = pc }));
+      (* The pc can sit past the last instruction (fallthrough off the
+         end halts the machine on its next step) — poisoning it would
+         raise Invalid_argument, so the arm fires with no victim. *)
+      if pc >= 0 && pc < Tpdbt_isa.Program.length t.program then begin
+        Machine.poison t.machine pc;
+        t.counters.Perf_model.faults_injected <-
+          t.counters.Perf_model.faults_injected + 1;
+        Injector.record inj arm ~fired_step:step ~target:pc;
+        if t.trace then
+          emit t
+            (Event.Fault_injected
+               { fault = Fault.kind_name Fault.Guest_trap; target = pc })
+      end
+      else Injector.record inj arm ~fired_step:step ~target:(-1));
+  (match Injector.take inj ~step Fault.Silent_corruption with
+  | None -> ()
+  | Some arm -> (
+      match Code_cache.resident_regions t.cache with
+      | [] -> Injector.record inj arm ~fired_step:step ~target:(-1)
+      | regions ->
+          let n = List.length regions in
+          let pick =
+            Int64.to_int
+              (Int64.rem (Int64.logand arm.Fault.salt Int64.max_int)
+                 (Int64.of_int n))
+          in
+          let victim = List.nth regions pick in
+          ignore
+            (Code_cache.corrupt_region t.cache victim ~salt:arm.Fault.salt);
+          t.counters.Perf_model.faults_injected <-
+            t.counters.Perf_model.faults_injected + 1;
+          Injector.record inj arm ~fired_step:step ~target:victim;
+          if t.trace then
+            emit t
+              (Event.Fault_injected
+                 {
+                   fault = Fault.kind_name Fault.Silent_corruption;
+                   target = victim;
+                 })));
+  (match Injector.take inj ~step Fault.Cache_thrash with
+  | None -> ()
+  | Some arm -> (
+      match Code_cache.flush t.cache with
+      | [] -> Injector.record inj arm ~fired_step:step ~target:(-1)
+      | victims ->
+          let n = List.length victims in
+          let instrs =
+            List.fold_left (fun acc v -> acc + v.Code_cache.size) 0 victims
+          in
+          t.counters.Perf_model.faults_injected <-
+            t.counters.Perf_model.faults_injected + 1;
+          Injector.record inj arm ~fired_step:step ~target:n;
+          if t.trace then begin
+            emit t
+              (Event.Fault_injected
+                 { fault = Fault.kind_name Fault.Cache_thrash; target = n });
+            emit t (Event.Cache_flushed { entries = n; instrs })
+          end;
+          apply_victims t victims));
   match Injector.take inj ~step Fault.Block_corrupt with
   | None -> ()
   | Some arm ->
@@ -703,6 +1003,14 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun ~steps:_ _ -> ()) t =
   in
   loop ();
   if t.trace then emit t (Event.Phase_end { phase = "run" });
+  (* The cache keeps the authoritative eviction tally (the engine may
+     trigger it from several sites); mirror it into the perf counters
+     once, here, so the result is self-contained. *)
+  let cs = Code_cache.stats t.cache in
+  t.counters.Perf_model.cache_evictions <- cs.Code_cache.evictions;
+  t.counters.Perf_model.cache_flushes <- cs.Code_cache.flushes;
+  t.counters.Perf_model.cache_evicted_instrs <- cs.Code_cache.evicted_instrs;
+  t.counters.Perf_model.cache_peak_instrs <- cs.Code_cache.peak;
   let snapshot = current_snapshot t in
   let region_stats =
     Hashtbl.fold

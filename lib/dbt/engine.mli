@@ -64,6 +64,41 @@ type config = {
       (** Recovery budget: how many injected retranslation failures /
           formation aborts a single entry block may absorb before the
           run stops with a typed {!Error.t} (default 3). *)
+  cache_capacity : int option;
+      (** Code-cache budget in translated guest instructions; [None]
+          (the default) is unbounded and leaves every cycle count
+          byte-identical to an engine without the cache manager.  When
+          set, each cold-translated block and each committed region is
+          charged its instruction count, and going over budget evicts
+          victims per [cache_policy] — a victim block pays cold
+          translation again on its next execution, a victim region's
+          members fall back to profiled execution with their counters
+          preserved and re-enter the candidate pool, so re-forming it
+          pays the retranslation cost again ({!Code_cache}). *)
+  cache_policy : Code_cache.policy;
+      (** Eviction policy under pressure (default {!Code_cache.Lru}). *)
+  cache_backoff : int;
+      (** Bounded cache only: minimum guest-step gap between
+          optimisation rounds (default 1000).  Eviction re-pools whole
+          regions at once, which would otherwise re-trigger the
+          optimiser after nearly every block execution — the backoff
+          keeps the thrash in the cycle model instead of wall-clock
+          time.  Ignored (no gap) when the cache is unbounded, so the
+          default configuration is unaffected. *)
+  shadow_sample : int;
+      (** Shadow-execution oracle sampling period: every [N]th entry to
+          each region (deterministically, the 1st, [N+1]th, ... by the
+          region's own entry count) is replayed block-by-block on the
+          cold path and the architectural register state compared.  A
+          divergence — only a silently corrupted cache entry produces
+          one — quarantines the region: dissolved with its members'
+          use/taken counters {e preserved} and barred from
+          re-optimisation.  [0] (the default) disables the oracle. *)
+  max_quarantines : int;
+      (** Bounded-quarantine watchdog: after more than this many
+          quarantines (default 4) the engine stops trusting its own
+          optimiser — every region is dropped and the run degrades to
+          profiling-only (counters kept, no further optimisation). *)
 }
 
 val config :
@@ -72,13 +107,19 @@ val config :
   ?sink:Tpdbt_telemetry.Sink.t ->
   ?faults:Tpdbt_faults.Plan.t ->
   ?retry_limit:int ->
+  ?cache_capacity:int ->
+  ?cache_policy:Code_cache.policy ->
+  ?cache_backoff:int ->
+  ?shadow_sample:int ->
+  ?max_quarantines:int ->
   threshold:int ->
   unit ->
   config
 (** Defaults: pool trigger 16, min branch prob 0.7, 16 slots,
     duplication and diamonds on, adaptive off (side-exit rate 0.3, min
     entries 64), {!Perf_model.default}, 200M steps, null sink, no
-    faults, retry limit 3. *)
+    faults, retry limit 3, unbounded cache (LRU when bounded), shadow
+    oracle off, watchdog at 4 quarantines. *)
 
 val profiling_only : config
 (** [threshold = 0]: collect AVEP / INIP(train) profiles. *)

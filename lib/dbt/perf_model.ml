@@ -6,6 +6,8 @@ type params = {
   optimize_per_instr : float;
   optimized_dispatch : float;
   side_exit_penalty : float;
+  evict_per_instr : float;
+  shadow_replay_per_instr : float;
 }
 
 let default =
@@ -17,6 +19,8 @@ let default =
     optimize_per_instr = 300.0;
     optimized_dispatch = 2.0;
     side_exit_penalty = 6.0;
+    evict_per_instr = 1.0;
+    shadow_replay_per_instr = 6.0;
   }
 
 type counters = {
@@ -33,6 +37,15 @@ type counters = {
   mutable retrans_retries : int;
   mutable fault_dissolves : int;
   mutable blocks_retranslated : int;
+  mutable cache_evictions : int;
+  mutable cache_flushes : int;
+  mutable cache_evicted_instrs : int;
+  mutable cache_peak_instrs : int;
+  mutable shadow_replays : int;
+  mutable shadow_divergences : int;
+  mutable corrupted_entries : int;
+  mutable regions_quarantined : int;
+  mutable watchdog_degraded : int;
 }
 
 let fresh_counters () =
@@ -50,6 +63,15 @@ let fresh_counters () =
     retrans_retries = 0;
     fault_dissolves = 0;
     blocks_retranslated = 0;
+    cache_evictions = 0;
+    cache_flushes = 0;
+    cache_evicted_instrs = 0;
+    cache_peak_instrs = 0;
+    shadow_replays = 0;
+    shadow_divergences = 0;
+    corrupted_entries = 0;
+    regions_quarantined = 0;
+    watchdog_degraded = 0;
   }
 
 let record c registry =
@@ -71,4 +93,13 @@ let record c registry =
       ("retrans_retries", c.retrans_retries);
       ("fault_dissolves", c.fault_dissolves);
       ("blocks_retranslated", c.blocks_retranslated);
+      ("cache_evictions", c.cache_evictions);
+      ("cache_flushes", c.cache_flushes);
+      ("cache_evicted_instrs", c.cache_evicted_instrs);
+      ("cache_peak_instrs", c.cache_peak_instrs);
+      ("shadow_replays", c.shadow_replays);
+      ("shadow_divergences", c.shadow_divergences);
+      ("corrupted_entries", c.corrupted_entries);
+      ("regions_quarantined", c.regions_quarantined);
+      ("watchdog_degraded", c.watchdog_degraded);
     ]

@@ -21,12 +21,20 @@ type params = {
   optimized_dispatch : float;  (** entering a region from the dispatcher *)
   side_exit_penalty : float;
       (** leaving a region through an unanticipated exit *)
+  evict_per_instr : float;
+      (** per translated instruction discarded when the bounded code
+          cache ({!Code_cache}) evicts an entry — unlinking, patching
+          the dispatch tables *)
+  shadow_replay_per_instr : float;
+      (** per guest instruction replayed on the cold path by the
+          shadow-execution oracle at a sampled region entry *)
 }
 
 val default : params
 (** cold 30, profiled 6, op 2, translated 3, optimise 300, dispatch 2,
     side exit 6 — calibrated so the Fig 17 threshold sweep reproduces
-    the paper's shape (optimum at mid thresholds). *)
+    the paper's shape (optimum at mid thresholds).  Cache churn: evict
+    1, shadow replay 6 (the cold path re-executes at profiled speed). *)
 
 type counters = {
   mutable cycles : float;
@@ -48,6 +56,29 @@ type counters = {
           aborted formation *)
   mutable blocks_retranslated : int;
       (** recovery: corrupted blocks whose translation was discarded *)
+  mutable cache_evictions : int;
+      (** bounded code cache: entries (blocks or regions) evicted *)
+  mutable cache_flushes : int;
+      (** whole-cache flushes ([Flush_all] policy or [Cache_thrash]) *)
+  mutable cache_evicted_instrs : int;
+      (** translated guest instructions discarded by eviction *)
+  mutable cache_peak_instrs : int;
+      (** high-water cache occupancy — the run's translated footprint;
+          tracked even with an unbounded cache, so a sweep can size a
+          bounded cache relative to it *)
+  mutable shadow_replays : int;
+      (** shadow oracle: sampled region entries replayed and compared *)
+  mutable shadow_divergences : int;
+      (** shadow oracle: replays whose architectural state diverged *)
+  mutable corrupted_entries : int;
+      (** entries into a silently-corrupted region — executions that
+          would have produced wrong results on a real translator *)
+  mutable regions_quarantined : int;
+      (** regions quarantined after a shadow divergence (members keep
+          their AVEP counters and are never re-optimised) *)
+  mutable watchdog_degraded : int;
+      (** 1 if the bounded-quarantine watchdog degraded the run to
+          profiling-only, else 0 *)
 }
 
 val fresh_counters : unit -> counters

@@ -35,18 +35,27 @@ let outcome_name = function
   | Uncaught _ -> "uncaught"
 
 let classify (clean : Engine.result) (r : Engine.result) =
+  let c = r.Engine.counters in
   match r.Engine.error with
   | Some e when Error.fatal e -> Failed e
   | _ ->
       if
+        c.Perf_model.corrupted_entries > 0
+        && c.Perf_model.shadow_divergences = 0
+      then
+        (* Silently corrupted translated code executed and the shadow
+           oracle never flagged it: wrong results may have been produced
+           with no signal at all.  As bad as an escaped exception. *)
+        Uncaught "silent corruption executed undetected"
+      else if
         r.Engine.outputs = clean.Engine.outputs
         && r.Engine.steps = clean.Engine.steps
       then Recovered
       else Degraded
 
 let run ?(threshold = 20) ?(trials = 8) ?(arms = 4)
-    ?(kinds = Fault.all_kinds) ~seed bench =
-  let config = Engine.config ~threshold () in
+    ?(kinds = Fault.all_kinds) ?(shadow_sample = 0) ~seed bench =
+  let config = Engine.config ~threshold ~shadow_sample () in
   let clean = Runner.run_ref bench ~config in
   (match clean.Engine.error with
   | Some e when Error.fatal e -> raise (Error.Error e)
@@ -60,7 +69,7 @@ let run ?(threshold = 20) ?(trials = 8) ?(arms = 4)
             ~horizon:(max 1 clean.Engine.steps)
             ~seed:plan_seed ()
         in
-        let config = Engine.config ~threshold ~faults:plan () in
+        let config = Engine.config ~threshold ~shadow_sample ~faults:plan () in
         match Runner.run_ref bench ~config with
         | result ->
             {
@@ -116,7 +125,11 @@ let render ppf t =
       | Some c ->
           Format.fprintf ppf "  retries %d dissolves %d retranslated %d"
             c.Perf_model.retrans_retries c.Perf_model.fault_dissolves
-            c.Perf_model.blocks_retranslated
+            c.Perf_model.blocks_retranslated;
+          if c.Perf_model.corrupted_entries > 0 then
+            Format.fprintf ppf " corrupted %d divergences %d quarantined %d"
+              c.Perf_model.corrupted_entries c.Perf_model.shadow_divergences
+              c.Perf_model.regions_quarantined
       | None -> ());
       (match tr.outcome with
       | Failed e -> Format.fprintf ppf "  [%s]" (Error.to_string e)

@@ -12,8 +12,12 @@
     same instruction count) despite the injected faults; {e degraded}
     finished but diverged; {e failed} ended with a typed
     {!Tpdbt_dbt.Error.t} (expected for [Guest_trap] arms and exhausted
-    recovery budgets); {e uncaught} means an exception escaped the
-    engine — the one outcome the robustness work forbids. *)
+    recovery budgets); {e uncaught} means either an exception escaped
+    the engine, or silently corrupted translated code
+    ([Silent_corruption]) executed without the shadow oracle ever
+    flagging it — both are outcomes the robustness work forbids.  Run
+    campaigns that include [Silent_corruption] arms with
+    [~shadow_sample] set, or expect uncaught trials. *)
 
 type outcome =
   | Recovered
@@ -44,12 +48,15 @@ val run :
   ?trials:int ->
   ?arms:int ->
   ?kinds:Tpdbt_faults.Fault.kind list ->
+  ?shadow_sample:int ->
   seed:int64 ->
   Tpdbt_workloads.Spec.t ->
   t
 (** Defaults: threshold 20 (the paper's 2k label, scaled), 8 trials of
-    4 arms each, all fault kinds.  Plan horizons are the clean run's
-    instruction count, so every arm lands inside the run.
+    4 arms each, all fault kinds, shadow oracle off ([shadow_sample]
+    is passed straight to {!Tpdbt_dbt.Engine.config}).  Plan horizons
+    are the clean run's instruction count, so every arm lands inside
+    the run.
     @raise Tpdbt_dbt.Error.Error if the {e clean} run fails fatally
     ({!Tpdbt_dbt.Error.fatal}) — the campaign needs a healthy
     baseline.  A budget-limited clean run is kept: its horizon and its

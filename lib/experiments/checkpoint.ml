@@ -4,17 +4,25 @@ module Spec = Tpdbt_workloads.Spec
 module Suite = Tpdbt_workloads.Suite
 module Profile_io = Tpdbt_profiles.Profile_io
 
-let magic = "TPDBT-CKPT 1"
+(* Version 2 widened the counters line with the code-cache and
+   shadow-oracle fields; bumping the magic makes a v1 checkpoint parse
+   as stale (→ recomputed) instead of mis-reading. *)
+let magic = "TPDBT-CKPT 2"
 
 (* ---- serialisation ---------------------------------------------------- *)
 
 let counters_to_line (c : Perf_model.counters) =
   (* %h round-trips the float exactly; every other field is an int. *)
-  Printf.sprintf "counters %h %d %d %d %d %d %d %d %d %d %d %d %d"
+  Printf.sprintf
+    "counters %h %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d \
+     %d"
     c.Perf_model.cycles c.blocks_translated c.regions_formed c.region_entries
     c.region_completions c.loop_backs c.side_exits c.optimization_rounds
     c.regions_dissolved c.faults_injected c.retrans_retries c.fault_dissolves
-    c.blocks_retranslated
+    c.blocks_retranslated c.cache_evictions c.cache_flushes
+    c.cache_evicted_instrs c.cache_peak_instrs c.shadow_replays
+    c.shadow_divergences c.corrupted_entries c.regions_quarantined
+    c.watchdog_degraded
 
 let result_to_buf buf (r : Engine.result) =
   let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
@@ -92,7 +100,10 @@ let parse_data spec text =
     in
     let counters =
       match words () with
-      | [ "counters"; cy; a; b; c; d; e; f; g; h; i; j; k; l ] -> (
+      | [
+          "counters"; cy; a; b; c; d; e; f; g; h; i; j; k; l; m; n; o; p; q;
+          r; s; u; v;
+        ] -> (
           match float_of_string_opt cy with
           | None -> raise Malformed
           | Some cycles ->
@@ -110,6 +121,15 @@ let parse_data spec text =
                 retrans_retries = int_exn j;
                 fault_dissolves = int_exn k;
                 blocks_retranslated = int_exn l;
+                cache_evictions = int_exn m;
+                cache_flushes = int_exn n;
+                cache_evicted_instrs = int_exn o;
+                cache_peak_instrs = int_exn p;
+                shadow_replays = int_exn q;
+                shadow_divergences = int_exn r;
+                corrupted_entries = int_exn s;
+                regions_quarantined = int_exn u;
+                watchdog_degraded = int_exn v;
               })
       | _ -> raise Malformed
     in

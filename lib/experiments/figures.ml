@@ -234,6 +234,57 @@ let fig18 data =
     table
     [ ("int", `Int); ("fp", `Fp) ]
 
+(* Not part of [all]: the cache sweep runs bounded configurations the
+   paper's figures 8-18 never use, so it is produced only on demand
+   (the [cache] subcommand / bench harness). *)
+let cache_sweep (sweeps : Runner.cache_data list) =
+  let columns =
+    match sweeps with
+    | [] -> []
+    | s :: _ ->
+        let fracs =
+          List.sort_uniq compare
+            (List.map (fun p -> p.Runner.frac) s.Runner.points)
+        in
+        List.map (fun f -> Printf.sprintf "%g" f) fracs
+  in
+  let table =
+    Table.make
+      ~title:
+        "Cache-size sweep: cycles relative to an unbounded cache \
+         (rows bench/policy, columns capacity as a fraction of the \
+         translated footprint)"
+      ~columns
+  in
+  List.fold_left
+    (fun table (s : Runner.cache_data) ->
+      let base = s.Runner.baseline.Engine.counters.Perf_model.cycles in
+      let policies =
+        List.sort_uniq compare
+          (List.map (fun p -> p.Runner.policy) s.Runner.points)
+      in
+      List.fold_left
+        (fun table policy ->
+          let row =
+            List.filter_map
+              (fun (p : Runner.cache_point) ->
+                if p.Runner.policy <> policy then None
+                else if base > 0.0 then
+                  Some
+                    (Some
+                       (p.Runner.bounded.Engine.counters.Perf_model.cycles
+                      /. base))
+                else Some None)
+              s.Runner.points
+          in
+          Table.add_row table
+            (Printf.sprintf "%s/%s"
+               s.Runner.cache_bench.Tpdbt_workloads.Spec.name
+               (Tpdbt_dbt.Code_cache.policy_name policy))
+            row)
+        table policies)
+    table sweeps
+
 let all data =
   [
     ("fig8", fig8 data);

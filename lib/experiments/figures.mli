@@ -40,5 +40,11 @@ val fig17 : Runner.data list -> Table.t
 val fig18 : Runner.data list -> Table.t
 (** Profiling operations normalised to the training run. *)
 
+val cache_sweep : Runner.cache_data list -> Table.t
+(** Cycles relative to the unbounded-cache baseline, one row per
+    (benchmark, eviction policy), one column per capacity fraction —
+    the Fig-17-style bounded-cache companion.  Not included in {!all}:
+    it runs configurations the paper's figures never use. *)
+
 val all : Runner.data list -> (string * Table.t) list
 (** [(figure id, table)] for figures 8–18 in order. *)

@@ -117,6 +117,48 @@ let run_custom ?sink bench ~config =
   in
   (result, avep, comparison)
 
+(* ---- cache-size sweep (Fig. 17-style, cycles vs cache budget) -------- *)
+
+type cache_point = {
+  policy : Tpdbt_dbt.Code_cache.policy;
+  frac : float;
+  capacity : int;
+  bounded : Engine.result;
+}
+
+type cache_data = {
+  cache_bench : Spec.t;
+  cache_threshold : int;
+  baseline : Engine.result;
+  footprint : int;
+  points : cache_point list;
+}
+
+let run_cache_sweep ?(threshold = 20)
+    ?(policies = Tpdbt_dbt.Code_cache.all_policies)
+    ?(fracs = [ 0.125; 0.25; 0.5; 1.0 ]) ?(shadow_sample = 0) bench =
+  (* Unbounded baseline: its peak occupancy is the benchmark's full
+     translated footprint, the unit the capacity fractions scale. *)
+  let baseline = run_ref bench ~config:(Engine.config ~threshold ()) in
+  let footprint =
+    max 1 baseline.Engine.counters.Tpdbt_dbt.Perf_model.cache_peak_instrs
+  in
+  let points =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun frac ->
+            let capacity = max 1 (int_of_float (frac *. float_of_int footprint)) in
+            let config =
+              Engine.config ~threshold ~cache_capacity:capacity
+                ~cache_policy:policy ~shadow_sample ()
+            in
+            { policy; frac; capacity; bounded = run_ref bench ~config })
+          fracs)
+      policies
+  in
+  { cache_bench = bench; cache_threshold = threshold; baseline; footprint; points }
+
 type status =
   | Started
   | Finished

@@ -57,6 +57,38 @@ val assemble :
     from checkpointed raw runs is identical to one computed live —
     the property checkpoint resume ({!Checkpoint}) relies on. *)
 
+type cache_point = {
+  policy : Tpdbt_dbt.Code_cache.policy;
+  frac : float;  (** capacity as a fraction of [footprint] *)
+  capacity : int;  (** the actual budget, in translated instructions *)
+  bounded : Tpdbt_dbt.Engine.result;  (** the run under that budget *)
+}
+
+type cache_data = {
+  cache_bench : Tpdbt_workloads.Spec.t;
+  cache_threshold : int;
+  baseline : Tpdbt_dbt.Engine.result;  (** unbounded-cache run *)
+  footprint : int;
+      (** the baseline's peak cache occupancy (translated guest
+          instructions) — the benchmark's full translated footprint *)
+  points : cache_point list;  (** grouped by policy, then fraction *)
+}
+
+val run_cache_sweep :
+  ?threshold:int ->
+  ?policies:Tpdbt_dbt.Code_cache.policy list ->
+  ?fracs:float list ->
+  ?shadow_sample:int ->
+  Tpdbt_workloads.Spec.t ->
+  cache_data
+(** Fig.-17-style cache-size sweep: one unbounded baseline run, then
+    one bounded run per (policy, capacity fraction) with the capacity
+    set to [frac x footprint] (at least 1).  Defaults: threshold 20,
+    all three policies, fractions 1/8, 1/4, 1/2, 1, shadow oracle off.
+    Guest behaviour (outputs, steps) is invariant across all points;
+    only the cycle cost moves.  Never raises: inspect each
+    [result.error]. *)
+
 type status =
   | Started  (** about to run *)
   | Finished  (** completed cleanly (after [save], if any) *)

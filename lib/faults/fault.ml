@@ -1,19 +1,39 @@
-type kind = Retranslate_fail | Block_corrupt | Region_abort | Guest_trap
+type kind =
+  | Retranslate_fail
+  | Block_corrupt
+  | Region_abort
+  | Guest_trap
+  | Silent_corruption
+  | Cache_thrash
 
-let all_kinds = [ Retranslate_fail; Block_corrupt; Region_abort; Guest_trap ]
-let recoverable_kinds = [ Retranslate_fail; Block_corrupt; Region_abort ]
+let all_kinds =
+  [
+    Retranslate_fail;
+    Block_corrupt;
+    Region_abort;
+    Guest_trap;
+    Silent_corruption;
+    Cache_thrash;
+  ]
+
+let recoverable_kinds =
+  [ Retranslate_fail; Block_corrupt; Region_abort; Cache_thrash ]
 
 let kind_name = function
   | Retranslate_fail -> "retranslate_fail"
   | Block_corrupt -> "block_corrupt"
   | Region_abort -> "region_abort"
   | Guest_trap -> "guest_trap"
+  | Silent_corruption -> "silent_corruption"
+  | Cache_thrash -> "cache_thrash"
 
 let kind_of_name = function
   | "retranslate_fail" -> Some Retranslate_fail
   | "block_corrupt" -> Some Block_corrupt
   | "region_abort" -> Some Region_abort
   | "guest_trap" -> Some Guest_trap
+  | "silent_corruption" -> Some Silent_corruption
+  | "cache_thrash" -> Some Cache_thrash
   | _ -> None
 
 type arm = { step : int; kind : kind; salt : int64 }

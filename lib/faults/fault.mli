@@ -28,14 +28,27 @@ type kind =
       (** the current guest instruction is poisoned, raising an
           illegal-instruction trap — the engine must surface it as a
           typed error, never as an exception *)
+  | Silent_corruption
+      (** a resident optimised region's translated code is corrupted
+          {e without} trapping: a real translator would keep executing
+          it and silently produce wrong results.  Only the
+          shadow-execution oracle can catch it — a campaign trial where
+          corrupted code ran and the oracle never flagged it is
+          classified [uncaught] *)
+  | Cache_thrash
+      (** the whole code cache is flushed at once — every translation
+          and region must be rebuilt (the pathological pressure case);
+          guest behaviour must be unchanged *)
 
 val all_kinds : kind list
 (** In declaration order. *)
 
 val recoverable_kinds : kind list
-(** The kinds the engine survives without ending the run:
-    [Retranslate_fail], [Block_corrupt] and [Region_abort].
-    [Guest_trap] always ends the run with a typed error. *)
+(** The kinds the engine survives with unchanged guest behaviour and
+    no oracle required: [Retranslate_fail], [Block_corrupt],
+    [Region_abort] and [Cache_thrash].  [Guest_trap] always ends the
+    run with a typed error; [Silent_corruption] is only caught when
+    the shadow oracle is on. *)
 
 val kind_name : kind -> string
 (** Stable snake_case identifier, e.g. ["retranslate_fail"]. *)
@@ -48,9 +61,10 @@ type arm = { step : int; kind : kind; salt : int64 }
 
 type shot = { arm : arm; fired_step : int; target : int }
 (** [target] is the victim's id — a block id ([Block_corrupt]), region
-    id ([Retranslate_fail], [Region_abort]) or pc ([Guest_trap]); [-1]
-    when the arm fired but found no victim (e.g. corrupting a cache
-    that holds no translations yet). *)
+    id ([Retranslate_fail], [Region_abort], [Silent_corruption]), pc
+    ([Guest_trap]) or the number of entries flushed ([Cache_thrash]);
+    [-1] when the arm fired but found no victim (e.g. corrupting a
+    cache that holds no translations yet). *)
 
 type report = { fired : shot list; unfired : arm list }
 (** [fired] in firing order; [unfired] in armed order. *)

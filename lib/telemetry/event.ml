@@ -23,6 +23,11 @@ type t =
   | Phase_end of { phase : string }
   | Fault_injected of { fault : string; target : int }
   | Recovery of { action : recovery_action; target : int }
+  | Cache_evicted of { entry_kind : string; id : int; size : int }
+  | Cache_flushed of { entries : int; instrs : int }
+  | Shadow_divergence of { region : int; reg : int }
+  | Region_quarantined of { region : int; preserved_use : int }
+  | Engine_degraded of { quarantines : int }
 
 type stamped = { step : int; event : t }
 
@@ -43,6 +48,11 @@ let kind_name = function
       | Retry -> "recovery.retry"
       | Dissolve -> "recovery.dissolve"
       | Retranslate -> "recovery.retranslate")
+  | Cache_evicted _ -> "cache.evict"
+  | Cache_flushed _ -> "cache.flush"
+  | Shadow_divergence _ -> "shadow.divergence"
+  | Region_quarantined _ -> "region.quarantined"
+  | Engine_degraded _ -> "engine.degraded"
 
 let region_kind_name = function Trace -> "trace" | Loop -> "loop"
 
@@ -97,6 +107,23 @@ let payload = function
         ("action", Json.quote (recovery_action_name action));
         ("target", string_of_int target);
       ]
+  | Cache_evicted { entry_kind; id; size } ->
+      [
+        ("entry_kind", Json.quote entry_kind);
+        ("id", string_of_int id);
+        ("size", string_of_int size);
+      ]
+  | Cache_flushed { entries; instrs } ->
+      [ ("entries", string_of_int entries); ("instrs", string_of_int instrs) ]
+  | Shadow_divergence { region; reg } ->
+      [ ("region", string_of_int region); ("reg", string_of_int reg) ]
+  | Region_quarantined { region; preserved_use } ->
+      [
+        ("region", string_of_int region);
+        ("preserved_use", string_of_int preserved_use);
+      ]
+  | Engine_degraded { quarantines } ->
+      [ ("quarantines", string_of_int quarantines) ]
 
 let to_json { step; event } =
   let fields =

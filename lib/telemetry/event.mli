@@ -48,6 +48,23 @@ type t =
           (block, region or pc; [-1] when no victim was available) *)
   | Recovery of { action : recovery_action; target : int }
       (** the engine's recovery response to an injected fault *)
+  | Cache_evicted of { entry_kind : string; id : int; size : int }
+      (** the bounded code cache evicted a resident entry;
+          [entry_kind] is ["block"] or ["region"], [size] the
+          translated guest instructions discarded *)
+  | Cache_flushed of { entries : int; instrs : int }
+      (** a whole-cache flush (the [Flush_all] policy going over
+          capacity, or an injected [Cache_thrash] fault) *)
+  | Shadow_divergence of { region : int; reg : int }
+      (** the shadow-execution oracle replayed a sampled region entry
+          on the cold path and register [reg] disagreed *)
+  | Region_quarantined of { region : int; preserved_use : int }
+      (** a diverging region was quarantined: dissolved with its
+          members' profile counters preserved ([preserved_use] is
+          their summed use count) and barred from re-optimisation *)
+  | Engine_degraded of { quarantines : int }
+      (** the bounded-quarantine watchdog tripped: all regions were
+          dropped and the run continues profiling-only *)
 
 type stamped = { step : int; event : t }
 (** [step] is the guest-instruction count when the event fired. *)
@@ -55,7 +72,10 @@ type stamped = { step : int; event : t }
 val kind_name : t -> string
 (** Stable snake_case identifier, e.g. ["region_side_exit"].  Fault
     events use dotted names: ["fault.injected"], ["recovery.retry"],
-    ["recovery.dissolve"], ["recovery.retranslate"]. *)
+    ["recovery.dissolve"], ["recovery.retranslate"]; so do the code
+    cache and the shadow oracle: ["cache.evict"], ["cache.flush"],
+    ["shadow.divergence"], ["region.quarantined"],
+    ["engine.degraded"]. *)
 
 val region_kind_name : region_kind -> string
 val pool_reason_name : pool_reason -> string

@@ -1,0 +1,424 @@
+(* Bounded code cache and the shadow-execution divergence oracle:
+   victim-order determinism, policy behaviour, behaviour invariance
+   under pressure, oracle equivalence on clean runs, silent-corruption
+   detection/quarantine, the bounded-quarantine watchdog, and AVEP
+   preservation under quarantine across the whole workload suite. *)
+
+module Engine = Tpdbt_dbt.Engine
+module Code_cache = Tpdbt_dbt.Code_cache
+module Perf_model = Tpdbt_dbt.Perf_model
+module Snapshot = Tpdbt_dbt.Snapshot
+module Fault = Tpdbt_faults.Fault
+module Plan = Tpdbt_faults.Plan
+module Spec = Tpdbt_workloads.Spec
+module Suite = Tpdbt_workloads.Suite
+module Sink = Tpdbt_telemetry.Sink
+module Event = Tpdbt_telemetry.Event
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* -- Code_cache unit behaviour ----------------------------------------- *)
+
+let test_cache_accounting () =
+  let c = Code_cache.create ~capacity:100 () in
+  checkb "bounded" true (Code_cache.bounded c);
+  checkb "unbounded variant" false (Code_cache.bounded (Code_cache.create ()));
+  checkb "no victims under capacity" true
+    (Code_cache.insert c ~now:0 ~ekind:Code_cache.Block ~id:1 ~size:40 = []);
+  ignore (Code_cache.insert c ~now:1 ~ekind:Code_cache.Block ~id:2 ~size:40);
+  checki "occupancy sums" 80 (Code_cache.used c);
+  (* Re-inserting a resident entry replaces its size, never doubles it. *)
+  ignore (Code_cache.insert c ~now:2 ~ekind:Code_cache.Block ~id:1 ~size:50);
+  checki "reinsert replaces" 90 (Code_cache.used c);
+  checki "peak tracks high water" 90 (Code_cache.peak c);
+  Code_cache.remove c Code_cache.Block 2;
+  checki "remove uncharges" 50 (Code_cache.used c);
+  checki "peak sticks after remove" 90 (Code_cache.peak c);
+  checki "remove is not eviction" 0 (Code_cache.stats c).Code_cache.evictions;
+  checkb "membership" true (Code_cache.mem c Code_cache.Block 1);
+  checkb "removed gone" false (Code_cache.mem c Code_cache.Block 2)
+
+let test_cache_create_validation () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  checkb "zero capacity rejected" true (raises (fun () ->
+      Code_cache.create ~capacity:0 ()));
+  checkb "negative hot window rejected" true (raises (fun () ->
+      Code_cache.create ~hot_window:(-1) ()))
+
+let test_victim_total_order () =
+  (* Equal stamps: blocks before regions, then ascending id — never
+     hash-table iteration order. *)
+  let c = Code_cache.create ~capacity:10 ~policy:Code_cache.Lru () in
+  ignore (Code_cache.insert c ~now:5 ~ekind:Code_cache.Region ~id:7 ~size:3);
+  ignore (Code_cache.insert c ~now:5 ~ekind:Code_cache.Block ~id:9 ~size:3);
+  ignore (Code_cache.insert c ~now:5 ~ekind:Code_cache.Block ~id:2 ~size:3);
+  let victims = Code_cache.insert c ~now:6 ~ekind:Code_cache.Block ~id:1 ~size:9 in
+  let shape = List.map (fun v -> (v.Code_cache.ekind, v.Code_cache.id)) victims in
+  checkb "victims in (stamp, kind, id) order" true
+    (shape
+    = [ (Code_cache.Block, 2); (Code_cache.Block, 9); (Code_cache.Region, 7) ]);
+  checki "inserted entry survives" 9 (Code_cache.used c)
+
+let test_lru_touch_changes_victim () =
+  let c = Code_cache.create ~capacity:100 ~policy:Code_cache.Lru () in
+  ignore (Code_cache.insert c ~now:0 ~ekind:Code_cache.Block ~id:1 ~size:40);
+  ignore (Code_cache.insert c ~now:1 ~ekind:Code_cache.Block ~id:2 ~size:40);
+  Code_cache.touch c ~now:2 Code_cache.Block 1;
+  (match Code_cache.insert c ~now:3 ~ekind:Code_cache.Block ~id:3 ~size:40 with
+  | [ v ] -> checki "stale entry evicted, touched survives" 2 v.Code_cache.id
+  | other -> Alcotest.failf "expected one victim, got %d" (List.length other));
+  checkb "touched entry resident" true (Code_cache.mem c Code_cache.Block 1)
+
+let test_flush_all_policy () =
+  let c = Code_cache.create ~capacity:10 ~policy:Code_cache.Flush_all () in
+  ignore (Code_cache.insert c ~now:0 ~ekind:Code_cache.Block ~id:1 ~size:4);
+  ignore (Code_cache.insert c ~now:1 ~ekind:Code_cache.Block ~id:2 ~size:4);
+  let victims = Code_cache.insert c ~now:2 ~ekind:Code_cache.Block ~id:3 ~size:4 in
+  checki "everything but the newcomer flushed" 2 (List.length victims);
+  checki "only the newcomer resident" 4 (Code_cache.used c);
+  checki "counted as one flush" 1 (Code_cache.stats c).Code_cache.flushes;
+  checki "eight instructions discarded" 8
+    (Code_cache.stats c).Code_cache.evicted_instrs
+
+let test_hot_protect_soft_overflow () =
+  let c =
+    Code_cache.create ~capacity:10 ~policy:Code_cache.Hot_protect
+      ~hot_window:100 ()
+  in
+  ignore (Code_cache.insert c ~now:0 ~ekind:Code_cache.Region ~id:1 ~size:4);
+  ignore (Code_cache.insert c ~now:0 ~ekind:Code_cache.Block ~id:2 ~size:4);
+  (* The block is never protected: it goes first even though the region
+     is older-stamped. *)
+  (match Code_cache.insert c ~now:50 ~ekind:Code_cache.Block ~id:3 ~size:4 with
+  | [ v ] ->
+      checkb "block evicted before hot region" true
+        (v.Code_cache.ekind = Code_cache.Block && v.Code_cache.id = 2)
+  | other -> Alcotest.failf "expected one victim, got %d" (List.length other));
+  (* All remaining candidates hot regions: soft overflow, no victims. *)
+  Code_cache.remove c Code_cache.Block 3;
+  ignore (Code_cache.insert c ~now:60 ~ekind:Code_cache.Region ~id:4 ~size:4);
+  checkb "hot regions never evicted" true
+    (Code_cache.insert c ~now:60 ~ekind:Code_cache.Region ~id:5 ~size:4 = []);
+  checkb "soft overflow over capacity" true (Code_cache.used c > 10);
+  (* Once the window passes, the coldest region is fair game again. *)
+  match Code_cache.insert c ~now:300 ~ekind:Code_cache.Block ~id:6 ~size:1 with
+  | v :: _ -> checki "stale region evicted after window" 1 v.Code_cache.id
+  | [] -> Alcotest.fail "expected evictions once regions went cold"
+
+let test_corruption_marks () =
+  let c = Code_cache.create ~capacity:100 () in
+  ignore (Code_cache.insert c ~now:0 ~ekind:Code_cache.Region ~id:3 ~size:10);
+  checkb "absent region not corruptible" false
+    (Code_cache.corrupt_region c 9 ~salt:1L);
+  checkb "resident region corrupted" true (Code_cache.corrupt_region c 3 ~salt:5L);
+  checkb "mark survives touch" true
+    (Code_cache.touch c ~now:1 Code_cache.Region 3;
+     Code_cache.corruption c Code_cache.Region 3 = Some 5L);
+  ignore (Code_cache.insert c ~now:2 ~ekind:Code_cache.Region ~id:3 ~size:10);
+  checkb "reinsert clears the mark" true
+    (Code_cache.corruption c Code_cache.Region 3 = None);
+  checkb "resident regions sorted" true (Code_cache.resident_regions c = [ 3 ])
+
+let test_policy_names_roundtrip () =
+  List.iter
+    (fun p ->
+      checkb "name roundtrips" true
+        (Code_cache.policy_of_name (Code_cache.policy_name p) = Some p))
+    Code_cache.all_policies;
+  checkb "unknown name rejected" true (Code_cache.policy_of_name "mru" = None)
+
+(* -- engine under cache pressure --------------------------------------- *)
+
+(* A benchmark with enough distinct static code that a quarter-footprint
+   cache genuinely thrashes, but small enough to run in milliseconds. *)
+let pressure =
+  {
+    Spec.name = "cache-pressure";
+    suite = `Int;
+    units =
+      [
+        Spec.Branch { prob = Spec.prob 0.85 ~train:0.6; straight = 3; copies = 4 };
+        Spec.Loop { trip = Spec.trip 8; jitter = 2; body = 3; copies = 3 };
+        Spec.Branch { prob = Spec.prob 0.3 ~train:0.5; straight = 2; copies = 3 };
+        Spec.Loop { trip = Spec.trip 5; jitter = 1; body = 4; copies = 2 };
+      ];
+    ref_iters = 4000;
+    train_iters = 500;
+    ref_seed = 9L;
+    train_seed = 10L;
+  }
+
+let run_spec ?sink ?faults ?max_steps ?cache_capacity ?cache_policy
+    ?cache_backoff ?shadow_sample ?max_quarantines ?(threshold = 20) bench =
+  let program, ref_input, _train = Spec.build bench in
+  let program = Spec.apply_input program ref_input in
+  let config =
+    Engine.config ?sink ?faults ?cache_capacity ?cache_policy ?cache_backoff
+      ?shadow_sample ?max_quarantines ~threshold ()
+  in
+  let config =
+    match max_steps with
+    | None -> config
+    | Some max_steps -> { config with Engine.max_steps }
+  in
+  Engine.run (Engine.create ~config ~seed:ref_input.Spec.seed program)
+
+let test_ample_capacity_is_identity () =
+  (* A bounded cache that never fills (backoff 0 so round timing is
+     untouched) must reproduce the unbounded run bit for bit. *)
+  let base = run_spec pressure in
+  let roomy = run_spec ~cache_capacity:1_000_000 ~cache_backoff:0 pressure in
+  checkb "no error" true (base.Engine.error = None && roomy.Engine.error = None);
+  checki "no evictions" 0 roomy.Engine.counters.Perf_model.cache_evictions;
+  checkb "cycles byte-identical" true
+    (roomy.Engine.counters.Perf_model.cycles
+    = base.Engine.counters.Perf_model.cycles);
+  checkb "same outputs" true (roomy.Engine.outputs = base.Engine.outputs);
+  checki "same steps" base.Engine.steps roomy.Engine.steps;
+  checkb "footprint measured either way" true
+    (roomy.Engine.counters.Perf_model.cache_peak_instrs
+     = base.Engine.counters.Perf_model.cache_peak_instrs
+    && base.Engine.counters.Perf_model.cache_peak_instrs > 0)
+
+let test_pressure_behaviour_invariant_all_policies () =
+  let base = run_spec pressure in
+  let footprint = base.Engine.counters.Perf_model.cache_peak_instrs in
+  checkb "baseline has a footprint" true (footprint > 4);
+  let capacity = max 1 (footprint / 4) in
+  let total_evictions = ref 0 in
+  List.iter
+    (fun policy ->
+      let r = run_spec ~cache_capacity:capacity ~cache_policy:policy pressure in
+      let name = Code_cache.policy_name policy in
+      checkb (name ^ ": completes") true (r.Engine.error = None);
+      checkb (name ^ ": same outputs") true
+        (r.Engine.outputs = base.Engine.outputs);
+      checki (name ^ ": same steps") base.Engine.steps r.Engine.steps;
+      checkb (name ^ ": eviction cycles charged when evicting") true
+        (r.Engine.counters.Perf_model.cache_evictions = 0
+        || r.Engine.counters.Perf_model.cycles
+           > base.Engine.counters.Perf_model.cycles);
+      total_evictions :=
+        !total_evictions + r.Engine.counters.Perf_model.cache_evictions)
+    Code_cache.all_policies;
+  checkb "quarter footprint binds" true (!total_evictions > 0)
+
+let evict_trace buffer =
+  List.filter_map
+    (fun { Event.step; event } ->
+      match event with
+      | Event.Cache_evicted { entry_kind; id; size } ->
+          Some (step, entry_kind, id, size)
+      | _ -> None)
+    (Sink.contents buffer)
+
+let test_eviction_deterministic () =
+  let base = run_spec pressure in
+  let capacity =
+    max 1 (base.Engine.counters.Perf_model.cache_peak_instrs / 4)
+  in
+  let go () =
+    let sink, buffer = Sink.memory () in
+    let r = run_spec ~sink ~cache_capacity:capacity pressure in
+    (r, evict_trace buffer)
+  in
+  let a, trace_a = go () and b, trace_b = go () in
+  checkb "evictions happened" true (trace_a <> []);
+  checkb "identical eviction traces" true (trace_a = trace_b);
+  checkb "identical cycles" true
+    (a.Engine.counters.Perf_model.cycles = b.Engine.counters.Perf_model.cycles);
+  checki "identical eviction counts"
+    a.Engine.counters.Perf_model.cache_evictions
+    b.Engine.counters.Perf_model.cache_evictions
+
+(* -- shadow-execution oracle ------------------------------------------- *)
+
+let test_shadow_clean_equivalence () =
+  let base = run_spec pressure in
+  let shadowed = run_spec ~shadow_sample:4 pressure in
+  checkb "no error" true (shadowed.Engine.error = None);
+  checkb "replays happened" true
+    (shadowed.Engine.counters.Perf_model.shadow_replays > 0);
+  checki "no divergence on a clean run" 0
+    shadowed.Engine.counters.Perf_model.shadow_divergences;
+  checki "nothing quarantined" 0
+    shadowed.Engine.counters.Perf_model.regions_quarantined;
+  checkb "same outputs" true (shadowed.Engine.outputs = base.Engine.outputs);
+  checki "same steps" base.Engine.steps shadowed.Engine.steps;
+  checkb "use counters identical" true
+    (shadowed.Engine.snapshot.Snapshot.use = base.Engine.snapshot.Snapshot.use);
+  checkb "taken counters identical" true
+    (shadowed.Engine.snapshot.Snapshot.taken
+    = base.Engine.snapshot.Snapshot.taken);
+  checkb "replay cycles charged" true
+    (shadowed.Engine.counters.Perf_model.cycles
+    > base.Engine.counters.Perf_model.cycles)
+
+(* Salt 0 picks the lowest-numbered resident region — the first one
+   formed, i.e. the hottest early loop, which is sure to be entered
+   again after the arm fires. *)
+let corruption_plan ~step =
+  Plan.of_arms ~seed:0L
+    [ { Fault.step; kind = Fault.Silent_corruption; salt = 0L } ]
+
+let test_silent_corruption_detected () =
+  let clean = run_spec pressure in
+  let step = max 1 (clean.Engine.steps / 3) in
+  let sink, buffer = Sink.memory () in
+  let caught =
+    run_spec ~sink ~faults:(corruption_plan ~step) ~shadow_sample:1 pressure
+  in
+  checkb "run completes" true (caught.Engine.error = None);
+  checkb "corruption executed" true
+    (caught.Engine.counters.Perf_model.corrupted_entries > 0);
+  checkb "oracle flagged it" true
+    (caught.Engine.counters.Perf_model.shadow_divergences >= 1);
+  checkb "region quarantined" true
+    (caught.Engine.counters.Perf_model.regions_quarantined >= 1);
+  checkb "guest behaviour untouched" true
+    (caught.Engine.outputs = clean.Engine.outputs
+    && caught.Engine.steps = clean.Engine.steps);
+  let quarantine_events =
+    List.filter_map
+      (fun { Event.event; _ } ->
+        match event with
+        | Event.Region_quarantined { preserved_use; _ } -> Some preserved_use
+        | _ -> None)
+      (Sink.contents buffer)
+  in
+  checkb "quarantine event carries the preserved profile" true
+    (List.exists (fun u -> u > 0) quarantine_events)
+
+let test_silent_corruption_unwatched () =
+  (* Oracle off: the corruption executes and nothing notices — this is
+     exactly the hole the campaign classifier reports as uncaught. *)
+  let clean = run_spec pressure in
+  let step = max 1 (clean.Engine.steps / 3) in
+  let blind = run_spec ~faults:(corruption_plan ~step) pressure in
+  checkb "corruption executed" true
+    (blind.Engine.counters.Perf_model.corrupted_entries > 0);
+  checki "no divergence seen" 0
+    blind.Engine.counters.Perf_model.shadow_divergences;
+  checki "nothing quarantined" 0
+    blind.Engine.counters.Perf_model.regions_quarantined
+
+let test_watchdog_degrades () =
+  let clean = run_spec pressure in
+  let step = max 1 (clean.Engine.steps / 3) in
+  let sink, buffer = Sink.memory () in
+  let r =
+    run_spec ~sink ~faults:(corruption_plan ~step) ~shadow_sample:1
+      ~max_quarantines:0 pressure
+  in
+  checkb "degraded run still completes" true (r.Engine.error = None);
+  checki "watchdog tripped" 1 r.Engine.counters.Perf_model.watchdog_degraded;
+  checkb "degradation announced" true
+    (List.exists
+       (fun { Event.event; _ } ->
+         match event with Event.Engine_degraded _ -> true | _ -> false)
+       (Sink.contents buffer));
+  checkb "guest behaviour untouched" true
+    (r.Engine.outputs = clean.Engine.outputs && r.Engine.steps = clean.Engine.steps)
+
+(* -- quarantine preserves AVEP across the whole suite ------------------- *)
+
+let test_quarantine_preserves_avep_all_workloads () =
+  (* Every workload, iteration-scaled so runs halt naturally in tens of
+     milliseconds (a step cap would cut optimised and quarantined runs
+     at different block boundaries): inject one silent corruption with
+     the oracle armed; guest behaviour must be untouched and every
+     block's profile must carry at least the clean counts (quarantine
+     preserves counters, then profiling resumes). *)
+  let quarantines = ref 0 in
+  List.iter
+    (fun bench ->
+      let bench =
+        {
+          bench with
+          Spec.ref_iters = min bench.Spec.ref_iters 1000;
+          train_iters = min bench.Spec.train_iters 100;
+        }
+      in
+      let name = bench.Spec.name in
+      (* Iteration counts are a poor proxy for run length (FP inner
+         loops run thousands of steps per outer iteration), so rescale
+         against the measured step count of a probe run. *)
+      let bench, clean =
+        let probe = run_spec ~threshold:5 bench in
+        if probe.Engine.steps <= 600_000 then (bench, probe)
+        else
+          let ref_iters =
+            max 100 (bench.Spec.ref_iters * 600_000 / probe.Engine.steps)
+          in
+          let bench = { bench with Spec.ref_iters } in
+          (bench, run_spec ~threshold:5 bench)
+      in
+      let step = max 1 (clean.Engine.steps / 5) in
+      let faulty =
+        run_spec ~threshold:5 ~faults:(corruption_plan ~step) ~shadow_sample:1
+          bench
+      in
+      checkb (name ^ ": same outputs") true
+        (faulty.Engine.outputs = clean.Engine.outputs);
+      checki (name ^ ": same steps") clean.Engine.steps faulty.Engine.steps;
+      checkb (name ^ ": same error") true
+        (faulty.Engine.error = clean.Engine.error);
+      let cu = clean.Engine.snapshot.Snapshot.use
+      and fu = faulty.Engine.snapshot.Snapshot.use
+      and ct = clean.Engine.snapshot.Snapshot.taken
+      and ft = faulty.Engine.snapshot.Snapshot.taken in
+      checki (name ^ ": same block count") (Array.length cu) (Array.length fu);
+      let preserved = ref true in
+      Array.iteri (fun i c -> if fu.(i) < c then preserved := false) cu;
+      Array.iteri (fun i c -> if ft.(i) < c then preserved := false) ct;
+      checkb (name ^ ": AVEP counters preserved") true !preserved;
+      quarantines :=
+        !quarantines + faulty.Engine.counters.Perf_model.regions_quarantined;
+      (* And under pressure: a quarter of this workload's translated
+         footprint must complete with identical behaviour under every
+         eviction policy.  Outputs and steps are threshold-invariant
+         (the engine always interprets for architectural state), so
+         the cheaper threshold-20 runs with a wide backoff compare
+         directly against the threshold-5 clean run. *)
+      let capacity =
+        max 1 (clean.Engine.counters.Perf_model.cache_peak_instrs / 4)
+      in
+      List.iter
+        (fun policy ->
+          let b =
+            run_spec ~threshold:20 ~cache_backoff:10_000
+              ~cache_capacity:capacity ~cache_policy:policy bench
+          in
+          let pname = name ^ "/" ^ Code_cache.policy_name policy in
+          checkb (pname ^ ": completes") true (b.Engine.error = None);
+          checkb (pname ^ ": same outputs") true
+            (b.Engine.outputs = clean.Engine.outputs);
+          checki (pname ^ ": same steps") clean.Engine.steps b.Engine.steps)
+        Code_cache.all_policies)
+    Suite.all;
+  checkb "quarantines observed across the suite" true (!quarantines > 0)
+
+let suite =
+  [
+    ("cache accounting", `Quick, test_cache_accounting);
+    ("cache create validation", `Quick, test_cache_create_validation);
+    ("victim total order", `Quick, test_victim_total_order);
+    ("lru touch changes victim", `Quick, test_lru_touch_changes_victim);
+    ("flush_all policy", `Quick, test_flush_all_policy);
+    ("hot_protect soft overflow", `Quick, test_hot_protect_soft_overflow);
+    ("corruption marks", `Quick, test_corruption_marks);
+    ("policy names roundtrip", `Quick, test_policy_names_roundtrip);
+    ("ample capacity is identity", `Quick, test_ample_capacity_is_identity);
+    ( "pressure behaviour invariant",
+      `Quick,
+      test_pressure_behaviour_invariant_all_policies );
+    ("eviction deterministic", `Quick, test_eviction_deterministic);
+    ("shadow clean equivalence", `Quick, test_shadow_clean_equivalence);
+    ("silent corruption detected", `Quick, test_silent_corruption_detected);
+    ("silent corruption unwatched", `Quick, test_silent_corruption_unwatched);
+    ("watchdog degrades", `Quick, test_watchdog_degrades);
+    ( "quarantine preserves AVEP (26 workloads)",
+      `Quick,
+      test_quarantine_preserves_avep_all_workloads );
+  ]

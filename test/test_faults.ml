@@ -221,7 +221,11 @@ let mini name =
   }
 
 let test_campaign_no_uncaught () =
-  let campaign = Campaign.run ~threshold:5 ~trials:6 ~seed:17L (mini "mini") in
+  (* shadow_sample 1 arms the oracle: Silent_corruption arms are in the
+     default kind mix, and undetected corruption classifies Uncaught. *)
+  let campaign =
+    Campaign.run ~threshold:5 ~trials:6 ~seed:17L ~shadow_sample:1 (mini "mini")
+  in
   checki "all trials ran" 6 (List.length campaign.Campaign.trials);
   checkb "no uncaught exceptions" true (Campaign.ok campaign);
   let { Campaign.recovered; degraded; failed; uncaught } =

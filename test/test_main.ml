@@ -11,6 +11,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
       ("faults", Test_faults.suite);
+      ("cache", Test_cache.suite);
       ("integration", Test_integration.suite);
       ("telemetry", Test_telemetry.suite);
     ]

@@ -108,7 +108,12 @@ let test_event_ordering () =
       | Event.Region_dissolved { region; _ } ->
           checkb "dissolved after formation" true (Hashtbl.mem formed region)
       | Event.Fault_injected _ | Event.Recovery _ ->
-          checkb "no faults in clean run" true false)
+          checkb "no faults in clean run" true false
+      | Event.Cache_evicted _ | Event.Cache_flushed _ ->
+          checkb "no cache pressure in unbounded run" true false
+      | Event.Shadow_divergence _ | Event.Region_quarantined _
+      | Event.Engine_degraded _ ->
+          checkb "no divergence in clean run" true false)
     events;
   checkb "pool triggered" true (!pool_triggers > 0);
   checkb "regions formed" true (Hashtbl.length formed > 0);
