@@ -3,11 +3,19 @@
 # The formatting check is gated on ocamlformat being installed: dune's
 # @fmt alias fails hard when the binary is missing, and not every
 # development container ships it. When absent we say so and move on —
-# the build and the test suite are the non-negotiable part.
+# the build and the test suite are the non-negotiable part.  CI runs
+# `make fmt-strict` instead, which installs nothing but refuses to
+# skip: the version pinned in .ocamlformat makes local and CI
+# formatting agree exactly.
 
 DUNE ?= dune
 
-.PHONY: all build test fmt check clean faults-smoke cache-smoke
+# Job count for the parallel leg of par-smoke; CI's matrix overrides it.
+PAR_JOBS ?= 4
+PAR_SMOKE_DIR := _build/par-smoke
+
+.PHONY: all build test fmt fmt-strict check clean faults-smoke cache-smoke \
+	par-smoke par-bench
 
 all: build
 
@@ -33,6 +41,33 @@ cache-smoke: build
 	$(DUNE) exec bin/tpdbt.exe -- cache gzip --frac 0.25 --expect-evictions
 	$(DUNE) exec bin/tpdbt.exe -- cache perlbmk --frac 0.25 --expect-evictions
 
+# Determinism smoke: the full sweep over two benchmarks, sequential vs
+# -j $(PAR_JOBS), must agree byte-for-byte — stdout tables, CSV files
+# and checkpoint files alike.  Any scheduling leak into the results
+# shows up here as a diff.
+par-smoke: build
+	rm -rf $(PAR_SMOKE_DIR)
+	mkdir -p $(PAR_SMOKE_DIR)
+	$(DUNE) exec bin/tpdbt.exe -- sweep -b gzip -b swim --jobs 1 \
+		--csv $(PAR_SMOKE_DIR)/seq-csv \
+		--checkpoint $(PAR_SMOKE_DIR)/seq-ckpt \
+		> $(PAR_SMOKE_DIR)/seq.out
+	$(DUNE) exec bin/tpdbt.exe -- sweep -b gzip -b swim --jobs $(PAR_JOBS) \
+		--csv $(PAR_SMOKE_DIR)/par-csv \
+		--checkpoint $(PAR_SMOKE_DIR)/par-ckpt \
+		> $(PAR_SMOKE_DIR)/par.out
+	cmp $(PAR_SMOKE_DIR)/seq.out $(PAR_SMOKE_DIR)/par.out
+	diff -r $(PAR_SMOKE_DIR)/seq-csv $(PAR_SMOKE_DIR)/par-csv
+	diff -r $(PAR_SMOKE_DIR)/seq-ckpt $(PAR_SMOKE_DIR)/par-ckpt
+	@echo "par-smoke: sequential and -j $(PAR_JOBS) sweeps are byte-identical"
+
+# Parallel-scaling measurement: the quick sweep at -j 1/2/4,
+# checksum-guarded, recorded in BENCH_parallel.json (CI uploads it as
+# an artifact; use `dune exec bench/main.exe -- --par-bench` without
+# --quick for the full suite).
+par-bench: build
+	$(DUNE) exec bench/main.exe -- --par-bench --quick
+
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 		echo "checking formatting (dune build @fmt)"; \
@@ -41,7 +76,16 @@ fmt:
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-check: build test faults-smoke cache-smoke fmt
+# The CI variant: ocamlformat is pinned in .ocamlformat and installed
+# by the workflow, so a missing binary is an environment bug, not a
+# reason to skip the gate.
+fmt-strict:
+	@command -v ocamlformat >/dev/null 2>&1 || { \
+		echo "ocamlformat not installed (CI must install the version pinned in .ocamlformat)"; \
+		exit 1; }
+	$(DUNE) build @fmt
+
+check: build test faults-smoke cache-smoke par-smoke fmt
 
 clean:
 	$(DUNE) clean

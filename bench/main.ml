@@ -8,7 +8,11 @@
    Usage:  dune exec bench/main.exe                    (full run, ~10 minutes)
            dune exec bench/main.exe -- --quick         (3 benchmarks only)
            dune exec bench/main.exe -- --no-micro      (skip Bechamel part)
-           dune exec bench/main.exe -- --no-ablations  (skip design studies) *)
+           dune exec bench/main.exe -- --no-ablations  (skip design studies)
+           dune exec bench/main.exe -- --jobs 4        (parallel sweep domains)
+           dune exec bench/main.exe -- --par-bench     (parallel-scaling run
+                                                        only; writes
+                                                        BENCH_parallel.json) *)
 
 module Suite = Tpdbt_workloads.Suite
 module Runner = Tpdbt_experiments.Runner
@@ -115,18 +119,22 @@ let write_csv id table =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Table.to_csv table))
 
-let run_sweep ~quick =
+let run_sweep ~quick ~jobs =
   let benches =
     if quick then List.filter_map Suite.find [ "gzip"; "mcf"; "swim" ]
     else Suite.all
   in
-  Printf.eprintf "running the threshold sweep over %d benchmarks...\n%!"
-    (List.length benches);
+  Printf.eprintf "running the threshold sweep over %d benchmarks (%d jobs)...\n%!"
+    (List.length benches) jobs;
   let t0 = Unix.gettimeofday () in
   let sweep =
-    Runner.run_many
+    Runner.run_many_par ~jobs
       ~progress:(fun n status ->
         Printf.eprintf "  %s (%s)\n%!" n (Runner.status_name status))
+      ~report:(fun stats ->
+        Printf.eprintf "  parallel: %d jobs, %d steals, speedup %.2fx\n%!"
+          stats.Tpdbt_parallel.Pool.jobs stats.Tpdbt_parallel.Pool.steals
+          (Tpdbt_parallel.Pool.speedup stats))
       benches
   in
   List.iter
@@ -166,6 +174,93 @@ let cache_axis () =
   write_csv "cache-sweep" table;
   Printf.eprintf "cache axis done in %.1fs\n%!" (Unix.gettimeofday () -. t0);
   print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Parallel scaling (BENCH_parallel.json)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the same sweep at -j 1/2/4 and records wall seconds + speedup.
+   Each pass also checksums the serialized sweep data, so the scaling
+   run doubles as a determinism guard: any cross-job divergence fails
+   the bench before it writes numbers. *)
+let parallel_bench ~quick () =
+  let module Json = Tpdbt_telemetry.Json in
+  let module Checkpoint = Tpdbt_experiments.Checkpoint in
+  print_endline "Parallel sweep scaling";
+  print_endline "----------------------";
+  let benches =
+    if quick then List.filter_map Suite.find [ "gzip"; "swim" ] else Suite.all
+  in
+  let job_counts = [ 1; 2; 4 ] in
+  let measure jobs =
+    Printf.eprintf "  sweep at -j %d...\n%!" jobs;
+    let t0 = Unix.gettimeofday () in
+    let sweep = Runner.run_many_par ~jobs benches in
+    let seconds = Unix.gettimeofday () -. t0 in
+    List.iter
+      (fun { Runner.failed; error } ->
+        Printf.eprintf "  failed %s: %s\n%!" failed.Tpdbt_workloads.Spec.name
+          (Tpdbt_dbt.Error.to_string error))
+      sweep.Runner.failures;
+    let checksum =
+      Digest.to_hex
+        (Digest.string
+           (String.concat "" (List.map Checkpoint.data_to_string sweep.Runner.data)))
+    in
+    (jobs, seconds, checksum)
+  in
+  let measurements = List.map measure job_counts in
+  (match measurements with
+  | (_, _, reference) :: rest ->
+      List.iter
+        (fun (jobs, _, checksum) ->
+          if checksum <> reference then begin
+            Printf.eprintf
+              "DETERMINISM VIOLATION: -j %d sweep diverged from -j 1\n%!" jobs;
+            exit 1
+          end)
+        rest
+  | [] -> ());
+  let timings = List.map (fun (j, s, _) -> (j, s)) measurements in
+  Table.print ~precision:3 (Figures.parallel_scaling timings);
+  let base = match timings with (_, s) :: _ -> s | [] -> 0.0 in
+  let json =
+    Json.obj
+      [
+        ("suite", Json.arr
+           (List.map
+              (fun b -> Json.quote b.Tpdbt_workloads.Spec.name)
+              benches));
+        ( "checksum",
+          Json.quote (match measurements with (_, _, c) :: _ -> c | [] -> "") );
+        ( "runs",
+          Json.arr
+            (List.map
+               (fun (jobs, seconds, _) ->
+                 Json.obj
+                   [
+                     ("jobs", string_of_int jobs);
+                     ("seconds", Printf.sprintf "%.3f" seconds);
+                     ( "speedup",
+                       Printf.sprintf "%.3f"
+                         (if seconds > 0.0 && base > 0.0 then base /. seconds
+                          else 1.0) );
+                   ])
+               measurements) );
+      ]
+  in
+  (match Json.validate json with
+  | Ok () -> ()
+  | Error msg ->
+      prerr_endline ("internal error: BENCH_parallel.json " ^ msg);
+      exit 2);
+  let oc = open_out "BENCH_parallel.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc json;
+      output_char oc '\n');
+  print_endline "wrote BENCH_parallel.json"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
@@ -321,31 +416,67 @@ let ablation_studies ~quick =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--quick] [--no-micro] [--no-ablations] [--no-cache]\n\n\
+    "usage: main.exe [--quick] [--no-micro] [--no-ablations] [--no-cache]\n\
+    \                [--jobs N] [--par-bench]\n\n\
     \  --quick          run 3 benchmarks instead of the full suite\n\
     \  --no-micro       skip the Bechamel micro-benchmarks\n\
     \  --no-ablations   skip the design-choice ablation studies\n\
-    \  --no-cache       skip the bounded code-cache size axis"
+    \  --no-cache       skip the bounded code-cache size axis\n\
+    \  --jobs N         worker domains for the figure sweep (default:\n\
+    \                   the machine's recommended domain count)\n\
+    \  --par-bench      run only the parallel-scaling benchmark (sweep\n\
+    \                   at -j 1/2/4, checksum-guarded) and write\n\
+    \                   BENCH_parallel.json"
+
+type options = {
+  quick : bool;
+  no_micro : bool;
+  no_ablations : bool;
+  no_cache : bool;
+  jobs : int;
+  par_bench : bool;
+}
+
+let parse_args () =
+  let default =
+    {
+      quick = false;
+      no_micro = false;
+      no_ablations = false;
+      no_cache = false;
+      jobs = Tpdbt_parallel.Pool.default_jobs ();
+      par_bench = false;
+    }
+  in
+  let bad a =
+    prerr_endline ("unknown argument: " ^ a);
+    usage ();
+    exit 2
+  in
+  let rec go opts = function
+    | [] -> opts
+    | "--quick" :: tl -> go { opts with quick = true } tl
+    | "--no-micro" :: tl -> go { opts with no_micro = true } tl
+    | "--no-ablations" :: tl -> go { opts with no_ablations = true } tl
+    | "--no-cache" :: tl -> go { opts with no_cache = true } tl
+    | "--par-bench" :: tl -> go { opts with par_bench = true } tl
+    | "--jobs" :: n :: tl -> (
+        match int_of_string_opt n with
+        | Some jobs when jobs >= 1 -> go { opts with jobs } tl
+        | Some _ | None -> bad ("--jobs " ^ n))
+    | a :: _ -> bad a
+  in
+  go default (List.tl (Array.to_list Sys.argv))
 
 let () =
-  let known = [ "--quick"; "--no-micro"; "--no-ablations"; "--no-cache" ] in
-  let args = List.tl (Array.to_list Sys.argv) in
-  (match List.filter (fun a -> not (List.mem a known)) args with
-  | [] -> ()
-  | unknown ->
-      List.iter
-        (fun a -> prerr_endline ("unknown argument: " ^ a))
-        unknown;
-      usage ();
-      exit 2);
-  let quick = List.mem "--quick" args in
-  let no_micro = List.mem "--no-micro" args in
-  let no_ablations = List.mem "--no-ablations" args in
-  let no_cache = List.mem "--no-cache" args in
-  worked_examples ();
-  let data = run_sweep ~quick in
-  print_figures data;
-  if not no_cache then cache_axis ();
-  if not no_ablations then ablation_studies ~quick;
-  if not no_micro then micro_benchmarks data;
-  Printf.printf "\nCSV copies of every table are in %s/\n" results_dir
+  let opts = parse_args () in
+  if opts.par_bench then parallel_bench ~quick:opts.quick ()
+  else begin
+    worked_examples ();
+    let data = run_sweep ~quick:opts.quick ~jobs:opts.jobs in
+    print_figures data;
+    if not opts.no_cache then cache_axis ();
+    if not opts.no_ablations then ablation_studies ~quick:opts.quick;
+    if not opts.no_micro then micro_benchmarks data;
+    Printf.printf "\nCSV copies of every table are in %s/\n" results_dir
+  end

@@ -164,6 +164,23 @@ let policy_arg =
   in
   Arg.conv (parse, print)
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Tpdbt_parallel.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent runs (default: the machine's \
+           recommended domain count).  1 runs sequentially in-process; any \
+           value produces byte-identical results.")
+
+let report_parallel jobs stats =
+  if jobs > 1 then
+    Printf.eprintf "parallel: %d jobs, %d tasks, %d steals, speedup %.2fx\n%!"
+      stats.Tpdbt_parallel.Pool.jobs stats.Tpdbt_parallel.Pool.tasks
+      stats.Tpdbt_parallel.Pool.steals
+      (Tpdbt_parallel.Pool.speedup stats)
+
 let shadow_arg =
   Arg.(
     value & opt int 0
@@ -344,7 +361,7 @@ let sweep_cmd =
              any checkpoints already there — a killed sweep restarted with \
              the same DIR re-runs only what it hadn't finished.")
   in
-  let run benches figures csv_dir checkpoint_dir =
+  let run benches figures csv_dir checkpoint_dir jobs =
     let module Runner = Tpdbt_experiments.Runner in
     let selected =
       match benches with
@@ -363,11 +380,13 @@ let sweep_cmd =
       | Runner.Started -> Printf.eprintf "running %s...\n%!" n
       | status -> Printf.eprintf "%s: %s\n%!" n (Runner.status_name status)
     in
+    let report = report_parallel jobs in
     let sweep =
       match checkpoint_dir with
       | Some dir ->
-          Tpdbt_experiments.Checkpoint.run_many ~progress ~dir selected
-      | None -> Runner.run_many ~progress selected
+          Tpdbt_experiments.Checkpoint.run_many_par ~jobs ~progress ~report
+            ~dir selected
+      | None -> Runner.run_many_par ~jobs ~progress ~report selected
     in
     List.iter
       (fun { Runner.failed; error } ->
@@ -402,9 +421,11 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:
          "Run the paper's threshold sweep and print the figures' tables \
-          (Figures 8-18).  Benchmarks that fail with a typed error are \
-          reported and skipped; the rest of the sweep still runs.")
-    Term.(const run $ benches $ figures $ csv_dir $ checkpoint_dir)
+          (Figures 8-18).  Benchmarks run in parallel across worker domains \
+          ($(b,--jobs)); output is byte-identical at every job count.  \
+          Benchmarks that fail with a typed error are reported and skipped; \
+          the rest of the sweep still runs.")
+    Term.(const run $ benches $ figures $ csv_dir $ checkpoint_dir $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* profile / analyze (the paper's collect-then-analyse workflow)        *)
@@ -705,7 +726,8 @@ let faults_cmd =
       value & flag
       & info [ "plans" ] ~doc:"Also print each trial's fault plan.")
   in
-  let run workload threshold trials arms kinds seed shadow_sample show_plans =
+  let run workload threshold trials arms kinds seed shadow_sample show_plans
+      jobs =
     let module Campaign = Tpdbt_experiments.Campaign in
     let module Fault = Tpdbt_faults.Fault in
     let bench =
@@ -730,7 +752,9 @@ let faults_cmd =
                names)
     in
     let campaign =
-      try Campaign.run ?kinds ~threshold ~trials ~arms ~shadow_sample ~seed bench
+      try
+        Campaign.run ?kinds ~jobs ~threshold ~trials ~arms ~shadow_sample ~seed
+          bench
       with Tpdbt_dbt.Error.Error e ->
         prerr_endline ("error: clean run failed: " ^ Tpdbt_dbt.Error.to_string e);
         exit 1
@@ -754,7 +778,7 @@ let faults_cmd =
           oracle).")
     Term.(
       const run $ workload $ threshold $ trials $ arms $ kinds $ seed_arg
-      $ shadow_arg $ show_plans)
+      $ shadow_arg $ show_plans $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* cache (bounded code-cache sweep)                                     *)
@@ -806,7 +830,8 @@ let cache_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV.")
   in
-  let run benches threshold fracs policies shadow_sample expect_evictions csv =
+  let run benches threshold fracs policies shadow_sample expect_evictions csv
+      jobs =
     let benches = match benches with [] -> [ "gzip" ] | l -> l in
     let selected =
       List.map
@@ -823,8 +848,8 @@ let cache_cmd =
     let sweeps =
       List.map
         (fun bench ->
-          Runner.run_cache_sweep ~threshold ?fracs ?policies ~shadow_sample
-            bench)
+          Runner.run_cache_sweep ~jobs ~threshold ?fracs ?policies
+            ~shadow_sample bench)
         selected
     in
     (* Invariant first: a bounded cache costs cycles, never behaviour. *)
@@ -897,7 +922,7 @@ let cache_cmd =
           relative to the unbounded baseline.")
     Term.(
       const run $ benches $ threshold $ fracs $ policies $ shadow_arg
-      $ expect_evictions $ csv)
+      $ expect_evictions $ csv $ jobs_arg)
 
 let () =
   let doc = "two-phase dynamic binary translator profile-accuracy testbed" in

@@ -53,7 +53,7 @@ let classify (clean : Engine.result) (r : Engine.result) =
       then Recovered
       else Degraded
 
-let run ?(threshold = 20) ?(trials = 8) ?(arms = 4)
+let run ?(jobs = 1) ?(threshold = 20) ?(trials = 8) ?(arms = 4)
     ?(kinds = Fault.all_kinds) ?(shadow_sample = 0) ~seed bench =
   let config = Engine.config ~threshold ~shadow_sample () in
   let clean = Runner.run_ref bench ~config in
@@ -61,32 +61,52 @@ let run ?(threshold = 20) ?(trials = 8) ?(arms = 4)
   | Some e when Error.fatal e -> raise (Error.Error e)
   | _ -> ());
   let prng = Prng.create ~seed in
-  let trials =
-    List.init trials (fun index ->
-        let plan_seed = Prng.next_int64 prng in
-        let plan =
+  (* Every plan is built up front on the calling domain, drawing seeds
+     in trial order — the campaign stays a pure function of its inputs
+     at every job count, and workers only ever run engines. *)
+  let plan_seeds =
+    let rec draw n acc =
+      if n = 0 then List.rev acc
+      else draw (n - 1) (Prng.next_int64 prng :: acc)
+    in
+    draw trials []
+  in
+  let tasks =
+    List.mapi
+      (fun index plan_seed ->
+        ( index,
           Plan.make ~kinds ~count:arms
             ~horizon:(max 1 clean.Engine.steps)
-            ~seed:plan_seed ()
-        in
-        let config = Engine.config ~threshold ~shadow_sample ~faults:plan () in
-        match Runner.run_ref bench ~config with
-        | result ->
-            {
-              index;
-              plan;
-              outcome = classify clean result;
-              report = result.Engine.faults;
-              counters = Some result.Engine.counters;
-            }
-        | exception e ->
-            {
-              index;
-              plan;
-              outcome = Uncaught (Printexc.to_string e);
-              report = None;
-              counters = None;
-            })
+            ~seed:plan_seed () ))
+      plan_seeds
+  in
+  let run_trial (index, plan) =
+    let config = Engine.config ~threshold ~shadow_sample ~faults:plan () in
+    match Runner.run_ref bench ~config with
+    | result ->
+        {
+          index;
+          plan;
+          outcome = classify clean result;
+          report = result.Engine.faults;
+          counters = Some result.Engine.counters;
+        }
+    | exception e ->
+        {
+          index;
+          plan;
+          outcome = Uncaught (Printexc.to_string e);
+          report = None;
+          counters = None;
+        }
+  in
+  let trials =
+    if jobs <= 1 then List.map run_trial tasks
+    else
+      let results, _ =
+        Tpdbt_parallel.Pool.map ~jobs run_trial (Array.of_list tasks)
+      in
+      Array.to_list results
   in
   { bench; threshold; seed; clean; trials }
 

@@ -44,6 +44,7 @@ type t = {
 }
 
 val run :
+  ?jobs:int ->
   ?threshold:int ->
   ?trials:int ->
   ?arms:int ->
@@ -57,6 +58,13 @@ val run :
     is passed straight to {!Tpdbt_dbt.Engine.config}).  Plan horizons
     are the clean run's instruction count, so every arm lands inside
     the run.
+
+    [jobs] > 1 runs the trials on a {!Tpdbt_parallel.Pool} of that
+    many worker domains.  All plan seeds are drawn (in trial order, on
+    the calling domain) before any trial runs, and each trial is an
+    isolated engine run, so the campaign — trials list included — is
+    identical at every job count.  Default 1 (sequential, no domain
+    spawned).
     @raise Tpdbt_dbt.Error.Error if the {e clean} run fails fatally
     ({!Tpdbt_dbt.Error.fatal}) — the campaign needs a healthy
     baseline.  A budget-limited clean run is kept: its horizon and its

@@ -247,3 +247,9 @@ let hooks ?thresholds ~dir () =
 let run_many ?thresholds ?progress ~dir benches =
   let save, load = hooks ?thresholds ~dir () in
   Runner.run_many ?thresholds ?progress ~save ~load benches
+
+let run_many_par ?thresholds ?jobs ?progress ?sink ?metrics ?report ~dir
+    benches =
+  let save, load = hooks ?thresholds ~dir () in
+  Runner.run_many_par ?thresholds ?jobs ?progress ?sink ?metrics ?report ~save
+    ~load benches

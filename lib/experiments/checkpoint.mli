@@ -46,6 +46,24 @@ val run_many :
     benchmarks are saved to [dir] and already-checkpointed ones are
     restored instead of re-run. *)
 
+val run_many_par :
+  ?thresholds:(string * int) list ->
+  ?jobs:int ->
+  ?progress:(string -> Runner.status -> unit) ->
+  ?sink:Tpdbt_telemetry.Sink.t ->
+  ?metrics:Tpdbt_telemetry.Metrics.t ->
+  ?report:(Tpdbt_parallel.Pool.stats -> unit) ->
+  dir:string ->
+  Tpdbt_workloads.Spec.t list ->
+  Runner.sweep
+(** {!Runner.run_many_par} with the same checkpoint hooks.  All file
+    I/O stays on the calling (collector) domain: the resume scan runs
+    before any worker spawns, and each completed benchmark is saved
+    atomically as its result arrives — so checkpoint files are
+    byte-identical to a sequential run's at every job count, and a
+    sweep killed mid-parallel-flight resumes exactly like a
+    sequential one. *)
+
 val data_to_string : Runner.data -> string
 val data_of_string : Tpdbt_workloads.Spec.t -> string -> Runner.data option
 (** The serialisation itself, for tests.  [data_of_string] needs the

@@ -46,5 +46,12 @@ val cache_sweep : Runner.cache_data list -> Table.t
     the Fig-17-style bounded-cache companion.  Not included in {!all}:
     it runs configurations the paper's figures never use. *)
 
+val parallel_scaling : (int * float) list -> Table.t
+(** [(jobs, wall seconds)] measurements, in increasing job order with
+    the sequential run first, rendered as one row per job count with a
+    speedup column relative to the first measurement.  Powers the
+    [BENCH_parallel.json] artifact and [bench --par-bench]; not part of
+    {!all} (it measures the harness, not the paper). *)
+
 val all : Runner.data list -> (string * Table.t) list
 (** [(figure id, table)] for figures 8–18 in order. *)

@@ -134,28 +134,35 @@ type cache_data = {
   points : cache_point list;
 }
 
-let run_cache_sweep ?(threshold = 20)
+let run_cache_sweep ?(jobs = 1) ?(threshold = 20)
     ?(policies = Tpdbt_dbt.Code_cache.all_policies)
     ?(fracs = [ 0.125; 0.25; 0.5; 1.0 ]) ?(shadow_sample = 0) bench =
   (* Unbounded baseline: its peak occupancy is the benchmark's full
-     translated footprint, the unit the capacity fractions scale. *)
+     translated footprint, the unit the capacity fractions scale.  It
+     must run first — every bounded capacity derives from it — so only
+     the (policy, frac) points fan out across domains. *)
   let baseline = run_ref bench ~config:(Engine.config ~threshold ()) in
   let footprint =
     max 1 baseline.Engine.counters.Tpdbt_dbt.Perf_model.cache_peak_instrs
   in
+  let combos =
+    List.concat_map (fun p -> List.map (fun f -> (p, f)) fracs) policies
+  in
+  let point (policy, frac) =
+    let capacity = max 1 (int_of_float (frac *. float_of_int footprint)) in
+    let config =
+      Engine.config ~threshold ~cache_capacity:capacity ~cache_policy:policy
+        ~shadow_sample ()
+    in
+    { policy; frac; capacity; bounded = run_ref bench ~config }
+  in
   let points =
-    List.concat_map
-      (fun policy ->
-        List.map
-          (fun frac ->
-            let capacity = max 1 (int_of_float (frac *. float_of_int footprint)) in
-            let config =
-              Engine.config ~threshold ~cache_capacity:capacity
-                ~cache_policy:policy ~shadow_sample ()
-            in
-            { policy; frac; capacity; bounded = run_ref bench ~config })
-          fracs)
-      policies
+    if jobs <= 1 then List.map point combos
+    else
+      let results, _ =
+        Tpdbt_parallel.Pool.map ~jobs point (Array.of_list combos)
+      in
+      Array.to_list results
   in
   { cache_bench = bench; cache_threshold = threshold; baseline; footprint; points }
 
@@ -174,6 +181,9 @@ let status_name = function
   | Failed _ -> "failed"
   | Resumed -> "resumed"
 
+(* Sequential reference path.  [run_many_par] must produce the same
+   merged sweep (and, via [save], the same checkpoint bytes) for every
+   job count — keep the two in lockstep. *)
 let run_many ?thresholds ?(progress = fun _ _ -> ()) ?save ?load benches =
   let data = ref [] and failures = ref [] in
   List.iter
@@ -195,3 +205,104 @@ let run_many ?thresholds ?(progress = fun _ _ -> ()) ?save ?load benches =
               failures := { failed = bench; error = e } :: !failures))
     benches;
   { data = List.rev !data; failures = List.rev !failures }
+
+module Pool = Tpdbt_parallel.Pool
+
+(* Worker scheduling events, forwarded to a telemetry sink from the
+   collector domain.  The scheduler runs outside any engine, so the
+   stamp is a scheduler sequence number rather than a guest clock. *)
+let worker_sink_events sink =
+  let module Tel = Tpdbt_telemetry in
+  let seq = ref 0 in
+  fun (e : Pool.event) ->
+    incr seq;
+    let event =
+      match e with
+      | Pool.Start { worker; task } -> Tel.Event.Worker_start { worker; task }
+      | Pool.Steal { worker; victim; task } ->
+          Tel.Event.Worker_steal { worker; victim; task }
+      | Pool.Finish { worker; task } -> Tel.Event.Worker_finish { worker; task }
+    in
+    sink.Tel.Sink.emit ~step:!seq event
+
+let record_parallel_stats metrics (stats : Pool.stats) =
+  let module Tel = Tpdbt_telemetry in
+  Tel.Metrics.set (Tel.Metrics.gauge metrics "parallel.speedup")
+    (Pool.speedup stats);
+  Tel.Metrics.set (Tel.Metrics.gauge metrics "parallel.jobs")
+    (float_of_int stats.Pool.jobs);
+  Tel.Metrics.add (Tel.Metrics.counter metrics "parallel.steals")
+    stats.Pool.steals;
+  Tel.Metrics.add (Tel.Metrics.counter metrics "parallel.tasks")
+    stats.Pool.tasks
+
+let run_many_par ?thresholds ?jobs ?(progress = fun _ _ -> ()) ?save ?load
+    ?sink ?metrics ?report benches =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
+  if jobs <= 1 then run_many ?thresholds ~progress ?save ?load benches
+  else begin
+    (* Resume scan up front, on the collector domain: checkpoint reads
+       never race the workers, and a resumed benchmark never becomes a
+       task at all. *)
+    let entries =
+      List.map
+        (fun bench ->
+          match Option.bind load (fun f -> f bench) with
+          | Some d ->
+              progress bench.Spec.name Resumed;
+              (bench, Some d)
+          | None -> (bench, None))
+        benches
+    in
+    let pending =
+      Array.of_list
+        (List.filter_map
+           (fun (b, d) -> if d = None then Some b else None)
+           entries)
+    in
+    let on_event =
+      let forward =
+        match sink with None -> fun _ -> () | Some s -> worker_sink_events s
+      in
+      fun (e : Pool.event) ->
+        forward e;
+        match e with
+        | Pool.Start { task; _ } -> progress pending.(task).Spec.name Started
+        | Pool.Steal _ | Pool.Finish _ -> ()
+    in
+    (* Completion arrival order is nondeterministic, but every
+       checkpoint [save] happens here, on the collector domain, and
+       each file's bytes depend only on its own task's result. *)
+    let on_result task = function
+      | Ok d ->
+          Option.iter (fun f -> f d) save;
+          progress pending.(task).Spec.name Finished
+      | Error e -> progress pending.(task).Spec.name (Failed e)
+    in
+    let results, stats =
+      Pool.map ~jobs ~on_event ~on_result
+        (fun bench -> run_benchmark_result ?thresholds bench)
+        pending
+    in
+    Option.iter (fun m -> record_parallel_stats m stats) metrics;
+    Option.iter (fun f -> f stats) report;
+    (* Deterministic merge: walk the benchmarks in input order, pulling
+       resumed data or the task result tagged with the next pending
+       index — the same [sweep] the sequential path builds. *)
+    let next = ref 0 in
+    let data = ref [] and failures = ref [] in
+    List.iter
+      (fun (bench, resumed) ->
+        match resumed with
+        | Some d -> data := d :: !data
+        | None -> (
+            let r = results.(!next) in
+            incr next;
+            match r with
+            | Ok d -> data := d :: !data
+            | Error e -> failures := { failed = bench; error = e } :: !failures))
+      entries;
+    { data = List.rev !data; failures = List.rev !failures }
+  end

@@ -75,6 +75,7 @@ type cache_data = {
 }
 
 val run_cache_sweep :
+  ?jobs:int ->
   ?threshold:int ->
   ?policies:Tpdbt_dbt.Code_cache.policy list ->
   ?fracs:float list ->
@@ -87,7 +88,14 @@ val run_cache_sweep :
     all three policies, fractions 1/8, 1/4, 1/2, 1, shadow oracle off.
     Guest behaviour (outputs, steps) is invariant across all points;
     only the cycle cost moves.  Never raises: inspect each
-    [result.error]. *)
+    [result.error].
+
+    [jobs] > 1 runs the (policy, fraction) points on a
+    {!Tpdbt_parallel.Pool} of that many worker domains after the
+    baseline completes; [points] keeps the canonical policy-major
+    order and every point's result is identical to the sequential
+    sweep's (each point is an isolated engine run with fixed seeds).
+    Default 1 (sequential, no domain spawned). *)
 
 type status =
   | Started  (** about to run *)
@@ -117,6 +125,40 @@ val run_many :
     [load] is consulted before running a benchmark — returning [Some]
     skips the run entirely — and [save] receives each freshly computed
     {!data}; wire both to {!Checkpoint.hooks} for resumable sweeps. *)
+
+val run_many_par :
+  ?thresholds:(string * int) list ->
+  ?jobs:int ->
+  ?progress:(string -> status -> unit) ->
+  ?save:(data -> unit) ->
+  ?load:(Tpdbt_workloads.Spec.t -> data option) ->
+  ?sink:Tpdbt_telemetry.Sink.t ->
+  ?metrics:Tpdbt_telemetry.Metrics.t ->
+  ?report:(Tpdbt_parallel.Pool.stats -> unit) ->
+  Tpdbt_workloads.Spec.t list ->
+  sweep
+(** {!run_many} over a {!Tpdbt_parallel.Pool} of [jobs] worker domains
+    (default {!Tpdbt_parallel.Pool.default_jobs}; [jobs <= 1]
+    short-circuits to the sequential {!run_many}, spawning nothing).
+
+    The merged {!sweep} is {e identical} to the sequential one for
+    every job count: each benchmark is an isolated engine computation
+    with per-spec fixed seeds, results are tagged by task index and
+    merged in input order.  Only observability differs — [progress]
+    lines arrive in completion order rather than input order.
+
+    Single-writer invariant: [progress], [save], [load], [sink],
+    [metrics] and [report] all run on the {e calling} domain (the
+    collector).  [load] is consulted for every benchmark before any
+    worker starts (resumed benchmarks never become tasks); each [save]
+    fires as its benchmark's result arrives, so a sweep killed
+    mid-flight resumes exactly like a sequential one.
+
+    [sink] receives [worker.start] / [worker.steal] / [worker.finish]
+    events stamped with a scheduler sequence number; [metrics] gains
+    the [parallel.speedup] and [parallel.jobs] gauges plus the
+    [parallel.steals] / [parallel.tasks] counters; [report] is called
+    once with the pool's {!Tpdbt_parallel.Pool.stats}. *)
 
 val run_ref :
   ?sink:Tpdbt_telemetry.Sink.t ->

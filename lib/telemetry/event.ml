@@ -28,6 +28,9 @@ type t =
   | Shadow_divergence of { region : int; reg : int }
   | Region_quarantined of { region : int; preserved_use : int }
   | Engine_degraded of { quarantines : int }
+  | Worker_start of { worker : int; task : int }
+  | Worker_steal of { worker : int; victim : int; task : int }
+  | Worker_finish of { worker : int; task : int }
 
 type stamped = { step : int; event : t }
 
@@ -53,6 +56,9 @@ let kind_name = function
   | Shadow_divergence _ -> "shadow.divergence"
   | Region_quarantined _ -> "region.quarantined"
   | Engine_degraded _ -> "engine.degraded"
+  | Worker_start _ -> "worker.start"
+  | Worker_steal _ -> "worker.steal"
+  | Worker_finish _ -> "worker.finish"
 
 let region_kind_name = function Trace -> "trace" | Loop -> "loop"
 
@@ -124,6 +130,16 @@ let payload = function
       ]
   | Engine_degraded { quarantines } ->
       [ ("quarantines", string_of_int quarantines) ]
+  | Worker_start { worker; task } ->
+      [ ("worker", string_of_int worker); ("task", string_of_int task) ]
+  | Worker_steal { worker; victim; task } ->
+      [
+        ("worker", string_of_int worker);
+        ("victim", string_of_int victim);
+        ("task", string_of_int task);
+      ]
+  | Worker_finish { worker; task } ->
+      [ ("worker", string_of_int worker); ("task", string_of_int task) ]
 
 let to_json { step; event } =
   let fields =

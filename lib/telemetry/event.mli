@@ -65,6 +65,13 @@ type t =
   | Engine_degraded of { quarantines : int }
       (** the bounded-quarantine watchdog tripped: all regions were
           dropped and the run continues profiling-only *)
+  | Worker_start of { worker : int; task : int }
+      (** a parallel-sweep worker domain began running a task *)
+  | Worker_steal of { worker : int; victim : int; task : int }
+      (** the task the worker is about to start was stolen from
+          [victim]'s deque *)
+  | Worker_finish of { worker : int; task : int }
+      (** the task completed (its result reached the collector) *)
 
 type stamped = { step : int; event : t }
 (** [step] is the guest-instruction count when the event fired. *)
@@ -75,7 +82,10 @@ val kind_name : t -> string
     ["recovery.dissolve"], ["recovery.retranslate"]; so do the code
     cache and the shadow oracle: ["cache.evict"], ["cache.flush"],
     ["shadow.divergence"], ["region.quarantined"],
-    ["engine.degraded"]. *)
+    ["engine.degraded"]; and the parallel sweep scheduler:
+    ["worker.start"], ["worker.steal"], ["worker.finish"] (stamped
+    with a scheduler sequence number, not the guest clock — the
+    scheduler runs outside any engine). *)
 
 val region_kind_name : region_kind -> string
 val pool_reason_name : pool_reason -> string

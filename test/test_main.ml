@@ -14,4 +14,5 @@ let () =
       ("cache", Test_cache.suite);
       ("integration", Test_integration.suite);
       ("telemetry", Test_telemetry.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -1,0 +1,376 @@
+(* Tests for the domain-parallel sweep scheduler: pool mechanics, the
+   byte-identical-at-every-job-count guarantee for threshold sweeps,
+   cache sweeps and fault campaigns, checkpoint bytes and
+   crash-mid-sweep resume, and the collector's single-writer
+   invariant. *)
+
+module Pool = Tpdbt_parallel.Pool
+module Runner = Tpdbt_experiments.Runner
+module Checkpoint = Tpdbt_experiments.Checkpoint
+module Campaign = Tpdbt_experiments.Campaign
+module Figures = Tpdbt_experiments.Figures
+module Table = Tpdbt_experiments.Table
+module Spec = Tpdbt_workloads.Spec
+module Tel = Tpdbt_telemetry
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* Exercise the real parallel machinery even where the public default
+   would short-circuit: every determinism test compares j = 1 (the
+   sequential reference) against j = 2 and j = 4. *)
+let job_counts = [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_identity () =
+  let tasks = Array.init 37 (fun i -> i) in
+  let expected = Array.map (fun i -> (i * i) + 1) tasks in
+  List.iter
+    (fun jobs ->
+      let results, stats = Pool.map ~jobs (fun i -> (i * i) + 1) tasks in
+      checkb
+        (Printf.sprintf "results identical at -j %d" jobs)
+        true
+        (results = expected);
+      checki "all tasks accounted" 37 stats.Pool.tasks)
+    job_counts
+
+let test_pool_empty_and_singleton () =
+  let results, stats = Pool.map ~jobs:4 (fun i -> i) [||] in
+  checkb "empty input" true (results = [||]);
+  checki "no tasks" 0 stats.Pool.tasks;
+  let results, stats = Pool.map ~jobs:4 (fun i -> i + 1) [| 41 |] in
+  checkb "singleton" true (results = [| 42 |]);
+  (* One task can never use more than one worker. *)
+  checki "jobs clamped to task count" 1 stats.Pool.jobs
+
+let test_pool_exception_deterministic () =
+  (* Several tasks fail; the pool must re-raise the lowest-indexed
+     failure whatever the completion order. *)
+  let tasks = Array.init 16 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      match
+        Pool.map ~jobs
+          (fun i -> if i mod 5 = 3 then failwith (string_of_int i) else i)
+          tasks
+      with
+      | _ -> Alcotest.fail "expected a raise"
+      | exception Failure msg ->
+          checks
+            (Printf.sprintf "lowest-indexed failure at -j %d" jobs)
+            "3" msg)
+    job_counts
+
+let test_pool_events_account () =
+  let tasks = Array.init 12 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      let started = Hashtbl.create 16 and finished = Hashtbl.create 16 in
+      let stolen = ref 0 in
+      let results_seen = ref 0 in
+      let _, stats =
+        Pool.map ~jobs
+          ~on_event:(function
+            | Pool.Start { task; _ } ->
+                checkb "started once" false (Hashtbl.mem started task);
+                Hashtbl.replace started task ()
+            | Pool.Finish { task; _ } ->
+                checkb "start before finish" true (Hashtbl.mem started task);
+                Hashtbl.replace finished task ()
+            | Pool.Steal { worker; victim; task } ->
+                incr stolen;
+                checkb "no self-steal" true (worker <> victim);
+                checkb "stolen before start" false (Hashtbl.mem started task))
+          ~on_result:(fun task v ->
+            incr results_seen;
+            checki "result matches task" (task * 2) v)
+          (fun i -> i * 2)
+          tasks
+      in
+      checki "every task started" 12 (Hashtbl.length started);
+      checki "every task finished" 12 (Hashtbl.length finished);
+      checki "every result delivered" 12 !results_seen;
+      checki "steal events counted" !stolen stats.Pool.steals;
+      if jobs = 1 then checki "sequential never steals" 0 stats.Pool.steals)
+    job_counts
+
+(* ------------------------------------------------------------------ *)
+(* Sweep determinism across job counts                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mini ?(iters = 3000) name =
+  {
+    Spec.name;
+    suite = `Int;
+    units =
+      [
+        Spec.Branch { prob = Spec.prob 0.8 ~train:0.6; straight = 2; copies = 2 };
+        Spec.Loop { trip = Spec.trip 6; jitter = 1; body = 2; copies = 1 };
+      ];
+    ref_iters = iters;
+    train_iters = 800;
+    ref_seed = 3L;
+    train_seed = 4L;
+  }
+
+let mini_thresholds = [ ("100", 1); ("1k", 10) ]
+
+let mini_benches () =
+  [
+    mini "par-a";
+    mini ~iters:4000 "par-b";
+    mini ~iters:2000 "par-c";
+    mini ~iters:3500 "par-d";
+  ]
+
+let serialize_sweep sweep =
+  String.concat "\n" (List.map Checkpoint.data_to_string sweep.Runner.data)
+
+let figures_csv sweep =
+  String.concat "\n"
+    (List.map (fun (_, t) -> Table.to_csv t) (Figures.all sweep.Runner.data))
+
+let test_sweep_identical_across_jobs () =
+  let benches = mini_benches () in
+  let reference =
+    Runner.run_many_par ~thresholds:mini_thresholds ~jobs:1 benches
+  in
+  checkb "reference has data" true (reference.Runner.data <> []);
+  List.iter
+    (fun jobs ->
+      let sweep =
+        Runner.run_many_par ~thresholds:mini_thresholds ~jobs benches
+      in
+      checks
+        (Printf.sprintf "serialized results identical at -j %d" jobs)
+        (serialize_sweep reference) (serialize_sweep sweep);
+      checks
+        (Printf.sprintf "derived tables identical at -j %d" jobs)
+        (figures_csv reference) (figures_csv sweep))
+    (List.tl job_counts)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tpdbt-par" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file -> Sys.remove (Filename.concat dir file))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let checkpoint_bytes dir benches =
+  String.concat "\x00"
+    (List.map (fun b -> read_file (Checkpoint.path ~dir b)) benches)
+
+let test_checkpoint_bytes_identical_across_jobs () =
+  let benches = mini_benches () in
+  with_temp_dir (fun seq_dir ->
+      let _ =
+        Checkpoint.run_many_par ~thresholds:mini_thresholds ~jobs:1
+          ~dir:seq_dir benches
+      in
+      let reference = checkpoint_bytes seq_dir benches in
+      List.iter
+        (fun jobs ->
+          with_temp_dir (fun par_dir ->
+              let _ =
+                Checkpoint.run_many_par ~thresholds:mini_thresholds ~jobs
+                  ~dir:par_dir benches
+              in
+              checks
+                (Printf.sprintf "checkpoint files identical at -j %d" jobs)
+                reference
+                (checkpoint_bytes par_dir benches)))
+        (List.tl job_counts))
+
+let test_resume_mid_sweep_parallel () =
+  (* A sweep killed after completing half its benchmarks leaves their
+     checkpoints behind; restarting at -j 4 must resume those, run only
+     the rest, and end byte-identical to an uninterrupted sequential
+     sweep. *)
+  let benches = mini_benches () in
+  let half = [ List.nth benches 0; List.nth benches 2 ] in
+  with_temp_dir (fun dir ->
+      let _ =
+        Checkpoint.run_many_par ~thresholds:mini_thresholds ~jobs:4 ~dir half
+      in
+      let statuses = ref [] in
+      let progress n s = statuses := (n, Runner.status_name s) :: !statuses in
+      let resumed =
+        Checkpoint.run_many_par ~thresholds:mini_thresholds ~jobs:4 ~progress
+          ~dir benches
+      in
+      List.iter
+        (fun b ->
+          checkb
+            (b.Spec.name ^ " resumed, not re-run")
+            true
+            (List.mem (b.Spec.name, "resumed") !statuses))
+        half;
+      checki "both fresh benchmarks ran" 2
+        (List.length (List.filter (fun (_, s) -> s = "ok") !statuses));
+      let uninterrupted =
+        Runner.run_many_par ~thresholds:mini_thresholds ~jobs:1 benches
+      in
+      checks "resumed sweep byte-identical to uninterrupted"
+        (serialize_sweep uninterrupted)
+        (serialize_sweep resumed);
+      checks "checkpoint set byte-identical"
+        (with_temp_dir (fun d2 ->
+             let _ =
+               Checkpoint.run_many_par ~thresholds:mini_thresholds ~jobs:1
+                 ~dir:d2 benches
+             in
+             checkpoint_bytes d2 benches))
+        (checkpoint_bytes dir benches))
+
+(* ------------------------------------------------------------------ *)
+(* Single-writer invariant                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_callbacks_single_writer () =
+  (* Every callback — progress, save, sink, report — must run on the
+     calling (collector) domain, with no overlap possible: record the
+     executing domain id at each callback and require it to be the
+     collector's, mutex-free. *)
+  let collector = (Domain.self () :> int) in
+  let benches = mini_benches () in
+  let violations = ref 0 in
+  let observe () =
+    if (Domain.self () :> int) <> collector then incr violations
+  in
+  let progress_log = ref [] in
+  let sink =
+    Tel.Sink.of_fun (fun ~step:_ _ -> observe ())
+  in
+  let _ =
+    Runner.run_many_par ~thresholds:mini_thresholds ~jobs:4
+      ~progress:(fun n s ->
+        observe ();
+        progress_log := (n, Runner.status_name s) :: !progress_log)
+      ~save:(fun _ -> observe ())
+      ~sink
+      ~report:(fun _ -> observe ())
+      benches
+  in
+  checki "all callbacks ran on the collector domain" 0 !violations;
+  (* Well-formed progress stream: exactly one start and one terminal
+     status per benchmark, start first. *)
+  List.iter
+    (fun b ->
+      let mine =
+        List.rev
+          (List.filter_map
+             (fun (n, s) -> if n = b.Spec.name then Some s else None)
+             !progress_log)
+      in
+      checkb
+        (b.Spec.name ^ " progress well-formed")
+        true
+        (mine = [ "started"; "ok" ]))
+    benches
+
+(* ------------------------------------------------------------------ *)
+(* Cache sweep and campaign determinism                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_sweep_identical_across_jobs () =
+  let bench = mini "par-cache" in
+  let table jobs =
+    Table.to_csv
+      (Figures.cache_sweep
+         [ Runner.run_cache_sweep ~jobs ~threshold:5 ~fracs:[ 0.25; 0.5 ] bench ])
+  in
+  let reference = table 1 in
+  List.iter
+    (fun jobs ->
+      checks
+        (Printf.sprintf "cache sweep identical at -j %d" jobs)
+        reference (table jobs))
+    (List.tl job_counts)
+
+let campaign_render c =
+  Format.asprintf "%a" Campaign.render c
+
+let test_campaign_identical_across_jobs () =
+  let bench = mini "par-faults" in
+  let run jobs =
+    Campaign.run ~jobs ~threshold:5 ~trials:6 ~seed:17L ~shadow_sample:1 bench
+  in
+  let reference = campaign_render (run 1) in
+  List.iter
+    (fun jobs ->
+      checks
+        (Printf.sprintf "campaign identical at -j %d" jobs)
+        reference
+        (campaign_render (run jobs)))
+    (List.tl job_counts)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_worker_telemetry () =
+  let benches = mini_benches () in
+  let metrics = Tel.Metrics.create () in
+  let events = ref [] in
+  let sink = Tel.Sink.of_fun (fun ~step event -> events := (step, event) :: !events) in
+  let _ = Runner.run_many_par ~thresholds:mini_thresholds ~jobs:2 ~sink ~metrics benches in
+  let kinds = List.map (fun (_, e) -> Tel.Event.kind_name e) !events in
+  checki "one start per task" 4
+    (List.length (List.filter (( = ) "worker.start") kinds));
+  checki "one finish per task" 4
+    (List.length (List.filter (( = ) "worker.finish") kinds));
+  List.iter
+    (fun k ->
+      checkb ("only worker events, got " ^ k) true
+        (List.mem k [ "worker.start"; "worker.steal"; "worker.finish" ]))
+    kinds;
+  (* Scheduler stamps are a strictly increasing sequence. *)
+  let steps = List.rev_map fst !events in
+  checkb "scheduler sequence increases" true
+    (List.for_all2 ( < ) steps (List.tl steps @ [ max_int ]));
+  let names = Tel.Metrics.names metrics in
+  List.iter
+    (fun n -> checkb (n ^ " recorded") true (List.mem n names))
+    [ "parallel.speedup"; "parallel.jobs"; "parallel.steals"; "parallel.tasks" ];
+  checkb "speedup gauge positive" true
+    (Tel.Metrics.gauge_value (Tel.Metrics.gauge metrics "parallel.speedup")
+    > 0.0);
+  checkb "jobs gauge is 2" true
+    (Tel.Metrics.gauge_value (Tel.Metrics.gauge metrics "parallel.jobs") = 2.0)
+
+let suite =
+  [
+    ("pool map identity", `Quick, test_pool_map_identity);
+    ("pool empty and singleton", `Quick, test_pool_empty_and_singleton);
+    ("pool exception deterministic", `Quick, test_pool_exception_deterministic);
+    ("pool events account", `Quick, test_pool_events_account);
+    ("sweep identical across jobs", `Quick, test_sweep_identical_across_jobs);
+    ( "checkpoint bytes identical across jobs",
+      `Quick,
+      test_checkpoint_bytes_identical_across_jobs );
+    ("resume mid-sweep parallel", `Quick, test_resume_mid_sweep_parallel);
+    ("callbacks single writer", `Quick, test_callbacks_single_writer);
+    ( "cache sweep identical across jobs",
+      `Quick,
+      test_cache_sweep_identical_across_jobs );
+    ( "campaign identical across jobs",
+      `Quick,
+      test_campaign_identical_across_jobs );
+    ("worker telemetry", `Quick, test_worker_telemetry);
+  ]

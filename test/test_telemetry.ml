@@ -113,7 +113,9 @@ let test_event_ordering () =
           checkb "no cache pressure in unbounded run" true false
       | Event.Shadow_divergence _ | Event.Region_quarantined _
       | Event.Engine_degraded _ ->
-          checkb "no divergence in clean run" true false)
+          checkb "no divergence in clean run" true false
+      | Event.Worker_start _ | Event.Worker_steal _ | Event.Worker_finish _ ->
+          checkb "no scheduler events from a single engine run" true false)
     events;
   checkb "pool triggered" true (!pool_triggers > 0);
   checkb "regions formed" true (Hashtbl.length formed > 0);
