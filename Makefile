@@ -15,7 +15,7 @@ PAR_JOBS ?= 4
 PAR_SMOKE_DIR := _build/par-smoke
 
 .PHONY: all build test fmt fmt-strict check clean faults-smoke cache-smoke \
-	par-smoke par-bench
+	par-smoke par-bench chaos-smoke
 
 all: build
 
@@ -61,6 +61,28 @@ par-smoke: build
 	diff -r $(PAR_SMOKE_DIR)/seq-ckpt $(PAR_SMOKE_DIR)/par-ckpt
 	@echo "par-smoke: sequential and -j $(PAR_JOBS) sweeps are byte-identical"
 
+# Chaos smoke: a supervised checkpointed sweep under injected faults —
+# a stalled workload, a worker-domain crash, a panicking task, and
+# bit-flipped/truncated checkpoint files — run sequentially and at
+# -j $(PAR_JOBS) with the same seed.  tpdbt chaos exits non-zero unless
+# every non-quarantined benchmark ends byte-identical to the fault-free
+# reference, and the two deterministic summary JSONs must agree byte
+# for byte (CI uploads chaos-summary.json as an artifact).
+CHAOS_SMOKE_DIR := _build/chaos-smoke
+
+chaos-smoke: build
+	rm -rf $(CHAOS_SMOKE_DIR)
+	mkdir -p $(CHAOS_SMOKE_DIR)
+	$(DUNE) exec bin/tpdbt.exe -- chaos --seed 23 --jobs 1 \
+		--dir $(CHAOS_SMOKE_DIR)/seq-ckpt \
+		--summary $(CHAOS_SMOKE_DIR)/chaos-summary.json
+	$(DUNE) exec bin/tpdbt.exe -- chaos --seed 23 --jobs $(PAR_JOBS) \
+		--dir $(CHAOS_SMOKE_DIR)/par-ckpt \
+		--summary $(CHAOS_SMOKE_DIR)/par-summary.json
+	cmp $(CHAOS_SMOKE_DIR)/chaos-summary.json \
+		$(CHAOS_SMOKE_DIR)/par-summary.json
+	@echo "chaos-smoke: survived; summaries identical at -j 1 and -j $(PAR_JOBS)"
+
 # Parallel-scaling measurement: the quick sweep at -j 1/2/4,
 # checksum-guarded, recorded in BENCH_parallel.json (CI uploads it as
 # an artifact; use `dune exec bench/main.exe -- --par-bench` without
@@ -85,7 +107,7 @@ fmt-strict:
 		exit 1; }
 	$(DUNE) build @fmt
 
-check: build test faults-smoke cache-smoke par-smoke fmt
+check: build test faults-smoke cache-smoke par-smoke chaos-smoke fmt
 
 clean:
 	$(DUNE) clean

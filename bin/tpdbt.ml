@@ -1,7 +1,7 @@
 (* tpdbt — command-line driver for the two-phase DBT reproduction.
 
    Subcommands: asm, dis, check, run, dbt, bench, sweep, profile,
-   analyze, report, ablate, trace, faults, cache. *)
+   analyze, report, ablate, trace, faults, cache, chaos. *)
 
 open Cmdliner
 
@@ -332,6 +332,18 @@ let bench_cmd =
 (* sweep (the paper's experiments)                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* An optional budget override, unlike [max_steps_arg] whose default
+   (the engine's own 200M) is always applied. *)
+let budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:
+          "Cap every constituent run at N guest instructions (default: the \
+           engine's 200M budget).  A capped run is kept as a partial \
+           result, not an error.")
+
 let sweep_cmd =
   let benches =
     Arg.(
@@ -361,8 +373,39 @@ let sweep_cmd =
              any checkpoints already there — a killed sweep restarted with \
              the same DIR re-runs only what it hadn't finished.")
   in
-  let run benches figures csv_dir checkpoint_dir jobs =
+  let supervise =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Run the sweep under the supervisor: per-task deadlines, bounded \
+             retry with deterministic backoff, circuit breakers and graceful \
+             degradation when worker domains die.  Failing benchmarks are \
+             quarantined instead of just skipped.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ] ~docv:"N"
+          ~doc:
+            "With $(b,--supervise): fail any constituent run that executes \
+             more than N guest instructions with a fatal deadline error \
+             (default: no deadline).")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "With $(b,--supervise): total attempts per benchmark before it \
+             is quarantined (default: 4).")
+  in
+  let run benches figures csv_dir checkpoint_dir jobs max_steps supervise
+      deadline retries =
     let module Runner = Tpdbt_experiments.Runner in
+    let module Sup = Tpdbt_parallel.Supervisor in
     let selected =
       match benches with
       | [] -> Tpdbt_workloads.Suite.all
@@ -382,11 +425,49 @@ let sweep_cmd =
     in
     let report = report_parallel jobs in
     let sweep =
-      match checkpoint_dir with
-      | Some dir ->
-          Tpdbt_experiments.Checkpoint.run_many_par ~jobs ~progress ~report
-            ~dir selected
-      | None -> Runner.run_many_par ~jobs ~progress ~report selected
+      if supervise then begin
+        let policy =
+          match retries with
+          | None -> Sup.default_policy
+          | Some n -> { Sup.default_policy with Sup.max_attempts = max 1 n }
+        in
+        let report (s : Sup.stats) =
+          if jobs > 1 || s.Sup.retries > 0 || s.Sup.poisoned > 0 then
+            Printf.eprintf
+              "supervised: %d tasks, %d attempts, %d retries, %d poisoned, \
+               %d crashes%s\n\
+               %!"
+              s.Sup.tasks s.Sup.attempts s.Sup.retries s.Sup.poisoned
+              s.Sup.crashes
+              (if s.Sup.degraded then " (pool degraded)" else "")
+        in
+        let sweep, supervision =
+          match checkpoint_dir with
+          | Some dir ->
+              Tpdbt_experiments.Checkpoint.run_many_supervised ?max_steps
+                ?deadline ~jobs ~policy ~progress ~report ~dir selected
+          | None ->
+              Runner.run_many_supervised ?max_steps ?deadline ~jobs ~policy
+                ~progress ~report selected
+        in
+        List.iter
+          (fun (name, reason) ->
+            Printf.eprintf "corrupt checkpoint %s: %s (re-ran)\n%!" name reason)
+          supervision.Runner.corrupt;
+        List.iter
+          (fun ((b : Tpdbt_workloads.Spec.t), reason) ->
+            Printf.eprintf "quarantined %s: %s\n%!" b.Tpdbt_workloads.Spec.name
+              reason)
+          supervision.Runner.poisoned;
+        sweep
+      end
+      else
+        match checkpoint_dir with
+        | Some dir ->
+            Tpdbt_experiments.Checkpoint.run_many_par ?max_steps ~jobs
+              ~progress ~report ~dir selected
+        | None ->
+            Runner.run_many_par ?max_steps ~jobs ~progress ~report selected
     in
     List.iter
       (fun { Runner.failed; error } ->
@@ -424,8 +505,13 @@ let sweep_cmd =
           (Figures 8-18).  Benchmarks run in parallel across worker domains \
           ($(b,--jobs)); output is byte-identical at every job count.  \
           Benchmarks that fail with a typed error are reported and skipped; \
-          the rest of the sweep still runs.")
-    Term.(const run $ benches $ figures $ csv_dir $ checkpoint_dir $ jobs_arg)
+          the rest of the sweep still runs.  With $(b,--supervise), failing \
+          benchmarks are retried with deterministic backoff and quarantined \
+          by a circuit breaker, and worker-domain crashes degrade the pool \
+          instead of killing the sweep.")
+    Term.(
+      const run $ benches $ figures $ csv_dir $ checkpoint_dir $ jobs_arg
+      $ budget_arg $ supervise $ deadline $ retries)
 
 (* ------------------------------------------------------------------ *)
 (* profile / analyze (the paper's collect-then-analyse workflow)        *)
@@ -831,7 +917,7 @@ let cache_cmd =
       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV.")
   in
   let run benches threshold fracs policies shadow_sample expect_evictions csv
-      jobs =
+      jobs max_steps =
     let benches = match benches with [] -> [ "gzip" ] | l -> l in
     let selected =
       List.map
@@ -849,10 +935,18 @@ let cache_cmd =
       List.map
         (fun bench ->
           Runner.run_cache_sweep ~jobs ~threshold ?fracs ?policies
-            ~shadow_sample bench)
+            ~shadow_sample ?max_steps bench)
         selected
     in
-    (* Invariant first: a bounded cache costs cycles, never behaviour. *)
+    (* Invariant first: a bounded cache costs cycles, never behaviour.
+       Only meaningful between runs that actually completed: a binding
+       --max-steps cap cuts runs off mid-flight at (legitimately)
+       slightly different points. *)
+    let budget_limited (r : Tpdbt_dbt.Engine.result) =
+      match r.Tpdbt_dbt.Engine.error with
+      | Some (Tpdbt_dbt.Error.Limit_exceeded _) -> true
+      | _ -> false
+    in
     let violations = ref 0 in
     let evictions = ref 0 in
     List.iter
@@ -865,8 +959,9 @@ let cache_cmd =
             evictions := !evictions + c.Tpdbt_dbt.Perf_model.cache_evictions;
             warn_error r.Tpdbt_dbt.Engine.error;
             if
-              r.Tpdbt_dbt.Engine.outputs <> base.Tpdbt_dbt.Engine.outputs
-              || r.Tpdbt_dbt.Engine.steps <> base.Tpdbt_dbt.Engine.steps
+              (not (budget_limited base || budget_limited r))
+              && (r.Tpdbt_dbt.Engine.outputs <> base.Tpdbt_dbt.Engine.outputs
+                 || r.Tpdbt_dbt.Engine.steps <> base.Tpdbt_dbt.Engine.steps)
             then begin
               incr violations;
               Printf.eprintf
@@ -922,7 +1017,107 @@ let cache_cmd =
           relative to the unbounded baseline.")
     Term.(
       const run $ benches $ threshold $ fracs $ policies $ shadow_arg
-      $ expect_evictions $ csv $ jobs_arg)
+      $ expect_evictions $ csv $ jobs_arg $ budget_arg)
+
+(* ------------------------------------------------------------------ *)
+(* chaos (supervised-sweep chaos harness)                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let module Campaign = Tpdbt_experiments.Campaign in
+  let module Runner = Tpdbt_experiments.Runner in
+  let benches =
+    Arg.(
+      value & opt_all string []
+      & info [ "bench"; "b" ] ~docv:"NAME"
+          ~doc:
+            "Benchmark to include (repeatable; default: gzip swim mgrid \
+             art).  The first few, in seed-shuffled order, each receive one \
+             fault: stall, worker crash, checkpoint bit-flip, task panic, \
+             checkpoint truncation.")
+  in
+  let dir =
+    Arg.(
+      value & opt string "chaos-out"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Checkpoint directory for the chaos sweep (created if missing; \
+             existing *.ckpt files in it are deleted — the harness owns \
+             the directory).")
+  in
+  let summary =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary" ] ~docv:"FILE"
+          ~doc:
+            "Also write the deterministic JSON summary to FILE — \
+             byte-identical across job counts and repeated same-seed runs.")
+  in
+  let chaos_steps =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Cap every constituent run at N guest instructions; capped runs \
+             are kept as partial results, so the harness stays fast while \
+             still exercising every fault path.")
+  in
+  let run benches seed jobs dir summary max_steps =
+    let benches =
+      match benches with
+      | [] -> None
+      | names ->
+          Some
+            (List.map
+               (fun n ->
+                 match Tpdbt_workloads.Suite.find n with
+                 | Some b -> b
+                 | None ->
+                     prerr_endline ("unknown benchmark: " ^ n);
+                     exit 1)
+               names)
+    in
+    let progress n = function
+      | Runner.Started -> Printf.eprintf "running %s...\n%!" n
+      | status -> Printf.eprintf "%s: %s\n%!" n (Runner.status_name status)
+    in
+    let c =
+      try Campaign.chaos ~jobs ?benches ~max_steps ~progress ~dir ~seed ()
+      with Invalid_argument msg ->
+        prerr_endline ("error: " ^ msg);
+        exit 1
+    in
+    Format.printf "%a@." Campaign.render_chaos c;
+    (match summary with
+    | None -> ()
+    | Some file ->
+        let json = Campaign.chaos_to_json c in
+        (match Tpdbt_telemetry.Json.validate json with
+        | Ok () -> ()
+        | Error msg ->
+            prerr_endline ("internal error: chaos summary " ^ msg);
+            exit 2);
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc json;
+            output_char oc '\n');
+        Printf.printf "wrote %s\n" file);
+    if not (Campaign.chaos_ok c) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Attack a supervised checkpointed sweep with injected faults — a \
+          stalled workload, a worker-domain crash, a panicking task, and \
+          bit-flipped/truncated checkpoint files — then resume and verify \
+          that every non-quarantined benchmark's results are byte-identical \
+          to a fault-free sequential run.  Exits non-zero unless the sweep \
+          survives with exactly the expected casualties.")
+    Term.(
+      const run $ benches $ seed_arg $ jobs_arg $ dir $ summary $ chaos_steps)
 
 let () =
   let doc = "two-phase dynamic binary translator profile-accuracy testbed" in
@@ -933,5 +1128,5 @@ let () =
           [
             asm_cmd; dis_cmd; check_cmd; run_cmd; dbt_cmd; bench_cmd; sweep_cmd;
             profile_cmd; analyze_cmd; report_cmd; ablate_cmd; trace_cmd;
-            faults_cmd; cache_cmd;
+            faults_cmd; cache_cmd; chaos_cmd;
           ]))

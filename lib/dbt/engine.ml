@@ -19,6 +19,7 @@ type config = {
   reopt_limit : int;
   perf : Perf_model.params;
   max_steps : int;
+  deadline : int option;
   sink : Sink.t;
   faults : Tpdbt_faults.Plan.t option;
   retry_limit : int;
@@ -32,7 +33,7 @@ type config = {
 let config ?(pool_trigger = 16) ?(adaptive = false) ?(sink = Sink.null) ?faults
     ?(retry_limit = 3) ?cache_capacity ?(cache_policy = Code_cache.Lru)
     ?(cache_backoff = 1000) ?(shadow_sample = 0) ?(max_quarantines = 4)
-    ~threshold () =
+    ?deadline ~threshold () =
   {
     threshold;
     pool_trigger;
@@ -48,6 +49,7 @@ let config ?(pool_trigger = 16) ?(adaptive = false) ?(sink = Sink.null) ?faults
     reopt_limit = 3;
     perf = Perf_model.default;
     max_steps = 200_000_000;
+    deadline;
     sink;
     faults;
     retry_limit;
@@ -965,9 +967,25 @@ let current_snapshot t =
 let run ?(checkpoint_every = 0) ?(on_checkpoint = fun ~steps:_ _ -> ()) t =
   if t.trace then emit t (Event.Phase_begin { phase = "run" });
   let next_checkpoint = ref checkpoint_every in
+  (* The supervisor's cooperative watchdog: polled here, at block
+     granularity, like every other dispatch-time check — a deadlined
+     task stops itself instead of wedging its worker domain. *)
+  let past_deadline () =
+    match t.cfg.deadline with
+    | Some d -> Machine.steps t.machine >= d
+    | None -> false
+  in
   let rec loop () =
     if Machine.halted t.machine then ()
     else if t.error <> None then ()
+    else if past_deadline () then
+      t.error <-
+        Some
+          (Error.Deadline_exceeded
+             {
+               steps = Machine.steps t.machine;
+               deadline = Option.get t.cfg.deadline;
+             })
     else if Machine.steps t.machine >= t.cfg.max_steps then
       t.error <-
         Some

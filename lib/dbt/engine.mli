@@ -48,6 +48,15 @@ type config = {
           unstable branches *)
   perf : Perf_model.params;
   max_steps : int;  (** guest-instruction budget for the run *)
+  deadline : int option;
+      (** Supervision deadline in guest instructions, polled
+          cooperatively by the step loop at block granularity.  [None]
+          (the default) imposes none.  Unlike [max_steps] — which cuts a
+          run short but keeps its sound partial results
+          ({!Error.Limit_exceeded}, non-fatal) — blowing the deadline is
+          the supervisor declaring the task stuck, and surfaces as the
+          {e fatal} {!Error.Deadline_exceeded} so the supervision layer
+          retries or quarantines the task instead of trusting it. *)
   sink : Tpdbt_telemetry.Sink.t;
       (** Telemetry sink receiving structured {!Tpdbt_telemetry.Event}s
           stamped with the guest-instruction counter.  Defaults to
@@ -112,14 +121,15 @@ val config :
   ?cache_backoff:int ->
   ?shadow_sample:int ->
   ?max_quarantines:int ->
+  ?deadline:int ->
   threshold:int ->
   unit ->
   config
 (** Defaults: pool trigger 16, min branch prob 0.7, 16 slots,
     duplication and diamonds on, adaptive off (side-exit rate 0.3, min
-    entries 64), {!Perf_model.default}, 200M steps, null sink, no
-    faults, retry limit 3, unbounded cache (LRU when bounded), shadow
-    oracle off, watchdog at 4 quarantines. *)
+    entries 64), {!Perf_model.default}, 200M steps, no deadline, null
+    sink, no faults, retry limit 3, unbounded cache (LRU when bounded),
+    shadow oracle off, watchdog at 4 quarantines. *)
 
 val profiling_only : config
 (** [threshold = 0]: collect AVEP / INIP(train) profiles. *)

@@ -3,6 +3,7 @@ type t =
   | Retranslation_failed of { region : int; block : int; attempts : int }
   | Region_aborted of { region : int; block : int; attempts : int }
   | Limit_exceeded of { steps : int; max_steps : int }
+  | Deadline_exceeded of { steps : int; deadline : int }
   | Dispatch_lost of { pc : int }
   | Corrupt_profile of { line : int; field : string; reason : string }
   | Io_error of string
@@ -30,6 +31,11 @@ let pp ppf = function
         "run watchdog: %d guest instructions executed without halting (budget \
          %d)"
         steps max_steps
+  | Deadline_exceeded { steps; deadline } ->
+      Format.fprintf ppf
+        "task deadline: %d guest instructions executed past the supervisor's \
+         step budget (%d)"
+        steps deadline
   | Dispatch_lost { pc } ->
       Format.fprintf ppf "dispatcher lost sync with the block map at pc %d" pc
   | Corrupt_profile { line; field; reason } ->

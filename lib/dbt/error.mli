@@ -20,6 +20,12 @@ type t =
   | Limit_exceeded of { steps : int; max_steps : int }
       (** the run watchdog: the guest-instruction budget ran out before
           the program halted *)
+  | Deadline_exceeded of { steps : int; deadline : int }
+      (** the supervisor's cooperative per-task watchdog: the run blew
+          through the step deadline the sweep harness imposed on it.
+          Unlike {!Limit_exceeded} this is {e fatal} — a deadlined task
+          is a stuck task, and the supervision layer retries or
+          quarantines it rather than trusting its partial results *)
   | Dispatch_lost of { pc : int }
       (** the dispatcher lost sync with the block map (control landed
           where no block starts, or a region slot's block was not at

@@ -125,6 +125,250 @@ let tally t =
 
 let ok t = (tally t).uncaught = 0
 
+(* ---- chaos harness ----------------------------------------------------- *)
+
+module Sup = Tpdbt_parallel.Supervisor
+module Suite = Tpdbt_workloads.Suite
+module Json = Tpdbt_telemetry.Json
+
+type chaos_fault = Stall | Crash | Bitflip | Panic | Truncate
+
+let chaos_fault_name = function
+  | Stall -> "stall"
+  | Crash -> "crash"
+  | Bitflip -> "bitflip"
+  | Panic -> "panic"
+  | Truncate -> "truncate"
+
+type chaos = {
+  chaos_seed : int64;
+  chaos_benches : string list;
+  injected_faults : (string * chaos_fault) list;
+  poisoned_benches : string list;
+  retried : int;
+  worker_crashes : int;
+  corrupt_checkpoints : string list;
+  survivors : string list;
+  mismatched : string list;
+}
+
+let victims_of fault c =
+  List.filter_map
+    (fun (n, f) -> if f = fault then Some n else None)
+    c.injected_faults
+
+let chaos_ok c =
+  let sort = List.sort String.compare in
+  c.mismatched = []
+  && sort c.poisoned_benches = sort (victims_of Stall c)
+  && sort c.corrupt_checkpoints
+     = sort (victims_of Bitflip c @ victims_of Truncate c)
+  && c.worker_crashes >= List.length (victims_of Crash c)
+  && c.retried >= List.length (victims_of Panic c)
+
+(* Everything scheduling-dependent (degraded flag, busy/elapsed times,
+   job count) is deliberately absent: the summary must be byte-identical
+   across -j 1/2/4 and across repeated same-seed runs. *)
+let chaos_to_json c =
+  Json.obj
+    [
+      ("seed", Json.quote (Printf.sprintf "0x%Lx" c.chaos_seed));
+      ("benches", Json.arr (List.map Json.quote c.chaos_benches));
+      ( "faults",
+        Json.obj
+          (List.map
+             (fun (n, f) -> (n, Json.quote (chaos_fault_name f)))
+             c.injected_faults) );
+      ("poisoned", Json.arr (List.map Json.quote c.poisoned_benches));
+      ("retried", string_of_int c.retried);
+      ("crashes", string_of_int c.worker_crashes);
+      ("corrupt", Json.arr (List.map Json.quote c.corrupt_checkpoints));
+      ("survivors", Json.arr (List.map Json.quote c.survivors));
+      ("mismatched", Json.arr (List.map Json.quote c.mismatched));
+      ("ok", if chaos_ok c then "true" else "false");
+    ]
+
+let render_chaos ppf c =
+  Format.fprintf ppf "@[<v>chaos sweep: seed 0x%Lx, %d benchmarks@,"
+    c.chaos_seed
+    (List.length c.chaos_benches);
+  List.iter
+    (fun (n, f) ->
+      Format.fprintf ppf "  fault: %s <- %s@," n (chaos_fault_name f))
+    c.injected_faults;
+  Format.fprintf ppf
+    "  retried %d, worker crashes %d@,\
+    \  poisoned: %s@,\
+    \  corrupt checkpoints: %s@,\
+    \  survivors byte-identical to fault-free run: %d/%d@,"
+    c.retried c.worker_crashes
+    (match c.poisoned_benches with
+    | [] -> "none"
+    | l -> String.concat ", " l)
+    (match c.corrupt_checkpoints with
+    | [] -> "none"
+    | l -> String.concat ", " l)
+    (List.length c.survivors)
+    (List.length c.chaos_benches - List.length c.poisoned_benches);
+  List.iter
+    (fun n -> Format.fprintf ppf "  MISMATCH: %s@," n)
+    c.mismatched;
+  Format.fprintf ppf "verdict: %s@]"
+    (if chaos_ok c then "survived" else "FAILED")
+
+let chaos_read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let chaos_write_file file s =
+  let oc = open_out_bin file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+(* The stall victim's step budget: far below any suite benchmark's
+   instruction count, so its runs deterministically die with
+   [Deadline_exceeded] on every attempt until the breaker opens. *)
+let stall_deadline = 1_000
+
+let chaos ?(jobs = 1) ?benches ?thresholds ?max_steps ?progress ~dir ~seed ()
+    =
+  let benches =
+    match benches with
+    | Some l -> l
+    | None -> List.filter_map Suite.find [ "gzip"; "swim"; "mgrid"; "art" ]
+  in
+  let names = List.map (fun (b : Spec.t) -> b.Spec.name) benches in
+  let n = List.length benches in
+  (* Seeded fault plan: shuffle the benchmarks, then deal the fault
+     kinds in a fixed order to the first few victims.  Pure function of
+     [(benches, seed)]. *)
+  let prng = Prng.create ~seed in
+  let order = Array.of_list names in
+  for i = n - 1 downto 1 do
+    let j = Prng.below prng (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  let injected_faults =
+    List.filteri
+      (fun k _ -> k < n)
+      [ Stall; Crash; Bitflip; Panic; Truncate ]
+    |> List.mapi (fun k f -> (order.(k), f))
+  in
+  let fault_of name =
+    List.find_map
+      (fun (v, f) -> if String.equal v name then Some f else None)
+      injected_faults
+  in
+  (* Reference: the fault-free sequential sweep the survivors must
+     match byte for byte. *)
+  let reference = Runner.run_many ?thresholds ?max_steps benches in
+  if reference.Runner.failures <> [] then
+    invalid_arg "Campaign.chaos: a benchmark fails even without faults";
+  let reference_text =
+    List.map
+      (fun (d : Runner.data) ->
+        (d.Runner.bench.Spec.name, Checkpoint.data_to_string d))
+      reference.Runner.data
+  in
+  (* The harness owns [dir]: stale checkpoints would make the resume
+     scan depend on previous runs. *)
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".ckpt" then
+          Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  let stall_run bench =
+    Runner.run_benchmark_result ?thresholds ?max_steps
+      ~deadline:stall_deadline bench
+  in
+  (* Pass 1: tasks panic and workers crash on their first attempt, the
+     stall victim never fits its deadline, and the checkpoint victims'
+     files are damaged right after they are written. *)
+  let ckpt_save, ckpt_load = Checkpoint.hooks ?thresholds ~dir () in
+  let save_and_damage (d : Runner.data) =
+    ckpt_save d;
+    let file = Checkpoint.path ~dir d.Runner.bench in
+    let damage f =
+      let text = chaos_read_file file in
+      let len = String.length text in
+      f text len
+    in
+    match fault_of d.Runner.bench.Spec.name with
+    | Some Bitflip ->
+        damage (fun text len ->
+            let b = Bytes.of_string text in
+            let i = len / 2 in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+            chaos_write_file file (Bytes.to_string b))
+    | Some Truncate ->
+        damage (fun text len ->
+            chaos_write_file file (String.sub text 0 (len / 2)))
+    | Some Stall | Some Crash | Some Panic | None -> ()
+  in
+  let run_task_pass1 ~task:_ ~attempt (bench : Spec.t) =
+    match fault_of bench.Spec.name with
+    | Some Panic when attempt = 1 -> failwith "chaos: injected task panic"
+    | Some Crash when attempt = 1 -> raise Sup.Crash_worker
+    | Some Stall -> stall_run bench
+    | _ -> Runner.run_benchmark_result ?thresholds ?max_steps bench
+  in
+  let _sweep1, sup1 =
+    Runner.run_many_supervised ?thresholds ?max_steps ~jobs ?progress
+      ~save:save_and_damage ~load:ckpt_load ~run_task:run_task_pass1 benches
+  in
+  (* Pass 2: resume from the (partly damaged) store.  Only the stall is
+     a persistent fault; panicking and crashing tasks already recovered
+     in pass 1 and resume from their checkpoints, while the damaged
+     checkpoints are classified corrupt and re-run cleanly. *)
+  let run_task_pass2 ~task:_ ~attempt:_ (bench : Spec.t) =
+    match fault_of bench.Spec.name with
+    | Some Stall -> stall_run bench
+    | _ -> Runner.run_benchmark_result ?thresholds ?max_steps bench
+  in
+  let sweep2, sup2 =
+    Checkpoint.run_many_supervised ?thresholds ?max_steps ~jobs ?progress
+      ~run_task:run_task_pass2 ~dir benches
+  in
+  let poisoned_benches =
+    List.map
+      (fun ((b : Spec.t), _reason) -> b.Spec.name)
+      sup2.Runner.poisoned
+  in
+  let corrupt_checkpoints = List.map fst sup2.Runner.corrupt in
+  let survivors, mismatched =
+    List.fold_left
+      (fun (ok, bad) name ->
+        if List.mem name poisoned_benches then (ok, bad)
+        else
+          let got =
+            List.find_map
+              (fun (d : Runner.data) ->
+                if String.equal d.Runner.bench.Spec.name name then
+                  Some (Checkpoint.data_to_string d)
+                else None)
+              sweep2.Runner.data
+          in
+          match (got, List.assoc_opt name reference_text) with
+          | Some g, Some r when String.equal g r -> (name :: ok, bad)
+          | _ -> (ok, name :: bad))
+      ([], []) names
+  in
+  {
+    chaos_seed = seed;
+    chaos_benches = names;
+    injected_faults;
+    poisoned_benches;
+    retried = sup1.Runner.sup.Sup.retries + sup2.Runner.sup.Sup.retries;
+    worker_crashes = sup1.Runner.sup.Sup.crashes + sup2.Runner.sup.Sup.crashes;
+    corrupt_checkpoints;
+    survivors = List.rev survivors;
+    mismatched = List.rev mismatched;
+  }
+
 let render ppf t =
   let n = List.length t.trials in
   Format.fprintf ppf

@@ -80,3 +80,68 @@ val ok : t -> bool
 
 val render : Format.formatter -> t -> unit
 (** Survival / recovery summary: one line per trial plus totals. *)
+
+(** {1 Chaos sweeps}
+
+    Where {!run} injects faults {e inside} one engine, a chaos sweep
+    attacks the sweep infrastructure itself — the supervisor, the
+    worker pool and the checkpoint store — and checks that the sweep
+    still converges to the fault-free answer. *)
+
+type chaos_fault =
+  | Stall  (** persistent: every attempt blows a tiny step deadline *)
+  | Crash  (** the worker domain dies on the first attempt *)
+  | Bitflip  (** one byte of the written checkpoint is flipped *)
+  | Panic  (** the task raises on its first attempt *)
+  | Truncate  (** the written checkpoint loses its second half *)
+
+type chaos = {
+  chaos_seed : int64;
+  chaos_benches : string list;  (** input order *)
+  injected_faults : (string * chaos_fault) list;
+      (** seeded assignment: victims shuffled by the chaos seed, fault
+          kinds dealt in declaration order *)
+  poisoned_benches : string list;
+      (** quarantined after the resume pass (expected: the stall) *)
+  retried : int;  (** supervisor retries summed over both passes *)
+  worker_crashes : int;
+  corrupt_checkpoints : string list;
+      (** damaged checkpoints the resume scan caught and re-ran *)
+  survivors : string list;
+      (** non-poisoned benchmarks whose final serialised results are
+          byte-identical to the fault-free sequential reference *)
+  mismatched : string list;  (** non-poisoned, but diverged — a bug *)
+}
+
+val chaos :
+  ?jobs:int ->
+  ?benches:Tpdbt_workloads.Spec.t list ->
+  ?thresholds:(string * int) list ->
+  ?max_steps:int ->
+  ?progress:(string -> Runner.status -> unit) ->
+  dir:string ->
+  seed:int64 ->
+  unit ->
+  chaos
+(** Run the chaos harness: a fault-free sequential reference sweep,
+    then a supervised sweep under injected faults (checkpointing into
+    [dir], whose [*.ckpt] files it deletes first — the harness owns the
+    directory), then a resume pass over the damaged store.  Defaults:
+    [jobs] 1, benchmarks gzip/swim/mgrid/art (one fault each: stall,
+    crash, bitflip, panic).  Everything in the returned record is a
+    pure function of [(benches, seed, max_steps)] — identical at every
+    job count and across repeated runs.
+    @raise Invalid_argument if a benchmark fails without faults. *)
+
+val chaos_ok : chaos -> bool
+(** The pass criterion: no mismatches, poisoned = the stall victims
+    exactly, corrupt = the checkpoint victims exactly, and the crash
+    and panic victims actually exercised recovery. *)
+
+val chaos_fault_name : chaos_fault -> string
+
+val chaos_to_json : chaos -> string
+(** Deterministic summary (scheduling-dependent fields excluded) — the
+    artifact [make chaos-smoke] compares across job counts. *)
+
+val render_chaos : Format.formatter -> chaos -> unit

@@ -4,12 +4,53 @@ module Spec = Tpdbt_workloads.Spec
 module Suite = Tpdbt_workloads.Suite
 module Profile_io = Tpdbt_profiles.Profile_io
 
-(* Version 2 widened the counters line with the code-cache and
-   shadow-oracle fields; bumping the magic makes a v1 checkpoint parse
-   as stale (→ recomputed) instead of mis-reading. *)
-let magic = "TPDBT-CKPT 2"
+(* Version 3 made the store crash-consistent: the header carries a
+   CRC32 and byte length of the payload, saves fsync before the atomic
+   rename, and loads classify damage (truncation, bit flips, trailing
+   garbage, stale versions) instead of conflating it with absence.
+   Version 2 widened the counters line with the code-cache and
+   shadow-oracle fields. *)
+let magic = "TPDBT-CKPT 3"
+let magic_prefix = "TPDBT-CKPT "
 
-(* ---- serialisation ---------------------------------------------------- *)
+type classified =
+  | Valid of Runner.data
+  | Missing
+  | Stale_version of string
+  | Corrupt of string
+
+(* ---- CRC32 ------------------------------------------------------------- *)
+
+(* Table-driven CRC32 (IEEE 802.3, reflected — the zlib/PNG polynomial),
+   local so the store stays dependency-free. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor (Int32.shift_right_logical !c 1) 0xEDB88320l
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int
+          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let crc_hex s = Printf.sprintf "%08lx" (crc32 s)
+
+(* ---- serialisation ----------------------------------------------------- *)
 
 let counters_to_line (c : Perf_model.counters) =
   (* %h round-trips the float exactly; every other field is an int. *)
@@ -43,10 +84,9 @@ let result_to_buf buf (r : Engine.result) =
   add "snapshot %d" nlines;
   Buffer.add_string buf text
 
-let data_to_string (d : Runner.data) =
+let payload_of_data (d : Runner.data) =
   let buf = Buffer.create 8192 in
   let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
-  add "%s" magic;
   add "bench %s" d.Runner.bench.Spec.name;
   add "thresholds %d" (List.length d.Runner.runs);
   List.iter
@@ -65,38 +105,50 @@ let data_to_string (d : Runner.data) =
   add "end";
   Buffer.contents buf
 
-(* ---- parsing ---------------------------------------------------------- *)
+let data_to_string (d : Runner.data) =
+  let payload = payload_of_data d in
+  Printf.sprintf "%s\ncrc %s %d\n%s" magic (crc_hex payload)
+    (String.length payload) payload
 
-exception Malformed
+(* ---- parsing ----------------------------------------------------------- *)
 
-let parse_data spec text =
+exception Malformed of string
+
+let parse_payload ?expect_thresholds spec text =
   let lines = Array.of_list (String.split_on_char '\n' text) in
   let cursor = ref 0 in
   let next () =
-    if !cursor >= Array.length lines then raise Malformed
+    if !cursor >= Array.length lines then
+      raise (Malformed "payload ends mid-record")
     else (
       incr cursor;
       lines.(!cursor - 1))
   in
-  let expect s = if next () <> s then raise Malformed in
+  let expect s =
+    if next () <> s then raise (Malformed (Printf.sprintf "expected %S" s))
+  in
   let int_exn s =
-    match int_of_string_opt s with Some v -> v | None -> raise Malformed
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> raise (Malformed (Printf.sprintf "not an integer: %S" s))
   in
   let words () = String.split_on_char ' ' (next ()) in
   let read_result () =
     let steps =
-      match words () with [ "steps"; n ] -> int_exn n | _ -> raise Malformed
+      match words () with
+      | [ "steps"; n ] -> int_exn n
+      | _ -> raise (Malformed "bad steps line")
     in
     let profiling_ops =
       match words () with
       | [ "profiling_ops"; n ] -> int_exn n
-      | _ -> raise Malformed
+      | _ -> raise (Malformed "bad profiling_ops line")
     in
     let outputs =
       match words () with
       | "outputs" :: n :: vs when List.length vs = int_exn n ->
           List.map int_exn vs
-      | _ -> raise Malformed
+      | _ -> raise (Malformed "bad outputs line")
     in
     let counters =
       match words () with
@@ -105,7 +157,7 @@ let parse_data spec text =
           r; s; u; v;
         ] -> (
           match float_of_string_opt cy with
-          | None -> raise Malformed
+          | None -> raise (Malformed "bad cycles value")
           | Some cycles ->
               {
                 Perf_model.cycles;
@@ -131,12 +183,12 @@ let parse_data spec text =
                 regions_quarantined = int_exn u;
                 watchdog_degraded = int_exn v;
               })
-      | _ -> raise Malformed
+      | _ -> raise (Malformed "bad counters line")
     in
     let nstats =
       match words () with
       | [ "regstats"; n ] -> int_exn n
-      | _ -> raise Malformed
+      | _ -> raise (Malformed "bad regstats line")
     in
     let region_stats =
       List.init nstats (fun _ ->
@@ -149,14 +201,14 @@ let parse_data spec text =
                   loop_back_taken = int_exn lbt;
                   loop_back_seen = int_exn lbs;
                 } )
-          | _ -> raise Malformed)
+          | _ -> raise (Malformed "bad regstat line"))
     in
     let nlines =
       match words () with
       | [ "snapshot"; n ] -> int_exn n
-      | _ -> raise Malformed
+      | _ -> raise (Malformed "bad snapshot line")
     in
-    if nlines < 0 then raise Malformed;
+    if nlines < 0 then raise (Malformed "negative snapshot length");
     let snap_buf = Buffer.create 4096 in
     for _ = 1 to nlines do
       Buffer.add_string snap_buf (next ());
@@ -165,7 +217,7 @@ let parse_data spec text =
     let snapshot =
       match Profile_io.of_string (Buffer.contents snap_buf) with
       | Ok s -> s
-      | Error _ -> raise Malformed
+      | Error _ -> raise (Malformed "embedded profile rejected")
     in
     {
       Engine.snapshot;
@@ -179,21 +231,29 @@ let parse_data spec text =
     }
   in
   try
-    expect magic;
     (match words () with
     | [ "bench"; name ] when name = spec.Spec.name -> ()
-    | _ -> raise Malformed);
+    | [ "bench"; name ] ->
+        raise
+          (Malformed
+             (Printf.sprintf "checkpoint is for benchmark %s, not %s" name
+                spec.Spec.name))
+    | _ -> raise (Malformed "bad bench line"));
     let nruns =
       match words () with
       | [ "thresholds"; n ] -> int_exn n
-      | _ -> raise Malformed
+      | _ -> raise (Malformed "bad thresholds line")
     in
     let labels =
       List.init nruns (fun _ ->
           match words () with
           | [ "threshold"; label; scaled ] -> (label, int_exn scaled)
-          | _ -> raise Malformed)
+          | _ -> raise (Malformed "bad threshold line"))
     in
+    (match expect_thresholds with
+    | Some expected when labels <> expected ->
+        raise (Malformed "recorded under a different threshold list")
+    | _ -> ());
     expect "avep";
     let avep = read_result () in
     expect "train";
@@ -203,15 +263,68 @@ let parse_data spec text =
         (fun (label, scaled) ->
           (match words () with
           | [ "run"; l; s ] when l = label && int_exn s = scaled -> ()
-          | _ -> raise Malformed);
+          | _ -> raise (Malformed "run header out of order"));
           (label, scaled, read_result ()))
         labels
     in
     expect "end";
-    Some (labels, Runner.assemble spec avep train raw_runs)
-  with Malformed -> None
+    (* [data_to_string] always ends the payload "end\n", so the final
+       split element is one empty string; anything more is garbage a
+       broken writer appended inside the measured payload. *)
+    if not (!cursor = Array.length lines - 1 && lines.(!cursor) = "") then
+      raise (Malformed "trailing garbage after end marker");
+    Valid (Runner.assemble spec avep train raw_runs)
+  with Malformed reason -> Corrupt reason
 
-(* ---- files ------------------------------------------------------------ *)
+let split_line s pos =
+  match String.index_from_opt s pos '\n' with
+  | None -> None
+  | Some i -> Some (String.sub s pos (i - pos), i + 1)
+
+let data_of_string ?thresholds spec text =
+  if String.trim text = "" then Corrupt "empty file"
+  else
+    match split_line text 0 with
+    | None -> Corrupt "missing newline after magic"
+    | Some (line1, p1) -> (
+        if String.equal line1 magic then
+          match split_line text p1 with
+          | None -> Corrupt "missing crc header"
+          | Some (line2, p2) -> (
+              match String.split_on_char ' ' line2 with
+              | [ "crc"; hex; len ] -> (
+                  match int_of_string_opt len with
+                  | None -> Corrupt "malformed crc header"
+                  | Some len when len < 0 -> Corrupt "malformed crc header"
+                  | Some len ->
+                      let avail = String.length text - p2 in
+                      if avail < len then
+                        Corrupt
+                          (Printf.sprintf "truncated: %d of %d payload bytes"
+                             avail len)
+                      else if avail > len then
+                        Corrupt
+                          (Printf.sprintf
+                             "trailing garbage: %d bytes past the payload"
+                             (avail - len))
+                      else
+                        let payload = String.sub text p2 len in
+                        let actual = crc_hex payload in
+                        if not (String.equal actual hex) then
+                          Corrupt
+                            (Printf.sprintf "crc mismatch: header %s, payload %s"
+                               hex actual)
+                        else parse_payload ?expect_thresholds:thresholds spec payload
+                  )
+              | _ -> Corrupt "malformed crc header")
+        else if
+          String.length line1 >= String.length magic_prefix
+          && String.equal (String.sub line1 0 (String.length magic_prefix))
+               magic_prefix
+        then Stale_version line1
+        else Corrupt "unrecognised header")
+
+(* ---- files ------------------------------------------------------------- *)
 
 let path ~dir spec = Filename.concat dir (spec.Spec.name ^ ".ckpt")
 
@@ -222,34 +335,77 @@ let save ~dir (d : Runner.data) =
   let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (data_to_string d));
+    (fun () ->
+      output_string oc (data_to_string d);
+      (* Crash consistency: the payload must be durable before the
+         rename publishes it, or a power cut can leave a complete-
+         looking file full of zeroes. *)
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
   Sys.rename tmp final
 
-let load ?(thresholds = Suite.thresholds) ~dir spec =
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let classify ?(thresholds = Suite.thresholds) ~dir spec =
   let file = path ~dir spec in
-  if not (Sys.file_exists file) then None
+  if not (Sys.file_exists file) then Missing
   else
-    let text =
-      let ic = open_in file in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    match parse_data spec text with
-    | Some (labels, data) when labels = thresholds -> Some data
-    | Some _ | None -> None
+    match read_file file with
+    | text -> data_of_string ~thresholds spec text
+    | exception Sys_error reason -> Corrupt reason
 
-let data_of_string spec text = Option.map snd (parse_data spec text)
+let load ?thresholds ~dir spec =
+  match classify ?thresholds ~dir spec with Valid d -> Some d | _ -> None
 
-let hooks ?thresholds ~dir () =
-  ((fun d -> save ~dir d), fun spec -> load ?thresholds ~dir spec)
+let hooks ?thresholds ?(on_bad = fun _ _ -> ()) ~dir () =
+  ( (fun d -> save ~dir d),
+    fun spec ->
+      match classify ?thresholds ~dir spec with
+      | Valid d -> Some d
+      | Missing -> None
+      | Stale_version line ->
+          on_bad spec ("stale checkpoint version: " ^ line);
+          None
+      | Corrupt reason ->
+          on_bad spec reason;
+          None )
 
-let run_many ?thresholds ?progress ~dir benches =
+let run_many ?thresholds ?max_steps ?deadline ?progress ~dir benches =
   let save, load = hooks ?thresholds ~dir () in
-  Runner.run_many ?thresholds ?progress ~save ~load benches
+  Runner.run_many ?thresholds ?max_steps ?deadline ?progress ~save ~load
+    benches
 
-let run_many_par ?thresholds ?jobs ?progress ?sink ?metrics ?report ~dir
-    benches =
+let run_many_par ?thresholds ?max_steps ?deadline ?jobs ?progress ?sink
+    ?metrics ?report ~dir benches =
   let save, load = hooks ?thresholds ~dir () in
-  Runner.run_many_par ?thresholds ?jobs ?progress ?sink ?metrics ?report ~save
-    ~load benches
+  Runner.run_many_par ?thresholds ?max_steps ?deadline ?jobs ?progress ?sink
+    ?metrics ?report ~save ~load benches
+
+let run_many_supervised ?thresholds ?max_steps ?deadline ?jobs ?policy
+    ?progress ?sink ?metrics ?report ?run_task ~dir benches =
+  let module Tel = Tpdbt_telemetry in
+  let corrupt = ref [] in
+  let seq = ref 0 in
+  let on_bad (spec : Spec.t) reason =
+    corrupt := (spec.Spec.name, reason) :: !corrupt;
+    incr seq;
+    Option.iter
+      (fun s ->
+        s.Tel.Sink.emit ~step:!seq
+          (Tel.Event.Checkpoint_corrupt { bench = spec.Spec.name; reason }))
+      sink;
+    Option.iter
+      (fun m ->
+        Tel.Metrics.incr (Tel.Metrics.counter m "checkpoint.corrupt"))
+      metrics
+  in
+  let save, load = hooks ?thresholds ~on_bad ~dir () in
+  let sweep, supervision =
+    Runner.run_many_supervised ?thresholds ?max_steps ?deadline ?jobs ?policy
+      ?progress ?sink ?metrics ?report ?run_task ~save ~load benches
+  in
+  (sweep, { supervision with Runner.corrupt = List.rev !corrupt })

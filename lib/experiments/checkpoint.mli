@@ -7,18 +7,44 @@
     is pure — so a sweep resumed from checkpoints produces output
     byte-identical to an uninterrupted one.
 
-    Files are written atomically (temp file + rename): a sweep killed
-    mid-write never leaves a truncated checkpoint, and a corrupt or
-    stale file (wrong benchmark, different threshold list, malformed
-    content) is treated as absent — the benchmark simply re-runs. *)
+    The store is crash-consistent (format v3): files carry a CRC32 and
+    byte length over the payload, are written to a temp file, fsynced
+    and atomically renamed into place — a sweep killed (or a machine
+    losing power) mid-write never publishes a partial checkpoint.  On
+    load, damage is {e classified}: a truncated, bit-flipped,
+    trailing-garbage or empty file is {!Corrupt}, an older format is
+    {!Stale_version}, and either way resume re-runs exactly the
+    damaged entries instead of trusting them — so the repaired sweep
+    is byte-identical to one that never lost the file. *)
+
+type classified =
+  | Valid of Runner.data  (** header, CRC, length and payload all check out *)
+  | Missing  (** no checkpoint file *)
+  | Stale_version of string
+      (** an earlier format's magic line — sound when written, but not
+          readable by this version; re-run *)
+  | Corrupt of string
+      (** damaged (truncated, bit-flipped, trailing garbage, empty,
+          wrong benchmark, different threshold list, …); the string
+          says how *)
 
 val path : dir:string -> Tpdbt_workloads.Spec.t -> string
 (** [<dir>/<bench-name>.ckpt]. *)
 
 val save : dir:string -> Runner.data -> unit
-(** Write the benchmark's checkpoint atomically, creating [dir] if
-    needed.
+(** Write the benchmark's checkpoint crash-consistently (temp file,
+    fsync, atomic rename), creating [dir] if needed.
     @raise Sys_error on I/O failure. *)
+
+val classify :
+  ?thresholds:(string * int) list ->
+  dir:string ->
+  Tpdbt_workloads.Spec.t ->
+  classified
+(** Inspect the benchmark's checkpoint without committing to a
+    boolean: callers that only care whether to re-run use {!load};
+    the supervisor uses the classification to count and report
+    corruption. *)
 
 val load :
   ?thresholds:(string * int) list ->
@@ -31,13 +57,19 @@ val load :
 
 val hooks :
   ?thresholds:(string * int) list ->
+  ?on_bad:(Tpdbt_workloads.Spec.t -> string -> unit) ->
   dir:string ->
   unit ->
   (Runner.data -> unit) * (Tpdbt_workloads.Spec.t -> Runner.data option)
-(** [(save, load)] closures for {!Runner.run_many}'s [?save]/[?load]. *)
+(** [(save, load)] closures for {!Runner.run_many}'s [?save]/[?load].
+    [on_bad spec reason] fires when a checkpoint exists but is
+    {!Corrupt} or {!Stale_version} (never for {!Missing}) — the hook
+    behind [checkpoint.corrupt] telemetry. *)
 
 val run_many :
   ?thresholds:(string * int) list ->
+  ?max_steps:int ->
+  ?deadline:int ->
   ?progress:(string -> Runner.status -> unit) ->
   dir:string ->
   Tpdbt_workloads.Spec.t list ->
@@ -48,6 +80,8 @@ val run_many :
 
 val run_many_par :
   ?thresholds:(string * int) list ->
+  ?max_steps:int ->
+  ?deadline:int ->
   ?jobs:int ->
   ?progress:(string -> Runner.status -> unit) ->
   ?sink:Tpdbt_telemetry.Sink.t ->
@@ -64,8 +98,43 @@ val run_many_par :
     sweep killed mid-parallel-flight resumes exactly like a
     sequential one. *)
 
+val run_many_supervised :
+  ?thresholds:(string * int) list ->
+  ?max_steps:int ->
+  ?deadline:int ->
+  ?jobs:int ->
+  ?policy:Tpdbt_parallel.Supervisor.policy ->
+  ?progress:(string -> Runner.status -> unit) ->
+  ?sink:Tpdbt_telemetry.Sink.t ->
+  ?metrics:Tpdbt_telemetry.Metrics.t ->
+  ?report:(Tpdbt_parallel.Supervisor.stats -> unit) ->
+  ?run_task:
+    (task:int ->
+    attempt:int ->
+    Tpdbt_workloads.Spec.t ->
+    (Runner.data, Tpdbt_dbt.Error.t) result) ->
+  dir:string ->
+  Tpdbt_workloads.Spec.t list ->
+  Runner.sweep * Runner.supervision
+(** {!Runner.run_many_supervised} with the crash-consistent checkpoint
+    hooks.  Damaged checkpoints found during the resume scan are
+    re-run, returned in [supervision.corrupt] (scan order), emitted as
+    [checkpoint.corrupt] telemetry events, and counted in the
+    [checkpoint.corrupt] metric.  Together with the supervisor this
+    closes the loop: a sweep survives task failures, worker crashes
+    {e and} a corrupted checkpoint store, and still produces results
+    byte-identical to an undisturbed run for every non-poisoned
+    benchmark. *)
+
 val data_to_string : Runner.data -> string
-val data_of_string : Tpdbt_workloads.Spec.t -> string -> Runner.data option
+
+val data_of_string :
+  ?thresholds:(string * int) list ->
+  Tpdbt_workloads.Spec.t ->
+  string ->
+  classified
 (** The serialisation itself, for tests.  [data_of_string] needs the
     spec because checkpoints reference the benchmark by name rather
-    than re-encoding the descriptor. *)
+    than re-encoding the descriptor.  It never returns {!Missing} (the
+    text exists; an empty string is {!Corrupt}); [thresholds], when
+    given, must match the recorded list exactly. *)

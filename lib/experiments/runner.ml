@@ -20,6 +20,19 @@ type data = {
   runs : threshold_run list;
 }
 
+(* Sweep-level step budgets: [max_steps] caps runaway synthetic
+   workloads (non-fatal, partial run kept), [deadline] is the
+   supervisor's watchdog (fatal — see {!Tpdbt_dbt.Error}). *)
+let override_budget ?max_steps ?deadline (config : Engine.config) =
+  let config =
+    match max_steps with
+    | None -> config
+    | Some m -> { config with Engine.max_steps = m }
+  in
+  match deadline with
+  | None -> config
+  | Some d -> { config with Engine.deadline = Some d }
+
 let run_input program (input : Spec.input) config =
   let program = Spec.apply_input program input in
   let engine = Engine.create ~config ~seed:input.Spec.seed program in
@@ -54,15 +67,18 @@ let assemble bench avep train raw_runs =
   in
   { bench; avep; train; train_flat; train_regions; runs }
 
-let run_benchmark_result ?(thresholds = Suite.thresholds) bench =
+let run_benchmark_result ?(thresholds = Suite.thresholds) ?max_steps ?deadline
+    bench =
+  let budget = override_budget ?max_steps ?deadline in
   let program, ref_input, train_input = Spec.build bench in
-  let* avep = run_input program ref_input Engine.profiling_only in
-  let* train = run_input program train_input Engine.profiling_only in
+  let* avep = run_input program ref_input (budget Engine.profiling_only) in
+  let* train = run_input program train_input (budget Engine.profiling_only) in
   let rec threshold_runs acc = function
     | [] -> Ok (List.rev acc)
     | (label, scaled) :: tl -> (
         match
-          run_input program ref_input (Engine.config ~threshold:scaled ())
+          run_input program ref_input
+            (budget (Engine.config ~threshold:scaled ()))
         with
         | Ok result -> threshold_runs ((label, scaled, result) :: acc) tl
         | Error e -> Error e)
@@ -70,8 +86,8 @@ let run_benchmark_result ?(thresholds = Suite.thresholds) bench =
   let* raw_runs = threshold_runs [] thresholds in
   Ok (assemble bench avep train raw_runs)
 
-let run_benchmark ?thresholds bench =
-  match run_benchmark_result ?thresholds bench with
+let run_benchmark ?thresholds ?max_steps ?deadline bench =
+  match run_benchmark_result ?thresholds ?max_steps ?deadline bench with
   | Ok data -> data
   | Error e -> raise (Error.Error e)
 
@@ -136,12 +152,14 @@ type cache_data = {
 
 let run_cache_sweep ?(jobs = 1) ?(threshold = 20)
     ?(policies = Tpdbt_dbt.Code_cache.all_policies)
-    ?(fracs = [ 0.125; 0.25; 0.5; 1.0 ]) ?(shadow_sample = 0) bench =
+    ?(fracs = [ 0.125; 0.25; 0.5; 1.0 ]) ?(shadow_sample = 0) ?max_steps bench
+    =
+  let budget = override_budget ?max_steps in
   (* Unbounded baseline: its peak occupancy is the benchmark's full
      translated footprint, the unit the capacity fractions scale.  It
      must run first — every bounded capacity derives from it — so only
      the (policy, frac) points fan out across domains. *)
-  let baseline = run_ref bench ~config:(Engine.config ~threshold ()) in
+  let baseline = run_ref bench ~config:(budget (Engine.config ~threshold ())) in
   let footprint =
     max 1 baseline.Engine.counters.Tpdbt_dbt.Perf_model.cache_peak_instrs
   in
@@ -151,8 +169,9 @@ let run_cache_sweep ?(jobs = 1) ?(threshold = 20)
   let point (policy, frac) =
     let capacity = max 1 (int_of_float (frac *. float_of_int footprint)) in
     let config =
-      Engine.config ~threshold ~cache_capacity:capacity ~cache_policy:policy
-        ~shadow_sample ()
+      budget
+        (Engine.config ~threshold ~cache_capacity:capacity
+           ~cache_policy:policy ~shadow_sample ())
     in
     { policy; frac; capacity; bounded = run_ref bench ~config }
   in
@@ -171,6 +190,7 @@ type status =
   | Finished
   | Failed of Error.t
   | Resumed
+  | Quarantined of string
 
 type failure = { failed : Spec.t; error : Error.t }
 type sweep = { data : data list; failures : failure list }
@@ -180,11 +200,13 @@ let status_name = function
   | Finished -> "ok"
   | Failed _ -> "failed"
   | Resumed -> "resumed"
+  | Quarantined _ -> "poisoned"
 
 (* Sequential reference path.  [run_many_par] must produce the same
    merged sweep (and, via [save], the same checkpoint bytes) for every
    job count — keep the two in lockstep. *)
-let run_many ?thresholds ?(progress = fun _ _ -> ()) ?save ?load benches =
+let run_many ?thresholds ?max_steps ?deadline ?(progress = fun _ _ -> ())
+    ?save ?load benches =
   let data = ref [] and failures = ref [] in
   List.iter
     (fun bench ->
@@ -195,7 +217,7 @@ let run_many ?thresholds ?(progress = fun _ _ -> ()) ?save ?load benches =
           data := d :: !data
       | None -> (
           progress name Started;
-          match run_benchmark_result ?thresholds bench with
+          match run_benchmark_result ?thresholds ?max_steps ?deadline bench with
           | Ok d ->
               Option.iter (fun f -> f d) save;
               progress name Finished;
@@ -236,12 +258,13 @@ let record_parallel_stats metrics (stats : Pool.stats) =
   Tel.Metrics.add (Tel.Metrics.counter metrics "parallel.tasks")
     stats.Pool.tasks
 
-let run_many_par ?thresholds ?jobs ?(progress = fun _ _ -> ()) ?save ?load
-    ?sink ?metrics ?report benches =
+let run_many_par ?thresholds ?max_steps ?deadline ?jobs
+    ?(progress = fun _ _ -> ()) ?save ?load ?sink ?metrics ?report benches =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
-  if jobs <= 1 then run_many ?thresholds ~progress ?save ?load benches
+  if jobs <= 1 then
+    run_many ?thresholds ?max_steps ?deadline ~progress ?save ?load benches
   else begin
     (* Resume scan up front, on the collector domain: checkpoint reads
        never race the workers, and a resumed benchmark never becomes a
@@ -283,7 +306,7 @@ let run_many_par ?thresholds ?jobs ?(progress = fun _ _ -> ()) ?save ?load
     in
     let results, stats =
       Pool.map ~jobs ~on_event ~on_result
-        (fun bench -> run_benchmark_result ?thresholds bench)
+        (fun bench -> run_benchmark_result ?thresholds ?max_steps ?deadline bench)
         pending
     in
     Option.iter (fun m -> record_parallel_stats m stats) metrics;
@@ -306,3 +329,154 @@ let run_many_par ?thresholds ?jobs ?(progress = fun _ _ -> ()) ?save ?load
       entries;
     { data = List.rev !data; failures = List.rev !failures }
   end
+
+(* ---- supervised sweeps ------------------------------------------------ *)
+
+module Sup = Tpdbt_parallel.Supervisor
+
+type supervision = {
+  sup : Sup.stats;
+  poisoned : (Spec.t * string) list;
+  corrupt : (string * string) list;
+}
+
+let task_seconds_buckets =
+  [ 0.001; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 30.0; 120.0 ]
+
+(* Supervisor scheduling events → telemetry, stamped like the worker
+   events with a per-source sequence number. *)
+let supervisor_sink_events sink =
+  let module Tel = Tpdbt_telemetry in
+  let seq = ref 0 in
+  fun (event : Tel.Event.t) ->
+    incr seq;
+    match sink with
+    | None -> ()
+    | Some s -> s.Tel.Sink.emit ~step:!seq event
+
+let record_supervision_metrics metrics (s : Sup.stats) =
+  let module Tel = Tpdbt_telemetry in
+  Tel.Metrics.set (Tel.Metrics.gauge metrics "parallel.jobs")
+    (float_of_int s.Sup.jobs);
+  Tel.Metrics.add (Tel.Metrics.counter metrics "parallel.tasks") s.Sup.tasks;
+  Tel.Metrics.add
+    (Tel.Metrics.counter metrics "supervisor.attempts")
+    s.Sup.attempts;
+  Tel.Metrics.add (Tel.Metrics.counter metrics "supervisor.retries")
+    s.Sup.retries;
+  Tel.Metrics.add
+    (Tel.Metrics.counter metrics "supervisor.poisoned")
+    s.Sup.poisoned;
+  Tel.Metrics.add (Tel.Metrics.counter metrics "supervisor.crashes")
+    s.Sup.crashes
+
+let run_many_supervised ?thresholds ?max_steps ?deadline ?jobs ?policy
+    ?(progress = fun _ _ -> ()) ?save ?load ?sink ?metrics ?report ?run_task
+    benches =
+  let module Tel = Tpdbt_telemetry in
+  (* Resume scan up front on the collector, exactly as [run_many_par]:
+     resumed benchmarks never become supervised tasks. *)
+  let entries =
+    List.map
+      (fun bench ->
+        match Option.bind load (fun f -> f bench) with
+        | Some d ->
+            progress bench.Spec.name Resumed;
+            (bench, Some d)
+        | None -> (bench, None))
+      benches
+  in
+  let pending =
+    Array.of_list
+      (List.filter_map (fun (b, d) -> if d = None then Some b else None) entries)
+  in
+  let run_task =
+    match run_task with
+    | Some f -> f
+    | None ->
+        fun ~task:_ ~attempt:_ bench ->
+          run_benchmark_result ?thresholds ?max_steps ?deadline bench
+  in
+  (* The last fatal typed error each task produced: a poisoned task's
+     entry in [failures] keeps the engine's own diagnosis when there is
+     one, rather than flattening it to a string. *)
+  let last_error = Array.make (max 1 (Array.length pending)) None in
+  let emit = supervisor_sink_events sink in
+  let observe_latency =
+    match metrics with
+    | None -> fun _ -> ()
+    | Some m ->
+        let h =
+          Tel.Metrics.histogram m "supervisor.task_seconds"
+            ~buckets:task_seconds_buckets
+        in
+        fun seconds -> Tel.Metrics.observe h seconds
+  in
+  let name task = pending.(task).Spec.name in
+  let on_event (e : Sup.event) =
+    match e with
+    | Sup.Attempt { task; attempt } ->
+        if attempt = 1 then progress (name task) Started
+    | Sup.Task_done { seconds; _ } -> observe_latency seconds
+    | Sup.Retry { task; attempt; backoff; reason } ->
+        emit (Tel.Event.Supervisor_retry { task; attempt; backoff; reason })
+    | Sup.Gave_up { task; attempts; reason } ->
+        emit (Tel.Event.Supervisor_give_up { task; attempts; reason });
+        progress (name task) (Quarantined reason)
+    | Sup.Breaker_opened { task; failures } ->
+        emit (Tel.Event.Breaker_open { task; failures });
+        progress (name task) (Quarantined "circuit breaker opened")
+    | Sup.Worker_lost { worker; task } ->
+        emit (Tel.Event.Worker_lost { worker; task })
+    | Sup.Degraded { live } -> emit (Tel.Event.Pool_degraded { live })
+  in
+  let failed task = function
+    | Ok _ -> None
+    | Error e ->
+        last_error.(task) <- Some e;
+        Some (Error.to_string e)
+  in
+  let on_result task = function
+    | Ok d ->
+        Option.iter (fun f -> f d) save;
+        progress (name task) Finished
+    | Error _ -> ()
+  in
+  let outcomes, stats =
+    Sup.run ?jobs ?policy ~failed ~on_event ~on_result
+      (fun ~attempt (task, bench) -> run_task ~task ~attempt bench)
+      (Array.mapi (fun i b -> (i, b)) pending)
+  in
+  Option.iter (fun m -> record_supervision_metrics m stats) metrics;
+  Option.iter (fun f -> f stats) report;
+  let next = ref 0 in
+  let data = ref [] and failures = ref [] and poisoned = ref [] in
+  List.iter
+    (fun (bench, resumed) ->
+      match resumed with
+      | Some d -> data := d :: !data
+      | None -> (
+          let task = !next in
+          incr next;
+          match outcomes.(task) with
+          | Sup.Done (Ok d) -> data := d :: !data
+          | Sup.Done (Error e) ->
+              (* unreachable: the classifier rejects typed errors, so
+                 they can only resolve poisoned — but stay total *)
+              failures := { failed = bench; error = e } :: !failures
+          | Sup.Poisoned { reason; _ } ->
+              let error =
+                match last_error.(task) with
+                | Some e -> e
+                | None ->
+                    Error.Io_error ("supervised task poisoned: " ^ reason)
+              in
+              poisoned := (bench, reason) :: !poisoned;
+              failures := { failed = bench; error } :: !failures))
+    entries;
+  ( { data = List.rev !data; failures = List.rev !failures },
+    {
+      sup = stats;
+      poisoned = List.rev !poisoned;
+      corrupt = [];
+    } )

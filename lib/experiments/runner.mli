@@ -30,9 +30,16 @@ type data = {
 }
 
 val run_benchmark :
-  ?thresholds:(string * int) list -> Tpdbt_workloads.Spec.t -> data
+  ?thresholds:(string * int) list ->
+  ?max_steps:int ->
+  ?deadline:int ->
+  Tpdbt_workloads.Spec.t ->
+  data
 (** Thresholds default to {!Tpdbt_workloads.Suite.thresholds}.  Runs are
-    deterministic (fixed seeds from the spec).
+    deterministic (fixed seeds from the spec).  [max_steps] overrides
+    each constituent run's (non-fatal) step budget; [deadline] arms the
+    supervisor's (fatal) cooperative watchdog — see
+    {!Tpdbt_dbt.Engine.config}.
     @raise Tpdbt_dbt.Error.Error if any constituent run ends with a
     {e fatal} typed error (guest trap, exhausted recovery).  A run that
     merely blows its step budget ([Limit_exceeded], the one non-fatal
@@ -41,6 +48,8 @@ val run_benchmark :
 
 val run_benchmark_result :
   ?thresholds:(string * int) list ->
+  ?max_steps:int ->
+  ?deadline:int ->
   Tpdbt_workloads.Spec.t ->
   (data, Tpdbt_dbt.Error.t) result
 (** Like {!run_benchmark} but failures stay values — the form sweeps
@@ -80,6 +89,7 @@ val run_cache_sweep :
   ?policies:Tpdbt_dbt.Code_cache.policy list ->
   ?fracs:float list ->
   ?shadow_sample:int ->
+  ?max_steps:int ->
   Tpdbt_workloads.Spec.t ->
   cache_data
 (** Fig.-17-style cache-size sweep: one unbounded baseline run, then
@@ -102,6 +112,9 @@ type status =
   | Finished  (** completed cleanly (after [save], if any) *)
   | Failed of Tpdbt_dbt.Error.t  (** isolated per-benchmark failure *)
   | Resumed  (** restored from a checkpoint; not re-run *)
+  | Quarantined of string
+      (** supervised sweeps only: the task was poisoned (retry budget
+          exhausted or circuit breaker opened) *)
 
 type failure = { failed : Tpdbt_workloads.Spec.t; error : Tpdbt_dbt.Error.t }
 
@@ -109,10 +122,12 @@ type sweep = { data : data list; failures : failure list }
 (** Both in input order; a benchmark appears in exactly one list. *)
 
 val status_name : status -> string
-(** ["started"], ["ok"], ["failed"], ["resumed"]. *)
+(** ["started"], ["ok"], ["failed"], ["resumed"], ["poisoned"]. *)
 
 val run_many :
   ?thresholds:(string * int) list ->
+  ?max_steps:int ->
+  ?deadline:int ->
   ?progress:(string -> status -> unit) ->
   ?save:(data -> unit) ->
   ?load:(Tpdbt_workloads.Spec.t -> data option) ->
@@ -128,6 +143,8 @@ val run_many :
 
 val run_many_par :
   ?thresholds:(string * int) list ->
+  ?max_steps:int ->
+  ?deadline:int ->
   ?jobs:int ->
   ?progress:(string -> status -> unit) ->
   ?save:(data -> unit) ->
@@ -159,6 +176,57 @@ val run_many_par :
     the [parallel.speedup] and [parallel.jobs] gauges plus the
     [parallel.steals] / [parallel.tasks] counters; [report] is called
     once with the pool's {!Tpdbt_parallel.Pool.stats}. *)
+
+type supervision = {
+  sup : Tpdbt_parallel.Supervisor.stats;
+  poisoned : (Tpdbt_workloads.Spec.t * string) list;
+      (** quarantined benchmarks with the last failure reason, in
+          input order; each also appears in the sweep's [failures] *)
+  corrupt : (string * string) list;
+      (** damaged checkpoints detected during the resume scan, as
+          [(bench name, reason)] — filled by
+          {!Checkpoint.run_many_supervised}; empty here *)
+}
+
+val run_many_supervised :
+  ?thresholds:(string * int) list ->
+  ?max_steps:int ->
+  ?deadline:int ->
+  ?jobs:int ->
+  ?policy:Tpdbt_parallel.Supervisor.policy ->
+  ?progress:(string -> status -> unit) ->
+  ?save:(data -> unit) ->
+  ?load:(Tpdbt_workloads.Spec.t -> data option) ->
+  ?sink:Tpdbt_telemetry.Sink.t ->
+  ?metrics:Tpdbt_telemetry.Metrics.t ->
+  ?report:(Tpdbt_parallel.Supervisor.stats -> unit) ->
+  ?run_task:
+    (task:int ->
+    attempt:int ->
+    Tpdbt_workloads.Spec.t ->
+    (data, Tpdbt_dbt.Error.t) result) ->
+  Tpdbt_workloads.Spec.t list ->
+  sweep * supervision
+(** {!run_many_par} under {!Tpdbt_parallel.Supervisor}: per-task
+    deadlines (pass [deadline]), bounded retry with deterministic
+    backoff, circuit breakers, and graceful pool degradation.  A
+    benchmark whose runs keep failing is {e quarantined} — reported as
+    [Quarantined] progress, listed in [supervision.poisoned] and in
+    the sweep's [failures] (with its last fatal typed error when one
+    was produced) — instead of aborting anything.
+
+    The merged sweep and the supervision counts ([attempts], [retries],
+    [poisoned], [crashes]) are identical at every job count; every
+    callback runs on the calling domain.  [sink] additionally receives
+    [supervisor.retry] / [supervisor.giveup] / [breaker.open] /
+    [worker.lost] / [pool.degraded] events (scheduler-sequence
+    stamped), and [metrics] gains [supervisor.*] counters plus the
+    [supervisor.task_seconds] latency histogram.
+
+    [run_task] replaces the benchmark execution itself (defaulting to
+    {!run_benchmark_result}) with the task index and 1-based attempt
+    number — the chaos harness's injection point: deterministic fault
+    plans key on [(task, attempt)], so retries genuinely re-execute. *)
 
 val run_ref :
   ?sink:Tpdbt_telemetry.Sink.t ->

@@ -31,6 +31,17 @@ type t =
   | Worker_start of { worker : int; task : int }
   | Worker_steal of { worker : int; victim : int; task : int }
   | Worker_finish of { worker : int; task : int }
+  | Supervisor_retry of {
+      task : int;
+      attempt : int;
+      backoff : int;
+      reason : string;
+    }
+  | Supervisor_give_up of { task : int; attempts : int; reason : string }
+  | Breaker_open of { task : int; failures : int }
+  | Worker_lost of { worker : int; task : int }
+  | Pool_degraded of { live : int }
+  | Checkpoint_corrupt of { bench : string; reason : string }
 
 type stamped = { step : int; event : t }
 
@@ -59,6 +70,12 @@ let kind_name = function
   | Worker_start _ -> "worker.start"
   | Worker_steal _ -> "worker.steal"
   | Worker_finish _ -> "worker.finish"
+  | Supervisor_retry _ -> "supervisor.retry"
+  | Supervisor_give_up _ -> "supervisor.giveup"
+  | Breaker_open _ -> "breaker.open"
+  | Worker_lost _ -> "worker.lost"
+  | Pool_degraded _ -> "pool.degraded"
+  | Checkpoint_corrupt _ -> "checkpoint.corrupt"
 
 let region_kind_name = function Trace -> "trace" | Loop -> "loop"
 
@@ -140,6 +157,26 @@ let payload = function
       ]
   | Worker_finish { worker; task } ->
       [ ("worker", string_of_int worker); ("task", string_of_int task) ]
+  | Supervisor_retry { task; attempt; backoff; reason } ->
+      [
+        ("task", string_of_int task);
+        ("attempt", string_of_int attempt);
+        ("backoff", string_of_int backoff);
+        ("reason", Json.quote reason);
+      ]
+  | Supervisor_give_up { task; attempts; reason } ->
+      [
+        ("task", string_of_int task);
+        ("attempts", string_of_int attempts);
+        ("reason", Json.quote reason);
+      ]
+  | Breaker_open { task; failures } ->
+      [ ("task", string_of_int task); ("failures", string_of_int failures) ]
+  | Worker_lost { worker; task } ->
+      [ ("worker", string_of_int worker); ("task", string_of_int task) ]
+  | Pool_degraded { live } -> [ ("live", string_of_int live) ]
+  | Checkpoint_corrupt { bench; reason } ->
+      [ ("bench", Json.quote bench); ("reason", Json.quote reason) ]
 
 let to_json { step; event } =
   let fields =

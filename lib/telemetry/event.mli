@@ -72,6 +72,29 @@ type t =
           [victim]'s deque *)
   | Worker_finish of { worker : int; task : int }
       (** the task completed (its result reached the collector) *)
+  | Supervisor_retry of {
+      task : int;
+      attempt : int;
+      backoff : int;
+      reason : string;
+    }
+      (** a supervised task failed and will be re-attempted (as attempt
+          [attempt]) after [backoff] logical ticks *)
+  | Supervisor_give_up of { task : int; attempts : int; reason : string }
+      (** the retry budget ran out — the task is quarantined *)
+  | Breaker_open of { task : int; failures : int }
+      (** the task's circuit breaker tripped after [failures]
+          consecutive failures — quarantined without burning the rest
+          of its retry budget *)
+  | Worker_lost of { worker : int; task : int }
+      (** a worker domain died running [task]; the attempt was requeued
+          on the survivors *)
+  | Pool_degraded of { live : int }
+      (** fewer than two live workers remain — the sweep continues
+          inline on the collector *)
+  | Checkpoint_corrupt of { bench : string; reason : string }
+      (** a checkpoint file exists but failed validation (CRC, length,
+          version, structure); the benchmark re-runs *)
 
 type stamped = { step : int; event : t }
 (** [step] is the guest-instruction count when the event fired. *)
@@ -85,7 +108,10 @@ val kind_name : t -> string
     ["engine.degraded"]; and the parallel sweep scheduler:
     ["worker.start"], ["worker.steal"], ["worker.finish"] (stamped
     with a scheduler sequence number, not the guest clock — the
-    scheduler runs outside any engine). *)
+    scheduler runs outside any engine).  The supervision layer adds
+    ["supervisor.retry"], ["supervisor.giveup"], ["breaker.open"],
+    ["worker.lost"], ["pool.degraded"] and ["checkpoint.corrupt"],
+    stamped the same way. *)
 
 val region_kind_name : region_kind -> string
 val pool_reason_name : pool_reason -> string

@@ -274,8 +274,10 @@ let test_checkpoint_roundtrip () =
   let data = Runner.run_benchmark ~thresholds:mini_thresholds bench in
   let text = Checkpoint.data_to_string data in
   match Checkpoint.data_of_string bench text with
-  | None -> Alcotest.fail "roundtrip parse failed"
-  | Some reloaded ->
+  | Checkpoint.Missing | Checkpoint.Stale_version _ ->
+      Alcotest.fail "roundtrip misclassified"
+  | Checkpoint.Corrupt reason -> Alcotest.fail ("roundtrip rejected: " ^ reason)
+  | Checkpoint.Valid reloaded ->
       Alcotest.check Alcotest.string "byte-identical reserialisation" text
         (Checkpoint.data_to_string reloaded);
       checkb "cycles float exact" true

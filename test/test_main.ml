@@ -15,4 +15,5 @@ let () =
       ("integration", Test_integration.suite);
       ("telemetry", Test_telemetry.suite);
       ("parallel", Test_parallel.suite);
+      ("robustness", Test_robustness.suite);
     ]

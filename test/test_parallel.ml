@@ -5,6 +5,7 @@
    invariant. *)
 
 module Pool = Tpdbt_parallel.Pool
+module Sup = Tpdbt_parallel.Supervisor
 module Runner = Tpdbt_experiments.Runner
 module Checkpoint = Tpdbt_experiments.Checkpoint
 module Campaign = Tpdbt_experiments.Campaign
@@ -98,6 +99,226 @@ let test_pool_events_account () =
       checki "steal events counted" !stolen stats.Pool.steals;
       if jobs = 1 then checki "sequential never steals" 0 stats.Pool.steals)
     job_counts
+
+let test_pool_jobs_exceed_tasks () =
+  (* More workers than tasks: jobs clamp to the task count, results
+     stay canonical, and error propagation stays lowest-index even
+     when the failing task is stolen. *)
+  let tasks = [| 10; 20; 30 |] in
+  let results, stats = Pool.map ~jobs:8 (fun i -> i + 1) tasks in
+  checkb "results canonical" true (results = [| 11; 21; 31 |]);
+  checki "jobs clamped to task count" 3 stats.Pool.jobs;
+  (match
+     Pool.map ~jobs:8 (fun i -> if i = 10 then failwith "t0" else i) tasks
+   with
+  | _ -> Alcotest.fail "expected a raise"
+  | exception Failure msg -> checks "lowest-index failure wins" "t0" msg);
+  (* With steals in play (8 workers over 32 tasks, several failing —
+     including each worker's first steal candidates at the deque
+     backs), the raise is still the lowest-indexed one and no failed
+     task ever reaches on_result. *)
+  let tasks = Array.init 32 (fun i -> i) in
+  let delivered = ref [] in
+  (match
+     Pool.map ~jobs:8
+       ~on_result:(fun task _ -> delivered := task :: !delivered)
+       (fun i -> if i mod 7 = 3 then failwith (string_of_int i) else i)
+       tasks
+   with
+  | _ -> Alcotest.fail "expected a raise"
+  | exception Failure msg -> checks "lowest-index under steals" "3" msg);
+  List.iter
+    (fun task -> checkb "failed task never delivered" true (task mod 7 <> 3))
+    !delivered
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sup_counts (stats : Sup.stats) =
+  (stats.attempts, stats.retries, stats.poisoned, stats.crashes)
+
+(* Retry/poison/crash counts must not depend on scheduling: compare
+   them against the first job count exercised. *)
+let check_counts_stable reference stats =
+  match !reference with
+  | None -> reference := Some (sup_counts stats)
+  | Some c -> checkb "counts identical across jobs" true (c = sup_counts stats)
+
+let test_supervisor_all_ok () =
+  let tasks = Array.init 9 (fun i -> i) in
+  let collector = (Domain.self () :> int) in
+  List.iter
+    (fun jobs ->
+      let violations = ref 0 in
+      let observe () =
+        if (Domain.self () :> int) <> collector then incr violations
+      in
+      let outs, (stats : Sup.stats) =
+        Sup.run ~jobs
+          ~on_event:(fun _ -> observe ())
+          ~on_result:(fun _ _ -> observe ())
+          (fun ~attempt:_ i -> i * 3)
+          tasks
+      in
+      checkb "all done" true
+        (outs = Array.map (fun i -> Sup.Done (i * 3)) tasks);
+      checki "one attempt each" 9 stats.attempts;
+      checki "no retries" 0 stats.retries;
+      checki "none poisoned" 0 stats.poisoned;
+      checkb "never degraded" false stats.degraded;
+      checki "callbacks on the collector domain" 0 !violations)
+    job_counts
+
+let test_supervisor_retry_then_succeed () =
+  (* Tasks 1 and 4 fail on attempts 1-2 and land on attempt 3 — under
+     the default breaker (3 consecutive failures) they just squeak
+     through. *)
+  let tasks = Array.init 6 (fun i -> i) in
+  let f ~attempt i =
+    if i mod 3 = 1 && attempt <= 2 then failwith "flaky" else i + attempt
+  in
+  let reference = ref None in
+  List.iter
+    (fun jobs ->
+      let retry_events = ref 0 in
+      let outs, (stats : Sup.stats) =
+        Sup.run ~jobs
+          ~on_event:(function Sup.Retry _ -> incr retry_events | _ -> ())
+          f tasks
+      in
+      checkb "flaky tasks recovered" true
+        (outs
+        = [| Done 1; Done 4; Done 3; Done 4; Done 7; Done 6 |]);
+      checki "attempts" 10 stats.attempts;
+      checki "retries" 4 stats.retries;
+      checki "retry events" 4 !retry_events;
+      checki "none poisoned" 0 stats.poisoned;
+      check_counts_stable reference stats)
+    job_counts
+
+let test_supervisor_poison_breaker_vs_giveup () =
+  let tasks = [| 0; 1; 2 |] in
+  let f ~attempt:_ i = if i = 1 then failwith "always broken" else i in
+  (* Default policy: the breaker (3 consecutive failures) trips before
+     the 4-attempt budget runs out. *)
+  List.iter
+    (fun jobs ->
+      let breaker = ref 0 and gaveup = ref 0 in
+      let outs, (stats : Sup.stats) =
+        Sup.run ~jobs
+          ~on_event:(function
+            | Sup.Breaker_opened _ -> incr breaker
+            | Sup.Gave_up _ -> incr gaveup
+            | _ -> ())
+          f tasks
+      in
+      (match outs.(1) with
+      | Sup.Poisoned { attempts; reason } ->
+          checki "breaker after 3 attempts" 3 attempts;
+          checkb "reason recorded" true
+            (String.length reason > 0)
+      | _ -> Alcotest.fail "task 1 should be poisoned");
+      checki "breaker fired once" 1 !breaker;
+      checki "no giveup" 0 !gaveup;
+      checki "one poisoned" 1 stats.poisoned;
+      checkb "others unaffected" true
+        (outs.(0) = Sup.Done 0 && outs.(2) = Sup.Done 2))
+    job_counts;
+  (* Breaker effectively disabled: the retry budget gives up instead. *)
+  let policy = { Sup.default_policy with breaker_after = 99 } in
+  let gaveup = ref 0 in
+  let outs, (stats : Sup.stats) =
+    Sup.run ~jobs:2 ~policy
+      ~on_event:(function Sup.Gave_up _ -> incr gaveup | _ -> ())
+      f tasks
+  in
+  (match outs.(1) with
+  | Sup.Poisoned { attempts; _ } -> checki "budget exhausted" 4 attempts
+  | _ -> Alcotest.fail "task 1 should be poisoned");
+  checki "giveup fired once" 1 !gaveup;
+  checki "three retries" 3 stats.retries
+
+let test_supervisor_crash_recovers () =
+  (* Task 2 kills the first worker that touches it, then succeeds on
+     requeue: the sweep completes with no poisoning at every -j. *)
+  let tasks = Array.init 5 (fun i -> i) in
+  let f ~attempt i =
+    if i = 2 && attempt = 1 then raise Sup.Crash_worker else i * 2
+  in
+  let reference = ref None in
+  List.iter
+    (fun jobs ->
+      let lost = ref 0 in
+      let outs, (stats : Sup.stats) =
+        Sup.run ~jobs
+          ~on_event:(function Sup.Worker_lost _ -> incr lost | _ -> ())
+          f tasks
+      in
+      checkb "all done despite the crash" true
+        (outs = Array.map (fun i -> Sup.Done (i * 2)) tasks);
+      checki "one crash absorbed" 1 stats.crashes;
+      checki "worker_lost observed" 1 !lost;
+      checki "no poisoning" 0 stats.poisoned;
+      check_counts_stable reference stats)
+    job_counts
+
+let test_supervisor_crash_storm_terminates () =
+  (* Task 0 kills every worker it touches: crashes consume attempt
+     numbers, so it poisons after the 4-attempt budget, the pool
+     degrades below 2 live workers, and every other task completes. *)
+  let tasks = Array.init 4 (fun i -> i) in
+  let f ~attempt:_ i = if i = 0 then raise Sup.Crash_worker else i in
+  let reference = ref None in
+  List.iter
+    (fun jobs ->
+      let degraded_events = ref 0 in
+      let outs, (stats : Sup.stats) =
+        Sup.run ~jobs
+          ~on_event:(function Sup.Degraded _ -> incr degraded_events | _ -> ())
+          f tasks
+      in
+      (match outs.(0) with
+      | Sup.Poisoned { attempts; reason } ->
+          checki "crashes bounded by the attempt budget" 4 attempts;
+          checks "crash reason" "worker crashed" reason
+      | _ -> Alcotest.fail "task 0 should be poisoned");
+      checkb "survivors done" true
+        (outs.(1) = Sup.Done 1 && outs.(2) = Sup.Done 2
+        && outs.(3) = Sup.Done 3);
+      checki "four crashes" 4 stats.crashes;
+      check_counts_stable reference stats;
+      if jobs >= 2 then begin
+        checkb "pool degraded" true stats.degraded;
+        checki "degraded exactly once" 1 !degraded_events
+      end
+      else checkb "sequential never degrades" false stats.degraded)
+    job_counts
+
+let test_supervisor_failed_classifier () =
+  (* A value can be rejected after the fact; the classifier's verdict
+     feeds the same retry machinery as a raise. *)
+  let tasks = Array.init 4 (fun i -> i) in
+  let f ~attempt i = (i, attempt) in
+  let failed _task (_, attempt) =
+    if attempt < 2 then Some "first attempt rejected" else None
+  in
+  List.iter
+    (fun jobs ->
+      let outs, (stats : Sup.stats) = Sup.run ~jobs ~failed f tasks in
+      checkb "all accepted on attempt 2" true
+        (outs = Array.init 4 (fun i -> Sup.Done (i, 2)));
+      checki "one retry per task" 4 stats.retries;
+      checki "two attempts per task" 8 stats.attempts)
+    job_counts
+
+let test_supervisor_zero_tasks () =
+  let outs, (stats : Sup.stats) =
+    Sup.run ~jobs:4 (fun ~attempt:_ i -> i) [||]
+  in
+  checkb "empty output" true (outs = [||]);
+  checki "no tasks" 0 stats.tasks;
+  checki "no attempts" 0 stats.attempts
 
 (* ------------------------------------------------------------------ *)
 (* Sweep determinism across job counts                                  *)
@@ -360,6 +581,18 @@ let suite =
     ("pool empty and singleton", `Quick, test_pool_empty_and_singleton);
     ("pool exception deterministic", `Quick, test_pool_exception_deterministic);
     ("pool events account", `Quick, test_pool_events_account);
+    ("pool jobs exceed tasks", `Quick, test_pool_jobs_exceed_tasks);
+    ("supervisor all ok", `Quick, test_supervisor_all_ok);
+    ("supervisor retry then succeed", `Quick, test_supervisor_retry_then_succeed);
+    ( "supervisor breaker vs giveup",
+      `Quick,
+      test_supervisor_poison_breaker_vs_giveup );
+    ("supervisor crash recovers", `Quick, test_supervisor_crash_recovers);
+    ( "supervisor crash storm terminates",
+      `Quick,
+      test_supervisor_crash_storm_terminates );
+    ("supervisor failed classifier", `Quick, test_supervisor_failed_classifier);
+    ("supervisor zero tasks", `Quick, test_supervisor_zero_tasks);
     ("sweep identical across jobs", `Quick, test_sweep_identical_across_jobs);
     ( "checkpoint bytes identical across jobs",
       `Quick,

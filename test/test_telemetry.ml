@@ -114,7 +114,10 @@ let test_event_ordering () =
       | Event.Shadow_divergence _ | Event.Region_quarantined _
       | Event.Engine_degraded _ ->
           checkb "no divergence in clean run" true false
-      | Event.Worker_start _ | Event.Worker_steal _ | Event.Worker_finish _ ->
+      | Event.Worker_start _ | Event.Worker_steal _ | Event.Worker_finish _
+      | Event.Supervisor_retry _ | Event.Supervisor_give_up _
+      | Event.Breaker_open _ | Event.Worker_lost _ | Event.Pool_degraded _
+      | Event.Checkpoint_corrupt _ ->
           checkb "no scheduler events from a single engine run" true false)
     events;
   checkb "pool triggered" true (!pool_triggers > 0);
