@@ -15,7 +15,7 @@ PAR_JOBS ?= 4
 PAR_SMOKE_DIR := _build/par-smoke
 
 .PHONY: all build test fmt fmt-strict check clean faults-smoke cache-smoke \
-	par-smoke par-bench chaos-smoke
+	par-smoke par-bench chaos-smoke profile-smoke perf-bench perfdiff
 
 all: build
 
@@ -83,6 +83,35 @@ chaos-smoke: build
 		$(CHAOS_SMOKE_DIR)/par-summary.json
 	@echo "chaos-smoke: survived; summaries identical at -j 1 and -j $(PAR_JOBS)"
 
+# Profiling smoke: tpdbt profile on one workload must produce a
+# non-empty collapsed-stack file, a span-profile JSON and an
+# OpenMetrics exposition (the command itself re-validates each artefact
+# through its strict parser and exits non-zero on any failure).
+PROFILE_SMOKE_DIR := _build/profile-smoke
+
+profile-smoke: build
+	rm -rf $(PROFILE_SMOKE_DIR)
+	$(DUNE) exec bin/tpdbt.exe -- profile gzip -t 20 \
+		--out-dir $(PROFILE_SMOKE_DIR)
+	@for f in gzip.folded gzip.profile.json gzip.metrics.prom \
+		gzip.attribution.csv gzip.prof; do \
+		test -s $(PROFILE_SMOKE_DIR)/$$f \
+			|| { echo "profile-smoke: $$f missing or empty"; exit 1; }; \
+	done
+	@echo "profile-smoke: all profiling artefacts present and validated"
+
+# Wall-clock/allocation perf measurement over the quick set, recorded
+# in BENCH_perf.json for perfdiff gating.
+perf-bench: build
+	$(DUNE) exec bench/main.exe -- --perf-bench
+
+# Judge the current machine against the committed baseline.  Perf on
+# shared CI runners is noisy, so this is advisory (warn-only) there;
+# drop --warn-only locally for a hard gate.
+perfdiff: perf-bench
+	$(DUNE) exec bin/tpdbt.exe -- perfdiff bench/BASELINE_perf.json \
+		BENCH_perf.json --tolerance 25 --warn-only
+
 # Parallel-scaling measurement: the quick sweep at -j 1/2/4,
 # checksum-guarded, recorded in BENCH_parallel.json (CI uploads it as
 # an artifact; use `dune exec bench/main.exe -- --par-bench` without
@@ -107,7 +136,8 @@ fmt-strict:
 		exit 1; }
 	$(DUNE) build @fmt
 
-check: build test faults-smoke cache-smoke par-smoke chaos-smoke fmt
+check: build test faults-smoke cache-smoke par-smoke chaos-smoke \
+	profile-smoke fmt
 
 clean:
 	$(DUNE) clean

@@ -1,7 +1,7 @@
 (* tpdbt — command-line driver for the two-phase DBT reproduction.
 
    Subcommands: asm, dis, check, run, dbt, bench, sweep, profile,
-   analyze, report, ablate, trace, faults, cache, chaos. *)
+   perfdiff, analyze, report, ablate, trace, faults, cache, chaos. *)
 
 open Cmdliner
 
@@ -10,6 +10,12 @@ let read_file path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
 
 let or_die = function
   | Ok v -> v
@@ -518,8 +524,15 @@ let sweep_cmd =
 (* ------------------------------------------------------------------ *)
 
 let profile_cmd =
-  let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  let module Tel = Tpdbt_telemetry in
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:
+            "Suite benchmark name (see $(b,tpdbt bench)) or a guest program \
+             file (.s or .g32).")
   in
   let threshold =
     Arg.(
@@ -533,30 +546,153 @@ let profile_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Profile file to write.")
+      & info [ "o"; "output" ] ~docv:"OUT"
+          ~doc:
+            "Path for the profile snapshot (.prof); default \
+             $(b,OUT_DIR/NAME.prof).")
   in
-  let run file threshold seed max_steps output =
-    let program = load_program file in
+  let out_dir =
+    Arg.(
+      value & opt string "profile-out"
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:"Directory for the emitted files (created if missing).")
+  in
+  let run workload threshold seed max_steps output out_dir =
+    if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+    let name = Filename.remove_extension (Filename.basename workload) in
     let config = { (Tpdbt_dbt.Engine.config ~threshold ()) with max_steps } in
-    let engine = Tpdbt_dbt.Engine.create ~config ~seed program in
-    let result = Tpdbt_dbt.Engine.run engine in
+    (* The profiler and the attribution tables consume only the span
+       and cost events — a few per optimisation round, not one per
+       guest step — so keep exactly those and stream everything else
+       straight into the metrics registry.  Unlike [trace], nothing
+       here buffers the full event stream, so long runs never
+       truncate. *)
+    let metrics = Tel.Metrics.create () in
+    let span_events = ref [] in
+    let keep =
+      Tel.Sink.of_fun (fun ~step event ->
+          match event with
+          | Tel.Event.Span_begin _ | Tel.Event.Span_end _
+          | Tel.Event.Stage_cost _ | Tel.Event.Region_cost _ ->
+              span_events := { Tel.Event.step; event } :: !span_events
+          | _ -> ())
+    in
+    let collector = Tel.Sink.collect ~into:metrics in
+    let sink = Tel.Sink.tee [ keep; collector ] in
+    let result =
+      match Tpdbt_workloads.Suite.find workload with
+      | Some bench -> Tpdbt_experiments.Runner.run_ref ~sink bench ~config
+      | None ->
+          if not (Sys.file_exists workload) then begin
+            prerr_endline
+              ("unknown workload (neither a suite benchmark nor a file): "
+             ^ workload);
+            exit 1
+          end;
+          let program = load_program workload in
+          let config = { config with Tpdbt_dbt.Engine.sink } in
+          let engine = Tpdbt_dbt.Engine.create ~config ~seed program in
+          Tpdbt_dbt.Engine.run engine
+    in
+    sink.Tel.Sink.close ();
+    Tpdbt_dbt.Perf_model.record result.Tpdbt_dbt.Engine.counters metrics;
     warn_error result.Tpdbt_dbt.Engine.error;
-    let out =
+    let events = List.rev !span_events in
+    (* Every export is re-checked through its own strict parser before
+       it is reported as written — a malformed artefact is a bug here,
+       not in the consumer. *)
+    let profiler = Tel.Profiler.of_events events in
+    let profile_json = Tel.Profiler.to_json profiler in
+    (match Tel.Json.validate profile_json with
+    | Ok () -> ()
+    | Error msg ->
+        prerr_endline ("internal error: profile export " ^ msg);
+        exit 2);
+    let prom = Tel.Openmetrics.render metrics in
+    (match Tel.Openmetrics.validate prom with
+    | Ok () -> ()
+    | Error msg ->
+        prerr_endline ("internal error: openmetrics export " ^ msg);
+        exit 2);
+    let folded_path = Filename.concat out_dir (name ^ ".folded") in
+    let json_path = Filename.concat out_dir (name ^ ".profile.json") in
+    let prom_path = Filename.concat out_dir (name ^ ".metrics.prom") in
+    let csv_path = Filename.concat out_dir (name ^ ".attribution.csv") in
+    write_file folded_path (Tel.Profiler.to_folded profiler);
+    write_file json_path profile_json;
+    write_file prom_path prom;
+    let attribution = Tel.Attribution.of_events events in
+    write_file csv_path (Tel.Attribution.to_csv attribution);
+    let prof_path =
       match output with
       | Some o -> o
-      | None -> Filename.remove_extension file ^ ".prof"
+      | None -> Filename.concat out_dir (name ^ ".prof")
     in
-    Tpdbt_profiles.Profile_io.save out result.Tpdbt_dbt.Engine.snapshot;
-    Printf.printf "profile written to %s (%d profiling operations, %d regions)\n"
-      out result.Tpdbt_dbt.Engine.profiling_ops
+    Tpdbt_profiles.Profile_io.save prof_path result.Tpdbt_dbt.Engine.snapshot;
+    if not (Tel.Attribution.is_empty attribution) then begin
+      print_string (Tel.Attribution.render attribution);
+      print_newline ()
+    end;
+    Printf.printf
+      "profile written to %s (%d profiling operations, %d regions)\n\
+       wrote %s\nwrote %s\nwrote %s\nwrote %s\n"
+      prof_path result.Tpdbt_dbt.Engine.profiling_ops
       (List.length result.Tpdbt_dbt.Engine.snapshot.Tpdbt_dbt.Snapshot.regions)
+      folded_path json_path prom_path csv_path
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
-         "Run a guest program and write its profile (INIP(T) or AVEP) to a \
-          file for off-line analysis.")
-    Term.(const run $ file $ threshold $ seed_arg $ max_steps_arg $ output)
+         "Run a workload under the profiler: write its profile snapshot \
+          (INIP(T) or AVEP), a collapsed-stack file for flamegraphs, a JSON \
+          span profile, an OpenMetrics exposition and a stage-attribution \
+          CSV, and print the attribution table.")
+    Term.(
+      const run $ workload $ threshold $ seed_arg $ max_steps_arg $ output
+      $ out_dir)
+
+(* ------------------------------------------------------------------ *)
+(* perfdiff (perf-regression gate)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let perfdiff_cmd =
+  let old_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 5.0
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:"Allowed change per metric, in percent.")
+  in
+  let warn_only =
+    Arg.(
+      value & flag
+      & info [ "warn-only" ]
+          ~doc:"Report regressions but exit 0 (CI advisory mode).")
+  in
+  let run old_file new_file tolerance warn_only =
+    let module Perfdiff = Tpdbt_experiments.Perfdiff in
+    let tolerance = tolerance /. 100.0 in
+    match
+      Perfdiff.of_strings ~tolerance (read_file old_file) (read_file new_file)
+    with
+    | Error msg ->
+        prerr_endline ("error: " ^ msg);
+        exit 1
+    | Ok report ->
+        print_string (Perfdiff.render report);
+        if Perfdiff.regressions report <> [] && not warn_only then exit 3
+  in
+  Cmd.v
+    (Cmd.info "perfdiff"
+       ~doc:
+         "Compare two BENCH_perf.json files metric by metric and exit \
+          nonzero on any regression beyond the tolerance.")
+    Term.(const run $ old_file $ new_file $ tolerance $ warn_only)
 
 let report_cmd =
   let file =
@@ -648,12 +784,6 @@ let trace_cmd =
           ~doc:
             "Cap on events kept in memory for the summary and the Chrome \
              trace; the JSONL log always streams the full run.")
-  in
-  let write_file path contents =
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc contents)
   in
   let run workload threshold adaptive seed max_steps out_dir max_events =
     if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
@@ -1127,6 +1257,6 @@ let () =
        (Cmd.group info
           [
             asm_cmd; dis_cmd; check_cmd; run_cmd; dbt_cmd; bench_cmd; sweep_cmd;
-            profile_cmd; analyze_cmd; report_cmd; ablate_cmd; trace_cmd;
-            faults_cmd; cache_cmd; chaos_cmd;
+            profile_cmd; perfdiff_cmd; analyze_cmd; report_cmd; ablate_cmd;
+            trace_cmd; faults_cmd; cache_cmd; chaos_cmd;
           ]))

@@ -1,6 +1,7 @@
 module Machine = Tpdbt_vm.Machine
 module Event = Tpdbt_telemetry.Event
 module Sink = Tpdbt_telemetry.Sink
+module Span = Tpdbt_telemetry.Span
 module Fault = Tpdbt_faults.Fault
 module Injector = Tpdbt_faults.Injector
 
@@ -85,6 +86,34 @@ let trap result =
 
 type block_state = Cold | Registered | Optimized
 
+(* Attribution stages: fixed indices into the per-stage accumulators
+   that mirror every cycle-charge site when telemetry is enabled.  The
+   labels are the public vocabulary of the [stage.cost] events. *)
+let s_translate = 0
+let s_interpret = 1
+let s_profile = 2
+let s_side_entry = 3
+let s_dispatch = 4
+let s_region_exec = 5
+let s_side_exit = 6
+let s_optimize = 7
+let s_evict = 8
+let s_shadow = 9
+
+let stage_labels =
+  [|
+    "translate";
+    "interpret";
+    "profile";
+    "side-entry";
+    "region-dispatch";
+    "region-exec";
+    "side-exit";
+    "optimize";
+    "evict";
+    "shadow-replay";
+  |]
+
 (* Mutable per-region runtime monitor (adaptive mode + continuous loop
    profiling). *)
 type monitor = {
@@ -144,6 +173,19 @@ type t = {
   trace : bool;
       (* telemetry enabled?  Checked before constructing any event, so
          the default null sink costs nothing on the hot paths. *)
+  spans : Span.t;
+      (* profiling spans over the engine's coarse stages (run, optimize,
+         region formation, eviction, shadow replay), stamped with the
+         guest clock; no-ops when [trace] is false *)
+  stage_cycles : float array;
+      (* per-stage mirrors of every cycle charge, indexed by the
+         [s_*] stage constants; updated only under [if t.trace] and
+         emitted as [Stage_cost] events at the end of the run *)
+  stage_steps : int array;
+  stage_count : int array;
+  region_cost : (int, float ref * int ref) Hashtbl.t;
+      (* region id -> (cycles charged, guest instrs executed inside);
+         updated only under [if t.trace] *)
 }
 
 let create ?config:(cfg = config ~threshold:1000 ()) ?mem_words ~seed program =
@@ -182,6 +224,11 @@ let create ?config:(cfg = config ~threshold:1000 ()) ?mem_words ~seed program =
     counters = Perf_model.fresh_counters ();
     error = None;
     trace = not (Sink.is_null cfg.sink);
+    spans = Span.create ~clock:(fun () -> Machine.steps machine) cfg.sink;
+    stage_cycles = Array.make (Array.length stage_labels) 0.0;
+    stage_steps = Array.make (Array.length stage_labels) 0;
+    stage_count = Array.make (Array.length stage_labels) 0;
+    region_cost = Hashtbl.create 16;
   }
 
 let block_map t = t.bmap
@@ -189,6 +236,50 @@ let block_map t = t.bmap
 (* Call only under [if t.trace then ...] so disabled telemetry never
    allocates an event. *)
 let emit t event = t.cfg.sink.Sink.emit ~step:(Machine.steps t.machine) event
+
+(* Mirror a cycle charge into the per-stage attribution accumulators.
+   Call only under [if t.trace]; the perf counters stay the single
+   source of truth and are updated at the charge site itself. *)
+let charge t stage ?(steps = 0) ?(count = 1) cycles =
+  t.stage_cycles.(stage) <- t.stage_cycles.(stage) +. cycles;
+  t.stage_steps.(stage) <- t.stage_steps.(stage) + steps;
+  t.stage_count.(stage) <- t.stage_count.(stage) + count
+
+(* Tally a charge against one region.  Call only under [if t.trace]. *)
+let region_charge t rid cycles instrs =
+  let cyc, ins =
+    match Hashtbl.find_opt t.region_cost rid with
+    | Some r -> r
+    | None ->
+        let r = (ref 0.0, ref 0) in
+        Hashtbl.add t.region_cost rid r;
+        r
+  in
+  cyc := !cyc +. cycles;
+  ins := !ins + instrs
+
+(* End-of-run attribution: one [Stage_cost] per charged stage (fixed
+   stage order) and one [Region_cost] per region (ascending id), all
+   emitted while the "engine.run" span is still open so the profiler
+   attaches them beneath it. *)
+let emit_costs t =
+  Array.iteri
+    (fun i label ->
+      if t.stage_count.(i) > 0 then
+        emit t
+          (Event.Stage_cost
+             {
+               stage = label;
+               cycles = t.stage_cycles.(i);
+               steps = t.stage_steps.(i);
+               count = t.stage_count.(i);
+             }))
+    stage_labels;
+  Hashtbl.fold (fun rid (cyc, ins) acc -> (rid, !cyc, !ins) :: acc)
+    t.region_cost []
+  |> List.sort compare
+  |> List.iter (fun (region, cycles, instrs) ->
+         emit t (Event.Region_cost { region; cycles; instrs }))
 
 (* Outcome of executing one block on the machine. *)
 type exec_outcome =
@@ -272,12 +363,17 @@ let evict_region t rid =
       rebuild_region_entries t
 
 let apply_victims t victims =
+  if t.trace && victims <> [] then Span.enter t.spans "engine.evict";
   List.iter
     (fun (v : Code_cache.entry) ->
       t.counters.Perf_model.cycles <-
         t.counters.Perf_model.cycles
         +. (float_of_int v.Code_cache.size
            *. t.cfg.perf.Perf_model.evict_per_instr);
+      if t.trace then
+        charge t s_evict
+          (float_of_int v.Code_cache.size
+          *. t.cfg.perf.Perf_model.evict_per_instr);
       if t.trace then
         emit t
           (Event.Cache_evicted
@@ -294,7 +390,8 @@ let apply_victims t victims =
           (* The next execution pays cold translation again. *)
           t.touched.(v.Code_cache.id) <- false
       | Code_cache.Region -> evict_region t v.Code_cache.id)
-    victims
+    victims;
+  if t.trace && victims <> [] then Span.leave t.spans "engine.evict"
 
 (* ------------------------------------------------------------------ *)
 (* Optimisation phase                                                   *)
@@ -375,7 +472,10 @@ let recover_region_abort t inj arm (r : Region.t) =
   end
 
 let optimize t =
-  if t.trace then emit t (Event.Phase_begin { phase = "optimize" });
+  if t.trace then begin
+    emit t (Event.Phase_begin { phase = "optimize" });
+    Span.enter t.spans "engine.optimize"
+  end;
   t.last_round_step <- Machine.steps t.machine;
   t.counters.Perf_model.optimization_rounds <-
     t.counters.Perf_model.optimization_rounds + 1;
@@ -403,8 +503,13 @@ let optimize t =
     | Cold | Registered -> Region_former.Unowned
   in
   let new_regions =
-    Region_former.form former_cfg ~block_map:t.bmap ~use:t.use ~taken:t.taken
-      ~owner ~seeds ~first_id:t.next_region_id
+    if t.trace then Span.enter t.spans "engine.region_form";
+    let regions =
+      Region_former.form former_cfg ~block_map:t.bmap ~use:t.use ~taken:t.taken
+        ~owner ~seeds ~first_id:t.next_region_id
+    in
+    if t.trace then Span.leave t.spans "engine.region_form";
+    regions
   in
   let commit r =
       let slot_cycles =
@@ -445,7 +550,10 @@ let optimize t =
           let size = (Block_map.block t.bmap block).Block_map.size in
           t.counters.Perf_model.cycles <-
             t.counters.Perf_model.cycles
-            +. (float_of_int size *. t.cfg.perf.Perf_model.optimize_per_instr))
+            +. (float_of_int size *. t.cfg.perf.Perf_model.optimize_per_instr);
+          if t.trace then
+            charge t s_optimize
+              (float_of_int size *. t.cfg.perf.Perf_model.optimize_per_instr))
         r.Region.slots;
       (* Freeze members; record the region entry for dispatch. *)
       Array.iter (fun block -> t.state.(block) <- Optimized) r.Region.slots;
@@ -478,7 +586,10 @@ let optimize t =
       end)
     new_regions;
   if !clean_round then t.pool_trigger_now <- t.cfg.pool_trigger;
-  if t.trace then emit t (Event.Phase_end { phase = "optimize" })
+  if t.trace then begin
+    Span.leave t.spans "engine.optimize";
+    emit t (Event.Phase_end { phase = "optimize" })
+  end
 
 (* Adaptive mode: dissolve a region whose side-exit rate shows that its
    frozen profile no longer matches execution (the paper's §5
@@ -524,6 +635,10 @@ let exec_single t bid =
       t.counters.Perf_model.cycles
       +. (float_of_int b.Block_map.size
          *. perf.Perf_model.cold_translate_per_instr);
+    if t.trace then
+      charge t s_translate
+        (float_of_int b.Block_map.size
+        *. perf.Perf_model.cold_translate_per_instr);
     apply_victims t
       (Code_cache.insert t.cache
          ~now:(Machine.steps t.machine)
@@ -533,6 +648,7 @@ let exec_single t bid =
     Code_cache.touch t.cache
       ~now:(Machine.steps t.machine)
       Code_cache.Block bid;
+  let steps_before = if t.trace then Machine.steps t.machine else 0 in
   let outcome = exec_block t b in
   (match t.state.(bid) with
   | Optimized ->
@@ -540,7 +656,12 @@ let exec_single t bid =
       t.counters.Perf_model.cycles <-
         t.counters.Perf_model.cycles
         +. (float_of_int b.Block_map.size
-           *. perf.Perf_model.translated_exec_per_instr)
+           *. perf.Perf_model.translated_exec_per_instr);
+      if t.trace then
+        charge t s_side_entry
+          ~steps:(Machine.steps t.machine - steps_before)
+          (float_of_int b.Block_map.size
+          *. perf.Perf_model.translated_exec_per_instr)
   | Cold | Registered ->
       t.use.(bid) <- t.use.(bid) + 1;
       let ops =
@@ -555,6 +676,14 @@ let exec_single t bid =
         +. (float_of_int b.Block_map.size
            *. perf.Perf_model.profiled_exec_per_instr)
         +. (float_of_int ops *. perf.Perf_model.profiling_op_cost);
+      if t.trace then begin
+        charge t s_interpret
+          ~steps:(Machine.steps t.machine - steps_before)
+          (float_of_int b.Block_map.size
+          *. perf.Perf_model.profiled_exec_per_instr);
+        charge t s_profile ~count:ops
+          (float_of_int ops *. perf.Perf_model.profiling_op_cost)
+      end;
       if t.cfg.threshold > 0 && not t.degraded then begin
         (match t.state.(bid) with
         | Cold ->
@@ -661,6 +790,7 @@ let quarantine t rid (region : Region.t) =
    code image carries a silent corruption, whose salt perturbs one
    register — the wrong-result execution the oracle exists to catch. *)
 let shadow_check t rid ~steps_before =
+  if t.trace then Span.enter t.spans "engine.shadow_replay";
   let perf = t.cfg.perf in
   let replayed = Machine.steps t.machine - steps_before in
   t.counters.Perf_model.shadow_replays <-
@@ -668,6 +798,9 @@ let shadow_check t rid ~steps_before =
   t.counters.Perf_model.cycles <-
     t.counters.Perf_model.cycles
     +. (float_of_int replayed *. perf.Perf_model.shadow_replay_per_instr);
+  if t.trace then
+    charge t s_shadow
+      (float_of_int replayed *. perf.Perf_model.shadow_replay_per_instr);
   let reference =
     Array.of_list
       (List.map (fun r -> Machine.reg t.machine r) Tpdbt_isa.Reg.all)
@@ -688,15 +821,16 @@ let shadow_check t rid ~steps_before =
   Array.iteri
     (fun i v -> if !diverged < 0 && v <> reference.(i) then diverged := i)
     translated;
-  if !diverged >= 0 then begin
-    t.counters.Perf_model.shadow_divergences <-
-      t.counters.Perf_model.shadow_divergences + 1;
-    if t.trace then
-      emit t (Event.Shadow_divergence { region = rid; reg = !diverged });
-    match Hashtbl.find_opt t.regions rid with
-    | Some (region, _) -> quarantine t rid region
-    | None -> ()
-  end
+  (if !diverged >= 0 then begin
+     t.counters.Perf_model.shadow_divergences <-
+       t.counters.Perf_model.shadow_divergences + 1;
+     if t.trace then
+       emit t (Event.Shadow_divergence { region = rid; reg = !diverged });
+     match Hashtbl.find_opt t.regions rid with
+     | Some (region, _) -> quarantine t rid region
+     | None -> ()
+   end);
+  if t.trace then Span.leave t.spans "engine.shadow_replay"
 
 (* Execute inside region [rid] starting at its entry.  Returns the
    outcome that ended region execution. *)
@@ -709,6 +843,10 @@ let exec_region_body t rid region slot_cycles mon =
   mon.m_entries <- mon.m_entries + 1;
   t.counters.Perf_model.cycles <-
     t.counters.Perf_model.cycles +. perf.Perf_model.optimized_dispatch;
+  if t.trace then begin
+    charge t s_dispatch perf.Perf_model.optimized_dispatch;
+    region_charge t rid perf.Perf_model.optimized_dispatch 0
+  end;
   let rec at_slot slot =
     let bid = region.Region.slots.(slot) in
     let b = Block_map.block t.bmap bid in
@@ -719,9 +857,15 @@ let exec_region_body t rid region slot_cycles mon =
       Finished
     end
     else
+    let steps_before = if t.trace then Machine.steps t.machine else 0 in
     let outcome = exec_block t b in
     t.counters.Perf_model.cycles <-
       t.counters.Perf_model.cycles +. slot_cycles.(slot);
+    if t.trace then begin
+      let slot_steps = Machine.steps t.machine - steps_before in
+      charge t s_region_exec ~steps:slot_steps slot_cycles.(slot);
+      region_charge t rid slot_cycles.(slot) slot_steps
+    end;
     match outcome with
     | Finished | Trapped _ -> outcome
     | Flowed | Took _ ->
@@ -775,6 +919,10 @@ let exec_region_body t rid region slot_cycles mon =
               t.counters.Perf_model.cycles <-
                 t.counters.Perf_model.cycles
                 +. perf.Perf_model.side_exit_penalty;
+              if t.trace then begin
+                charge t s_side_exit perf.Perf_model.side_exit_penalty;
+                region_charge t rid perf.Perf_model.side_exit_penalty 0
+              end;
               if
                 t.cfg.adaptive && (not mon.m_disabled)
                 && mon.m_entries >= t.cfg.reopt_min_entries
@@ -965,7 +1113,10 @@ let current_snapshot t =
   }
 
 let run ?(checkpoint_every = 0) ?(on_checkpoint = fun ~steps:_ _ -> ()) t =
-  if t.trace then emit t (Event.Phase_begin { phase = "run" });
+  if t.trace then begin
+    emit t (Event.Phase_begin { phase = "run" });
+    Span.enter t.spans "engine.run"
+  end;
   let next_checkpoint = ref checkpoint_every in
   (* The supervisor's cooperative watchdog: polled here, at block
      granularity, like every other dispatch-time check — a deadlined
@@ -1020,7 +1171,13 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun ~steps:_ _ -> ()) t =
     end
   in
   loop ();
-  if t.trace then emit t (Event.Phase_end { phase = "run" });
+  if t.trace then begin
+    (* Attribution first, inside the still-open run span, so the
+       profiler hangs the stage costs beneath "engine.run". *)
+    emit_costs t;
+    Span.leave t.spans "engine.run";
+    emit t (Event.Phase_end { phase = "run" })
+  end;
   (* The cache keeps the authoritative eviction tally (the engine may
      trigger it from several sites); mirror it into the perf counters
      once, here, so the result is self-contained. *)

@@ -1,0 +1,32 @@
+module Json = Tpdbt_telemetry.Json
+
+type t = {
+  cores : int;
+  ocaml_version : string;
+  word_size : int;
+  os_type : string;
+  flambda : bool;
+}
+
+let capture () =
+  {
+    cores = Domain.recommended_domain_count ();
+    ocaml_version = Sys.ocaml_version;
+    word_size = Sys.word_size;
+    os_type = Sys.os_type;
+    flambda = Config.flambda;
+  }
+
+let to_json t =
+  Json.obj
+    [
+      ("cores", string_of_int t.cores);
+      ("ocaml_version", Json.quote t.ocaml_version);
+      ("word_size", string_of_int t.word_size);
+      ("os_type", Json.quote t.os_type);
+      ("flambda", string_of_bool t.flambda);
+    ]
+
+let render t =
+  Printf.sprintf "%d cores, OCaml %s (%d-bit, %s, flambda %s)" t.cores
+    t.ocaml_version t.word_size t.os_type (if t.flambda then "on" else "off")

@@ -1,0 +1,22 @@
+(** Host metadata stamped into benchmark result files.
+
+    Perf numbers are meaningless without the machine that produced
+    them: every [BENCH_*.json] carries this record so that [tpdbt
+    perfdiff] can warn when two files being compared came from
+    different hosts or toolchains. *)
+
+type t = {
+  cores : int;  (** [Domain.recommended_domain_count ()] *)
+  ocaml_version : string;
+  word_size : int;  (** bits per [int] word carrier: 32 or 64 *)
+  os_type : string;  (** ["Unix"], ["Win32"] or ["Cygwin"] *)
+  flambda : bool;  (** whether the compiler was built with flambda *)
+}
+
+val capture : unit -> t
+
+val to_json : t -> string
+(** One JSON object, keys in declaration order. *)
+
+val render : t -> string
+(** One human-readable line. *)

@@ -1,0 +1,173 @@
+module Json = Tpdbt_telemetry.Json
+
+type direction = Higher_better | Lower_better
+type verdict = Regression | Improvement | Within
+
+(* The perf metrics each BENCH_perf.json row carries, with the sign
+   convention the verdict uses.  [guest_ips] is throughput; the other
+   two are costs. *)
+let metrics =
+  [
+    ("guest_ips", Higher_better);
+    ("alloc_per_instr", Lower_better);
+    ("cycles", Lower_better);
+  ]
+
+type delta = {
+  bench : string;
+  metric : string;
+  older : float;
+  newer : float;
+  change : float;  (** fractional: [(newer - older) /. older] *)
+  verdict : verdict;
+}
+
+type report = {
+  tolerance : float;
+  deltas : delta list;
+  missing : string list;  (** benches in the old file only *)
+  added : string list;  (** benches in the new file only *)
+  host_note : string option;
+      (** set when the two files carry different host metadata *)
+}
+
+let judge ~tolerance direction ~older ~newer =
+  let change =
+    if Float.abs older > 1e-12 then (newer -. older) /. older
+    else if Float.abs newer > 1e-12 then 1.0
+    else 0.0
+  in
+  let verdict =
+    if Float.abs change <= tolerance then Within
+    else
+      match direction with
+      | Higher_better -> if change < 0.0 then Regression else Improvement
+      | Lower_better -> if change > 0.0 then Regression else Improvement
+  in
+  (change, verdict)
+
+(* ---- reading BENCH_perf.json ------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let field name row =
+  match Option.bind (Json.member name row) Json.as_number with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bench row lacks numeric %S" name)
+
+let bench_rows doc =
+  match Option.bind (Json.member "benches" doc) Json.as_list with
+  | None -> Error "no \"benches\" array"
+  | Some rows ->
+      let rec walk acc = function
+        | [] -> Ok (List.rev acc)
+        | row :: tl -> (
+            match Option.bind (Json.member "name" row) Json.as_string with
+            | None -> Error "bench row lacks string \"name\""
+            | Some name ->
+                let rec vals acc = function
+                  | [] -> Ok (List.rev acc)
+                  | (m, _) :: tl ->
+                      let* v = field m row in
+                      vals ((m, v) :: acc) tl
+                in
+                let* vs = vals [] metrics in
+                walk ((name, vs) :: acc) tl)
+      in
+      walk [] rows
+
+let host_string doc =
+  match Json.member "host" doc with
+  | Some (Json.Obj members) ->
+      String.concat ";"
+        (List.filter_map
+           (fun (k, v) ->
+             match v with
+             | Json.Num n -> Some (Printf.sprintf "%s=%.17g" k n)
+             | Json.Str s -> Some (Printf.sprintf "%s=%s" k s)
+             | Json.Bool b -> Some (Printf.sprintf "%s=%b" k b)
+             | _ -> None)
+           members)
+  | _ -> ""
+
+let of_docs ~tolerance old_doc new_doc =
+  let* old_rows = bench_rows old_doc in
+  let* new_rows = bench_rows new_doc in
+  let deltas =
+    List.concat_map
+      (fun (bench, old_vs) ->
+        match List.assoc_opt bench new_rows with
+        | None -> []
+        | Some new_vs ->
+            List.map
+              (fun (metric, direction) ->
+                let older = List.assoc metric old_vs in
+                let newer = List.assoc metric new_vs in
+                let change, verdict = judge ~tolerance direction ~older ~newer in
+                { bench; metric; older; newer; change; verdict })
+              metrics)
+      old_rows
+  in
+  let missing =
+    List.filter_map
+      (fun (b, _) -> if List.mem_assoc b new_rows then None else Some b)
+      old_rows
+  in
+  let added =
+    List.filter_map
+      (fun (b, _) -> if List.mem_assoc b old_rows then None else Some b)
+      new_rows
+  in
+  let host_note =
+    let oh = host_string old_doc and nh = host_string new_doc in
+    if oh <> nh && (oh <> "" || nh <> "") then
+      Some (Printf.sprintf "hosts differ: old [%s] vs new [%s]" oh nh)
+    else None
+  in
+  Ok { tolerance; deltas; missing; added; host_note }
+
+let of_strings ~tolerance old_s new_s =
+  let* old_doc =
+    Result.map_error (fun e -> "old file: " ^ e) (Json.parse old_s)
+  in
+  let* new_doc =
+    Result.map_error (fun e -> "new file: " ^ e) (Json.parse new_s)
+  in
+  of_docs ~tolerance old_doc new_doc
+
+let regressions r =
+  List.filter (fun d -> d.verdict = Regression) r.deltas
+
+let verdict_name = function
+  | Regression -> "REGRESSION"
+  | Improvement -> "improvement"
+  | Within -> "ok"
+
+let render r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "perfdiff (tolerance %.1f%%):\n" (100.0 *. r.tolerance));
+  Buffer.add_string buf
+    "  bench        metric            old           new       change  verdict\n";
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-12s %-15s %12.4g  %12.4g  %+9.2f%%  %s\n" d.bench
+           d.metric d.older d.newer (100.0 *. d.change) (verdict_name d.verdict)))
+    r.deltas;
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (Printf.sprintf "  %-12s missing from new file\n" b))
+    r.missing;
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (Printf.sprintf "  %-12s new bench (no baseline)\n" b))
+    r.added;
+  (match r.host_note with
+  | Some note -> Buffer.add_string buf ("  note: " ^ note ^ "\n")
+  | None -> ());
+  let n = List.length (regressions r) in
+  Buffer.add_string buf
+    (if n = 0 then "  no regressions\n"
+     else Printf.sprintf "  %d regression(s)\n" n);
+  Buffer.contents buf

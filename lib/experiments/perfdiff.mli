@@ -1,0 +1,50 @@
+(** Perf-regression comparison over two [BENCH_perf.json] files.
+
+    [tpdbt perfdiff old.json new.json] parses both files with the
+    strict {!Tpdbt_telemetry.Json} parser, joins their bench rows by
+    name, and judges each tracked metric against a fractional
+    tolerance.  The CLI exits nonzero iff {!regressions} is
+    non-empty; CI runs it warn-only against a committed baseline. *)
+
+type direction = Higher_better | Lower_better
+type verdict = Regression | Improvement | Within
+
+val metrics : (string * direction) list
+(** The judged metrics: [guest_ips] (higher is better),
+    [alloc_per_instr] and [cycles] (lower is better). *)
+
+type delta = {
+  bench : string;
+  metric : string;
+  older : float;
+  newer : float;
+  change : float;  (** fractional: [(newer - older) /. older] *)
+  verdict : verdict;
+}
+
+type report = {
+  tolerance : float;
+  deltas : delta list;
+  missing : string list;  (** benches in the old file only *)
+  added : string list;  (** benches in the new file only *)
+  host_note : string option;
+      (** set when the two files carry different host metadata *)
+}
+
+val judge :
+  tolerance:float -> direction -> older:float -> newer:float -> float * verdict
+(** [(change, verdict)].  A change whose magnitude is within
+    [tolerance] is {!Within}; beyond it, the sign and [direction]
+    decide.  [older = 0] with [newer <> 0] counts as a full (1.0)
+    change; both zero is no change. *)
+
+val of_strings :
+  tolerance:float -> string -> string -> (report, string) result
+(** [of_strings ~tolerance old_contents new_contents].  [Error]
+    carries a parse or shape diagnostic naming the offending file. *)
+
+val regressions : report -> delta list
+
+val render : report -> string
+(** Fixed-width table, one row per (bench, metric), then the
+    missing/added benches, the host note and a regression count. *)

@@ -232,20 +232,36 @@ module Pool = Tpdbt_parallel.Pool
 
 (* Worker scheduling events, forwarded to a telemetry sink from the
    collector domain.  The scheduler runs outside any engine, so the
-   stamp is a scheduler sequence number rather than a guest clock. *)
+   stamp is a scheduler sequence number rather than a guest clock.
+   Each task is also bracketed in a per-worker span ([worker<i>]) so
+   the profiler and the span metrics see pool busy time; the span's
+   wall clock is the task's measured seconds, its allocation deltas
+   are unknown (the work happened on another domain) and stay 0. *)
 let worker_sink_events sink =
   let module Tel = Tpdbt_telemetry in
   let seq = ref 0 in
-  fun (e : Pool.event) ->
+  let emit event =
     incr seq;
-    let event =
-      match e with
-      | Pool.Start { worker; task } -> Tel.Event.Worker_start { worker; task }
-      | Pool.Steal { worker; victim; task } ->
-          Tel.Event.Worker_steal { worker; victim; task }
-      | Pool.Finish { worker; task } -> Tel.Event.Worker_finish { worker; task }
-    in
     sink.Tel.Sink.emit ~step:!seq event
+  in
+  let span worker = "worker" ^ string_of_int worker in
+  fun (e : Pool.event) ->
+    match e with
+    | Pool.Start { worker; task } ->
+        emit (Tel.Event.Worker_start { worker; task });
+        emit (Tel.Event.Span_begin { span = span worker })
+    | Pool.Steal { worker; victim; task } ->
+        emit (Tel.Event.Worker_steal { worker; victim; task })
+    | Pool.Finish { worker; task; seconds } ->
+        emit
+          (Tel.Event.Span_end
+             {
+               span = span worker;
+               wall_ns = int_of_float (seconds *. 1e9);
+               minor_words = 0;
+               major_words = 0;
+             });
+        emit (Tel.Event.Worker_finish { worker; task })
 
 let record_parallel_stats metrics (stats : Pool.stats) =
   let module Tel = Tpdbt_telemetry in
@@ -256,7 +272,14 @@ let record_parallel_stats metrics (stats : Pool.stats) =
   Tel.Metrics.add (Tel.Metrics.counter metrics "parallel.steals")
     stats.Pool.steals;
   Tel.Metrics.add (Tel.Metrics.counter metrics "parallel.tasks")
-    stats.Pool.tasks
+    stats.Pool.tasks;
+  Tel.Metrics.set
+    (Tel.Metrics.gauge metrics "parallel.busy_seconds")
+    stats.Pool.busy;
+  Tel.Metrics.set
+    (Tel.Metrics.gauge metrics "parallel.idle_seconds")
+    (Float.max 0.0
+       ((float_of_int stats.Pool.jobs *. stats.Pool.elapsed) -. stats.Pool.busy))
 
 let run_many_par ?thresholds ?max_steps ?deadline ?jobs
     ?(progress = fun _ _ -> ()) ?save ?load ?sink ?metrics ?report benches =
@@ -413,20 +436,44 @@ let run_many_supervised ?thresholds ?max_steps ?deadline ?jobs ?policy
         fun seconds -> Tel.Metrics.observe h seconds
   in
   let name task = pending.(task).Spec.name in
+  (* Every [Attempt] opens a per-task span; exactly one of the
+     completion events (done, retry, give-up, breaker, worker lost)
+     closes it again, so the span stream stays balanced even for
+     failing tasks.  Only the success path knows the attempt's wall
+     clock — failure closes carry 0. *)
+  let span_label task = "task" ^ string_of_int task in
+  let span_begin task = emit (Tel.Event.Span_begin { span = span_label task }) in
+  let span_end ?(seconds = 0.0) task =
+    emit
+      (Tel.Event.Span_end
+         {
+           span = span_label task;
+           wall_ns = int_of_float (seconds *. 1e9);
+           minor_words = 0;
+           major_words = 0;
+         })
+  in
   let on_event (e : Sup.event) =
     match e with
     | Sup.Attempt { task; attempt } ->
+        span_begin task;
         if attempt = 1 then progress (name task) Started
-    | Sup.Task_done { seconds; _ } -> observe_latency seconds
+    | Sup.Task_done { task; seconds; _ } ->
+        span_end ~seconds task;
+        observe_latency seconds
     | Sup.Retry { task; attempt; backoff; reason } ->
+        span_end task;
         emit (Tel.Event.Supervisor_retry { task; attempt; backoff; reason })
     | Sup.Gave_up { task; attempts; reason } ->
+        span_end task;
         emit (Tel.Event.Supervisor_give_up { task; attempts; reason });
         progress (name task) (Quarantined reason)
     | Sup.Breaker_opened { task; failures } ->
+        span_end task;
         emit (Tel.Event.Breaker_open { task; failures });
         progress (name task) (Quarantined "circuit breaker opened")
     | Sup.Worker_lost { worker; task } ->
+        span_end task;
         emit (Tel.Event.Worker_lost { worker; task })
     | Sup.Degraded { live } -> emit (Tel.Event.Pool_degraded { live })
   in

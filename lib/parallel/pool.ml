@@ -1,7 +1,7 @@
 type event =
   | Start of { worker : int; task : int }
   | Steal of { worker : int; victim : int; task : int }
-  | Finish of { worker : int; task : int }
+  | Finish of { worker : int; task : int; seconds : float }
 
 type stats = {
   jobs : int;
@@ -126,8 +126,10 @@ let map_seq ~on_event ~on_result f tasks =
     Array.mapi
       (fun i x ->
         on_event (Start { worker = 0; task = i });
+        let ta = Unix.gettimeofday () in
         let v = f x in
-        on_event (Finish { worker = 0; task = i });
+        let seconds = Unix.gettimeofday () -. ta in
+        on_event (Finish { worker = 0; task = i; seconds });
         on_result i v;
         v)
       tasks
@@ -181,7 +183,7 @@ let map ?jobs ?(on_event = fun _ -> ()) ?(on_result = fun _ _ -> ()) f tasks =
           | Msg_done { worker; task; result; seconds } -> (
               incr completed;
               busy := !busy +. seconds;
-              on_event (Finish { worker; task });
+              on_event (Finish { worker; task; seconds });
               match result with
               | Ok v ->
                   results.(task) <- Some v;

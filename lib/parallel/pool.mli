@@ -37,7 +37,8 @@ type event =
   | Start of { worker : int; task : int }  (** worker began the task *)
   | Steal of { worker : int; victim : int; task : int }
       (** the task about to start was taken from [victim]'s deque *)
-  | Finish of { worker : int; task : int }  (** task completed *)
+  | Finish of { worker : int; task : int; seconds : float }
+      (** task completed after [seconds] of wall-clock work *)
 
 type stats = {
   jobs : int;  (** worker domains actually used *)

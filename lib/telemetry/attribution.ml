@@ -1,0 +1,104 @@
+type stage_row = { stage : string; cycles : float; steps : int; count : int }
+type region_row = { region : int; cycles : float; instrs : int }
+type t = { stages : stage_row list; regions : region_row list }
+
+let of_events events =
+  (* Stages keep first-appearance order (the engine emits them in its
+     fixed stage order); regions are keyed and later sorted by id. *)
+  let stage_order = ref [] in
+  let stage_tbl : (string, stage_row) Hashtbl.t = Hashtbl.create 16 in
+  let region_tbl : (int, region_row) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun { Event.event; _ } ->
+      match event with
+      | Event.Stage_cost { stage; cycles; steps; count } ->
+          (match Hashtbl.find_opt stage_tbl stage with
+          | Some r ->
+              Hashtbl.replace stage_tbl stage
+                {
+                  r with
+                  cycles = r.cycles +. cycles;
+                  steps = r.steps + steps;
+                  count = r.count + count;
+                }
+          | None ->
+              stage_order := stage :: !stage_order;
+              Hashtbl.add stage_tbl stage { stage; cycles; steps; count })
+      | Event.Region_cost { region; cycles; instrs } -> (
+          match Hashtbl.find_opt region_tbl region with
+          | Some r ->
+              Hashtbl.replace region_tbl region
+                {
+                  r with
+                  cycles = r.cycles +. cycles;
+                  instrs = r.instrs + instrs;
+                }
+          | None -> Hashtbl.add region_tbl region { region; cycles; instrs })
+      | _ -> ())
+    events;
+  {
+    stages =
+      List.rev_map (fun s -> Hashtbl.find stage_tbl s) !stage_order;
+    regions =
+      Hashtbl.fold (fun _ r acc -> r :: acc) region_tbl []
+      |> List.sort (fun a b -> compare a.region b.region);
+  }
+
+let stages t = t.stages
+let regions t = t.regions
+let is_empty t = t.stages = [] && t.regions = []
+let total_cycles t =
+  List.fold_left (fun acc (r : stage_row) -> acc +. r.cycles) 0.0 t.stages
+
+let pct total part = if total > 0.0 then 100.0 *. part /. total else 0.0
+
+let render t =
+  let buf = Buffer.create 512 in
+  let total = total_cycles t in
+  if t.stages <> [] then begin
+    Buffer.add_string buf
+      "stage attribution (model cycles):\n\
+      \  stage            cycles            %        steps        charges\n";
+    let rows =
+      List.sort
+        (fun (a : stage_row) (b : stage_row) ->
+          compare (b.cycles, a.stage) (a.cycles, b.stage))
+        t.stages
+    in
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-16s %-17.0f %5.1f  %11d  %13d\n" r.stage
+             r.cycles (pct total r.cycles) r.steps r.count))
+      rows;
+    Buffer.add_string buf
+      (Printf.sprintf "  %-16s %-17.0f %5.1f\n" "total" total 100.0)
+  end;
+  if t.regions <> [] then begin
+    Buffer.add_string buf
+      "\nregion costs (model cycles):\n\
+      \  region           cycles            %       instrs\n";
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-16d %-17.0f %5.1f  %11d\n" r.region r.cycles
+             (pct total r.cycles) r.instrs))
+      t.regions
+  end;
+  Buffer.contents buf
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "kind,name,cycles,steps,count\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "stage,%s,%.17g,%d,%d\n" r.stage r.cycles r.steps
+           r.count))
+    t.stages;
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "region,%d,%.17g,%d,\n" r.region r.cycles r.instrs))
+    t.regions;
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** Per-stage and per-region cost attribution.
+
+    Folds the {!Event.Stage_cost} and {!Event.Region_cost} events the
+    engine emits at the end of a traced run into two tables: where the
+    modeled cycles went by translator stage (interpret, translate,
+    optimize, region-exec, ...) and by region.  Everything here is
+    deterministic — it comes from the cycle model, not wall time — so
+    the tables diff cleanly across runs and [-j] levels, and their
+    stage total reconciles with the run's [perf.cycles] counter. *)
+
+type stage_row = { stage : string; cycles : float; steps : int; count : int }
+(** [steps] is guest instructions executed under the stage (zero for
+    stages that execute none, e.g. translation); [count] the number of
+    individual charges. *)
+
+type region_row = { region : int; cycles : float; instrs : int }
+
+type t
+
+val of_events : Event.stamped list -> t
+
+val stages : t -> stage_row list
+(** In the engine's emission order. *)
+
+val regions : t -> region_row list
+(** Sorted by region id. *)
+
+val is_empty : t -> bool
+
+val total_cycles : t -> float
+(** Sum over stages — equal (modulo float summation order) to the
+    run's [perf.cycles]. *)
+
+val render : t -> string
+(** Both tables with percent-of-total shares, stages sorted by
+    descending cycles. *)
+
+val to_csv : t -> string
+(** One CSV, [kind,name,cycles,steps,count] — stage rows then region
+    rows (for regions, [steps] holds the instruction count). *)

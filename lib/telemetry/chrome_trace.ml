@@ -37,6 +37,17 @@ let of_stamped { Event.step = ts; event } =
         ~extra:[ ("id", string_of_int region) ]
         ~args:[ ("exit", {|"completion"|}) ]
         ()
+  | Event.Span_begin { span } ->
+      trace_event ~name:span ~cat:"span" ~ph:"B" ~ts ()
+  | Event.Span_end { span; wall_ns; minor_words; major_words } ->
+      trace_event ~name:span ~cat:"span" ~ph:"E" ~ts
+        ~args:
+          [
+            ("wall_ns", string_of_int wall_ns);
+            ("minor_words", string_of_int minor_words);
+            ("major_words", string_of_int major_words);
+          ]
+        ()
   | other ->
       trace_event ~name:(Event.kind_name other) ~cat:"engine" ~ph:"i" ~ts
         ~extra:[ ("s", {|"t"|}) ]

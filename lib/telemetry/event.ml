@@ -42,6 +42,15 @@ type t =
   | Worker_lost of { worker : int; task : int }
   | Pool_degraded of { live : int }
   | Checkpoint_corrupt of { bench : string; reason : string }
+  | Span_begin of { span : string }
+  | Span_end of {
+      span : string;
+      wall_ns : int;
+      minor_words : int;
+      major_words : int;
+    }
+  | Stage_cost of { stage : string; cycles : float; steps : int; count : int }
+  | Region_cost of { region : int; cycles : float; instrs : int }
 
 type stamped = { step : int; event : t }
 
@@ -76,6 +85,10 @@ let kind_name = function
   | Worker_lost _ -> "worker.lost"
   | Pool_degraded _ -> "pool.degraded"
   | Checkpoint_corrupt _ -> "checkpoint.corrupt"
+  | Span_begin _ -> "span.begin"
+  | Span_end _ -> "span.end"
+  | Stage_cost _ -> "stage.cost"
+  | Region_cost _ -> "region.cost"
 
 let region_kind_name = function Trace -> "trace" | Loop -> "loop"
 
@@ -177,6 +190,27 @@ let payload = function
   | Pool_degraded { live } -> [ ("live", string_of_int live) ]
   | Checkpoint_corrupt { bench; reason } ->
       [ ("bench", Json.quote bench); ("reason", Json.quote reason) ]
+  | Span_begin { span } -> [ ("span", Json.quote span) ]
+  | Span_end { span; wall_ns; minor_words; major_words } ->
+      [
+        ("span", Json.quote span);
+        ("wall_ns", string_of_int wall_ns);
+        ("minor_words", string_of_int minor_words);
+        ("major_words", string_of_int major_words);
+      ]
+  | Stage_cost { stage; cycles; steps; count } ->
+      [
+        ("stage", Json.quote stage);
+        ("cycles", Json.number cycles);
+        ("steps", string_of_int steps);
+        ("count", string_of_int count);
+      ]
+  | Region_cost { region; cycles; instrs } ->
+      [
+        ("region", string_of_int region);
+        ("cycles", Json.number cycles);
+        ("instrs", string_of_int instrs);
+      ]
 
 let to_json { step; event } =
   let fields =

@@ -95,6 +95,28 @@ type t =
   | Checkpoint_corrupt of { bench : string; reason : string }
       (** a checkpoint file exists but failed validation (CRC, length,
           version, structure); the benchmark re-runs *)
+  | Span_begin of { span : string }
+      (** a profiling span opened ({!Span.enter}); spans nest and are
+          stamped with the same clock as every other event *)
+  | Span_end of {
+      span : string;
+      wall_ns : int;
+      minor_words : int;
+      major_words : int;
+    }
+      (** the matching span closed, carrying the measured wall-clock
+          nanoseconds and the minor/major heap words allocated while it
+          was open ([Gc.quick_stat] deltas); the guest-step width of the
+          span is the difference of the two stamps *)
+  | Stage_cost of { stage : string; cycles : float; steps : int; count : int }
+      (** end-of-run attribution: total modeled [cycles], guest [steps]
+          executed and charge [count] of one engine stage (interpret,
+          translate, optimize, ...) — deterministic, from the cycle
+          model, not wall time *)
+  | Region_cost of { region : int; cycles : float; instrs : int }
+      (** end-of-run attribution: modeled cycles charged to one region
+          (dispatch + slot execution + side-exit penalties) and the
+          guest instructions it executed *)
 
 type stamped = { step : int; event : t }
 (** [step] is the guest-instruction count when the event fired. *)
@@ -111,7 +133,8 @@ val kind_name : t -> string
     scheduler runs outside any engine).  The supervision layer adds
     ["supervisor.retry"], ["supervisor.giveup"], ["breaker.open"],
     ["worker.lost"], ["pool.degraded"] and ["checkpoint.corrupt"],
-    stamped the same way. *)
+    stamped the same way.  The profiling layer adds ["span.begin"],
+    ["span.end"], ["stage.cost"] and ["region.cost"]. *)
 
 val region_kind_name : region_kind -> string
 val pool_reason_name : pool_reason -> string

@@ -29,6 +29,10 @@ let obj fields =
   Buffer.add_char buf '}';
   Buffer.contents buf
 
+(* Finite floats only: %.17g round-trips every double and never prints
+   the "inf"/"nan" forms JSON forbids for the values we emit. *)
+let number f = Printf.sprintf "%.17g" f
+
 let arr items =
   let buf = Buffer.create 64 in
   Buffer.add_char buf '[';
@@ -188,3 +192,237 @@ let validate s =
   | () -> Ok ()
   | exception Bad (at, msg) ->
       Error (Printf.sprintf "invalid JSON at offset %d: %s" at msg)
+
+(* ------------------------------------------------------------------ *)
+(* Parser: same grammar, building a document tree.                      *)
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let hex_digit () =
+    match peek () with
+    | Some ('0' .. '9' as c) ->
+        advance ();
+        Char.code c - Char.code '0'
+    | Some ('a' .. 'f' as c) ->
+        advance ();
+        Char.code c - Char.code 'a' + 10
+    | Some ('A' .. 'F' as c) ->
+        advance ();
+        Char.code c - Char.code 'A' + 10
+    | _ -> fail "expected hex digit"
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' ->
+              advance ();
+              Buffer.add_char buf '"';
+              go ()
+          | Some '\\' ->
+              advance ();
+              Buffer.add_char buf '\\';
+              go ()
+          | Some '/' ->
+              advance ();
+              Buffer.add_char buf '/';
+              go ()
+          | Some 'b' ->
+              advance ();
+              Buffer.add_char buf '\b';
+              go ()
+          | Some 'f' ->
+              advance ();
+              Buffer.add_char buf '\012';
+              go ()
+          | Some 'n' ->
+              advance ();
+              Buffer.add_char buf '\n';
+              go ()
+          | Some 'r' ->
+              advance ();
+              Buffer.add_char buf '\r';
+              go ()
+          | Some 't' ->
+              advance ();
+              Buffer.add_char buf '\t';
+              go ()
+          | Some 'u' ->
+              advance ();
+              let cp =
+                let a = hex_digit () in
+                let b = hex_digit () in
+                let c = hex_digit () in
+                let d = hex_digit () in
+                (a lsl 12) lor (b lsl 8) lor (c lsl 4) lor d
+              in
+              (* UTF-8 encode the BMP code point (surrogate pairs are
+                 stored as-is; the exporters never emit them). *)
+              if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+              else if cp < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+                Buffer.add_char buf
+                  (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+                Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+              end;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let digits () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some '0' .. '9' ->
+          advance ();
+          go ()
+      | _ -> ()
+    in
+    go ();
+    if !pos = start then fail "expected digit"
+  in
+  let number () =
+    let start = !pos in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    (match peek () with
+    | Some '0' -> advance ()
+    | Some '1' .. '9' -> digits ()
+    | _ -> fail "expected digit");
+    (match peek () with
+    | Some '.' ->
+        advance ();
+        digits ()
+    | _ -> ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    float_of_string (String.sub s start (!pos - start))
+  in
+  let rec value () =
+    skip_ws ();
+    let v =
+      match peek () with
+      | Some '{' -> obj_lit ()
+      | Some '[' -> arr_lit ()
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> Num (number ())
+      | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+      | None -> fail "unexpected end of input"
+    in
+    skip_ws ();
+    v
+  and obj_lit () =
+    expect '{';
+    skip_ws ();
+    let members =
+      match peek () with
+      | Some '}' -> []
+      | _ ->
+          let rec members acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | _ -> List.rev ((k, v) :: acc)
+          in
+          members []
+    in
+    expect '}';
+    Obj members
+  and arr_lit () =
+    expect '[';
+    skip_ws ();
+    let elements =
+      match peek () with
+      | Some ']' -> []
+      | _ ->
+          let rec elements acc =
+            let v = value () in
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | _ -> List.rev (v :: acc)
+          in
+          elements []
+    in
+    expect ']';
+    Arr elements
+  in
+  match
+    let v = value () in
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (at, msg) ->
+      Error (Printf.sprintf "invalid JSON at offset %d: %s" at msg)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let as_number = function Num f -> Some f | _ -> None
+let as_string = function Str s -> Some s | _ -> None
+let as_list = function Arr vs -> Some vs | _ -> None

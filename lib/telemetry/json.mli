@@ -9,6 +9,10 @@
 val quote : string -> string
 (** Quote and escape a string literal. *)
 
+val number : float -> string
+(** Render a {e finite} float as a JSON number ([%.17g], which
+    round-trips every double). *)
+
 val obj : (string * string) list -> string
 (** [obj [(k, v); ...]] renders [{"k":v,...}]; values must already be
     valid JSON text. *)
@@ -18,3 +22,25 @@ val arr : string list -> string
 val validate : string -> (unit, string) result
 (** [Error msg] carries the offset and reason of the first syntax
     error.  Exactly one top-level value is required. *)
+
+(** Parsed document tree — the read side used by [tpdbt perfdiff] to
+    compare two [BENCH_*.json] files.  Numbers are doubles; object
+    member order is preserved and duplicate keys are kept (lookup
+    returns the first). *)
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+val parse : string -> (value, string) result
+(** Same grammar and strictness as {!validate}, building the tree. *)
+
+val member : string -> value -> value option
+(** First member of that name, when the value is an object. *)
+
+val as_number : value -> float option
+val as_string : value -> string option
+val as_list : value -> value list option

@@ -103,6 +103,15 @@ let names t = List.map fst (sorted t)
 
 let pp_bound b = if b = infinity then "+inf" else Printf.sprintf "%g" b
 
+let dump t =
+  List.map
+    (fun (name, inst) ->
+      match inst with
+      | Counter c -> `Counter (name, c.c)
+      | Gauge g -> `Gauge (name, g.g)
+      | Histogram h -> `Histogram (name, bucket_counts h, h.total, h.sum))
+    (sorted t)
+
 let render t =
   let buf = Buffer.create 256 in
   List.iter
@@ -115,9 +124,8 @@ let render t =
             (Printf.sprintf "%-40s count=%d sum=%g\n" name h.total h.sum);
           List.iter
             (fun (bound, count) ->
-              if count > 0 then
-                Buffer.add_string buf
-                  (Printf.sprintf "  le %-10s %d\n" (pp_bound bound) count))
+              Buffer.add_string buf
+                (Printf.sprintf "  le %-10s %d\n" (pp_bound bound) count))
             (bucket_counts h))
     (sorted t);
   Buffer.contents buf

@@ -52,9 +52,21 @@ val bucket_counts : histogram -> (float * int) list
 val names : t -> string list
 (** All registered instrument names, sorted. *)
 
+val dump :
+  t ->
+  [ `Counter of string * int
+  | `Gauge of string * float
+  | `Histogram of string * (float * int) list * int * float ]
+  list
+(** Read-only view of every instrument, sorted by name — the walk the
+    exporters ({!Openmetrics}, external dashboards) build on.
+    Histograms carry their non-cumulative [(bound, count)] buckets
+    (final bound [infinity]), total count and sum. *)
+
 val render : t -> string
-(** Human-readable dump, one instrument per line (histograms span
-    several), sorted by name. *)
+(** Human-readable dump, one instrument per line (histograms list
+    every bucket, including empty ones), sorted by name — byte-stable
+    across runs that observe the same values. *)
 
 val to_json : t -> string
 (** One JSON object:

@@ -1,0 +1,278 @@
+(* ------------------------------------------------------------------ *)
+(* Exposition                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mangle name =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+  in
+  if mapped = "" then "_"
+  else
+    match mapped.[0] with
+    | '0' .. '9' -> "_" ^ mapped
+    | _ -> mapped
+
+let pp_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let pp_bound b = if b = infinity then "+Inf" else pp_value b
+
+let render ?(prefix = "tpdbt_") metrics =
+  let buf = Buffer.create 1024 in
+  let family name kind = Printf.bprintf buf "# TYPE %s%s %s\n" prefix name kind in
+  List.iter
+    (fun inst ->
+      match inst with
+      | `Counter (name, v) ->
+          let name = mangle name in
+          family name "counter";
+          Printf.bprintf buf "%s%s_total %d\n" prefix name v
+      | `Gauge (name, v) ->
+          let name = mangle name in
+          family name "gauge";
+          Printf.bprintf buf "%s%s %s\n" prefix name (pp_value v)
+      | `Histogram (name, buckets, total, sum) ->
+          let name = mangle name in
+          family name "histogram";
+          let cumulative = ref 0 in
+          List.iter
+            (fun (bound, count) ->
+              cumulative := !cumulative + count;
+              Printf.bprintf buf "%s%s_bucket{le=\"%s\"} %d\n" prefix name
+                (pp_bound bound) !cumulative)
+            buckets;
+          Printf.bprintf buf "%s%s_sum %s\n" prefix name (pp_value sum);
+          Printf.bprintf buf "%s%s_count %d\n" prefix name total)
+    (Metrics.dump metrics);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Strict parser — the exposition's self-check, in the spirit of        *)
+(* Json.validate.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type kind = Counter | Gauge | Histogram
+
+type sample = {
+  sample_name : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+type family = { family_name : string; kind : kind; samples : sample list }
+
+exception Bad of int * string
+
+let parse text =
+  let fail line msg = raise (Bad (line, msg)) in
+  let is_name_char c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+    | _ -> false
+  in
+  let valid_name s =
+    s <> ""
+    && (match s.[0] with '0' .. '9' -> false | _ -> true)
+    && String.for_all is_name_char s
+  in
+  let parse_float lineno s =
+    if s = "+Inf" then infinity
+    else if s = "-Inf" then neg_infinity
+    else
+      match float_of_string_opt s with
+      | Some v -> v
+      | None -> fail lineno ("bad number: " ^ s)
+  in
+  (* [name{k="v",...} value] — labels only appear on histogram buckets
+     in our exposition, but the grammar is general. *)
+  let parse_sample lineno line =
+    let name_end = ref 0 in
+    let n = String.length line in
+    while !name_end < n && is_name_char line.[!name_end] do
+      incr name_end
+    done;
+    let sample_name = String.sub line 0 !name_end in
+    if not (valid_name sample_name) then fail lineno "bad sample name";
+    let i = ref !name_end in
+    let labels = ref [] in
+    if !i < n && line.[!i] = '{' then begin
+      incr i;
+      let rec more () =
+        let k0 = !i in
+        while !i < n && is_name_char line.[!i] do
+          incr i
+        done;
+        let k = String.sub line k0 (!i - k0) in
+        if not (valid_name k) then fail lineno "bad label name";
+        if !i + 1 >= n || line.[!i] <> '=' || line.[!i + 1] <> '"' then
+          fail lineno "expected =\" after label name";
+        i := !i + 2;
+        let buf = Buffer.create 8 in
+        let rec scan () =
+          if !i >= n then fail lineno "unterminated label value"
+          else
+            match line.[!i] with
+            | '"' -> incr i
+            | '\\' ->
+                if !i + 1 >= n then fail lineno "bad escape";
+                (match line.[!i + 1] with
+                | '\\' -> Buffer.add_char buf '\\'
+                | '"' -> Buffer.add_char buf '"'
+                | 'n' -> Buffer.add_char buf '\n'
+                | _ -> fail lineno "bad escape");
+                i := !i + 2;
+                scan ()
+            | c ->
+                Buffer.add_char buf c;
+                incr i;
+                scan ()
+        in
+        scan ();
+        labels := (k, Buffer.contents buf) :: !labels;
+        if !i < n && line.[!i] = ',' then begin
+          incr i;
+          more ()
+        end
+        else if !i < n && line.[!i] = '}' then incr i
+        else fail lineno "expected ',' or '}' in labels"
+      in
+      more ()
+    end;
+    if !i >= n || line.[!i] <> ' ' then
+      fail lineno "expected single space before value";
+    incr i;
+    let value_str = String.sub line !i (n - !i) in
+    if value_str = "" || String.contains value_str ' ' then
+      fail lineno "expected exactly one value";
+    { sample_name; labels = List.rev !labels; value = parse_float lineno value_str }
+  in
+  let check_family lineno fam =
+    let f = fam.family_name in
+    let samples = fam.samples in
+    let bad msg = fail lineno (f ^ ": " ^ msg) in
+    match fam.kind with
+    | Counter -> (
+        match samples with
+        | [ { sample_name; labels = []; value } ]
+          when sample_name = f ^ "_total" ->
+            if value < 0.0 then bad "negative counter"
+        | _ -> bad "counter needs exactly one bare <name>_total sample")
+    | Gauge -> (
+        match samples with
+        | [ { sample_name; labels = []; _ } ] when sample_name = f -> ()
+        | _ -> bad "gauge needs exactly one bare <name> sample")
+    | Histogram ->
+        let buckets, rest =
+          List.partition (fun s -> s.sample_name = f ^ "_bucket") samples
+        in
+        if buckets = [] then bad "histogram needs buckets";
+        let last = ref neg_infinity in
+        let prev_count = ref 0.0 in
+        List.iter
+          (fun b ->
+            match b.labels with
+            | [ ("le", le) ] ->
+                let bound = parse_float lineno le in
+                if bound <= !last then bad "bucket bounds not increasing";
+                last := bound;
+                if b.value < !prev_count then bad "buckets not cumulative";
+                prev_count := b.value
+            | _ -> bad "bucket needs exactly the le label")
+          buckets;
+        if !last <> infinity then bad "last bucket must be le=\"+Inf\"";
+        let sum, rest =
+          List.partition (fun s -> s.sample_name = f ^ "_sum") rest
+        in
+        let count, rest =
+          List.partition (fun s -> s.sample_name = f ^ "_count") rest
+        in
+        if rest <> [] then bad "unexpected samples";
+        (match (sum, count) with
+        | [ { labels = []; _ } ], [ { labels = []; value; _ } ] ->
+            if value <> !prev_count then bad "count <> +Inf bucket"
+        | _ -> bad "histogram needs exactly one _sum and one _count")
+  in
+  let lines = String.split_on_char '\n' text in
+  let nlines = List.length lines in
+  (match List.rev lines with
+  | "" :: _ -> ()
+  | _ -> fail 0 "missing final newline");
+  let families = Hashtbl.create 16 in
+  let current = ref None in
+  let finished = ref [] in
+  let eof_seen = ref false in
+  let close_current lineno =
+    match !current with
+    | None -> ()
+    | Some fam ->
+        let fam = { fam with samples = List.rev fam.samples } in
+        check_family lineno fam;
+        finished := fam :: !finished;
+        current := None
+  in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      if line = "" && idx = nlines - 1 then ()
+      else if !eof_seen then fail lineno "content after # EOF"
+      else if line = "# EOF" then begin
+        close_current lineno;
+        eof_seen := true
+      end
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        close_current lineno;
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; kind_str ] ->
+            if not (valid_name name) then fail lineno "bad family name";
+            if Hashtbl.mem families name then
+              fail lineno ("duplicate family " ^ name);
+            Hashtbl.add families name ();
+            let kind =
+              match kind_str with
+              | "counter" -> Counter
+              | "gauge" -> Gauge
+              | "histogram" -> Histogram
+              | k -> fail lineno ("unknown family type " ^ k)
+            in
+            current := Some { family_name = name; kind; samples = [] }
+        | _ -> fail lineno "malformed # TYPE line"
+      end
+      else if String.length line >= 1 && line.[0] = '#' then
+        fail lineno "only # TYPE and # EOF comment lines are allowed"
+      else begin
+        let sample = parse_sample lineno line in
+        match !current with
+        | None -> fail lineno "sample before any # TYPE"
+        | Some fam ->
+            let ok_prefix =
+              sample.sample_name = fam.family_name
+              || List.exists
+                   (fun suffix ->
+                     sample.sample_name = fam.family_name ^ suffix)
+                   [ "_total"; "_bucket"; "_sum"; "_count" ]
+            in
+            if not ok_prefix then
+              fail lineno
+                (sample.sample_name ^ " does not belong to family "
+               ^ fam.family_name);
+            current := Some { fam with samples = sample :: fam.samples }
+      end)
+    lines;
+  if not !eof_seen then fail nlines "missing # EOF";
+  List.rev !finished
+
+let parse_result text =
+  match parse text with
+  | families -> Ok families
+  | exception Bad (line, msg) ->
+      Error (Printf.sprintf "invalid OpenMetrics at line %d: %s" line msg)
+
+let validate text = Result.map (fun _ -> ()) (parse_result text)

@@ -49,7 +49,15 @@ let collect ~into:registry =
     Metrics.histogram registry "region.instrs"
       ~buckets:[ 4.; 8.; 16.; 32.; 64.; 128.; 256. ]
   in
-  let emit ~step:_ event =
+  (* Open spans, innermost first; ends match by label so interleaved
+     scheduler streams still fold (mirrors Profiler's tolerance). *)
+  let open_spans = ref [] in
+  let add_counter name n = Metrics.add (Metrics.counter registry name) n in
+  let add_gauge name v =
+    let g = Metrics.gauge registry name in
+    Metrics.set g (Metrics.gauge_value g +. v)
+  in
+  let emit ~step event =
     Metrics.incr (Metrics.counter registry ("events." ^ Event.kind_name event));
     match event with
     | Event.Region_formed { slots; instrs; _ } ->
@@ -57,6 +65,23 @@ let collect ~into:registry =
         Metrics.observe instrs_hist (float_of_int instrs)
     | Event.Region_entry { region } -> bump entries region
     | Event.Region_side_exit { region; _ } -> bump side_exits region
+    | Event.Span_begin { span } -> open_spans := (span, step) :: !open_spans
+    | Event.Span_end { span; wall_ns; minor_words; major_words } ->
+        if List.mem_assoc span !open_spans then begin
+          let begin_step = List.assoc span !open_spans in
+          open_spans := List.remove_assoc span !open_spans;
+          let p = "span." ^ span in
+          add_counter (p ^ ".count") 1;
+          add_counter (p ^ ".steps") (step - begin_step);
+          add_counter (p ^ ".minor_words") minor_words;
+          add_counter (p ^ ".major_words") major_words;
+          add_gauge (p ^ ".seconds") (float_of_int wall_ns *. 1e-9)
+        end
+    | Event.Stage_cost { stage; cycles; steps; count } ->
+        let p = "stage." ^ stage in
+        add_counter (p ^ ".count") count;
+        add_counter (p ^ ".steps") steps;
+        add_gauge (p ^ ".cycles") cycles
     | _ -> ()
   in
   let closed = ref false in

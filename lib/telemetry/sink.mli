@@ -45,7 +45,12 @@ val collect : into:Metrics.t -> t
       events;
     - histogram [region.side_exit_rate], observed per region at
       [close] from the accumulated entry/side-exit events (regions
-      with no entries are skipped). *)
+      with no entries are skipped);
+    - per span label, counters [span.<label>.count], [.steps] (stamp
+      widths), [.minor_words], [.major_words] and a gauge [.seconds]
+      (accumulated wall time — the one nondeterministic instrument);
+    - per attribution stage, counters [stage.<stage>.count], [.steps]
+      and a gauge [stage.<stage>.cycles]. *)
 
 val tee : t list -> t
 (** Forward every event to each sink in order.  [close] closes each. *)

@@ -8,7 +8,7 @@ type region_row = {
   mutable dissolved_at : int option;
 }
 
-let render events =
+let render ?metrics events =
   let kind_counts = Hashtbl.create 16 in
   let regions : (int, region_row) Hashtbl.t = Hashtbl.create 16 in
   let row region =
@@ -96,4 +96,14 @@ let render events =
              | None -> "-")))
       rows
   end;
+  let attribution = Attribution.of_events events in
+  if not (Attribution.is_empty attribution) then begin
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (Attribution.render attribution)
+  end;
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      Buffer.add_string buf "\nmetrics:\n";
+      Buffer.add_string buf (Metrics.render m));
   Buffer.contents buf

@@ -6,7 +6,11 @@
     after [tpdbt trace]; the machine-readable forms are the JSONL log
     and {!Metrics.to_json}. *)
 
-val render : Event.stamped list -> string
+val render : ?metrics:Metrics.t -> Event.stamped list -> string
 (** Events must be in emission order.  Includes per-event-kind totals,
-    the step of each optimisation round, and a per-region table
-    (kind, slots, entries, side exits, completions, dissolution). *)
+    the step of each optimisation round, a per-region table (kind,
+    slots, entries, side exits, completions, dissolution) and — when
+    the stream carries {!Event.Stage_cost}/{!Event.Region_cost} events
+    — the {!Attribution} cost tables.  [metrics], when given, appends
+    the registry dump ({!Metrics.render}, histogram buckets
+    included). *)

@@ -14,6 +14,7 @@ let () =
       ("cache", Test_cache.suite);
       ("integration", Test_integration.suite);
       ("telemetry", Test_telemetry.suite);
+      ("profiling", Test_profiling.suite);
       ("parallel", Test_parallel.suite);
       ("robustness", Test_robustness.suite);
     ]

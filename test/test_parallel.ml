@@ -556,11 +556,34 @@ let test_worker_telemetry () =
     (List.length (List.filter (( = ) "worker.start") kinds));
   checki "one finish per task" 4
     (List.length (List.filter (( = ) "worker.finish") kinds));
+  checki "one span begin per task" 4
+    (List.length (List.filter (( = ) "span.begin") kinds));
+  checki "one span end per task" 4
+    (List.length (List.filter (( = ) "span.end") kinds));
   List.iter
     (fun k ->
-      checkb ("only worker events, got " ^ k) true
-        (List.mem k [ "worker.start"; "worker.steal"; "worker.finish" ]))
+      checkb ("only worker/span events, got " ^ k) true
+        (List.mem k
+           [
+             "worker.start"; "worker.steal"; "worker.finish"; "span.begin";
+             "span.end";
+           ]))
     kinds;
+  (* Worker spans name their worker and report a sane wall clock. *)
+  List.iter
+    (fun (_, e) ->
+      match e with
+      | Tel.Event.Span_begin { span } | Tel.Event.Span_end { span; _ } ->
+          checkb ("span named for a worker: " ^ span) true
+            (String.length span > 6 && String.sub span 0 6 = "worker");
+          (match e with
+          | Tel.Event.Span_end { wall_ns; minor_words; major_words; _ } ->
+              checkb "span wall non-negative" true (wall_ns >= 0);
+              checki "span minor words" 0 minor_words;
+              checki "span major words" 0 major_words
+          | _ -> ())
+      | _ -> ())
+    !events;
   (* Scheduler stamps are a strictly increasing sequence. *)
   let steps = List.rev_map fst !events in
   checkb "scheduler sequence increases" true
@@ -568,7 +591,10 @@ let test_worker_telemetry () =
   let names = Tel.Metrics.names metrics in
   List.iter
     (fun n -> checkb (n ^ " recorded") true (List.mem n names))
-    [ "parallel.speedup"; "parallel.jobs"; "parallel.steals"; "parallel.tasks" ];
+    [
+      "parallel.speedup"; "parallel.jobs"; "parallel.steals"; "parallel.tasks";
+      "parallel.busy_seconds"; "parallel.idle_seconds";
+    ];
   checkb "speedup gauge positive" true
     (Tel.Metrics.gauge_value (Tel.Metrics.gauge metrics "parallel.speedup")
     > 0.0);

@@ -66,6 +66,7 @@ let test_event_ordering () =
   let in_optimize = ref false in
   let pool_triggers = ref 0 in
   let prev_step = ref 0 in
+  let span_stack = ref [] in
   List.iter
     (fun { Event.step; event } ->
       checkb "steps non-decreasing" true (step >= !prev_step);
@@ -114,6 +115,27 @@ let test_event_ordering () =
       | Event.Shadow_divergence _ | Event.Region_quarantined _
       | Event.Engine_degraded _ ->
           checkb "no divergence in clean run" true false
+      | Event.Span_begin { span } -> span_stack := span :: !span_stack
+      | Event.Span_end { span; wall_ns; minor_words; major_words } -> (
+          (* A single engine's spans are strictly nested: every end
+             closes the innermost open span. *)
+          checkb "span end has non-negative wall time" true (wall_ns >= 0);
+          checkb "span allocation deltas non-negative" true
+            (minor_words >= 0 && major_words >= 0);
+          match !span_stack with
+          | top :: rest ->
+              checkb "span end closes the innermost span" true (top = span);
+              span_stack := rest
+          | [] -> checkb "span end without open span" true false)
+      | Event.Stage_cost { cycles; steps; count; _ } ->
+          checkb "stage cost emitted inside the run span" true
+            (List.mem "engine.run" !span_stack);
+          checkb "stage cost totals sane" true
+            (cycles >= 0.0 && steps >= 0 && count > 0)
+      | Event.Region_cost { region; cycles; instrs } ->
+          checkb "region cost for a formed region" true
+            (Hashtbl.mem formed region);
+          checkb "region cost totals sane" true (cycles >= 0.0 && instrs >= 0)
       | Event.Worker_start _ | Event.Worker_steal _ | Event.Worker_finish _
       | Event.Supervisor_retry _ | Event.Supervisor_give_up _
       | Event.Breaker_open _ | Event.Worker_lost _ | Event.Pool_degraded _
@@ -123,7 +145,8 @@ let test_event_ordering () =
   checkb "pool triggered" true (!pool_triggers > 0);
   checkb "regions formed" true (Hashtbl.length formed > 0);
   checkb "regions entered" true (Hashtbl.length entered > 0);
-  checkb "optimize rounds balanced" false !in_optimize
+  checkb "optimize rounds balanced" false !in_optimize;
+  checkb "spans balanced" true (!span_stack = [])
 
 let test_event_counts_match_counters () =
   (* The event stream and the perf-model counters are two views of the
