@@ -15,7 +15,8 @@ PAR_JOBS ?= 4
 PAR_SMOKE_DIR := _build/par-smoke
 
 .PHONY: all build test fmt fmt-strict check clean faults-smoke cache-smoke \
-	par-smoke par-bench chaos-smoke profile-smoke perf-bench perfdiff
+	par-smoke par-bench chaos-smoke chaos-serve-smoke serve-smoke \
+	profile-smoke perf-bench perfdiff
 
 all: build
 
@@ -83,6 +84,67 @@ chaos-smoke: build
 		$(CHAOS_SMOKE_DIR)/par-summary.json
 	@echo "chaos-smoke: survived; summaries identical at -j 1 and -j $(PAR_JOBS)"
 
+# Serving chaos: the same discipline turned on the daemon's state
+# machine — framing and protocol damage, overload at a tiny admission
+# queue, a client death, a worker crash, a stalled workload, a kill
+# mid-sweep with a torn journal, recovery and drain — run twice with
+# the same seed; tpdbt chaos --serve exits non-zero unless every
+# surviving benchmark is byte-identical to an offline run, and the two
+# summaries must agree byte for byte (CI uploads
+# chaos-serve-summary.json as an artifact).
+CHAOS_SERVE_DIR := _build/chaos-serve-smoke
+
+chaos-serve-smoke: build
+	rm -rf $(CHAOS_SERVE_DIR)
+	mkdir -p $(CHAOS_SERVE_DIR)
+	$(DUNE) exec bin/tpdbt.exe -- chaos --serve --seed 23 \
+		--dir $(CHAOS_SERVE_DIR)/run1 \
+		--summary $(CHAOS_SERVE_DIR)/chaos-serve-summary.json
+	$(DUNE) exec bin/tpdbt.exe -- chaos --serve --seed 23 \
+		--dir $(CHAOS_SERVE_DIR)/run2 \
+		--summary $(CHAOS_SERVE_DIR)/repeat-summary.json
+	cmp $(CHAOS_SERVE_DIR)/chaos-serve-summary.json \
+		$(CHAOS_SERVE_DIR)/repeat-summary.json
+	@echo "chaos-serve-smoke: served chaos survived; repeat summary identical"
+
+# End-to-end serving smoke, sockets included: start the daemon, sweep
+# two benchmarks through the wire protocol, drain it, and byte-diff
+# the checkpoints it wrote against an offline `tpdbt sweep` over the
+# same benchmarks — the serving path must be invisible in the results.
+SERVE_SMOKE_DIR := _build/serve-smoke
+TPDBT_BIN := _build/default/bin/tpdbt.exe
+
+serve-smoke: build
+	rm -rf $(SERVE_SMOKE_DIR)
+	mkdir -p $(SERVE_SMOKE_DIR)
+	$(TPDBT_BIN) serve --socket $(SERVE_SMOKE_DIR)/tpdbt.sock \
+		--checkpoint $(SERVE_SMOKE_DIR)/serve-ckpt \
+		--journal $(SERVE_SMOKE_DIR)/journal \
+		--max-steps 200000 --quiet & \
+	pid=$$!; \
+	up=0; \
+	for i in $$(seq 1 100); do \
+		test -S $(SERVE_SMOKE_DIR)/tpdbt.sock && { up=1; break; }; \
+		sleep 0.1; \
+	done; \
+	test $$up -eq 1 \
+		|| { echo "serve-smoke: daemon never came up"; kill $$pid; exit 1; }; \
+	$(TPDBT_BIN) request --socket $(SERVE_SMOKE_DIR)/tpdbt.sock \
+		'{"op":"ping"}' > /dev/null \
+		|| { echo "serve-smoke: ping failed"; kill $$pid; exit 1; }; \
+	$(TPDBT_BIN) request --socket $(SERVE_SMOKE_DIR)/tpdbt.sock \
+		'{"op":"sweep","benches":["gzip","swim"],"return_results":false}' \
+		> $(SERVE_SMOKE_DIR)/sweep-reply.json \
+		|| { echo "serve-smoke: sweep failed"; kill $$pid; exit 1; }; \
+	$(TPDBT_BIN) request --socket $(SERVE_SMOKE_DIR)/tpdbt.sock \
+		'{"op":"drain"}' > /dev/null \
+		|| { echo "serve-smoke: drain refused"; kill $$pid; exit 1; }; \
+	wait $$pid
+	$(TPDBT_BIN) sweep -b gzip -b swim --jobs 1 --max-steps 200000 \
+		--checkpoint $(SERVE_SMOKE_DIR)/offline-ckpt > /dev/null
+	diff -r $(SERVE_SMOKE_DIR)/serve-ckpt $(SERVE_SMOKE_DIR)/offline-ckpt
+	@echo "serve-smoke: served sweep byte-identical to the offline sweep"
+
 # Profiling smoke: tpdbt profile on one workload must produce a
 # non-empty collapsed-stack file, a span-profile JSON and an
 # OpenMetrics exposition (the command itself re-validates each artefact
@@ -137,7 +199,7 @@ fmt-strict:
 	$(DUNE) build @fmt
 
 check: build test faults-smoke cache-smoke par-smoke chaos-smoke \
-	profile-smoke fmt
+	chaos-serve-smoke serve-smoke profile-smoke fmt
 
 clean:
 	$(DUNE) clean

@@ -1,9 +1,19 @@
 (* tpdbt — command-line driver for the two-phase DBT reproduction.
 
    Subcommands: asm, dis, check, run, dbt, bench, sweep, profile,
-   perfdiff, analyze, report, ablate, trace, faults, cache, chaos. *)
+   perfdiff, analyze, report, ablate, trace, faults, cache, chaos,
+   serve, request. *)
 
 open Cmdliner
+
+(* Exit-code taxonomy, uniform across subcommands (see README):
+   0 success; 1 usage (bad invocation, unknown benchmark/fault/file);
+   2 validation or corruption (malformed or damaged input, failed
+   self-check); 3 regression or divergence (everything ran, the
+   answer is bad). *)
+let exit_usage = 1
+let exit_invalid = 2
+let exit_regression = 3
 
 let read_file path =
   let ic = open_in_bin path in
@@ -21,14 +31,14 @@ let or_die = function
   | Ok v -> v
   | Error msg ->
       prerr_endline ("error: " ^ msg);
-      exit 1
+      exit exit_invalid
 
 (* Same, for operations whose failures are typed engine errors. *)
 let or_die_err = function
   | Ok v -> v
   | Error e ->
       prerr_endline ("error: " ^ Tpdbt_dbt.Error.to_string e);
-      exit 1
+      exit exit_invalid
 
 let warn_error = function
   | None -> ()
@@ -102,7 +112,7 @@ let check_cmd =
         List.iter
           (fun issue -> Format.printf "%a@." Tpdbt_isa.Check.pp_issue issue)
           issues;
-        exit 1
+        exit exit_invalid
   in
   Cmd.v
     (Cmd.info "check"
@@ -317,7 +327,7 @@ let bench_cmd =
         match Tpdbt_workloads.Suite.find name with
         | None ->
             prerr_endline ("unknown benchmark: " ^ name);
-            exit 1
+            exit exit_usage
         | Some bench ->
             if dump_asm then print_string (Tpdbt_workloads.Spec.source bench)
             else begin
@@ -422,7 +432,7 @@ let sweep_cmd =
               | Some b -> b
               | None ->
                   prerr_endline ("unknown benchmark: " ^ n);
-                  exit 1)
+                  exit exit_usage)
             names
     in
     let progress n = function
@@ -502,7 +512,7 @@ let sweep_cmd =
               (fun () ->
                 output_string oc (Tpdbt_experiments.Table.to_csv table)))
       tables;
-    if sweep.Runner.failures <> [] then exit 1
+    if sweep.Runner.failures <> [] then exit exit_regression
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -587,7 +597,7 @@ let profile_cmd =
             prerr_endline
               ("unknown workload (neither a suite benchmark nor a file): "
              ^ workload);
-            exit 1
+            exit exit_usage
           end;
           let program = load_program workload in
           let config = { config with Tpdbt_dbt.Engine.sink } in
@@ -607,13 +617,13 @@ let profile_cmd =
     | Ok () -> ()
     | Error msg ->
         prerr_endline ("internal error: profile export " ^ msg);
-        exit 2);
+        exit exit_invalid);
     let prom = Tel.Openmetrics.render metrics in
     (match Tel.Openmetrics.validate prom with
     | Ok () -> ()
     | Error msg ->
         prerr_endline ("internal error: openmetrics export " ^ msg);
-        exit 2);
+        exit exit_invalid);
     let folded_path = Filename.concat out_dir (name ^ ".folded") in
     let json_path = Filename.concat out_dir (name ^ ".profile.json") in
     let prom_path = Filename.concat out_dir (name ^ ".metrics.prom") in
@@ -682,10 +692,11 @@ let perfdiff_cmd =
     with
     | Error msg ->
         prerr_endline ("error: " ^ msg);
-        exit 1
+        exit exit_invalid
     | Ok report ->
         print_string (Perfdiff.render report);
-        if Perfdiff.regressions report <> [] && not warn_only then exit 3
+        if Perfdiff.regressions report <> [] && not warn_only then
+          exit exit_regression
   in
   Cmd.v
     (Cmd.info "perfdiff"
@@ -814,7 +825,7 @@ let trace_cmd =
                 prerr_endline
                   ("unknown workload (neither a suite benchmark nor a file): "
                  ^ workload);
-                exit 1
+                exit exit_usage
               end;
               let program = load_program workload in
               let metrics = Tel.Metrics.create () in
@@ -842,7 +853,7 @@ let trace_cmd =
     | Ok () -> ()
     | Error msg ->
         prerr_endline ("internal error: trace export " ^ msg);
-        exit 2);
+        exit exit_invalid);
     write_file trace_path trace_json;
     write_file metrics_path (Tel.Metrics.to_json metrics);
     print_string (Tel.Summary.render events);
@@ -951,7 +962,7 @@ let faults_cmd =
       | Some b -> b
       | None ->
           prerr_endline ("unknown benchmark: " ^ workload);
-          exit 1
+          exit exit_usage
     in
     let kinds =
       match kinds with
@@ -964,7 +975,7 @@ let faults_cmd =
                  | Some k -> k
                  | None ->
                      prerr_endline ("unknown fault kind: " ^ n);
-                     exit 1)
+                     exit exit_usage)
                names)
     in
     let campaign =
@@ -972,8 +983,9 @@ let faults_cmd =
         Campaign.run ?kinds ~jobs ~threshold ~trials ~arms ~shadow_sample ~seed
           bench
       with Tpdbt_dbt.Error.Error e ->
-        prerr_endline ("error: clean run failed: " ^ Tpdbt_dbt.Error.to_string e);
-        exit 1
+        prerr_endline
+          ("error: clean run failed: " ^ Tpdbt_dbt.Error.to_string e);
+        exit exit_invalid
     in
     Format.printf "%a@." Campaign.render campaign;
     if show_plans then
@@ -982,7 +994,7 @@ let faults_cmd =
           Format.printf "trial %d plan: %a@." tr.Campaign.index
             Tpdbt_faults.Plan.pp tr.Campaign.plan)
         campaign.Campaign.trials;
-    if not (Campaign.ok campaign) then exit 1
+    if not (Campaign.ok campaign) then exit exit_regression
   in
   Cmd.v
     (Cmd.info "faults"
@@ -1056,7 +1068,7 @@ let cache_cmd =
           | Some b -> b
           | None ->
               prerr_endline ("unknown benchmark: " ^ n);
-              exit 1)
+              exit exit_usage)
         benches
     in
     let fracs = match fracs with [] -> None | l -> Some l in
@@ -1126,16 +1138,16 @@ let cache_cmd =
               output_string oc (Tpdbt_experiments.Table.to_csv table))
         with Sys_error msg ->
           Printf.eprintf "cannot write CSV: %s\n%!" msg;
-          exit 1));
+          exit exit_usage));
     Printf.printf "total evictions across sweep: %d\n" !evictions;
     if !violations > 0 then begin
       Printf.eprintf "%d sweep point(s) changed guest behaviour\n%!"
         !violations;
-      exit 1
+      exit exit_regression
     end;
     if expect_evictions && !evictions = 0 then begin
       prerr_endline "expected evictions, saw none (capacity never bound)";
-      exit 1
+      exit exit_regression
     end
   in
   Cmd.v
@@ -1193,7 +1205,35 @@ let chaos_cmd =
              are kept as partial results, so the harness stays fast while \
              still exercising every fault path.")
   in
-  let run benches seed jobs dir summary max_steps =
+  let serve_mode =
+    Arg.(
+      value & flag
+      & info [ "serve" ]
+          ~doc:
+            "Attack the serving path instead of the batch sweep: drive the \
+             $(b,tpdbt serve) state machine through framing/protocol \
+             damage, overload, a client death, a worker crash, a stall, a \
+             kill mid-sweep with a torn journal, recovery and drain — then \
+             byte-diff every surviving benchmark against an offline run.")
+  in
+  let write_summary summary json =
+    match summary with
+    | None -> ()
+    | Some file ->
+        (match Tpdbt_telemetry.Json.validate json with
+        | Ok () -> ()
+        | Error msg ->
+            prerr_endline ("internal error: chaos summary " ^ msg);
+            exit exit_invalid);
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc json;
+            output_char oc '\n');
+        Printf.printf "wrote %s\n" file
+  in
+  let run benches seed jobs dir summary max_steps serve_mode =
     let benches =
       match benches with
       | [] -> None
@@ -1205,37 +1245,36 @@ let chaos_cmd =
                  | Some b -> b
                  | None ->
                      prerr_endline ("unknown benchmark: " ^ n);
-                     exit 1)
+                     exit exit_usage)
                names)
     in
-    let progress n = function
-      | Runner.Started -> Printf.eprintf "running %s...\n%!" n
-      | status -> Printf.eprintf "%s: %s\n%!" n (Runner.status_name status)
-    in
-    let c =
-      try Campaign.chaos ~jobs ?benches ~max_steps ~progress ~dir ~seed ()
-      with Invalid_argument msg ->
-        prerr_endline ("error: " ^ msg);
-        exit 1
-    in
-    Format.printf "%a@." Campaign.render_chaos c;
-    (match summary with
-    | None -> ()
-    | Some file ->
-        let json = Campaign.chaos_to_json c in
-        (match Tpdbt_telemetry.Json.validate json with
-        | Ok () -> ()
-        | Error msg ->
-            prerr_endline ("internal error: chaos summary " ^ msg);
-            exit 2);
-        let oc = open_out file in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () ->
-            output_string oc json;
-            output_char oc '\n');
-        Printf.printf "wrote %s\n" file);
-    if not (Campaign.chaos_ok c) then exit 1
+    if serve_mode then begin
+      let module Chaos_serve = Tpdbt_serve.Chaos_serve in
+      let c =
+        try Chaos_serve.run ?benches ~max_steps ~dir ~seed ()
+        with Invalid_argument msg ->
+          prerr_endline ("error: " ^ msg);
+          exit exit_invalid
+      in
+      Format.printf "%a@." Chaos_serve.render c;
+      write_summary summary (Chaos_serve.to_json c);
+      if not (Chaos_serve.ok c) then exit exit_regression
+    end
+    else begin
+      let progress n = function
+        | Runner.Started -> Printf.eprintf "running %s...\n%!" n
+        | status -> Printf.eprintf "%s: %s\n%!" n (Runner.status_name status)
+      in
+      let c =
+        try Campaign.chaos ~jobs ?benches ~max_steps ~progress ~dir ~seed ()
+        with Invalid_argument msg ->
+          prerr_endline ("error: " ^ msg);
+          exit exit_invalid
+      in
+      Format.printf "%a@." Campaign.render_chaos c;
+      write_summary summary (Campaign.chaos_to_json c);
+      if not (Campaign.chaos_ok c) then exit exit_regression
+    end
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -1244,19 +1283,170 @@ let chaos_cmd =
           stalled workload, a worker-domain crash, a panicking task, and \
           bit-flipped/truncated checkpoint files — then resume and verify \
           that every non-quarantined benchmark's results are byte-identical \
-          to a fault-free sequential run.  Exits non-zero unless the sweep \
-          survives with exactly the expected casualties.")
+          to a fault-free sequential run.  With $(b,--serve), attack the \
+          serving path instead.  Exits non-zero unless the system survives \
+          with exactly the expected casualties.")
     Term.(
-      const run $ benches $ seed_arg $ jobs_arg $ dir $ summary $ chaos_steps)
+      const run $ benches $ seed_arg $ jobs_arg $ dir $ summary $ chaos_steps
+      $ serve_mode)
+
+(* ------------------------------------------------------------------ *)
+(* serve / request (translation service)                                *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string Tpdbt_serve.Daemon.default_options.Tpdbt_serve.Daemon.socket
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path the daemon listens on.")
+
+let serve_cmd =
+  let module Serve = Tpdbt_serve in
+  let queue_limit =
+    Arg.(
+      value & opt int Serve.Server.default_config.Serve.Server.queue_limit
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Admission bound: expensive requests beyond N queued jobs are \
+             refused with an $(i,overloaded) reply instead of buffered.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ] ~docv:"STEPS"
+          ~doc:
+            "Per-run guest-step deadline (supervisor budget) applied to \
+             every engine run the daemon performs.")
+  in
+  let serve_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Server-wide guest-instruction cap; a request's own max_steps \
+             wins when smaller.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"DIR"
+          ~doc:
+            "Checkpoint sweeps into DIR — also the recovery substrate a \
+             restarted daemon resumes from.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Crash-only session journal: in-flight sweeps of a killed \
+             daemon are re-run on restart.")
+  in
+  let warm =
+    Arg.(
+      value & opt int Serve.Server.default_config.Serve.Server.warm_capacity
+      & info [ "warm-capacity" ] ~docv:"INSTRS"
+          ~doc:
+            "Warm reply cache budget, in translated guest instructions \
+             (shared across requests, LRU).")
+  in
+  let idle_timeout =
+    Arg.(
+      value
+      & opt float Serve.Daemon.default_options.Serve.Daemon.idle_timeout
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Drop clients silent for this long.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No lifecycle logging.")
+  in
+  let run socket queue_limit jobs deadline max_steps checkpoint journal warm
+      idle_timeout quiet =
+    let options =
+      {
+        Serve.Daemon.socket;
+        idle_timeout;
+        server =
+          {
+            Serve.Server.default_config with
+            Serve.Server.queue_limit;
+            jobs;
+            deadline;
+            max_steps;
+            warm_capacity = warm;
+            checkpoint_dir = checkpoint;
+            journal_path = journal;
+          };
+      }
+    in
+    let log = if quiet then fun _ -> () else Printf.eprintf "serve: %s\n%!" in
+    try Serve.Daemon.run ~log options
+    with Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "error: %s %s: %s\n%!" fn arg (Unix.error_message e);
+      exit exit_usage
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the fault-tolerant translation daemon on a Unix-domain \
+          socket: bounded admission queue with explicit backpressure, \
+          strict request validation, a shared warm translation cache, \
+          per-request deadlines, health probes, OpenMetrics, graceful \
+          drain on SIGTERM or a $(i,drain) request, and crash-only \
+          journal recovery (see docs/serve.md for the protocol).")
+    Term.(
+      const run $ socket_arg $ queue_limit $ jobs_arg $ deadline
+      $ serve_steps $ checkpoint $ journal $ warm $ idle_timeout $ quiet)
+
+let request_cmd =
+  let payload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JSON"
+          ~doc:
+            "The request object, e.g. '{\"op\":\"status\"}' or \
+             '{\"op\":\"run\",\"workload\":\"gzip\",\"threshold\":20}'.")
+  in
+  let run socket payload =
+    match Tpdbt_serve.Daemon.request ~socket payload with
+    | Error msg ->
+        prerr_endline ("error: " ^ msg);
+        exit exit_usage
+    | Ok reply -> (
+        print_endline reply;
+        match Tpdbt_telemetry.Json.parse reply with
+        | Ok doc
+          when Tpdbt_telemetry.Json.member "ok" doc
+               = Some (Tpdbt_telemetry.Json.Bool false) ->
+            exit exit_invalid
+        | Ok _ | Error _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one JSON request to a running $(b,tpdbt serve) daemon and \
+          print the reply.  Exits 2 when the daemon refuses the request \
+          (invalid, overloaded, draining).")
+    Term.(const run $ socket_arg $ payload)
 
 let () =
   let doc = "two-phase dynamic binary translator profile-accuracy testbed" in
   let info = Cmd.info "tpdbt" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            asm_cmd; dis_cmd; check_cmd; run_cmd; dbt_cmd; bench_cmd; sweep_cmd;
-            profile_cmd; perfdiff_cmd; analyze_cmd; report_cmd; ablate_cmd;
-            trace_cmd; faults_cmd; cache_cmd; chaos_cmd;
-          ]))
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [
+           asm_cmd; dis_cmd; check_cmd; run_cmd; dbt_cmd; bench_cmd; sweep_cmd;
+           profile_cmd; perfdiff_cmd; analyze_cmd; report_cmd; ablate_cmd;
+           trace_cmd; faults_cmd; cache_cmd; chaos_cmd; serve_cmd; request_cmd;
+         ])
+  in
+  (* Fold cmdliner's CLI-error code (124) into the taxonomy's usage
+     class; subcommand exits pass through untouched. *)
+  exit (if code = Cmd.Exit.cli_error then exit_usage else code)

@@ -342,7 +342,19 @@ let save ~dir (d : Runner.data) =
          looking file full of zeroes. *)
       flush oc;
       Unix.fsync (Unix.descr_of_out_channel oc));
-  Sys.rename tmp final
+  Sys.rename tmp final;
+  (* The rename itself lives in the directory: without fsyncing it, a
+     power cut can forget the new name (or resurrect the old file)
+     even though the data blocks are safe.  Directories cannot be
+     opened for writing; O_RDONLY is the documented way to fsync one.
+     Filesystems that refuse (EINVAL and friends) get the rename's
+     usual eventual durability — no worse than before. *)
+  (match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ()))
 
 let read_file file =
   let ic = open_in_bin file in

@@ -33,7 +33,8 @@ val path : dir:string -> Tpdbt_workloads.Spec.t -> string
 
 val save : dir:string -> Runner.data -> unit
 (** Write the benchmark's checkpoint crash-consistently (temp file,
-    fsync, atomic rename), creating [dir] if needed.
+    fsync, atomic rename, then fsync of [dir] so the rename itself
+    survives a power cut), creating [dir] if needed.
     @raise Sys_error on I/O failure. *)
 
 val classify :

@@ -1,0 +1,88 @@
+(** Chaos harness for the serving path: every failure mode the daemon
+    claims to survive, injected deterministically, verified by
+    byte-diff.
+
+    Where {!Tpdbt_experiments.Campaign.chaos} attacks the {e batch}
+    sweep infrastructure, this harness attacks the {e service}: it
+    drives the {!Server} state machine directly (no sockets — the
+    {!Daemon} shell contributes nothing to serving semantics) through
+    a seeded scenario:
+
+    + {e protocol damage} — framing garbage, oversized headers, broken
+      JSON, schema violations: all rejected, the server keeps serving;
+    + {e warm-cache coherence} — a repeated request is answered from
+      the shared cache, byte-identical to its cold computation;
+    + {e overload} — more expensive requests than the admission queue
+      holds: the excess is refused with [overloaded] {e immediately}
+      and queue depth never exceeds the configured bound;
+    + {e client death} — a client disconnects with work queued: the
+      work completes (checkpointed), the reply is dropped;
+    + {e worker crash and stall} — a sweep whose tasks crash a worker
+      domain and persistently stall: the crash recovers via the
+      supervisor, the stall is quarantined;
+    + {e kill mid-sweep} — the process "dies" (a simulated SIGKILL)
+      between benchmarks, and the journal tail is damaged for good
+      measure: a restarted server truncates the torn record, re-runs
+      the in-flight sweep as an orphan, and resumes finished
+      benchmarks from their checkpoints;
+    + {e graceful drain} — new work is refused, the queue finishes,
+      the journal records the clean shutdown.
+
+    The verdict is the repo's standard one: every non-poisoned
+    benchmark's final checkpoint must be byte-identical to a fault-free
+    offline sweep ({!Tpdbt_experiments.Checkpoint.data_to_string}).
+    Everything in the result is a pure function of
+    [(benches, seed, max_steps)]. *)
+
+type t = {
+  seed : int64;
+  benches : string list;  (** input order *)
+  crash_victim : string;  (** seeded: crashes its worker once *)
+  stall_victim : string;  (** seeded: stalls on every attempt *)
+  framing_errors : int;  (** poisoned decoders (garbage/oversize) *)
+  invalid : int;  (** requests rejected by the strict validator *)
+  warm_hit : bool;  (** repeat answered from cache, byte-identical *)
+  overloaded : int;  (** backpressure replies under overload *)
+  queue_peak : int;  (** must stay <= the configured bound *)
+  queue_limit : int;
+  dropped : int;  (** replies to the killed client *)
+  crash_recovered : bool;  (** crash victim finished after retry *)
+  poisoned : string list;  (** quarantined in the recovery sweep *)
+  killed_after : int;  (** benchmarks finished before the kill *)
+  recovered_sweeps : int;  (** in-flight sweeps re-enqueued on restart *)
+  journal_torn : int;  (** damaged journal records truncated away *)
+  resumed : int;  (** benchmarks restored from checkpoints, not re-run *)
+  drained : bool;  (** final journal ends with a clean [Drained] *)
+  survivors : string list;
+      (** non-poisoned benchmarks byte-identical to the offline run *)
+  mismatched : string list;  (** non-poisoned but diverged — a bug *)
+}
+
+val run :
+  ?benches:Tpdbt_workloads.Spec.t list ->
+  ?max_steps:int ->
+  dir:string ->
+  seed:int64 ->
+  unit ->
+  t
+(** Run the scenario in [dir] (owned by the harness: its [ckpt/]
+    checkpoints and [journal] are deleted first).  Defaults: the batch
+    chaos quartet gzip/swim/mgrid/art.
+    @raise Invalid_argument if a benchmark fails without faults. *)
+
+val ok : t -> bool
+(** The pass criterion: no mismatches; survivors = everything but the
+    stall victim; the stall victim is the one poisoned benchmark; the
+    crash recovered; protocol damage was rejected ([framing_errors]
+    and [invalid] non-zero) with the server still serving; overload
+    produced backpressure with [queue_peak <= queue_limit]; the killed
+    client's reply was dropped; exactly one sweep was recovered after
+    the kill with the torn journal truncated; at least one benchmark
+    resumed from its checkpoint; the warm cache hit byte-identically;
+    the final shutdown was clean. *)
+
+val to_json : t -> string
+(** Deterministic summary — the artifact the chaos-serve CI leg
+    uploads and [make serve-smoke] inspects. *)
+
+val render : Format.formatter -> t -> unit

@@ -1,0 +1,187 @@
+type options = {
+  socket : string;
+  idle_timeout : float;
+  server : Server.config;
+}
+
+let default_options =
+  { socket = ".tpdbt.sock"; idle_timeout = 30.0; server = Server.default_config }
+
+type conn = {
+  fd : Unix.file_descr;
+  client : int;
+  dec : Frame.decoder;
+  mutable last : float;  (** last byte received — the idle clock *)
+}
+
+let write_all fd s =
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    pos := !pos + Unix.write_substring fd s !pos (n - !pos)
+  done
+
+let run ?(log = fun _ -> ()) opts =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let term = ref false in
+  let on_term = Sys.Signal_handle (fun _ -> term := true) in
+  let prev_term = Sys.signal Sys.sigterm on_term in
+  let prev_int = Sys.signal Sys.sigint on_term in
+  if Sys.file_exists opts.socket then Sys.remove opts.socket;
+  let lsock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lsock (Unix.ADDR_UNIX opts.socket);
+  Unix.listen lsock 16;
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 16 in
+  let next_client = ref 0 in
+  let buf = Bytes.create 65536 in
+  (* [Server.create] needs the progress pump, and the pump needs the
+     server — tie the knot through a forward cell. *)
+  let pump_cell = ref (fun () -> ()) in
+  let server =
+    Server.create ~on_progress:(fun _ _ -> !pump_cell ()) opts.server
+  in
+  let drop c =
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove conns c.client;
+    Server.disconnect server ~client:c.client
+  in
+  let send c payload =
+    try write_all c.fd (Frame.encode payload)
+    with Unix.Unix_error _ | Sys_error _ ->
+      log (Printf.sprintf "client %d gone on write" c.client);
+      drop c
+  in
+  (* Drain the decoder: answer inline replies, admit the rest.  A
+     framing error gets one last [invalid] reply, then the connection
+     dies — there is no resynchronising broken framing. *)
+  let rec frames c =
+    match Frame.next c.dec with
+    | Ok None -> ()
+    | Ok (Some payload) ->
+        (match Server.offer server ~client:c.client payload with
+        | Server.Reply r -> send c r
+        | Server.Enqueued _ -> ());
+        if Hashtbl.mem conns c.client then frames c
+    | Error e ->
+        log
+          (Printf.sprintf "client %d framing damage: %s" c.client
+             (Frame.error_to_string e));
+        send c
+          (Protocol.error_reply ~kind:"invalid"
+             ("framing: " ^ Frame.error_to_string e));
+        if Hashtbl.mem conns c.client then drop c
+  in
+  let pump ~timeout =
+    if !term then Server.drain server;
+    let fds =
+      lsock :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) conns []
+    in
+    let readable, _, _ =
+      try Unix.select fds [] [] timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun fd ->
+        if fd == lsock then begin
+          match Unix.accept lsock with
+          | exception Unix.Unix_error _ -> ()
+          | cfd, _ ->
+              let client = !next_client in
+              incr next_client;
+              Hashtbl.replace conns client
+                {
+                  fd = cfd;
+                  client;
+                  dec = Frame.decoder ~max_frame:opts.server.Server.max_frame ();
+                  last = now;
+                }
+        end
+        else
+          match
+            Hashtbl.fold
+              (fun _ c acc -> if c.fd == fd then Some c else acc)
+              conns None
+          with
+          | None -> ()
+          | Some c -> (
+              match Unix.read c.fd buf 0 (Bytes.length buf) with
+              | exception Unix.Unix_error _ -> drop c
+              | 0 -> drop c
+              | n ->
+                  c.last <- now;
+                  Frame.feed c.dec (Bytes.sub_string buf 0 n);
+                  frames c))
+      readable;
+    Hashtbl.fold
+      (fun _ c acc ->
+        if now -. c.last > opts.idle_timeout then c :: acc else acc)
+      conns []
+    |> List.iter (fun c ->
+           log (Printf.sprintf "client %d idle, dropping" c.client);
+           drop c)
+  in
+  pump_cell := (fun () -> pump ~timeout:0.0);
+  log (Printf.sprintf "listening on %s" opts.socket);
+  (try
+     while not (Server.draining server && Server.idle server) do
+       pump ~timeout:(if Server.idle server then 0.2 else 0.0);
+       match Server.step server with
+       | None -> ()
+       | Some { Server.client = Some client; reply; _ } -> (
+           match Hashtbl.find_opt conns client with
+           | Some c -> send c reply
+           | None -> ())
+       | Some { Server.client = None; _ } -> ()
+       (* journal-recovered orphan: results are in the checkpoint
+          store; nobody is waiting on the reply *)
+     done
+   with e ->
+     (* Crash-only: leave journal and checkpoints as they are — the
+        next daemon recovers — but free the OS resources. *)
+     Hashtbl.iter (fun _ c -> try Unix.close c.fd with _ -> ()) conns;
+     (try Unix.close lsock with _ -> ());
+     (try Sys.remove opts.socket with Sys_error _ -> ());
+     ignore (Sys.signal Sys.sigterm prev_term);
+     ignore (Sys.signal Sys.sigint prev_int);
+     raise e);
+  log "drained";
+  Hashtbl.iter (fun _ c -> try Unix.close c.fd with _ -> ()) conns;
+  Server.close server;
+  (try Unix.close lsock with _ -> ());
+  (try Sys.remove opts.socket with Sys_error _ -> ());
+  ignore (Sys.signal Sys.sigterm prev_term);
+  ignore (Sys.signal Sys.sigint prev_int)
+
+let request ~socket ?(max_frame = 64 * 1024 * 1024) payload =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("socket: " ^ Unix.error_message e)
+  | fd -> (
+      let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+      try
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        write_all fd (Frame.encode payload);
+        let dec = Frame.decoder ~max_frame () in
+        let buf = Bytes.create 65536 in
+        let rec read_reply () =
+          match Frame.next dec with
+          | Ok (Some reply) -> Ok reply
+          | Error e -> Error ("reply framing: " ^ Frame.error_to_string e)
+          | Ok None -> (
+              match Unix.read fd buf 0 (Bytes.length buf) with
+              | 0 -> Error "daemon closed the connection"
+              | n ->
+                  Frame.feed dec (Bytes.sub_string buf 0 n);
+                  read_reply ())
+        in
+        let r = read_reply () in
+        finally ();
+        r
+      with
+      | Unix.Unix_error (e, fn, _) ->
+          finally ();
+          Error (fn ^ ": " ^ Unix.error_message e)
+      | Sys_error msg ->
+          finally ();
+          Error msg)

@@ -1,0 +1,55 @@
+(** The I/O shell around {!Server}: Unix-domain socket, signals,
+    timeouts.
+
+    Everything with serving semantics — admission, validation,
+    execution, drain, recovery — lives in {!Server}; this module only
+    moves bytes.  One frame ({!Frame}) carries one JSON request
+    ({!Protocol}) and each reply is sent back as one frame on the same
+    connection.
+
+    Failure behaviour at the I/O layer:
+    - {e framing damage} (garbage or oversized length header) — the
+      connection is poisoned by the decoder and dropped after a final
+      [invalid] reply; there is no resynchronising a broken byte
+      stream;
+    - {e client disconnect} — detected on read/write; the client's
+      queued jobs still run (their results are checkpointed) but the
+      replies are dropped;
+    - {e idle connections} — closed after [idle_timeout] seconds of
+      silence, so abandoned clients cannot pin file descriptors;
+    - {e SIGTERM / SIGINT} — graceful drain: stop admitting expensive
+      work, finish the queue, journal [Drained], exit;
+    - {e SIGPIPE} — ignored (writes to dead peers surface as [EPIPE]
+      and become disconnects).
+
+    During a long sweep the daemon keeps breathing: {!Server}'s
+    progress callback pumps socket I/O between benchmarks, so probes
+    ([ping]/[status]/[metrics]) are answered and backpressure replies
+    stay prompt even while the queue head is expensive. *)
+
+type options = {
+  socket : string;  (** Unix-domain socket path (stale files replaced) *)
+  idle_timeout : float;  (** seconds of silence before a client is dropped *)
+  server : Server.config;
+}
+
+val default_options : options
+(** [.tpdbt.sock] in the working directory, 30 s idle timeout,
+    {!Server.default_config}. *)
+
+val run : ?log:(string -> unit) -> options -> unit
+(** Serve until drained (a [drain] request or SIGTERM/SIGINT) and the
+    queue is empty; then close every connection, journal the clean
+    shutdown and remove the socket file.  [log] receives one-line
+    lifecycle notes (default: silent).
+    @raise Sys_error / [Unix.Unix_error] on listener setup failure
+    (socket path unusable). *)
+
+val request :
+  socket:string -> ?max_frame:int -> string -> (string, string) result
+(** One-shot client: connect, send one framed request, read one framed
+    reply.  [max_frame] bounds the {e reply} (default 64 MiB — sweep
+    replies carry whole checkpoint texts).  [Error] describes the
+    transport failure (connect refused, daemon closed the connection,
+    framing damage); protocol-level failures are [Ok] replies with
+    [ok:false]. *)

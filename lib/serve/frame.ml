@@ -1,0 +1,86 @@
+let default_max_frame = 4 * 1024 * 1024
+
+(* The header is a decimal length; 10 digits already exceed any
+   permitted frame, so a longer run of digits (or any non-digit before
+   the newline) is framing damage, not a large request. *)
+let max_header_digits = 10
+
+let encode payload =
+  string_of_int (String.length payload) ^ "\n" ^ payload
+
+type error = Oversize of int | Bad_header of string
+
+let error_to_string = function
+  | Oversize n -> Printf.sprintf "frame of %d bytes exceeds the limit" n
+  | Bad_header h -> Printf.sprintf "malformed frame header %S" h
+
+type state =
+  | Header  (** accumulating digits until '\n' *)
+  | Payload of int  (** reading this many bytes *)
+  | Poisoned of error
+
+type decoder = {
+  max_frame : int;
+  buf : Buffer.t;
+  mutable state : state;
+}
+
+let decoder ?(max_frame = default_max_frame) () =
+  if max_frame <= 0 then invalid_arg "Frame.decoder: max_frame <= 0";
+  { max_frame; buf = Buffer.create 256; state = Header }
+
+let feed d bytes =
+  match d.state with
+  | Poisoned _ -> ()
+  | Header | Payload _ -> Buffer.add_string d.buf bytes
+
+let buffered d = Buffer.length d.buf
+
+(* Drop the first [n] bytes of the buffer. *)
+let consume d n =
+  let rest = Buffer.sub d.buf n (Buffer.length d.buf - n) in
+  Buffer.clear d.buf;
+  Buffer.add_string d.buf rest
+
+let poison d err =
+  d.state <- Poisoned err;
+  Buffer.clear d.buf;
+  Error err
+
+let parse_header d line =
+  let bad () = poison d (Bad_header line) in
+  if line = "" || String.length line > max_header_digits then bad ()
+  else if not (String.for_all (fun c -> c >= '0' && c <= '9') line) then bad ()
+  else
+    match int_of_string_opt line with
+    | None -> bad ()
+    | Some n when n > d.max_frame -> poison d (Oversize n)
+    | Some n ->
+        d.state <- Payload n;
+        Ok ()
+
+let rec next d =
+  match d.state with
+  | Poisoned e -> Error e
+  | Header -> (
+      let contents = Buffer.contents d.buf in
+      match String.index_opt contents '\n' with
+      | None ->
+          (* No newline yet: bound what a silent client can buffer. *)
+          if Buffer.length d.buf > max_header_digits then
+            poison d (Bad_header contents)
+          else Ok None
+      | Some i -> (
+          let line = String.sub contents 0 i in
+          consume d (i + 1);
+          match parse_header d line with
+          | Error e -> Error e
+          | Ok () -> next d))
+  | Payload n ->
+      if Buffer.length d.buf < n then Ok None
+      else begin
+        let payload = Buffer.sub d.buf 0 n in
+        consume d n;
+        d.state <- Header;
+        Ok (Some payload)
+      end

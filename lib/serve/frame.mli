@@ -1,0 +1,47 @@
+(** Length-prefixed framing for the [tpdbt serve] wire protocol.
+
+    A frame is an ASCII decimal byte length, a single ['\n'], then
+    exactly that many payload bytes.  The length line is the only
+    metadata: it keeps the protocol trivially incremental (a reader
+    knows exactly how many bytes remain) and gives the server a cheap,
+    early admission check — an oversized or non-numeric header is
+    rejected {e before} any payload is buffered, so a hostile client
+    cannot make the daemon allocate unboundedly.
+
+    Decoding is deliberately unforgiving: framing damage (garbage
+    header, oversize length) poisons the decoder.  There is no way to
+    resynchronise a byte stream whose framing has been lost, so the
+    connection must be dropped — the error is sticky and reported on
+    every subsequent poll. *)
+
+val default_max_frame : int
+(** 4 MiB — far above any legitimate request, far below trouble. *)
+
+val encode : string -> string
+(** [encode payload] is ["<len>\n<payload>"]. *)
+
+type error =
+  | Oversize of int  (** declared length exceeds the decoder's limit *)
+  | Bad_header of string  (** length line empty, non-numeric, or absurd *)
+
+val error_to_string : error -> string
+
+type decoder
+
+val decoder : ?max_frame:int -> unit -> decoder
+(** A fresh incremental decoder.  [max_frame] defaults to
+    {!default_max_frame}.
+    @raise Invalid_argument if [max_frame <= 0]. *)
+
+val feed : decoder -> string -> unit
+(** Append received bytes.  Bytes fed after a framing error are
+    discarded. *)
+
+val next : decoder -> (string option, error) result
+(** Poll one complete frame: [Ok (Some payload)] when a full frame is
+    buffered, [Ok None] when more bytes are needed.  Once an [Error]
+    is returned the decoder is poisoned and returns it forever. *)
+
+val buffered : decoder -> int
+(** Bytes currently held (header + partial payload) — the per-client
+    memory bound the daemon enforces. *)

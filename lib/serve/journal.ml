@@ -1,0 +1,181 @@
+let magic = "TPDBT-JRNL 1"
+
+(* Table-driven CRC32 (IEEE 802.3, reflected) — the same polynomial as
+   the checkpoint store, duplicated locally so the journal stays a
+   leaf module with no dependency on the experiments layer's
+   internals. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor (Int32.shift_right_logical !c 1) 0xEDB88320l
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int
+          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let crc_hex s = Printf.sprintf "%08lx" (crc32 s)
+
+type record =
+  | Sweep_begin of { id : int; benches : string list }
+  | Sweep_end of { id : int }
+  | Drained
+
+type recovery = {
+  records : int;
+  torn : int;
+  inflight : (int * string list) list;
+}
+
+type t = { oc : out_channel }
+
+let record_to_string = function
+  | Sweep_begin { id; benches } ->
+      Printf.sprintf "sweep_begin %d %d%s" id (List.length benches)
+        (String.concat "" (List.map (fun b -> " " ^ b) benches))
+  | Sweep_end { id } -> Printf.sprintf "sweep_end %d" id
+  | Drained -> "drained"
+
+let record_of_string s =
+  match String.split_on_char ' ' s with
+  | "sweep_begin" :: id :: n :: benches -> (
+      match (int_of_string_opt id, int_of_string_opt n) with
+      | Some id, Some n
+        when n = List.length benches
+             && List.for_all (fun b -> b <> "") benches ->
+          Some (Sweep_begin { id; benches })
+      | _ -> None)
+  | [ "sweep_end"; id ] ->
+      Option.map (fun id -> Sweep_end { id }) (int_of_string_opt id)
+  | [ "drained" ] -> Some Drained
+  | _ -> None
+
+let frame_record r =
+  let payload = record_to_string r in
+  Printf.sprintf "R %s %d %s\n" (crc_hex payload) (String.length payload)
+    payload
+
+(* One framed line -> record, or None on any damage. *)
+let parse_line line =
+  match String.index_opt line ' ' with
+  | Some 1 when line.[0] = 'R' -> (
+      match String.split_on_char ' ' line with
+      | "R" :: crc :: len :: rest -> (
+          let payload = String.concat " " rest in
+          match int_of_string_opt len with
+          | Some n
+            when n = String.length payload
+                 && String.equal (crc_hex payload) crc ->
+              record_of_string payload
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let fsync_dir path =
+  let dir = Filename.dirname path in
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Scan the file text: return (good_prefix_length, records, inflight).
+   Stops at the first damaged line; everything after it is torn. *)
+let scan text =
+  let header_len = String.length magic + 1 in
+  if
+    String.length text < header_len
+    || not (String.equal (String.sub text 0 header_len) (magic ^ "\n"))
+  then None
+  else begin
+    let inflight = Hashtbl.create 8 in
+    let order = ref [] in
+    let records = ref 0 in
+    let pos = ref header_len in
+    let good = ref header_len in
+    let damaged = ref false in
+    while (not !damaged) && !pos < String.length text do
+      match String.index_from_opt text !pos '\n' with
+      | None -> damaged := true (* torn final append: no newline *)
+      | Some i -> (
+          let line = String.sub text !pos (i - !pos) in
+          match parse_line line with
+          | None -> damaged := true
+          | Some r ->
+              incr records;
+              (match r with
+              | Sweep_begin { id; benches } ->
+                  Hashtbl.replace inflight id benches;
+                  order := id :: !order
+              | Sweep_end { id } -> Hashtbl.remove inflight id
+              | Drained ->
+                  Hashtbl.reset inflight;
+                  order := []);
+              pos := i + 1;
+              good := !pos)
+    done;
+    let inflight_list =
+      List.rev !order
+      |> List.filter_map (fun id ->
+             match Hashtbl.find_opt inflight id with
+             | Some benches ->
+                 (* A re-begun id keeps one entry: drop later dups. *)
+                 Hashtbl.remove inflight id;
+                 Some (id, benches)
+             | None -> None)
+    in
+    Some (!good, !records, inflight_list, !damaged)
+  end
+
+let open_ ~path =
+  let fresh () =
+    let oc = open_out_bin path in
+    output_string oc (magic ^ "\n");
+    flush oc;
+    Unix.fsync (Unix.descr_of_out_channel oc);
+    fsync_dir path;
+    ({ oc }, { records = 0; torn = 0; inflight = [] })
+  in
+  if not (Sys.file_exists path) then fresh ()
+  else
+    match scan (read_all path) with
+    | None ->
+        (* Unrecognised header: the file is not ours (or is damaged
+           beyond its first line).  Crash-only: start over. *)
+        let t, r = fresh () in
+        (t, { r with torn = 1 })
+    | Some (good, records, inflight, damaged) ->
+        if damaged then Unix.truncate path good;
+        let oc =
+          open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+        in
+        ({ oc }, { records; torn = (if damaged then 1 else 0); inflight })
+
+let append t r =
+  output_string t.oc (frame_record r);
+  flush t.oc;
+  Unix.fsync (Unix.descr_of_out_channel t.oc)
+
+let close t = close_out t.oc

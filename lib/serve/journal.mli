@@ -1,0 +1,50 @@
+(** Crash-only append-only session journal for the serving daemon.
+
+    The daemon journals the lifecycle of every stateful request (today:
+    sweeps) so that a killed process can recover its in-flight work on
+    restart.  The discipline is the {!Tpdbt_experiments.Checkpoint} v3
+    one, adapted to appends: every record line carries a CRC32 and byte
+    length over its payload, each append is flushed and fsynced before
+    it is acknowledged, and the file's containing directory is fsynced
+    at creation so the journal itself cannot vanish in a crash.
+
+    Recovery is {e crash-only}: opening an existing journal scans
+    records in order and stops at the first damaged one — a torn final
+    append, a truncated file, a bit flip — truncating the file back to
+    the last intact record.  Whatever survives is trusted; everything
+    after the damage is treated as never written (the work it described
+    re-runs from checkpoints, which is safe because sweep execution is
+    idempotent).  A sweep with a [Sweep_begin] but no [Sweep_end] in
+    the surviving prefix is reported as in-flight for the server to
+    re-enqueue. *)
+
+type record =
+  | Sweep_begin of { id : int; benches : string list }
+      (** a sweep request was admitted; [benches] in input order *)
+  | Sweep_end of { id : int }  (** its results are fully checkpointed *)
+  | Drained  (** the daemon shut down gracefully; nothing in flight *)
+
+type recovery = {
+  records : int;  (** intact records recovered *)
+  torn : int;  (** damaged records truncated away (0 or 1 region) *)
+  inflight : (int * string list) list;
+      (** sweeps begun but not ended, in begin order *)
+}
+
+type t
+
+val open_ : path:string -> t * recovery
+(** Open (creating if absent) the journal at [path] and recover.  The
+    returned handle is positioned for appends past the last intact
+    record.
+    @raise Sys_error on I/O failure. *)
+
+val append : t -> record -> unit
+(** Durably append one record: write, flush, fsync. *)
+
+val close : t -> unit
+
+val record_to_string : record -> string
+val record_of_string : string -> record option
+(** The payload encoding, exposed for tests.  [record_of_string]
+    rejects anything {!record_to_string} does not produce. *)

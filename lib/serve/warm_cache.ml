@@ -1,0 +1,67 @@
+module Code_cache = Tpdbt_dbt.Code_cache
+
+type t = {
+  cache : Code_cache.t;  (** the accounting/eviction engine *)
+  capacity : int;
+  by_key : (string, int) Hashtbl.t;
+  by_id : (int, string * string) Hashtbl.t;  (** id -> (key, reply) *)
+  mutable next_id : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evicted : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Warm_cache.create: capacity <= 0";
+  {
+    cache = Code_cache.create ~capacity ~policy:Code_cache.Lru ();
+    capacity;
+    by_key = Hashtbl.create 64;
+    by_id = Hashtbl.create 64;
+    next_id = 0;
+    hits = 0;
+    misses = 0;
+    evicted = 0;
+  }
+
+let drop t (victim : Code_cache.entry) =
+  match Hashtbl.find_opt t.by_id victim.Code_cache.id with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove t.by_id victim.Code_cache.id;
+      Hashtbl.remove t.by_key key;
+      t.evicted <- t.evicted + 1
+
+let find t ~now key =
+  match Hashtbl.find_opt t.by_key key with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some id ->
+      t.hits <- t.hits + 1;
+      Code_cache.touch t.cache ~now Code_cache.Block id;
+      Option.map snd (Hashtbl.find_opt t.by_id id)
+
+let add t ~now ~key ~size reply =
+  (match Hashtbl.find_opt t.by_key key with
+  | Some old_id ->
+      Code_cache.remove t.cache Code_cache.Block old_id;
+      Hashtbl.remove t.by_id old_id;
+      Hashtbl.remove t.by_key key
+  | None -> ());
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.by_key key id;
+  Hashtbl.replace t.by_id id (key, reply);
+  let victims =
+    Code_cache.insert t.cache ~now ~ekind:Code_cache.Block ~id
+      ~size:(max 1 size)
+  in
+  List.iter (drop t) victims
+
+let entries t = Hashtbl.length t.by_id
+let used t = Code_cache.used t.cache
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evicted

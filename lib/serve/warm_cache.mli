@@ -1,0 +1,41 @@
+(** Warm translation cache shared across daemon requests.
+
+    A [translate] or [run] request is a pure function of its
+    parameters (fixed seeds, deterministic engine), so its reply can be
+    kept warm and served byte-identically without re-executing — the
+    persistent-service payoff the DCG-simulation paper motivates: the
+    second client asking for the same translation gets it from the
+    warm cache, not from a cold engine.
+
+    The cache is {e bounded} and reuses {!Tpdbt_dbt.Code_cache} as its
+    accounting and eviction engine: each cached reply is charged the
+    run's translated footprint (peak code-cache occupancy in translated
+    guest instructions) against a configurable capacity, with
+    deterministic LRU eviction — the same discipline, and the same
+    determinism guarantees, as the in-engine cache.  A warm hit is
+    byte-identical to a cold miss by construction (the stored reply
+    {e is} the rendered reply), so caching is invisible to clients and
+    to the chaos harness's byte-diffs. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] in translated guest instructions.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val find : t -> now:int -> string -> string option
+(** [find t ~now key] returns the cached reply and refreshes its LRU
+    stamp, counting a hit; [None] counts a miss.  [now] is any
+    monotonic request counter. *)
+
+val add : t -> now:int -> key:string -> size:int -> string -> unit
+(** Cache [reply] under [key], charged [max 1 size] translated
+    instructions, evicting LRU victims as needed.  Re-adding a key
+    replaces its entry. *)
+
+val entries : t -> int
+val used : t -> int
+val capacity : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int

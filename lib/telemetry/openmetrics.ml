@@ -24,6 +24,8 @@ let pp_value v =
 
 let pp_bound b = if b = infinity then "+Inf" else pp_value b
 
+let content_type = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 let render ?(prefix = "tpdbt_") metrics =
   let buf = Buffer.create 1024 in
   let family name kind = Printf.bprintf buf "# TYPE %s%s %s\n" prefix name kind in

@@ -12,6 +12,10 @@
     {!Json.validate}: every exposition the CLI writes is re-parsed
     before it is reported as written. *)
 
+val content_type : string
+(** The OpenMetrics 1.0 media type, for HTTP-ish transports ([tpdbt
+    serve] echoes it next to the exposition body). *)
+
 val render : ?prefix:string -> Metrics.t -> string
 (** Metric names are mangled to the exposition charset (every
     character outside [[a-zA-Z0-9_]] becomes ['_'] — dots in registry

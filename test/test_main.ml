@@ -17,4 +17,5 @@ let () =
       ("profiling", Test_profiling.suite);
       ("parallel", Test_parallel.suite);
       ("robustness", Test_robustness.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -255,6 +255,80 @@ let test_damaged_store_repaired_across_jobs () =
             benches))
     job_counts
 
+let test_save_durable_rename () =
+  (* [save] publishes via temp file + fsync + rename + directory
+     fsync.  The matrix above covers damaged {e contents}; this covers
+     the publication itself: re-saving over an existing checkpoint
+     (rename onto an existing name, both fsync paths taken) leaves a
+     valid byte-identical file and no temp residue to be mistaken for
+     a checkpoint. *)
+  with_temp_dir (fun dir ->
+      let bench = mini "rob-durable" in
+      let sweep =
+        Checkpoint.run_many ~thresholds:mini_thresholds ~dir [ bench ]
+      in
+      let data = List.hd sweep.Runner.data in
+      let file = Checkpoint.path ~dir bench in
+      let first = read_file file in
+      Checkpoint.save ~dir data;
+      checks "re-save over existing file is byte-identical" first
+        (read_file file);
+      checks "still valid after re-save" "valid"
+        (class_name
+           (Checkpoint.classify ~thresholds:mini_thresholds ~dir bench));
+      checkb "no temp residue" true
+        (Array.for_all
+           (fun f -> not (Filename.check_suffix f ".tmp"))
+           (Sys.readdir dir)))
+
+(* ------------------------------------------------------------------ *)
+(* Degraded pool composed with checkpoint resume                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_degraded_pool_resumes_checkpoints () =
+  (* Two failure layers at once: half the store already has
+     checkpoints (resume), and every fresh benchmark crashes its
+     worker on first attempt — a 2-worker pool drops below 2 live
+     workers and degrades to inline execution.  The sweep must still
+     converge byte-identically: resumed data untouched, crashed tasks
+     retried to completion, nothing poisoned. *)
+  let benches = mini_benches () in
+  let reference = Runner.run_many ~thresholds:mini_thresholds benches in
+  with_temp_dir (fun dir ->
+      let seeded = List.filteri (fun i _ -> i < 2) benches in
+      let _ = Checkpoint.run_many ~thresholds:mini_thresholds ~dir seeded in
+      let resumed = ref 0 in
+      let progress _ = function
+        | Runner.Resumed -> incr resumed
+        | _ -> ()
+      in
+      (* Only fresh benchmarks become tasks, so this crashes exactly
+         the two un-checkpointed ones. *)
+      let run_task ~task:_ ~attempt spec =
+        if attempt = 1 then raise Sup.Crash_worker
+        else Runner.run_benchmark_result ~thresholds:mini_thresholds spec
+      in
+      let sweep, supervision =
+        Checkpoint.run_many_supervised ~thresholds:mini_thresholds ~jobs:2
+          ~progress ~run_task ~dir benches
+      in
+      let sup = supervision.Runner.sup in
+      checki "two benchmarks resumed" 2 !resumed;
+      checki "both fresh tasks crashed a worker" 2 sup.Sup.crashes;
+      checkb "pool degraded below two live workers" true sup.Sup.degraded;
+      checki "crashes retried, nothing poisoned" 0
+        (List.length supervision.Runner.poisoned);
+      checks "degraded+resumed sweep byte-identical"
+        (serialize_sweep reference) (serialize_sweep sweep);
+      List.iter
+        (fun b ->
+          checks
+            (b.Spec.name ^ " checkpoint valid after degraded run")
+            "valid"
+            (class_name
+               (Checkpoint.classify ~thresholds:mini_thresholds ~dir b)))
+        benches)
+
 (* ------------------------------------------------------------------ *)
 (* Supervised sweep equivalence and chaos determinism                   *)
 (* ------------------------------------------------------------------ *)
@@ -326,6 +400,10 @@ let suite =
       test_data_of_string_rejects;
     Alcotest.test_case "damaged store repaired across jobs" `Quick
       test_damaged_store_repaired_across_jobs;
+    Alcotest.test_case "save survives durable re-publication" `Quick
+      test_save_durable_rename;
+    Alcotest.test_case "degraded pool composed with resume" `Quick
+      test_degraded_pool_resumes_checkpoints;
     Alcotest.test_case "supervised matches plain sweep" `Quick
       test_supervised_matches_plain_sweep;
     Alcotest.test_case "chaos deterministic across jobs" `Quick

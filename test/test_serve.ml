@@ -1,0 +1,479 @@
+(* The serving subsystem: framing, strict protocol validation, the
+   session journal, the warm reply cache, the server state machine
+   (admission, backpressure, drain, disconnects, journal recovery),
+   and the CLI's exit-code taxonomy. *)
+
+module Frame = Tpdbt_serve.Frame
+module Protocol = Tpdbt_serve.Protocol
+module Journal = Tpdbt_serve.Journal
+module Warm_cache = Tpdbt_serve.Warm_cache
+module Server = Tpdbt_serve.Server
+module Json = Tpdbt_telemetry.Json
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let rec rm_tree path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_tree (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tpdbt-serve" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_tree dir) (fun () -> f dir)
+
+let member name payload =
+  match Json.parse payload with
+  | Error msg -> Alcotest.fail ("reply not JSON: " ^ msg)
+  | Ok doc -> Json.member name doc
+
+let kind_of payload =
+  match member "kind" payload with
+  | Some (Json.Str s) -> s
+  | _ -> ""
+
+let is_ok payload = member "ok" payload = Some (Json.Bool true)
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_frame_roundtrip () =
+  let payloads = [ ""; "x"; "{\"op\":\"ping\"}"; String.make 1000 'z' ] in
+  let dec = Frame.decoder () in
+  List.iter (fun p -> Frame.feed dec (Frame.encode p)) payloads;
+  List.iter
+    (fun p ->
+      match Frame.next dec with
+      | Ok (Some got) -> checks "frame payload" p got
+      | Ok None -> Alcotest.fail "frame missing"
+      | Error e -> Alcotest.fail (Frame.error_to_string e))
+    payloads;
+  checkb "drained" true (Frame.next dec = Ok None);
+  checki "no residue" 0 (Frame.buffered dec)
+
+let test_frame_byte_at_a_time () =
+  let wire = Frame.encode "hello" ^ Frame.encode "" in
+  let dec = Frame.decoder () in
+  let got = ref [] in
+  String.iter
+    (fun ch ->
+      Frame.feed dec (String.make 1 ch);
+      match Frame.next dec with
+      | Ok (Some p) -> got := p :: !got
+      | Ok None -> ()
+      | Error e -> Alcotest.fail (Frame.error_to_string e))
+    wire;
+  checkb "both frames, in order" true (List.rev !got = [ "hello"; "" ])
+
+let test_frame_damage_is_sticky () =
+  let dec = Frame.decoder () in
+  Frame.feed dec "not-a-length\n";
+  (match Frame.next dec with
+  | Error (Frame.Bad_header _) -> ()
+  | _ -> Alcotest.fail "garbage header accepted");
+  (* Poisoned: even well-formed bytes fed later are refused. *)
+  Frame.feed dec (Frame.encode "{}");
+  (match Frame.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decoder resynchronised after damage");
+  let big = Frame.decoder ~max_frame:64 () in
+  Frame.feed big "65\n";
+  match Frame.next big with
+  | Error (Frame.Oversize 65) -> ()
+  | _ -> Alcotest.fail "oversize declaration accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Protocol strictness                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_accepts () =
+  (match Protocol.parse_request "{\"op\":\"ping\"}" with
+  | Ok Protocol.Ping -> ()
+  | _ -> Alcotest.fail "ping rejected");
+  (match
+     Protocol.parse_request
+       "{\"op\":\"run\",\"workload\":\"gzip\",\"threshold\":7}"
+   with
+  | Ok (Protocol.Run { workload = "gzip"; threshold = 7; max_steps = None })
+    ->
+      ()
+  | _ -> Alcotest.fail "run rejected");
+  (match Protocol.parse_request "{\"op\":\"sweep\"}" with
+  | Ok (Protocol.Sweep { benches = []; max_steps = None; return_results })
+    ->
+      checkb "return_results defaults on" true return_results
+  | _ -> Alcotest.fail "bare sweep rejected");
+  match
+    Protocol.parse_request
+      "{\"op\":\"translate\",\"program\":\"halt\",\"seed\":9}"
+  with
+  | Ok (Protocol.Translate { seed = 9L; threshold = 1000; _ }) -> ()
+  | _ -> Alcotest.fail "translate rejected"
+
+let test_protocol_rejects () =
+  let rejected s =
+    match Protocol.parse_request s with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  List.iter
+    (fun (label, s) -> checkb label true (rejected s))
+    [
+      ("not json", "{");
+      ("not an object", "[1,2]");
+      ("no op", "{}");
+      ("unknown op", "{\"op\":\"launch\"}");
+      ("unknown member", "{\"op\":\"ping\",\"extra\":1}");
+      ("duplicate member", "{\"op\":\"ping\",\"op\":\"ping\"}");
+      ("missing workload", "{\"op\":\"run\"}");
+      ("empty workload", "{\"op\":\"run\",\"workload\":\"\"}");
+      ("wrong type", "{\"op\":\"run\",\"workload\":5}");
+      ( "negative threshold",
+        "{\"op\":\"run\",\"workload\":\"gzip\",\"threshold\":-1}" );
+      ( "fractional max_steps",
+        "{\"op\":\"run\",\"workload\":\"gzip\",\"max_steps\":1.5}" );
+      ( "zero max_steps",
+        "{\"op\":\"run\",\"workload\":\"gzip\",\"max_steps\":0}" );
+      ( "empty bench name",
+        "{\"op\":\"sweep\",\"benches\":[\"gzip\",\"\"]}" );
+      ("empty program", "{\"op\":\"translate\",\"program\":\"  \"}")
+    ]
+
+let test_cache_keys () =
+  let parse s =
+    match Protocol.parse_request s with
+    | Ok r -> r
+    | Error m -> Alcotest.fail m
+  in
+  let a =
+    parse "{\"op\":\"run\",\"workload\":\"gzip\",\"threshold\":20}"
+  in
+  let b =
+    parse "{\"op\":\"run\",\"threshold\":20,\"workload\":\"gzip\"}"
+  in
+  checkb "member order does not change the key" true
+    (Protocol.cache_key a = Protocol.cache_key b);
+  let c =
+    parse "{\"op\":\"run\",\"workload\":\"gzip\",\"threshold\":21}"
+  in
+  checkb "parameters change the key" true
+    (Protocol.cache_key a <> Protocol.cache_key c);
+  checkb "probes are uncacheable" true
+    (Protocol.cache_key Protocol.Ping = None);
+  checkb "sweeps are uncacheable" true
+    (Protocol.cache_key
+       (parse "{\"op\":\"sweep\",\"benches\":[\"gzip\"]}")
+    = None)
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_roundtrip_and_torn_tail () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "journal" in
+      let j, r0 = Journal.open_ ~path in
+      checki "fresh journal is empty" 0 r0.Journal.records;
+      Journal.append j
+        (Journal.Sweep_begin { id = 1; benches = [ "gzip"; "art" ] });
+      Journal.append j (Journal.Sweep_end { id = 1 });
+      Journal.append j (Journal.Sweep_begin { id = 2; benches = [ "swim" ] });
+      Journal.close j;
+      (* Damage the tail the way a crash mid-append would. *)
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "R 0000 garbage";
+      close_out oc;
+      let j2, r = Journal.open_ ~path in
+      Journal.close j2;
+      checki "intact records survive" 3 r.Journal.records;
+      checki "torn tail truncated" 1 r.Journal.torn;
+      checkb "sweep 2 still in flight" true
+        (r.Journal.inflight = [ (2, [ "swim" ]) ]);
+      (* The truncation repaired the file: reopening is clean. *)
+      let j3, r2 = Journal.open_ ~path in
+      Journal.append j3 Journal.Drained;
+      Journal.close j3;
+      checki "no damage on reopen" 0 r2.Journal.torn;
+      let j4, r3 = Journal.open_ ~path in
+      Journal.close j4;
+      checkb "drained clears in-flight" true (r3.Journal.inflight = []))
+
+let test_journal_record_encoding () =
+  List.iter
+    (fun r ->
+      match Journal.record_of_string (Journal.record_to_string r) with
+      | Some r' -> checkb "record roundtrips" true (r = r')
+      | None -> Alcotest.fail "record did not roundtrip")
+    [
+      Journal.Sweep_begin { id = 3; benches = [ "a"; "b" ] };
+      Journal.Sweep_begin { id = 0; benches = [] };
+      Journal.Sweep_end { id = 12 };
+      Journal.Drained;
+    ];
+  checkb "garbage rejected" true (Journal.record_of_string "launch 1" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Warm cache                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_cache_bounded_lru () =
+  let c = Warm_cache.create ~capacity:10 in
+  Warm_cache.add c ~now:1 ~key:"a" ~size:4 "ra";
+  Warm_cache.add c ~now:2 ~key:"b" ~size:4 "rb";
+  checkb "hit a" true (Warm_cache.find c ~now:3 "a" = Some "ra");
+  (* b is now least recent; an insert over budget evicts it. *)
+  Warm_cache.add c ~now:4 ~key:"c" ~size:4 "rc";
+  checkb "b evicted" true (Warm_cache.find c ~now:5 "b" = None);
+  checkb "a survives" true (Warm_cache.find c ~now:6 "a" = Some "ra");
+  checki "evictions counted" 1 (Warm_cache.evictions c);
+  checkb "usage bounded" true (Warm_cache.used c <= 10);
+  Warm_cache.add c ~now:7 ~key:"a" ~size:4 "ra2";
+  checkb "replacement visible" true (Warm_cache.find c ~now:8 "a" = Some "ra2")
+
+(* ------------------------------------------------------------------ *)
+(* Server state machine                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let small_config queue_limit =
+  { Server.default_config with Server.queue_limit; max_steps = Some 20_000 }
+
+let run_req ?(threshold = 20) workload =
+  Json.obj
+    [
+      ("op", Json.quote "run");
+      ("workload", Json.quote workload);
+      ("threshold", string_of_int threshold);
+    ]
+
+let test_server_probes_and_validation () =
+  let s = Server.create (small_config 4) in
+  (match Server.offer s ~client:0 "{\"op\":\"ping\"}" with
+  | Server.Reply r -> checkb "ready" true (is_ok r)
+  | Server.Enqueued _ -> Alcotest.fail "ping queued");
+  (match Server.offer s ~client:0 "garbage" with
+  | Server.Reply r -> checks "invalid kind" "invalid" (kind_of r)
+  | Server.Enqueued _ -> Alcotest.fail "garbage queued");
+  (* Unknown benchmark: admitted (the schema cannot know the suite),
+     rejected at execution, never fatal. *)
+  (match Server.offer s ~client:0 (run_req "no-such") with
+  | Server.Enqueued _ -> (
+      match Server.step s with
+      | Some { Server.reply; delivered; _ } ->
+          checks "semantic rejection" "invalid" (kind_of reply);
+          checkb "still delivered" true delivered
+      | None -> Alcotest.fail "job vanished")
+  | Server.Reply _ -> Alcotest.fail "expensive request answered inline");
+  checkb "server is idle again" true (Server.idle s);
+  Server.close s
+
+let test_server_backpressure_and_disconnect () =
+  let s = Server.create (small_config 2) in
+  let offers =
+    List.map
+      (fun t -> Server.offer s ~client:1 (run_req ~threshold:t "gzip"))
+      [ 20; 21; 22; 23 ]
+  in
+  let enqueued =
+    List.length
+      (List.filter (function Server.Enqueued _ -> true | _ -> false) offers)
+  in
+  let overloaded =
+    List.length
+      (List.filter
+         (function
+           | Server.Reply r -> kind_of r = "overloaded"
+           | Server.Enqueued _ -> false)
+         offers)
+  in
+  checki "bounded admission" 2 enqueued;
+  checki "the rest get backpressure" 2 overloaded;
+  checki "queue never exceeds the limit" 2 (Server.queue_peak s);
+  Server.disconnect s ~client:1;
+  (match Server.step s with
+  | Some { Server.delivered; reply; _ } ->
+      checkb "dead client's reply dropped" false delivered;
+      checkb "the work itself succeeded" true (is_ok reply)
+  | None -> Alcotest.fail "job vanished");
+  ignore (Server.step s);
+  checkb "queue drained" true (Server.idle s);
+  Server.close s
+
+let test_server_drain_refuses_new_work () =
+  let s = Server.create (small_config 2) in
+  (match Server.offer s ~client:0 (run_req "gzip") with
+  | Server.Enqueued _ -> ()
+  | Server.Reply _ -> Alcotest.fail "admission refused while accepting");
+  (match Server.offer s ~client:0 "{\"op\":\"drain\"}" with
+  | Server.Reply r -> checkb "drain acknowledged" true (is_ok r)
+  | Server.Enqueued _ -> Alcotest.fail "drain queued");
+  (match Server.offer s ~client:0 (run_req "swim") with
+  | Server.Reply r -> checks "draining refusal" "draining" (kind_of r)
+  | Server.Enqueued _ -> Alcotest.fail "admitted while draining");
+  (match Server.offer s ~client:0 "{\"op\":\"ping\"}" with
+  | Server.Reply r ->
+      checkb "probes still served, not ready" true
+        (is_ok r && member "ready" r = Some (Json.Bool false))
+  | Server.Enqueued _ -> Alcotest.fail "ping queued");
+  (* The queued job still completes before shutdown. *)
+  (match Server.step s with
+  | Some { Server.reply; _ } -> checkb "queued job finished" true (is_ok reply)
+  | None -> Alcotest.fail "queued job discarded");
+  checkb "drained and idle" true (Server.draining s && Server.idle s);
+  Server.close s
+
+let test_server_sweep_journal_recovery () =
+  (* A sweep that is journalled but never marked complete (the server
+     "dies" without close) must be re-enqueued as an orphan by the
+     next server over the same journal, and its results must land in
+     the checkpoint store. *)
+  with_temp_dir (fun dir ->
+      let ckpt = Filename.concat dir "ckpt" in
+      let config =
+        {
+          (small_config 4) with
+          Server.checkpoint_dir = Some ckpt;
+          journal_path = Some (Filename.concat dir "journal");
+        }
+      in
+      let s = Server.create config in
+      let sweep_req =
+        Json.obj
+          [
+            ("op", Json.quote "sweep");
+            ("benches", Json.arr [ Json.quote "gzip" ]);
+            ("return_results", "false");
+          ]
+      in
+      (match Server.offer s ~client:0 sweep_req with
+      | Server.Enqueued _ -> ()
+      | Server.Reply _ -> Alcotest.fail "sweep refused");
+      (* Simulated kill: the admitted sweep never runs; the journal
+         keeps its Sweep_begin only if it started.  Run it, then fake
+         the missing Sweep_end by re-opening the journal and
+         re-appending a begin. *)
+      (match Server.step s with
+      | Some { Server.reply; _ } -> checkb "sweep ran" true (is_ok reply)
+      | None -> Alcotest.fail "sweep vanished");
+      (* Orphan: journal says a sweep began and never ended. *)
+      let j, _ = Journal.open_ ~path:(Filename.concat dir "journal") in
+      Journal.append j (Journal.Sweep_begin { id = 99; benches = [ "gzip" ] });
+      Journal.close j;
+      let s2 = Server.create config in
+      checkb "in-flight sweep recovered" true
+        (Server.recovered s2 = [ (99, [ "gzip" ]) ]);
+      checki "recovery job queued" 1 (Server.pending s2);
+      (match Server.step s2 with
+      | Some { Server.client = None; reply; delivered; _ } ->
+          checkb "orphan reply undeliverable" false delivered;
+          checkb "orphan sweep resumed from checkpoints" true (is_ok reply)
+      | Some _ -> Alcotest.fail "orphan has a client"
+      | None -> Alcotest.fail "orphan never ran");
+      Server.drain s2;
+      Server.close s2;
+      (* The clean shutdown is journalled: a third server recovers
+         nothing. *)
+      let s3 = Server.create config in
+      checkb "nothing to recover after drain" true (Server.recovered s3 = []);
+      Server.close s3)
+
+let test_server_warm_cache_byte_identical () =
+  let s = Server.create (small_config 4) in
+  let exec () =
+    match Server.offer s ~client:0 (run_req "gzip") with
+    | Server.Enqueued _ -> (
+        match Server.step s with
+        | Some { Server.reply; _ } -> reply
+        | None -> Alcotest.fail "job vanished")
+    | Server.Reply _ -> Alcotest.fail "refused"
+  in
+  let cold = exec () in
+  let warm = exec () in
+  checks "warm reply byte-identical to cold" cold warm;
+  (match Server.offer s ~client:0 "{\"op\":\"status\"}" with
+  | Server.Reply r ->
+      checkb "served from the cache" true
+        (member "cache_hits" r = Some (Json.Num 1.0))
+  | Server.Enqueued _ -> Alcotest.fail "status queued");
+  Server.close s
+
+(* ------------------------------------------------------------------ *)
+(* CLI exit-code taxonomy                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tpdbt = Filename.concat (Filename.concat ".." "bin") "tpdbt.exe"
+
+let exit_of args =
+  match
+    Unix.system
+      (Filename.quote_command tpdbt args ~stdout:Filename.null
+         ~stderr:Filename.null)
+  with
+  | Unix.WEXITED n -> n
+  | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> Alcotest.fail "tpdbt killed"
+
+let test_cli_exit_taxonomy () =
+  if not (Sys.file_exists tpdbt) then
+    Alcotest.skip ()
+  else begin
+    checki "success is 0" 0 (exit_of [ "--version" ]);
+    checki "unknown subcommand is usage (1)" 1 (exit_of [ "no-such-cmd" ]);
+    checki "unknown benchmark is usage (1)" 1
+      (exit_of [ "bench"; "no-such-bench" ]);
+    with_temp_dir (fun dir ->
+        let bad = Filename.concat dir "bad.s" in
+        let oc = open_out bad in
+        output_string oc "this is not assembly\n";
+        close_out oc;
+        checki "malformed input is validation (2)" 2 (exit_of [ "asm"; bad ]);
+        let old_json = Filename.concat dir "old.json" in
+        let new_json = Filename.concat dir "new.json" in
+        let write path ips =
+          let oc = open_out path in
+          output_string oc
+            (Printf.sprintf
+               "{\"benches\":[{\"name\":\"g\",\"guest_ips\":%s,\
+                \"alloc_per_instr\":1.0,\"cycles\":100}]}"
+               ips);
+          close_out oc
+        in
+        write old_json "1000.0";
+        write new_json "10.0";
+        checki "perf regression is 3" 3
+          (exit_of [ "perfdiff"; old_json; new_json ]);
+        checki "garbage perfdiff input is validation (2)" 2
+          (exit_of [ "perfdiff"; bad; new_json ]))
+  end
+
+let suite =
+  [
+    Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame byte-at-a-time" `Quick test_frame_byte_at_a_time;
+    Alcotest.test_case "frame damage is sticky" `Quick
+      test_frame_damage_is_sticky;
+    Alcotest.test_case "protocol accepts" `Quick test_protocol_accepts;
+    Alcotest.test_case "protocol rejects" `Quick test_protocol_rejects;
+    Alcotest.test_case "cache keys canonical" `Quick test_cache_keys;
+    Alcotest.test_case "journal roundtrip and torn tail" `Quick
+      test_journal_roundtrip_and_torn_tail;
+    Alcotest.test_case "journal record encoding" `Quick
+      test_journal_record_encoding;
+    Alcotest.test_case "warm cache bounded lru" `Quick
+      test_warm_cache_bounded_lru;
+    Alcotest.test_case "server probes and validation" `Quick
+      test_server_probes_and_validation;
+    Alcotest.test_case "server backpressure and disconnect" `Quick
+      test_server_backpressure_and_disconnect;
+    Alcotest.test_case "server drain refuses new work" `Quick
+      test_server_drain_refuses_new_work;
+    Alcotest.test_case "server sweep journal recovery" `Quick
+      test_server_sweep_journal_recovery;
+    Alcotest.test_case "server warm cache byte-identical" `Quick
+      test_server_warm_cache_byte_identical;
+    Alcotest.test_case "cli exit taxonomy" `Quick test_cli_exit_taxonomy;
+  ]
