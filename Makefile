@@ -16,7 +16,7 @@ PAR_SMOKE_DIR := _build/par-smoke
 
 .PHONY: all build test fmt fmt-strict check clean faults-smoke cache-smoke \
 	par-smoke par-bench chaos-smoke chaos-serve-smoke serve-smoke \
-	profile-smoke perf-bench perfdiff
+	profile-smoke fuzz-smoke perf-bench perfdiff
 
 all: build
 
@@ -162,6 +162,27 @@ profile-smoke: build
 	done
 	@echo "profile-smoke: all profiling artefacts present and validated"
 
+# Differential-fuzzing smoke: a fixed-seed campaign of generated guest
+# programs, each run through the pure interpreter and the two-phase
+# engine across the threshold/cache/policy config matrix.  tpdbt fuzz
+# exits 3 on any state or invariant divergence (the shrunk reproducer
+# lands in the corpus dir), and the deterministic summary must be
+# byte-identical across a repeat run and a parallel run (CI uploads
+# fuzz-summary.json and any reproducers as artifacts).
+FUZZ_SMOKE_DIR := _build/fuzz-smoke
+
+fuzz-smoke: build
+	rm -rf $(FUZZ_SMOKE_DIR)
+	mkdir -p $(FUZZ_SMOKE_DIR)
+	$(DUNE) exec bin/tpdbt.exe -- fuzz --budget 40 --seed 42 --jobs 1 \
+		--corpus $(FUZZ_SMOKE_DIR)/corpus \
+		--summary $(FUZZ_SMOKE_DIR)/fuzz-summary.json
+	$(DUNE) exec bin/tpdbt.exe -- fuzz --budget 40 --seed 42 --jobs $(PAR_JOBS) \
+		--corpus $(FUZZ_SMOKE_DIR)/corpus-par \
+		--summary $(FUZZ_SMOKE_DIR)/par-summary.json
+	cmp $(FUZZ_SMOKE_DIR)/fuzz-summary.json $(FUZZ_SMOKE_DIR)/par-summary.json
+	@echo "fuzz-smoke: no divergence; summaries identical at -j 1 and -j $(PAR_JOBS)"
+
 # Wall-clock/allocation perf measurement over the quick set, recorded
 # in BENCH_perf.json for perfdiff gating.
 perf-bench: build
@@ -199,7 +220,7 @@ fmt-strict:
 	$(DUNE) build @fmt
 
 check: build test faults-smoke cache-smoke par-smoke chaos-smoke \
-	chaos-serve-smoke serve-smoke profile-smoke fmt
+	chaos-serve-smoke serve-smoke profile-smoke fuzz-smoke fmt
 
 clean:
 	$(DUNE) clean

@@ -2,7 +2,7 @@
 
    Subcommands: asm, dis, check, run, dbt, bench, sweep, profile,
    perfdiff, analyze, report, ablate, trace, faults, cache, chaos,
-   serve, request. *)
+   fuzz, serve, request. *)
 
 open Cmdliner
 
@@ -1291,6 +1291,100 @@ let chaos_cmd =
       $ serve_mode)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz (differential fuzzing)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let module Driver = Tpdbt_fuzz.Driver in
+  let module Oracle = Tpdbt_fuzz.Oracle in
+  let budget =
+    Arg.(
+      value & opt int 100
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Number of generated programs to judge.")
+  in
+  let size =
+    Arg.(
+      value & opt int 48
+      & info [ "size" ] ~docv:"N"
+          ~doc:"Target main-line instruction count per generated program.")
+  in
+  let corpus =
+    Arg.(
+      value & opt string "fuzz-corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Directory shrunk reproducers are written to (created if \
+             missing; files appear only when a case diverges).")
+  in
+  let summary =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary" ] ~docv:"FILE"
+          ~doc:
+            "Also write the deterministic JSON summary to FILE — \
+             byte-identical across job counts and repeated same-seed runs.")
+  in
+  let run budget size seed jobs corpus summary_file =
+    if budget <= 0 || size <= 0 then begin
+      prerr_endline "error: --budget and --size must be positive";
+      exit exit_usage
+    end;
+    let config =
+      {
+        Driver.budget;
+        size;
+        seed;
+        jobs = Some jobs;
+        corpus_dir = Some corpus;
+      }
+    in
+    let s = Driver.run config in
+    let json = Driver.summary_json s in
+    (match Tpdbt_telemetry.Json.validate json with
+    | Ok () -> ()
+    | Error msg ->
+        prerr_endline ("internal error: fuzz summary " ^ msg);
+        exit exit_invalid);
+    Printf.printf
+      "fuzz: %d cases (%d skipped), %d checks across %d arms, %d divergent\n"
+      s.Driver.budget s.Driver.skipped s.Driver.checks
+      (List.length Oracle.arm_labels)
+      (List.length s.Driver.failures);
+    List.iter
+      (fun (f : Driver.failure) ->
+        Printf.printf "case %d (guest seed %Ld): shrunk %d -> %d instrs\n"
+          f.Driver.case f.Driver.guest_seed f.Driver.original_active
+          f.Driver.shrunk_active;
+        List.iter
+          (fun (d : Oracle.divergence) ->
+            Printf.printf "  [%s] %s: %s\n" d.Oracle.arm d.Oracle.kind
+              d.Oracle.detail)
+          f.Driver.divergences;
+        List.iter (fun p -> Printf.printf "  wrote %s\n" p) f.Driver.saved)
+      s.Driver.failures;
+    (match summary_file with
+    | None -> ()
+    | Some file ->
+        write_file file (json ^ "\n");
+        Printf.printf "wrote %s\n" file);
+    if s.Driver.failures <> [] then exit exit_regression
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate seeded random (terminating) guest \
+          programs, run each through the pure interpreter and the two-phase \
+          engine across a threshold/cache/policy/optimizer config matrix, \
+          and compare end-state fingerprints plus perf-counter invariants.  \
+          Any divergence is delta-debugged down to a minimal reproducer and \
+          written to the corpus directory with its seed.  Same seed, same \
+          campaign, byte for byte — at any $(b,--jobs).  Exits 3 on \
+          divergence.")
+    Term.(const run $ budget $ size $ seed_arg $ jobs_arg $ corpus $ summary)
+
+(* ------------------------------------------------------------------ *)
 (* serve / request (translation service)                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1444,7 +1538,8 @@ let () =
          [
            asm_cmd; dis_cmd; check_cmd; run_cmd; dbt_cmd; bench_cmd; sweep_cmd;
            profile_cmd; perfdiff_cmd; analyze_cmd; report_cmd; ablate_cmd;
-           trace_cmd; faults_cmd; cache_cmd; chaos_cmd; serve_cmd; request_cmd;
+           trace_cmd; faults_cmd; cache_cmd; chaos_cmd; fuzz_cmd; serve_cmd;
+           request_cmd;
          ])
   in
   (* Fold cmdliner's CLI-error code (124) into the taxonomy's usage

@@ -117,6 +117,24 @@ let build (p : Program.t) =
     blocks;
   { blocks; id_of_pc; entry_block = block_of_start p.Program.entry }
 
+(* The one program shape [build] rejects: a taken-or-not branch (or a
+   call, whose return site is the next pc) as the very last instruction
+   has no fall-through block to point at.  [Program.make] accepts such
+   images — the interpreter handles them by halting off the end — so a
+   decoded or generated program must be vetted here before engine
+   construction, with the refusal as a typed error. *)
+let build_result (p : Program.t) =
+  let n = Array.length p.Program.code in
+  match p.Program.code.(n - 1) with
+  | Instr.Br _ | Instr.Call _ ->
+      Error
+        (Error.Invalid_program
+           (Printf.sprintf
+              "branch/call at end of code (pc %d) needs a fall-through \
+               instruction"
+              (n - 1)))
+  | _ -> Ok (build p)
+
 let of_blocks ~entry_block blocks =
   let arr = Array.of_list blocks in
   let n = Array.length arr in

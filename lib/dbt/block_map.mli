@@ -31,7 +31,18 @@ type block = {
 type t
 
 val build : Tpdbt_isa.Program.t -> t
-(** Discover the block map of a program. *)
+(** Discover the block map of a program.
+    @raise Invalid_argument when the last instruction is a branch or
+    call (no fall-through instruction exists for its not-taken edge /
+    return site).  Untrusted programs — decoded files, fuzz-generated
+    images — must go through {!build_result} instead. *)
+
+val build_result : Tpdbt_isa.Program.t -> (t, Error.t) result
+(** Total variant of {!build}: the branch/call-at-end-of-code shape is
+    refused as {!Error.Invalid_program} instead of raising.  This is
+    the vetting step the CLI and the fuzz oracle run before
+    {!Engine.create} on any program that did not come from the
+    assembler-checked workload suite. *)
 
 val of_blocks : entry_block:int -> block list -> (t, string) result
 (** Reconstruct a block map from serialised blocks (see

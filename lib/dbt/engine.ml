@@ -232,6 +232,7 @@ let create ?config:(cfg = config ~threshold:1000 ()) ?mem_words ~seed program =
   }
 
 let block_map t = t.bmap
+let machine t = t.machine
 
 (* Call only under [if t.trace then ...] so disabled telemetry never
    allocates an event. *)
@@ -1148,7 +1149,19 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun ~steps:_ _ -> ()) t =
           inject_dispatch_faults t inj
       | Some _ | None -> ());
       let pc = Machine.pc t.machine in
+      let code_len =
+        Array.length (Machine.program t.machine).Tpdbt_isa.Program.code
+      in
       match Block_map.block_at t.bmap pc with
+      | None when pc < 0 || pc >= code_len ->
+          (* Fallthrough past the last instruction: when the final
+             block ends in a plain instruction (legal — fuzz-generated
+             images end this way once shrinking nops out the halt), the
+             machine halts on its next step, charging nothing.  Take
+             that step so the end state is bit-identical to the
+             interpreter's. *)
+          ignore (Machine.step t.machine);
+          loop ()
       | None ->
           (* Control landed mid-block: the dispatcher and the block map
              disagree.  Stop with a typed error instead of asserting. *)

@@ -187,3 +187,9 @@ val run :
     ([Tpdbt_profiles.Phases]). *)
 
 val block_map : t -> Block_map.t
+
+val machine : t -> Tpdbt_vm.Machine.t
+(** The guest machine the engine drives.  After {!run} this is the
+    end-of-run architectural state — registers, memory, outputs — which
+    is what the differential-fuzzing fingerprint and the superoptimizer
+    miner compare against a pure-interpreter reference. *)

@@ -7,6 +7,7 @@ type t =
   | Dispatch_lost of { pc : int }
   | Corrupt_profile of { line : int; field : string; reason : string }
   | Io_error of string
+  | Invalid_program of string
 
 exception Error of t
 
@@ -46,6 +47,7 @@ let pp ppf = function
         Format.fprintf ppf "corrupt profile: %s (%s) at line %d" reason field
           line
   | Io_error msg -> Format.fprintf ppf "i/o error: %s" msg
+  | Invalid_program msg -> Format.fprintf ppf "invalid program: %s" msg
 
 let to_string t = Format.asprintf "%a" pp t
 

@@ -35,6 +35,12 @@ type t =
       (** a profile file failed load-time validation; [line] is
           1-based, 0 for end-of-file truncation *)
   | Io_error of string
+  | Invalid_program of string
+      (** a guest image that decodes but cannot be translated — e.g. a
+          branch or call as the very last instruction, which leaves a
+          block with no fall-through ({!Block_map.build_result}).
+          Generated (fuzzed) and hostile inputs land here instead of
+          raising [Invalid_argument] out of engine construction. *)
 
 exception Error of t
 (** For the few call sites that must raise (e.g. a legacy wrapper);

@@ -1,0 +1,56 @@
+module Json = Tpdbt_telemetry.Json
+module Encode = Tpdbt_isa.Encode
+module Disasm = Tpdbt_isa.Disasm
+
+type entry = {
+  id : string;
+  case : int;
+  guest_seed : int64;
+  original_active : int;
+  shrunk_active : int;
+  divergences : Oracle.divergence list;
+}
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ -> () (* lost a race with a concurrent campaign *)
+  end
+
+let divergence_json (d : Oracle.divergence) =
+  Json.obj
+    [
+      ("arm", Json.quote d.arm);
+      ("kind", Json.quote d.kind);
+      ("detail", Json.quote d.detail);
+    ]
+
+let entry_json e =
+  Json.obj
+    [
+      ("id", Json.quote e.id);
+      ("case", string_of_int e.case);
+      (* int64 seeds travel as strings: they exceed the double-precision
+         integer range JSON consumers assume *)
+      ("guest_seed", Json.quote (Int64.to_string e.guest_seed));
+      ("original_active", string_of_int e.original_active);
+      ("shrunk_active", string_of_int e.shrunk_active);
+      ("divergences", Json.arr (List.map divergence_json e.divergences));
+    ]
+
+let write_text path text =
+  let oc = open_out path in
+  output_string oc text;
+  if String.length text > 0 && text.[String.length text - 1] <> '\n' then
+    output_char oc '\n';
+  close_out oc
+
+let save ~dir e program =
+  mkdir_p dir;
+  let stem = Filename.concat dir e.id in
+  let g32 = stem ^ ".g32" and asm = stem ^ ".s" and meta = stem ^ ".json" in
+  Encode.write_file g32 program;
+  write_text asm (Disasm.disassemble program);
+  write_text meta (entry_json e);
+  [ g32; asm; meta ]

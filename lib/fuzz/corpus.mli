@@ -1,0 +1,29 @@
+(** Reproducer persistence.
+
+    Every divergent case is written to the corpus directory as three
+    files sharing a stem derived from the campaign seed and case index
+    (so re-running the same campaign overwrites rather than
+    accumulates):
+
+    - [<id>.g32] — the {e shrunk} program, binary-encoded
+      ({!Tpdbt_isa.Encode}), ready for [tpdbt run]/[tpdbt trace];
+    - [<id>.s] — its disassembly, for reading the reproducer;
+    - [<id>.json] — metadata: the guest seed the oracle used, the
+      case index, sizes before/after shrinking, and every divergence
+      the oracle reported. *)
+
+type entry = {
+  id : string;  (** file stem, e.g. ["seed42-case17"] *)
+  case : int;
+  guest_seed : int64;
+  original_active : int;
+  shrunk_active : int;
+  divergences : Oracle.divergence list;
+}
+
+val divergence_json : Oracle.divergence -> string
+
+val save : dir:string -> entry -> Tpdbt_isa.Program.t -> string list
+(** Write the shrunk program and metadata under [dir] (created,
+    including parents, if missing).  Returns the paths written, in
+    [.g32], [.s], [.json] order. *)

@@ -1,0 +1,130 @@
+module Prng = Tpdbt_vm.Prng
+module Pool = Tpdbt_parallel.Pool
+module Json = Tpdbt_telemetry.Json
+module Program = Tpdbt_isa.Program
+
+type config = {
+  budget : int;
+  size : int;
+  seed : int64;
+  jobs : int option;
+  corpus_dir : string option;
+}
+
+type failure = {
+  case : int;
+  guest_seed : int64;
+  original : Program.t;
+  shrunk : Program.t;
+  original_active : int;
+  shrunk_active : int;
+  divergences : Oracle.divergence list;
+  saved : string list;
+}
+
+type summary = {
+  budget : int;
+  seed : int64;
+  skipped : int;
+  checks : int;
+  failures : failure list;
+}
+
+(* SplitMix64's golden-ratio increment decorrelates per-case seeds even
+   for adjacent campaign seeds; +1 keeps case 0 off the campaign seed
+   itself. *)
+let case_seed campaign case =
+  Int64.add campaign (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (case + 1)))
+
+let run_case ?perturb (config : config) case =
+  let prng = Prng.create ~seed:(case_seed config.seed case) in
+  let guest_seed = Prng.next_int64 prng in
+  let program =
+    Gen.program prng { Gen.size = config.size; mem_words = Oracle.mem_words }
+  in
+  let verdict = Oracle.check ?perturb ~seed:guest_seed program in
+  (guest_seed, program, verdict)
+
+let run ?perturb config =
+  let results, _stats =
+    Pool.map ?jobs:config.jobs
+      (run_case ?perturb config)
+      (Array.init config.budget (fun case -> case))
+  in
+  let skipped = ref 0 in
+  let checks = ref 0 in
+  let failures = ref [] in
+  Array.iteri
+    (fun case (guest_seed, program, (v : Oracle.verdict)) ->
+      checks := !checks + v.Oracle.checks;
+      match v.Oracle.skipped with
+      | Some _ -> incr skipped
+      | None ->
+          if v.Oracle.divergences <> [] then begin
+            let still_fails p =
+              let v' = Oracle.check ?perturb ~seed:guest_seed p in
+              v'.Oracle.skipped = None && v'.Oracle.divergences <> []
+            in
+            let shrunk = Shrink.minimize ~still_fails program in
+            let original_active = Shrink.active program in
+            let shrunk_active = Shrink.active shrunk in
+            let saved =
+              match config.corpus_dir with
+              | None -> []
+              | Some dir ->
+                  Corpus.save ~dir
+                    {
+                      Corpus.id = Printf.sprintf "seed%Ld-case%d" config.seed case;
+                      case;
+                      guest_seed;
+                      original_active;
+                      shrunk_active;
+                      divergences = v.Oracle.divergences;
+                    }
+                    shrunk
+            in
+            failures :=
+              {
+                case;
+                guest_seed;
+                original = program;
+                shrunk;
+                original_active;
+                shrunk_active;
+                divergences = v.Oracle.divergences;
+                saved;
+              }
+              :: !failures
+          end)
+    results;
+  {
+    budget = config.budget;
+    seed = config.seed;
+    skipped = !skipped;
+    checks = !checks;
+    failures = List.rev !failures;
+  }
+
+let failure_json f =
+  Json.obj
+    [
+      ("case", string_of_int f.case);
+      ("guest_seed", Json.quote (Int64.to_string f.guest_seed));
+      ("original_active", string_of_int f.original_active);
+      ("shrunk_active", string_of_int f.shrunk_active);
+      ("divergences", Json.arr (List.map Corpus.divergence_json f.divergences));
+      ("saved", Json.arr (List.map Json.quote f.saved));
+    ]
+
+let summary_json s =
+  Json.obj
+    [
+      ("tool", Json.quote "tpdbt fuzz");
+      ("seed", Json.quote (Int64.to_string s.seed));
+      ("budget", string_of_int s.budget);
+      ("skipped", string_of_int s.skipped);
+      ("checks", string_of_int s.checks);
+      ("arms", Json.arr (List.map Json.quote Oracle.arm_labels));
+      ("divergent_cases", string_of_int (List.length s.failures));
+      ("failures", Json.arr (List.map failure_json s.failures));
+    ]

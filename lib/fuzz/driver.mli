@@ -1,0 +1,51 @@
+(** Fuzz campaign driver: generate, judge, shrink, persist, summarise.
+
+    A campaign is [budget] independent cases.  Case [i] derives its own
+    PRNG seed from the campaign seed by a golden-ratio step (the
+    SplitMix64 increment), draws the guest seed and then the program
+    from that PRNG, and hands both to {!Oracle.check}.  Cases run on a
+    {!Tpdbt_parallel.Pool} and results merge by case index, so the
+    summary is byte-identical for every [jobs] value — and across
+    repeated runs, because nothing in the pipeline reads a clock or an
+    ambient RNG.
+
+    Divergent cases are shrunk {e sequentially} (the shrinker re-runs
+    the oracle with the case's own guest seed, so its verdicts are
+    deterministic too) and, when a corpus directory is configured,
+    persisted via {!Corpus.save}. *)
+
+type config = {
+  budget : int;  (** number of generated cases *)
+  size : int;  (** {!Gen.params.size} for every case *)
+  seed : int64;  (** campaign seed *)
+  jobs : int option;  (** pool width; [None] = pool default *)
+  corpus_dir : string option;  (** where reproducers land; [None] = keep in memory only *)
+}
+
+type failure = {
+  case : int;
+  guest_seed : int64;
+  original : Tpdbt_isa.Program.t;
+  shrunk : Tpdbt_isa.Program.t;
+  original_active : int;
+  shrunk_active : int;
+  divergences : Oracle.divergence list;
+  saved : string list;  (** corpus paths written (empty without a corpus dir) *)
+}
+
+type summary = {
+  budget : int;
+  seed : int64;
+  skipped : int;  (** cases the oracle could not judge *)
+  checks : int;  (** total comparisons across all cases *)
+  failures : failure list;  (** in case order *)
+}
+
+val run :
+  ?perturb:(arm:string -> Fingerprint.t -> Fingerprint.t) -> config -> summary
+(** Run the campaign.  [perturb] is threaded to every {!Oracle.check}
+    (including the shrinker's re-checks) — the bug-injection hook the
+    self-test harness uses. *)
+
+val summary_json : summary -> string
+(** Deterministic JSON rendering: same campaign, same bytes. *)

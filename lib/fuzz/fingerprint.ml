@@ -1,0 +1,90 @@
+module Machine = Tpdbt_vm.Machine
+module Reg = Tpdbt_isa.Reg
+module Json = Tpdbt_telemetry.Json
+
+type t = {
+  regs : int list;
+  mem_hash : int64;
+  outputs_hash : int64;
+  outputs : int;
+  steps : int;
+  status : string;
+}
+
+(* FNV-1a over the low 32 bits of each word, byte by byte. *)
+let fnv_basis = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv_word h v =
+  let h = fnv_byte h v in
+  let h = fnv_byte h (v lsr 8) in
+  let h = fnv_byte h (v lsr 16) in
+  fnv_byte h (v lsr 24)
+
+let status_of_run result ~halted =
+  match result with
+  | Error trap -> Format.asprintf "trap: %a" Machine.pp_trap trap
+  | Ok () -> if halted then "halted" else "running"
+
+let status_of_error error ~halted =
+  match error with
+  | Some (Tpdbt_dbt.Error.Trap trap) ->
+      Format.asprintf "trap: %a" Machine.pp_trap trap
+  | Some (Tpdbt_dbt.Error.Limit_exceeded _) -> "running"
+  | Some e -> "error: " ^ Tpdbt_dbt.Error.to_string e
+  | None -> if halted then "halted" else "running"
+
+let of_machine ~status ~mem_words m =
+  let mem_hash = ref fnv_basis in
+  for addr = 0 to mem_words - 1 do
+    mem_hash := fnv_word !mem_hash (Machine.mem m addr)
+  done;
+  let outputs = Machine.outputs m in
+  let outputs_hash = List.fold_left fnv_word fnv_basis outputs in
+  {
+    regs = List.map (fun r -> Machine.reg m r) Reg.all;
+    mem_hash = !mem_hash;
+    outputs_hash;
+    outputs = List.length outputs;
+    steps = Machine.steps m;
+    status;
+  }
+
+let equal a b =
+  a.regs = b.regs
+  && Int64.equal a.mem_hash b.mem_hash
+  && Int64.equal a.outputs_hash b.outputs_hash
+  && a.outputs = b.outputs && a.steps = b.steps
+  && String.equal a.status b.status
+
+let diff a b =
+  let d = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> d := s :: !d) fmt in
+  if a.status <> b.status then add "status %S vs %S" a.status b.status;
+  if a.steps <> b.steps then add "steps %d vs %d" a.steps b.steps;
+  if a.regs <> b.regs then begin
+    let ra = Array.of_list a.regs and rb = Array.of_list b.regs in
+    Array.iteri
+      (fun i v -> if v <> rb.(i) then add "r%d %d vs %d" i v rb.(i))
+      ra
+  end;
+  if not (Int64.equal a.mem_hash b.mem_hash) then
+    add "mem hash %Lx vs %Lx" a.mem_hash b.mem_hash;
+  if a.outputs <> b.outputs then add "outputs %d vs %d" a.outputs b.outputs
+  else if not (Int64.equal a.outputs_hash b.outputs_hash) then
+    add "output hash %Lx vs %Lx" a.outputs_hash b.outputs_hash;
+  List.rev !d
+
+let to_json t =
+  Json.obj
+    [
+      ("status", Json.quote t.status);
+      ("steps", string_of_int t.steps);
+      ("regs", Json.arr (List.map string_of_int t.regs));
+      ("mem_hash", Json.quote (Printf.sprintf "%016Lx" t.mem_hash));
+      ("outputs", string_of_int t.outputs);
+      ("outputs_hash", Json.quote (Printf.sprintf "%016Lx" t.outputs_hash));
+    ]

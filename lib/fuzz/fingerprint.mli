@@ -1,0 +1,40 @@
+(** End-of-run architectural fingerprints.
+
+    A fingerprint is everything a guest program's execution can
+    observe or produce: the 16 registers, a hash of data memory, the
+    output log, the instruction count and how the run ended.  Two
+    executions of the same program with the same seed are equivalent
+    iff their fingerprints are equal — this is the comparison the
+    differential fuzzing oracle runs between the pure interpreter and
+    every engine configuration, and the same machinery the planned
+    superoptimizer miner ([tpdbt mine]) needs to verify candidate
+    rewrite rules against the VM. *)
+
+type t = {
+  regs : int list;  (** r0..r15 *)
+  mem_hash : int64;  (** FNV-1a 64 over every data-memory word *)
+  outputs_hash : int64;  (** FNV-1a 64 over the [out] log, in order *)
+  outputs : int;  (** number of values emitted *)
+  steps : int;  (** guest instructions executed *)
+  status : string;
+      (** ["halted"], ["running"] (budget exhausted), or the rendered
+          trap/error — trap identity is part of program behaviour *)
+}
+
+val status_of_run : (unit, Tpdbt_vm.Machine.trap) result -> halted:bool -> string
+(** Status of a pure-interpreter {!Tpdbt_vm.Machine.run}. *)
+
+val status_of_error : Tpdbt_dbt.Error.t option -> halted:bool -> string
+(** Status of an engine run from [result.error]; a guest trap renders
+    identically to the interpreter's, so matching runs compare equal. *)
+
+val of_machine : status:string -> mem_words:int -> Tpdbt_vm.Machine.t -> t
+(** Fingerprint the machine's current state.  [mem_words] must be the
+    size the machine was created with. *)
+
+val equal : t -> t -> bool
+
+val diff : t -> t -> string list
+(** Human-readable field-by-field differences, empty iff {!equal}. *)
+
+val to_json : t -> string

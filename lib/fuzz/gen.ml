@@ -1,0 +1,217 @@
+module Prng = Tpdbt_vm.Prng
+module Instr = Tpdbt_isa.Instr
+module Reg = Tpdbt_isa.Reg
+module Program = Tpdbt_isa.Program
+
+type params = { size : int; mem_words : int }
+
+let default = { size = 48; mem_words = 1024 }
+
+(* ---- emission ---------------------------------------------------------- *)
+
+(* Shapes are emitted left to right with their layout decided up front,
+   so every branch target is an absolute index computed before the
+   instruction is emitted — except calls, whose subroutines live after
+   the final halt and are patched once their addresses are known. *)
+type emitter = {
+  mutable rev : Instr.t list;
+  mutable len : int;
+  mutable call_fixups : (int * int) list;  (** instr index, subroutine id *)
+}
+
+let emit e i =
+  e.rev <- i :: e.rev;
+  e.len <- e.len + 1
+
+(* ---- register choices -------------------------------------------------- *)
+
+let pick_reg prng = Reg.of_int (Prng.below prng Reg.count)
+
+(* A register outside [exclude] — loop counters and the like must not
+   be clobbered by the body they control. *)
+let rec pick_reg_excluding prng exclude =
+  let r = pick_reg prng in
+  if List.exists (Reg.equal r) exclude then pick_reg_excluding prng exclude
+  else r
+
+let binops =
+  [|
+    Instr.Add;
+    Instr.Sub;
+    Instr.Mul;
+    Instr.And;
+    Instr.Or;
+    Instr.Xor;
+    Instr.Shl;
+    Instr.Shr;
+  |]
+
+let conds = [| Instr.Eq; Instr.Ne; Instr.Lt; Instr.Ge; Instr.Le; Instr.Gt |]
+let pick_cond prng = conds.(Prng.below prng (Array.length conds))
+
+(* ---- straight-line instructions ---------------------------------------- *)
+
+(* One straight-line step (possibly a two-instruction address-setup +
+   memory-op pair).  [exclude] regs are never written. *)
+let straight e prng params ~exclude =
+  let dst () = pick_reg_excluding prng exclude in
+  match Prng.below prng 100 with
+  | n when n < 22 ->
+      (* immediate load; small values keep arithmetic interesting *)
+      emit e (Instr.Movi (dst (), Prng.below prng 640 - 64))
+  | n when n < 30 -> emit e (Instr.Mov (dst (), pick_reg prng))
+  | n when n < 52 ->
+      let op = binops.(Prng.below prng (Array.length binops)) in
+      emit e (Instr.Binop (op, dst (), pick_reg prng, pick_reg prng))
+  | n when n < 66 ->
+      let op = binops.(Prng.below prng (Array.length binops)) in
+      emit e (Instr.Binopi (op, dst (), pick_reg prng, Prng.below prng 64 + 1))
+  | n when n < 80 ->
+      (* safe memory pair: the base register is pinned to an in-range
+         address immediately before the access *)
+      let base = dst () in
+      let addr = Prng.below prng (max 1 (params.mem_words - 64)) in
+      emit e (Instr.Movi (base, addr));
+      if Prng.below prng 2 = 0 then
+        emit e (Instr.Load (dst (), base, Prng.below prng 64))
+      else emit e (Instr.Store (pick_reg prng, base, Prng.below prng 64))
+  | n when n < 86 -> emit e (Instr.Rnd (dst (), 1 + Prng.below prng 1000))
+  | n when n < 92 -> emit e (Instr.Out (pick_reg prng))
+  | n when n < 94 ->
+      (* wild memory access: the base register holds whatever the run
+         left in it, so this may fault — identically on both paths *)
+      if Prng.below prng 2 = 0 then
+        emit e (Instr.Load (dst (), pick_reg prng, Prng.below prng 64))
+      else
+        emit e (Instr.Store (pick_reg prng, pick_reg prng, Prng.below prng 64))
+  | n when n < 96 ->
+      (* division by a register value: traps when it is zero *)
+      let op = if Prng.below prng 2 = 0 then Instr.Div else Instr.Rem in
+      emit e (Instr.Binop (op, dst (), pick_reg prng, pick_reg prng))
+  | n when n < 98 ->
+      (* out-of-range rnd bound: must surface as the typed trap *)
+      emit e (Instr.Rnd (dst (), Prng.below prng 3 - 2))
+  | _ -> emit e Instr.Nop
+
+let straight_run e prng params ~exclude count =
+  for _ = 1 to count do
+    straight e prng params ~exclude
+  done
+
+(* A straight-line body as a list, for shapes that must know a body's
+   exact length before laying out branch targets around it — [straight]
+   may emit two instructions per step (the address-setup pairs), so
+   [count] alone does not determine the length. *)
+let straight_list prng params ~exclude count =
+  let e = { rev = []; len = 0; call_fixups = [] } in
+  straight_run e prng params ~exclude count;
+  List.rev e.rev
+
+let emit_list e instrs = List.iter (emit e) instrs
+
+(* ---- shapes ------------------------------------------------------------ *)
+
+(* Forward conditional over two straight-line arms:
+     br c r1 r2 -> else_part; then_part; jmp join; else_part; join: *)
+let diamond e prng params =
+  let then_part = straight_list prng params ~exclude:[] (1 + Prng.below prng 4) in
+  let else_part = straight_list prng params ~exclude:[] (1 + Prng.below prng 4) in
+  let else_start = e.len + 1 + List.length then_part + 1 in
+  let join = else_start + List.length else_part in
+  emit e (Instr.Br (pick_cond prng, pick_reg prng, pick_reg prng, else_start));
+  emit_list e then_part;
+  emit e (Instr.Jmp join);
+  emit_list e else_part
+
+(* Counted loop: a dedicated counter ticks down from a bounded trip
+   count; the latch branches back while it is positive.  The body must
+   not write the counter or the zero register, so the back edge is
+   taken at most [trips] times no matter what the body computes.  With
+   [flip], the body skips its first half while the counter is above
+   the midpoint — a branch whose bias inverts halfway through the
+   loop's lifetime (the phase-change stress). *)
+let counted_loop e prng params =
+  let rc = pick_reg prng in
+  let rz = pick_reg_excluding prng [ rc ] in
+  let trips = 1 + Prng.below prng 24 in
+  let flip = Prng.below prng 3 = 0 in
+  let rmid = if flip then pick_reg_excluding prng [ rc; rz ] else rz in
+  let exclude = if flip then [ rc; rz; rmid ] else [ rc; rz ] in
+  emit e (Instr.Movi (rz, 0));
+  emit e (Instr.Movi (rc, trips));
+  if flip then emit e (Instr.Movi (rmid, trips / 2));
+  let head = e.len in
+  (if flip then begin
+     let part1 = straight_list prng params ~exclude (1 + Prng.below prng 3) in
+     let part2 = straight_list prng params ~exclude (1 + Prng.below prng 3) in
+     emit e (Instr.Br (Instr.Gt, rc, rmid, e.len + 1 + List.length part1));
+     emit_list e part1;
+     emit_list e part2
+   end
+   else begin
+     let k = 1 + Prng.below prng 5 in
+     straight_run e prng params ~exclude k
+   end);
+  emit e (Instr.Binopi (Instr.Sub, rc, rc, 1));
+  emit e (Instr.Br (Instr.Gt, rc, rz, head))
+
+(* Call into a straight-line subroutine that will be laid out after the
+   final halt; the target is patched once subroutine addresses are
+   known.  Subroutines never call, so the dynamic call depth is 1. *)
+let call_shape e nsubs =
+  let sub = e.len mod nsubs in
+  e.call_fixups <- (e.len, sub) :: e.call_fixups;
+  emit e (Instr.Call 0)
+
+(* ---- top level --------------------------------------------------------- *)
+
+let program prng params =
+  let size = max 4 params.size in
+  let e = { rev = []; len = 0; call_fixups = [] } in
+  (* Decide the subroutine count up front so call sites can reference
+     them before they exist. *)
+  let nsubs = Prng.below prng (1 + 3) in
+  while e.len < size do
+    match Prng.below prng 100 with
+    | n when n < 40 ->
+        straight_run e prng params ~exclude:[] (1 + Prng.below prng 4)
+    | n when n < 58 -> diamond e prng params
+    | n when n < 88 -> counted_loop e prng params
+    | _ -> if nsubs > 0 then call_shape e nsubs else diamond e prng params
+  done;
+  emit e Instr.Halt;
+  (* Subroutine bodies after the halt, each ending in ret; record the
+     entry pc of each. *)
+  let sub_entry = Array.make (max 1 nsubs) 0 in
+  for s = 0 to nsubs - 1 do
+    sub_entry.(s) <- e.len;
+    straight_run e prng params ~exclude:[] (2 + Prng.below prng 5);
+    emit e Instr.Ret
+  done;
+  let code = Array.of_list (List.rev e.rev) in
+  List.iter
+    (fun (idx, sub) -> code.(idx) <- Instr.Call sub_entry.(sub))
+    e.call_fixups;
+  (* A few initial data bindings inside the memory window. *)
+  let nbind = Prng.below prng 5 in
+  let data_init =
+    List.init nbind (fun _ ->
+        (Prng.below prng params.mem_words, Prng.below prng 100_000 - 50_000))
+  in
+  Program.make ~data_init code
+
+(* ---- adversarial strings for the JSON property tests ------------------- *)
+
+let adversarial_string prng ~max_len =
+  let len = Prng.below prng (max_len + 1) in
+  String.init len (fun _ ->
+      match Prng.below prng 8 with
+      | 0 -> Char.chr (Prng.below prng 32) (* control chars, incl. \n \t *)
+      | 1 -> (
+          match Prng.below prng 4 with
+          | 0 -> '"'
+          | 1 -> '\\'
+          | 2 -> '/'
+          | _ -> '\x7f')
+      | 2 -> Char.chr (0x80 + Prng.below prng 0x80) (* high bytes *)
+      | _ -> Char.chr (32 + Prng.below prng 95))

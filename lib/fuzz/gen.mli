@@ -1,0 +1,55 @@
+(** Seeded random G32 program generator.
+
+    Programs are built from a weighted mix of {e shapes} rather than
+    raw instructions, so every generated image terminates by
+    construction while still stressing the translator:
+
+    - straight-line runs over the full opcode mix (arithmetic,
+      moves, [rnd], [out], paired address-setup + load/store);
+    - {e diamonds}: a forward conditional over a then/else pair of
+      straight-line arms — region formation's bread and butter;
+    - {e counted loops}: a dedicated counter register initialised to a
+      bounded trip count and decremented by the latch, so the back
+      edge is taken at most [trips] times; the loop body may carry an
+      internal forward branch keyed on the counter crossing its
+      midpoint, which flips the branch's bias mid-loop (the
+      phase-change stress that separates INIP from AVEP);
+    - {e calls}: main-line [call]s into straight-line subroutines laid
+      out after the final [halt], each ending in [ret] — never nested,
+      so the call depth is bounded;
+    - low-weight {e wild} instructions: loads/stores through an
+      arbitrary base register, division by a register, [rnd] with a
+      non-positive bound — each may trap, and the trap itself must be
+      bit-identical between the interpreter and the engine.
+
+    All control flow is forward except counted-loop latches, so every
+    program halts, traps, or falls off the end within a statically
+    bounded number of steps (well under {!Oracle.max_steps} for any
+    reasonable [size]).  The last instruction is always [halt] or
+    [ret], never a branch or call, so {!Tpdbt_dbt.Block_map.build}
+    accepts every generated image.
+
+    Generation is driven entirely by the caller's
+    {!Tpdbt_vm.Prng.t}: the same PRNG state always produces the same
+    program, which is what makes fuzz campaigns replayable. *)
+
+type params = {
+  size : int;
+      (** target main-line instruction count (the emitted program may
+          run slightly longer: shapes are atomic, and subroutines are
+          appended after the halt) *)
+  mem_words : int;
+      (** data-memory size the oracle will run with; safe address
+          setups stay inside it *)
+}
+
+val default : params
+(** 48 main-line instructions over 1024 memory words. *)
+
+val program : Tpdbt_vm.Prng.t -> params -> Tpdbt_isa.Program.t
+(** Draw one program.  Advances the PRNG; never raises. *)
+
+val adversarial_string : Tpdbt_vm.Prng.t -> max_len:int -> string
+(** Byte strings biased toward JSON-hostile content — quotes,
+    backslashes, control characters, DEL, high bytes — for the
+    [Json] emit/validate/parse round-trip property tests. *)

@@ -1,0 +1,240 @@
+module Machine = Tpdbt_vm.Machine
+module Engine = Tpdbt_dbt.Engine
+module Block_map = Tpdbt_dbt.Block_map
+module Error = Tpdbt_dbt.Error
+module Snapshot = Tpdbt_dbt.Snapshot
+module Perf_model = Tpdbt_dbt.Perf_model
+module Code_cache = Tpdbt_dbt.Code_cache
+module Sink = Tpdbt_telemetry.Sink
+module Event = Tpdbt_telemetry.Event
+
+type divergence = { arm : string; kind : string; detail : string }
+
+type verdict = {
+  divergences : divergence list;
+  skipped : string option;
+  checks : int;
+}
+
+let mem_words = 1024
+let max_steps = 200_000
+
+(* ---- the config matrix -------------------------------------------------- *)
+
+type arm = { label : string; config : Engine.config }
+
+(* Low threshold and pool trigger so even 50-instruction programs cross
+   the optimisation phase; a tiny bounded cache so eviction actually
+   happens at fuzz scale. *)
+let arm_config ?cache_capacity ?cache_policy ?shadow_sample ?adaptive
+    ?(trace = false) ~threshold () =
+  let c =
+    Engine.config ~pool_trigger:4 ?cache_capacity ?cache_policy ?shadow_sample
+      ?adaptive ~threshold ()
+  in
+  { c with Engine.max_steps; trace_scheduling = trace }
+
+let arms =
+  [
+    { label = "t0"; config = arm_config ~threshold:0 () };
+    { label = "t2"; config = arm_config ~threshold:2 () };
+    { label = "t8"; config = arm_config ~threshold:8 () };
+    {
+      label = "t2-lru";
+      config =
+        arm_config ~cache_capacity:32 ~cache_policy:Code_cache.Lru ~threshold:2
+          ();
+    };
+    {
+      label = "t2-flush";
+      config =
+        arm_config ~cache_capacity:32 ~cache_policy:Code_cache.Flush_all
+          ~threshold:2 ();
+    };
+    {
+      label = "t2-hot";
+      config =
+        arm_config ~cache_capacity:32 ~cache_policy:Code_cache.Hot_protect
+          ~threshold:2 ();
+    };
+    { label = "t2-shadow"; config = arm_config ~shadow_sample:2 ~threshold:2 () };
+    { label = "t2-adaptive"; config = arm_config ~adaptive:true ~threshold:2 () };
+    { label = "t2-trace"; config = arm_config ~trace:true ~threshold:2 () };
+  ]
+
+let arm_labels = List.map (fun a -> a.label) arms
+
+(* Arms whose cold-translation count must be identical: unbounded cache
+   (no eviction/retranslation) and no region dissolution (adaptive mode
+   re-instruments dissolved members). *)
+let translation_invariant = [ "t0"; "t2"; "t8"; "t2-shadow"; "t2-trace" ]
+
+(* ---- running one engine configuration ----------------------------------- *)
+
+(* An exception escaping the engine is exactly what the fuzzer hunts:
+   report it as data, never let it abort the campaign. *)
+let run_engine config ~seed program =
+  match
+    let eng = Engine.create ~config ~mem_words ~seed program in
+    let res = Engine.run eng in
+    (res, Engine.machine eng)
+  with
+  | res, m -> Ok (res, m)
+  | exception exn -> Error (Printexc.to_string exn)
+
+let fingerprint_of (res : Engine.result) m =
+  let status =
+    Fingerprint.status_of_error res.Engine.error ~halted:(Machine.halted m)
+  in
+  Fingerprint.of_machine ~status ~mem_words m
+
+(* ---- the check ---------------------------------------------------------- *)
+
+let check ?(perturb = fun ~arm:_ fp -> fp) ~seed program =
+  match Block_map.build_result program with
+  | Error e -> { divergences = []; skipped = Some (Error.to_string e); checks = 0 }
+  | Ok _ -> (
+      (* Reference semantics: the pure interpreter. *)
+      let ref_m = Machine.create ~mem_words ~seed program in
+      let ref_result = Machine.run ~max_steps ref_m in
+      let ref_halted = Machine.halted ref_m in
+      match ref_result with
+      | Ok () when not ref_halted ->
+          (* Only degenerate shrink candidates get here (generated
+             programs terminate by construction); the engine checks its
+             budget at block granularity, so step counts could not be
+             compared meaningfully anyway. *)
+          {
+            divergences = [];
+            skipped = Some "reference run outlived the step budget";
+            checks = 0;
+          }
+      | _ ->
+          let reference =
+            let status = Fingerprint.status_of_run ref_result ~halted:ref_halted in
+            Fingerprint.of_machine ~status ~mem_words ref_m
+          in
+          let divs = ref [] in
+          let checks = ref 0 in
+          let report arm kind detail = divs := { arm; kind; detail } :: !divs in
+          let expect arm kind detail cond =
+            incr checks;
+            if not cond then report arm kind (detail ())
+          in
+          (* Per-arm: state comparison + local invariants. *)
+          let per_arm a =
+            match run_engine a.config ~seed program with
+            | Error msg ->
+                incr checks;
+                report a.label "crash" msg;
+                None
+            | Ok (res, m) ->
+                let raw = fingerprint_of res m in
+                let fp = perturb ~arm:a.label raw in
+                incr checks;
+                let d = Fingerprint.diff reference fp in
+                if d <> [] then report a.label "state" (String.concat "; " d);
+                let c = res.Engine.counters in
+                expect a.label "metamorphic:region-accounting"
+                  (fun () ->
+                    Printf.sprintf "completions %d + side exits %d > entries %d"
+                      c.Perf_model.region_completions c.Perf_model.side_exits
+                      c.Perf_model.region_entries)
+                  (c.Perf_model.region_completions + c.Perf_model.side_exits
+                  <= c.Perf_model.region_entries);
+                if a.config.Engine.cache_capacity = None then
+                  expect a.label "metamorphic:unbounded-cache-churn"
+                    (fun () ->
+                      Printf.sprintf "%d evictions, %d flushes with no capacity"
+                        c.Perf_model.cache_evictions c.Perf_model.cache_flushes)
+                    (c.Perf_model.cache_evictions = 0
+                    && c.Perf_model.cache_flushes = 0);
+                Some (a, res, raw)
+            in
+          let runs = List.filter_map per_arm arms in
+          let find label =
+            List.find_opt (fun (a, _, _) -> String.equal a.label label) runs
+          in
+          (* Cross-arm invariants, all anchored on the profiling-only arm. *)
+          (match find "t0" with
+          | None -> ()
+          | Some (_, t0, _) ->
+              List.iter
+                (fun (a, res, _) ->
+                  if a.label <> "t0" then
+                    expect a.label "metamorphic:profiling-monotone"
+                      (fun () ->
+                        Printf.sprintf "profiling ops %d > t0's %d"
+                          res.Engine.profiling_ops t0.Engine.profiling_ops)
+                      (res.Engine.profiling_ops <= t0.Engine.profiling_ops))
+                runs;
+              List.iter
+                (fun (a, res, _) ->
+                  if
+                    List.mem a.label translation_invariant && a.label <> "t0"
+                  then
+                    expect a.label "metamorphic:translation-invariant"
+                      (fun () ->
+                        Printf.sprintf "%d blocks translated vs t0's %d"
+                          res.Engine.counters.Perf_model.blocks_translated
+                          t0.Engine.counters.Perf_model.blocks_translated)
+                      (res.Engine.counters.Perf_model.blocks_translated
+                      = t0.Engine.counters.Perf_model.blocks_translated))
+                runs;
+              if t0.Engine.error = None then
+                (* AVEP partition: with no regions every executed
+                   instruction is profiled in exactly one block. *)
+                let snap = t0.Engine.snapshot in
+                let attributed =
+                  List.fold_left
+                    (fun acc (b : Block_map.block) ->
+                      acc + (snap.Snapshot.use.(b.Block_map.id) * b.Block_map.size))
+                    0
+                    (Block_map.blocks snap.Snapshot.block_map)
+                in
+                expect "t0" "metamorphic:avep-partition"
+                  (fun () ->
+                    Printf.sprintf "use-weighted block sizes %d <> steps %d"
+                      attributed t0.Engine.steps)
+                  (attributed = t0.Engine.steps));
+          (* Telemetry must be observation only: re-run one optimizing
+             arm with a live sink and demand the identical run, and that
+             the per-stage step attribution partitions the step count. *)
+          (match find "t2" with
+          | None -> ()
+          | Some (a, res, raw) -> (
+              let stage_steps = ref 0 in
+              let sink =
+                Sink.of_fun (fun ~step:_ ev ->
+                    match ev with
+                    | Event.Stage_cost { steps; _ } ->
+                        stage_steps := !stage_steps + steps
+                    | _ -> ())
+              in
+              match
+                run_engine { a.config with Engine.sink } ~seed program
+              with
+              | Error msg -> report "t2+sink" "crash" msg
+              | Ok (sres, sm) ->
+                  let sfp = fingerprint_of sres sm in
+                  incr checks;
+                  let d = Fingerprint.diff raw sfp in
+                  if d <> [] then
+                    report "t2+sink" "metamorphic:sink-identity"
+                      (String.concat "; " d);
+                  expect "t2+sink" "metamorphic:sink-identity"
+                    (fun () ->
+                      Printf.sprintf
+                        "cycles %.1f vs %.1f, profiling ops %d vs %d"
+                        sres.Engine.counters.Perf_model.cycles
+                        res.Engine.counters.Perf_model.cycles
+                        sres.Engine.profiling_ops res.Engine.profiling_ops)
+                    (Float.equal sres.Engine.counters.Perf_model.cycles
+                       res.Engine.counters.Perf_model.cycles
+                    && sres.Engine.profiling_ops = res.Engine.profiling_ops);
+                  expect "t2+sink" "metamorphic:stage-partition"
+                    (fun () ->
+                      Printf.sprintf "stage steps sum %d <> steps %d"
+                        !stage_steps sres.Engine.steps)
+                    (!stage_steps = sres.Engine.steps)));
+          { divergences = List.rev !divs; skipped = None; checks = !checks })

@@ -1,0 +1,84 @@
+module Instr = Tpdbt_isa.Instr
+module Program = Tpdbt_isa.Program
+
+let active (p : Program.t) =
+  Array.fold_left
+    (fun n instr -> if instr = Instr.Nop then n else n + 1)
+    0 p.Program.code
+
+(* Indices still carrying a real instruction. *)
+let live_indices code =
+  let l = ref [] in
+  Array.iteri (fun i instr -> if instr <> Instr.Nop then l := i :: !l) code;
+  List.rev !l
+
+let blanked (p : Program.t) idxs =
+  let code = Array.copy p.Program.code in
+  List.iter (fun i -> code.(i) <- Instr.Nop) idxs;
+  (* Layout (and hence every branch target) is unchanged, so [make]
+     cannot reject the candidate. *)
+  Program.make ~entry:p.Program.entry ~data_init:p.Program.data_init code
+
+(* Split [l] into [n] chunks of near-equal length. *)
+let chunks n l =
+  let len = List.length l in
+  let base = len / n and extra = len mod n in
+  let rec take k l acc =
+    if k = 0 then (List.rev acc, l)
+    else
+      match l with
+      | [] -> (List.rev acc, [])
+      | x :: tl -> take (k - 1) tl (x :: acc)
+  in
+  let rec go i l acc =
+    if i = n then List.rev acc
+    else
+      let k = base + if i < extra then 1 else 0 in
+      let c, rest = take k l [] in
+      go (i + 1) rest (if c = [] then acc else c :: acc)
+  in
+  go 0 l []
+
+let minimize ~still_fails (p : Program.t) =
+  if not (still_fails p) then p
+  else
+    (* Classic ddmin over the live-index set: try keeping only each
+       chunk (blank its complement), then blanking each chunk; on
+       success restart at coarse granularity, otherwise refine. *)
+    let current = ref p in
+    let n = ref 2 in
+    let continue_ = ref true in
+    while !continue_ do
+      let live = live_indices !current.Program.code in
+      let parts = chunks !n live in
+      let nparts = List.length parts in
+      let try_candidate blank_idxs =
+        if blank_idxs = [] then false
+        else
+          let cand = blanked !current blank_idxs in
+          if still_fails cand then begin
+            current := cand;
+            true
+          end
+          else false
+      in
+      (* Reduce to one chunk: blank everything outside it. *)
+      let reduced_to_chunk =
+        List.exists
+          (fun keep ->
+            try_candidate
+              (List.filter (fun i -> not (List.mem i keep)) live))
+          parts
+      in
+      if reduced_to_chunk then n := 2
+      else begin
+        (* Blank one chunk, keep the rest. *)
+        let reduced_by_chunk =
+          nparts > 1 && List.exists try_candidate parts
+        in
+        if reduced_by_chunk then n := max (!n - 1) 2
+        else if !n >= List.length live then continue_ := false
+        else n := min (2 * !n) (List.length live)
+      end
+    done;
+    !current

@@ -1,0 +1,26 @@
+(** Delta-debugging shrinker for failing fuzz cases.
+
+    Shrinking substitutes [nop] for instructions rather than deleting
+    them: the code layout is preserved, so every branch target stays
+    valid, block identities stay comparable, and [Program.make] accepts
+    every candidate.  The driver [ddmin]s over the set of non-[nop]
+    indices — first trying to blank large complements, then smaller and
+    smaller chunks down to single instructions — keeping a candidate
+    whenever [still_fails] says the divergence survives.  The result is
+    1-minimal: blanking any single remaining instruction makes the
+    failure disappear.
+
+    [still_fails] must be deterministic (the oracle is: same program,
+    same seed, same verdict), and is the only judge — the shrinker knows
+    nothing about what the failure is. *)
+
+val minimize :
+  still_fails:(Tpdbt_isa.Program.t -> bool) ->
+  Tpdbt_isa.Program.t ->
+  Tpdbt_isa.Program.t
+(** Smallest (by {!active}) nop-substituted variant that still fails.
+    If the input itself does not fail, it is returned unchanged. *)
+
+val active : Tpdbt_isa.Program.t -> int
+(** Number of non-[nop] instructions — the size the acceptance bar
+    ("shrinks to [<=] 10 instructions") is measured in. *)

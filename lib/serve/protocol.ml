@@ -185,6 +185,15 @@ let parse_request text =
                        (get_bool ~what:"\"return_results\""
                           (find "return_results" ms));
                  })
+        | "fuzz" ->
+            (* Named so the refusal is precise: differential fuzzing is
+               a CLI-side campaign (it owns a corpus directory and an
+               exit code), not a service op.  Like every other unknown
+               or unsupported op this must come back as a clean
+               [invalid] reply, never [internal]. *)
+            reject
+              "op \"fuzz\" is not served; run the tpdbt fuzz subcommand \
+               locally"
         | op -> reject "unknown op %S" op
       with Reject msg -> Error msg)
 

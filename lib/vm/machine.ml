@@ -9,6 +9,7 @@ type trap =
   | Call_stack_overflow of int
   | Illegal_instruction of int
   | Branch_out_of_range of { pc : int; target : int }
+  | Invalid_rnd_bound of { pc : int; bound : int }
 
 type event =
   | Stepped
@@ -209,8 +210,14 @@ let step t =
             t.pc <- ret;
             Ok Returned)
     | Instr.Rnd (rd, bound) ->
-        regs.(Reg.to_int rd) <- Prng.below t.prng bound;
-        continue Stepped
+        (* A non-positive bound is a guest bug, not a caller bug: it
+           must trap like a division by zero, never leak the PRNG's
+           [Invalid_argument] out of [step]. *)
+        if bound <= 0 then fail (Invalid_rnd_bound { pc; bound })
+        else begin
+          regs.(Reg.to_int rd) <- Prng.below t.prng bound;
+          continue Stepped
+        end
     | Instr.Out rs ->
         t.outputs_rev <- regs.(Reg.to_int rs) :: t.outputs_rev;
         continue Stepped
@@ -244,3 +251,5 @@ let pp_trap ppf = function
       Format.fprintf ppf "illegal instruction at pc %d" pc
   | Branch_out_of_range { pc; target } ->
       Format.fprintf ppf "branch at pc %d to out-of-range target %d" pc target
+  | Invalid_rnd_bound { pc; bound } ->
+      Format.fprintf ppf "rnd with non-positive bound %d at pc %d" bound pc

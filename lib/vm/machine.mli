@@ -22,6 +22,10 @@ type trap =
   | Branch_out_of_range of { pc : int; target : int }
       (** an explicit control transfer (branch taken, jmp, call) left
           the code image *)
+  | Invalid_rnd_bound of { pc : int; bound : int }
+      (** [rnd] executed with a bound [<= 0] — an out-of-range operand
+          a generated (fuzzed) program can carry, surfaced as a typed
+          trap instead of the PRNG's [Invalid_argument] *)
 
 type event =
   | Stepped  (** straight-line instruction *)

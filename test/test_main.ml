@@ -18,4 +18,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("robustness", Test_robustness.suite);
       ("serve", Test_serve.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

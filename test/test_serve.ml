@@ -129,6 +129,9 @@ let test_protocol_rejects () =
       ("not an object", "[1,2]");
       ("no op", "{}");
       ("unknown op", "{\"op\":\"launch\"}");
+      ("fuzz is cli-only", "{\"op\":\"fuzz\"}");
+      ( "fuzz with params is still cli-only",
+        "{\"op\":\"fuzz\",\"budget\":10}" );
       ("unknown member", "{\"op\":\"ping\",\"extra\":1}");
       ("duplicate member", "{\"op\":\"ping\",\"op\":\"ping\"}");
       ("missing workload", "{\"op\":\"run\"}");
@@ -259,6 +262,25 @@ let test_server_probes_and_validation () =
   (match Server.offer s ~client:0 "garbage" with
   | Server.Reply r -> checks "invalid kind" "invalid" (kind_of r)
   | Server.Enqueued _ -> Alcotest.fail "garbage queued");
+  (* The fuzz op is deliberately not served: a campaign would pin the
+     worker for unbounded time.  The refusal must be a clean protocol
+     rejection that names the CLI alternative — not an internal error. *)
+  (match Server.offer s ~client:0 "{\"op\":\"fuzz\"}" with
+  | Server.Reply r ->
+      checks "fuzz refusal kind" "invalid" (kind_of r);
+      let mentions_cli =
+        match Protocol.parse_request "{\"op\":\"fuzz\"}" with
+        | Error msg ->
+            let needle = "tpdbt fuzz" in
+            let n = String.length needle and m = String.length msg in
+            let rec at i =
+              i + n <= m && (String.sub msg i n = needle || at (i + 1))
+            in
+            at 0
+        | Ok _ -> false
+      in
+      checkb "refusal points at the subcommand" true mentions_cli
+  | Server.Enqueued _ -> Alcotest.fail "fuzz queued");
   (* Unknown benchmark: admitted (the schema cannot know the suite),
      rejected at execution, never fatal. *)
   (match Server.offer s ~client:0 (run_req "no-such") with
