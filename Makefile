@@ -16,7 +16,7 @@ PAR_SMOKE_DIR := _build/par-smoke
 
 .PHONY: all build test fmt fmt-strict check clean faults-smoke cache-smoke \
 	par-smoke par-bench chaos-smoke chaos-serve-smoke serve-smoke \
-	profile-smoke fuzz-smoke perf-bench perfdiff
+	profile-smoke fuzz-smoke perf-bench perfdiff alloc-gate
 
 all: build
 
@@ -194,6 +194,13 @@ perf-bench: build
 perfdiff: perf-bench
 	$(DUNE) exec bin/tpdbt.exe -- perfdiff bench/BASELINE_perf.json \
 		BENCH_perf.json --tolerance 25 --warn-only
+
+# Hard allocation gate (see docs/performance.md).  alloc-words/instr is
+# a deterministic property of the code — same compiler, same count on
+# any machine — so unlike wall clock it can fail CI at a 1% tolerance.
+alloc-gate: perf-bench
+	$(DUNE) exec bin/tpdbt.exe -- perfdiff bench/BASELINE_perf.json \
+		BENCH_perf.json --alloc-only --tolerance 1
 
 # Parallel-scaling measurement: the quick sweep at -j 1/2/4,
 # checksum-guarded, recorded in BENCH_parallel.json (CI uploads it as

@@ -684,11 +684,22 @@ let perfdiff_cmd =
       & info [ "warn-only" ]
           ~doc:"Report regressions but exit 0 (CI advisory mode).")
   in
-  let run old_file new_file tolerance warn_only =
+  let alloc_only =
+    Arg.(
+      value & flag
+      & info [ "alloc-only" ]
+          ~doc:
+            "Judge only alloc_per_instr. Allocation per guest instruction is \
+             deterministic where wall clock is not, so this is the metric a \
+             hard CI gate can hold to a tight tolerance.")
+  in
+  let run old_file new_file tolerance warn_only alloc_only =
     let module Perfdiff = Tpdbt_experiments.Perfdiff in
     let tolerance = tolerance /. 100.0 in
+    let only = if alloc_only then Some "alloc_per_instr" else None in
     match
-      Perfdiff.of_strings ~tolerance (read_file old_file) (read_file new_file)
+      Perfdiff.of_strings ?only ~tolerance (read_file old_file)
+        (read_file new_file)
     with
     | Error msg ->
         prerr_endline ("error: " ^ msg);
@@ -703,7 +714,7 @@ let perfdiff_cmd =
        ~doc:
          "Compare two BENCH_perf.json files metric by metric and exit \
           nonzero on any regression beyond the tolerance.")
-    Term.(const run $ old_file $ new_file $ tolerance $ warn_only)
+    Term.(const run $ old_file $ new_file $ tolerance $ warn_only $ alloc_only)
 
 let report_cmd =
   let file =

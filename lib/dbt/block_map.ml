@@ -186,6 +186,13 @@ let block_at t pc =
     let id = t.id_of_pc.(pc) in
     if t.blocks.(id).start_pc = pc then Some id else None
 
+(* Allocation-free [block_at] for the dispatch loop. *)
+let id_at t pc =
+  if pc < 0 || pc >= Array.length t.id_of_pc then -1
+  else
+    let id = t.id_of_pc.(pc) in
+    if t.blocks.(id).start_pc = pc then id else -1
+
 let block_containing t pc =
   if pc < 0 || pc >= Array.length t.id_of_pc then None
   else Some t.id_of_pc.(pc)

@@ -69,6 +69,11 @@ val blocks : t -> block list
 val block_at : t -> int -> int option
 (** [block_at t pc] is the id of the block {e starting} at [pc]. *)
 
+val id_at : t -> int -> int
+(** Allocation-free {!block_at}: the id of the block starting at [pc],
+    or [-1] when [pc] is out of range or mid-block.  The engine's
+    dispatch loop calls this once per block executed. *)
+
 val block_containing : t -> int -> int option
 (** Id of the block whose pc range contains [pc]. *)
 

@@ -22,6 +22,11 @@ type t = {
   hot_window : int;
   table : (entry_kind * int, entry) Hashtbl.t;
   mutable occupied : int;
+  mutable corrupted : int;
+      (* resident entries carrying a corruption salt — lets the
+         engine's per-region-entry corruption probe short-circuit (no
+         hashtable lookup, no key allocation) on the clean common
+         case *)
   st : stats;
 }
 
@@ -36,6 +41,7 @@ let create ?capacity ?(policy = Lru) ?(hot_window = 10_000) () =
     hot_window;
     table = Hashtbl.create 64;
     occupied = 0;
+    corrupted = 0;
     st = { evictions = 0; flushes = 0; evicted_instrs = 0; peak = 0 };
   }
 
@@ -60,7 +66,8 @@ let entry_order a b =
 
 let drop t e =
   Hashtbl.remove t.table (e.ekind, e.id);
-  t.occupied <- t.occupied - e.size
+  t.occupied <- t.occupied - e.size;
+  if e.corrupt <> None then t.corrupted <- t.corrupted - 1
 
 let evict t e =
   drop t e;
@@ -143,9 +150,12 @@ let resident_regions t =
 let corrupt_region t id ~salt =
   match Hashtbl.find_opt t.table (Region, id) with
   | Some e ->
+      if e.corrupt = None then t.corrupted <- t.corrupted + 1;
       e.corrupt <- Some salt;
       true
   | None -> false
+
+let has_corruption t = t.corrupted > 0
 
 let corruption t ekind id =
   match Hashtbl.find_opt t.table (ekind, id) with

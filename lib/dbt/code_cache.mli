@@ -103,6 +103,12 @@ val corrupt_region : t -> int -> salt:int64 -> bool
 
 val corruption : t -> entry_kind -> int -> int64 option
 
+val has_corruption : t -> bool
+(** [true] iff any resident entry carries a corruption salt.  O(1) —
+    the fast path that lets the engine skip the per-region-entry
+    {!corruption} lookup (which allocates its key) on clean caches,
+    which is every run without a [Silent_corruption] fault. *)
+
 val policy_name : policy -> string
 (** ["flush_all"], ["lru"], ["hot_protect"]. *)
 

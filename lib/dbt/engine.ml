@@ -128,11 +128,37 @@ type monitor = {
          (near-50%) branches *)
 }
 
+(* Hot-path mirror of one installed region: everything the dispatch
+   loop needs, predecoded into flat arrays at commit time so a region
+   entry performs no hashtable lookups, no list walks and no
+   allocation.  [regions]/[monitors] stay the authoritative store for
+   the cold paths (dissolution, eviction, quarantine, reporting);
+   [unlink_region] keeps the mirror in sync. *)
+type rentry = {
+  r_region : Region.t;
+  r_mon : monitor;
+  r_slot_cycles : float array;
+  r_start_pc : int array;  (* per slot: member block's start pc *)
+  r_size : int array;  (* per slot: member block's size *)
+  (* Per-slot successor slot for each edge role (first matching edge in
+     [Region.out_edges] order), -1 when the role has no edge. *)
+  r_dst_taken : int array;
+  r_dst_not_taken : int array;
+  r_dst_always : int array;
+  r_always_ok : bool array;
+      (* terminator is Goto/Fallthrough/Call_to, i.e. a [Flowed]
+         outcome follows the [Always] edge *)
+  r_has_back : bool array;  (* slot is the source of a back edge *)
+  r_tail : int;
+  r_is_loop : bool;
+}
+
 type t = {
   cfg : config;
   program : Tpdbt_isa.Program.t;
   machine : Machine.t;
   bmap : Block_map.t;
+  code_len : int;
   use : int array;
   taken : int array;
   state : block_state array;
@@ -141,6 +167,7 @@ type t = {
   region_entry : int array;  (* block id -> region id, or -1 *)
   regions : (int, Region.t * float array) Hashtbl.t;  (* id -> region, slot cycles *)
   monitors : (int, monitor) Hashtbl.t;  (* region id -> runtime stats *)
+  mutable rentries : rentry option array;  (* region id -> hot mirror *)
   mutable regions_rev : Region.t list;
   mutable next_region_id : int;
   mutable pool : int list;
@@ -169,6 +196,14 @@ type t = {
          model, not in wall-clock) *)
   inj : Injector.t option;
   counters : Perf_model.counters;
+  cycles_acc : float array;
+      (* single-cell accumulator behind [counters.cycles]: a float
+         array stores its element unboxed, where the mutable float
+         field of the mixed int/float [counters] record boxes on every
+         store.  Every charge site adds here, in the same order as
+         before, and [run] mirrors the cell back into the counters at
+         the end — the sum (and hence every emitted figure) stays
+         bit-identical. *)
   mutable error : Error.t option;
   trace : bool;
       (* telemetry enabled?  Checked before constructing any event, so
@@ -197,6 +232,7 @@ let create ?config:(cfg = config ~threshold:1000 ()) ?mem_words ~seed program =
     program;
     machine;
     bmap;
+    code_len = Array.length program.Tpdbt_isa.Program.code;
     use = Array.make n 0;
     taken = Array.make n 0;
     state = Array.make n Cold;
@@ -205,6 +241,7 @@ let create ?config:(cfg = config ~threshold:1000 ()) ?mem_words ~seed program =
     region_entry = Array.make n (-1);
     regions = Hashtbl.create 32;
     monitors = Hashtbl.create 32;
+    rentries = Array.make 32 None;
     regions_rev = [];
     next_region_id = 0;
     pool = [];
@@ -222,6 +259,7 @@ let create ?config:(cfg = config ~threshold:1000 ()) ?mem_words ~seed program =
     last_round_step = -cfg.cache_backoff;
     inj = Option.map Injector.create cfg.faults;
     counters = Perf_model.fresh_counters ();
+    cycles_acc = Array.make 1 0.0;
     error = None;
     trace = not (Sink.is_null cfg.sink);
     spans = Span.create ~clock:(fun () -> Machine.steps machine) cfg.sink;
@@ -282,29 +320,29 @@ let emit_costs t =
   |> List.iter (fun (region, cycles, instrs) ->
          emit t (Event.Region_cost { region; cycles; instrs }))
 
-(* Outcome of executing one block on the machine. *)
-type exec_outcome =
-  | Flowed  (* unconditional control transfer or plain fallthrough *)
-  | Took of bool  (* conditional branch outcome *)
-  | Finished  (* machine halted *)
-  | Trapped of Machine.trap
+(* Outcome of executing one block on the machine, as an int code so the
+   per-block report allocates nothing.  [oc_finished]/[oc_trapped] are
+   terminal (the dispatch tests [outcome >= oc_finished]); a trapped
+   outcome leaves the trap in [Machine.last_trap]. *)
+let oc_flowed = 0 (* unconditional control transfer or plain fallthrough *)
+let oc_took_not = 1 (* conditional branch, not taken *)
+let oc_took = 2 (* conditional branch, taken *)
+let oc_finished = 3 (* machine halted *)
+let oc_trapped = 4
 
-(* Execute the instructions of block [b]; the machine must be at its
-   start.  Returns the outcome of the block's last instruction. *)
-let exec_block t (b : Block_map.block) =
-  let rec go remaining =
-    match Machine.step t.machine with
-    | Error trap -> Trapped trap
-    | Ok event -> (
-        match event with
-        | Machine.Halted -> Finished
-        | Machine.Branched { taken } ->
-            (* The terminator is the block's last instruction. *)
-            Took taken
-        | Machine.Jumped | Machine.Called | Machine.Returned -> Flowed
-        | Machine.Stepped -> if remaining = 1 then Flowed else go (remaining - 1))
-  in
-  go b.Block_map.size
+(* Execute the instructions of one block of [remaining] instructions;
+   the machine must be at its start.  Returns the outcome of the
+   block's last instruction (the terminator — any control transfer ends
+   the block). *)
+let rec exec_block machine remaining =
+  let c = Machine.step_code machine in
+  if c = Machine.ev_stepped then
+    if remaining = 1 then oc_flowed else exec_block machine (remaining - 1)
+  else if c = Machine.ev_branch_taken then oc_took
+  else if c = Machine.ev_branch_not_taken then oc_took_not
+  else if c <= Machine.ev_returned then oc_flowed (* jumped/called/returned *)
+  else if c = Machine.ev_halted then oc_finished
+  else oc_trapped
 
 (* ------------------------------------------------------------------ *)
 (* Region bookkeeping shared by dissolution, eviction and quarantine    *)
@@ -315,9 +353,67 @@ let region_instrs t (r : Region.t) =
     (fun acc b -> acc + (Block_map.block t.bmap b).Block_map.size)
     0 r.Region.slots
 
+let set_rentry t rid re =
+  let n = Array.length t.rentries in
+  if rid >= n then begin
+    let bigger = Array.make (max (2 * n) (rid + 1)) None in
+    Array.blit t.rentries 0 bigger 0 n;
+    t.rentries <- bigger
+  end;
+  t.rentries.(rid) <- Some re
+
+let build_rentry t (r : Region.t) slot_cycles mon =
+  let n = Array.length r.Region.slots in
+  let start_pc = Array.make n 0
+  and size = Array.make n 0
+  and dst_taken = Array.make n (-1)
+  and dst_not_taken = Array.make n (-1)
+  and dst_always = Array.make n (-1)
+  and always_ok = Array.make n false
+  and has_back = Array.make n false in
+  Array.iteri
+    (fun slot bid ->
+      let b = Block_map.block t.bmap bid in
+      start_pc.(slot) <- b.Block_map.start_pc;
+      size.(slot) <- b.Block_map.size;
+      (match b.Block_map.terminator with
+      | Block_map.Goto _ | Block_map.Fallthrough _ | Block_map.Call_to _ ->
+          always_ok.(slot) <- true
+      | Block_map.Cond _ | Block_map.Return | Block_map.Stop -> ());
+      List.iter
+        (fun (e : Region.edge) ->
+          let cell =
+            match e.Region.role with
+            | Region.Taken -> dst_taken
+            | Region.Not_taken -> dst_not_taken
+            | Region.Always -> dst_always
+          in
+          if cell.(slot) < 0 then cell.(slot) <- e.Region.dst)
+        (Region.out_edges r slot);
+      has_back.(slot) <-
+        List.exists
+          (fun (e : Region.edge) -> e.Region.src = slot)
+          r.Region.back_edges)
+    r.Region.slots;
+  {
+    r_region = r;
+    r_mon = mon;
+    r_slot_cycles = slot_cycles;
+    r_start_pc = start_pc;
+    r_size = size;
+    r_dst_taken = dst_taken;
+    r_dst_not_taken = dst_not_taken;
+    r_dst_always = dst_always;
+    r_always_ok = always_ok;
+    r_has_back = has_back;
+    r_tail = Region.tail_slot r;
+    r_is_loop = r.Region.kind = Region.Loop;
+  }
+
 let unlink_region t rid =
   Hashtbl.remove t.regions rid;
   Hashtbl.remove t.monitors rid;
+  if rid < Array.length t.rentries then t.rentries.(rid) <- None;
   t.regions_rev <- List.filter (fun r -> r.Region.id <> rid) t.regions_rev
 
 (* Rebuild the dispatcher's entry map from the surviving regions, in
@@ -367,8 +463,8 @@ let apply_victims t victims =
   if t.trace && victims <> [] then Span.enter t.spans "engine.evict";
   List.iter
     (fun (v : Code_cache.entry) ->
-      t.counters.Perf_model.cycles <-
-        t.counters.Perf_model.cycles
+      t.cycles_acc.(0) <-
+        t.cycles_acc.(0)
         +. (float_of_int v.Code_cache.size
            *. t.cfg.perf.Perf_model.evict_per_instr);
       if t.trace then
@@ -520,14 +616,17 @@ let optimize t =
         else Optimizer.region_slot_cycles t.bmap ~code r
       in
       Hashtbl.replace t.regions r.Region.id (r, slot_cycles);
-      Hashtbl.replace t.monitors r.Region.id
+      let mon =
         {
           m_entries = 0;
           m_side_exits = 0;
           m_lb_taken = 0;
           m_lb_seen = 0;
           m_disabled = false;
-        };
+        }
+      in
+      Hashtbl.replace t.monitors r.Region.id mon;
+      set_rentry t r.Region.id (build_rentry t r slot_cycles mon);
       t.regions_rev <- r :: t.regions_rev;
       t.counters.Perf_model.regions_formed <-
         t.counters.Perf_model.regions_formed + 1;
@@ -549,8 +648,8 @@ let optimize t =
       Array.iter
         (fun block ->
           let size = (Block_map.block t.bmap block).Block_map.size in
-          t.counters.Perf_model.cycles <-
-            t.counters.Perf_model.cycles
+          t.cycles_acc.(0) <-
+            t.cycles_acc.(0)
             +. (float_of_int size *. t.cfg.perf.Perf_model.optimize_per_instr);
           if t.trace then
             charge t s_optimize
@@ -632,8 +731,8 @@ let exec_single t bid =
       emit t (Event.Block_translated { block = bid; size = b.Block_map.size });
     t.counters.Perf_model.blocks_translated <-
       t.counters.Perf_model.blocks_translated + 1;
-    t.counters.Perf_model.cycles <-
-      t.counters.Perf_model.cycles
+    t.cycles_acc.(0) <-
+      t.cycles_acc.(0)
       +. (float_of_int b.Block_map.size
          *. perf.Perf_model.cold_translate_per_instr);
     if t.trace then
@@ -650,12 +749,12 @@ let exec_single t bid =
       ~now:(Machine.steps t.machine)
       Code_cache.Block bid;
   let steps_before = if t.trace then Machine.steps t.machine else 0 in
-  let outcome = exec_block t b in
+  let outcome = exec_block t.machine b.Block_map.size in
   (match t.state.(bid) with
   | Optimized ->
       (* Side entry to an optimised block: instrumentation removed. *)
-      t.counters.Perf_model.cycles <-
-        t.counters.Perf_model.cycles
+      t.cycles_acc.(0) <-
+        t.cycles_acc.(0)
         +. (float_of_int b.Block_map.size
            *. perf.Perf_model.translated_exec_per_instr);
       if t.trace then
@@ -666,14 +765,14 @@ let exec_single t bid =
   | Cold | Registered ->
       t.use.(bid) <- t.use.(bid) + 1;
       let ops =
-        match outcome with
-        | Took true ->
-            t.taken.(bid) <- t.taken.(bid) + 1;
-            2
-        | Took false | Flowed | Finished | Trapped _ -> 1
+        if outcome = oc_took then begin
+          t.taken.(bid) <- t.taken.(bid) + 1;
+          2
+        end
+        else 1
       in
-      t.counters.Perf_model.cycles <-
-        t.counters.Perf_model.cycles
+      t.cycles_acc.(0) <-
+        t.cycles_acc.(0)
         +. (float_of_int b.Block_map.size
            *. perf.Perf_model.profiled_exec_per_instr)
         +. (float_of_int ops *. perf.Perf_model.profiling_op_cost);
@@ -796,8 +895,8 @@ let shadow_check t rid ~steps_before =
   let replayed = Machine.steps t.machine - steps_before in
   t.counters.Perf_model.shadow_replays <-
     t.counters.Perf_model.shadow_replays + 1;
-  t.counters.Perf_model.cycles <-
-    t.counters.Perf_model.cycles
+  t.cycles_acc.(0) <-
+    t.cycles_acc.(0)
     +. (float_of_int replayed *. perf.Perf_model.shadow_replay_per_instr);
   if t.trace then
     charge t s_shadow
@@ -833,125 +932,111 @@ let shadow_check t rid ~steps_before =
    end);
   if t.trace then Span.leave t.spans "engine.shadow_replay"
 
+(* Execute from slot [slot] of the region mirrored by [re], following
+   the predecoded per-slot dispatch arrays.  Top-level recursion (not
+   an inner closure) and flat array reads keep a steady-state region
+   pass allocation-free. *)
+let rec region_at_slot t rid re slot =
+  if Machine.pc t.machine <> re.r_start_pc.(slot) then begin
+    (* The region's layout no longer matches execution — surface a
+       typed error instead of dying on an assertion. *)
+    t.error <- Some (Error.Dispatch_lost { pc = Machine.pc t.machine });
+    oc_finished
+  end
+  else begin
+    let steps_before = if t.trace then Machine.steps t.machine else 0 in
+    let outcome = exec_block t.machine re.r_size.(slot) in
+    t.cycles_acc.(0) <- t.cycles_acc.(0) +. re.r_slot_cycles.(slot);
+    if t.trace then begin
+      let slot_steps = Machine.steps t.machine - steps_before in
+      charge t s_region_exec ~steps:slot_steps re.r_slot_cycles.(slot);
+      region_charge t rid re.r_slot_cycles.(slot) slot_steps
+    end;
+    if outcome >= oc_finished then outcome
+    else begin
+      (* First matching out edge for the outcome's role; [Flowed] only
+         follows [Always] when the terminator is an unconditional
+         transfer (a Call_to edge can be region-internal when formed
+         with regions_across_calls — partial inlining). *)
+      let dst =
+        if outcome = oc_took then re.r_dst_taken.(slot)
+        else if outcome = oc_took_not then re.r_dst_not_taken.(slot)
+        else if re.r_always_ok.(slot) then re.r_dst_always.(slot)
+        else -1
+      in
+      let mon = re.r_mon in
+      if dst = 0 && re.r_is_loop then begin
+        t.counters.Perf_model.loop_backs <-
+          t.counters.Perf_model.loop_backs + 1;
+        (* Continuous loop profiling: the latch executed and looped. *)
+        mon.m_lb_seen <- mon.m_lb_seen + 1;
+        mon.m_lb_taken <- mon.m_lb_taken + 1;
+        region_at_slot t rid re 0
+      end
+      else if dst >= 0 then region_at_slot t rid re dst
+      else begin
+        if re.r_has_back.(slot) then mon.m_lb_seen <- mon.m_lb_seen + 1;
+        if re.r_has_back.(slot) || slot = re.r_tail then begin
+          t.counters.Perf_model.region_completions <-
+            t.counters.Perf_model.region_completions + 1;
+          if t.trace then emit t (Event.Region_completion { region = rid })
+        end
+        else begin
+          t.counters.Perf_model.side_exits <-
+            t.counters.Perf_model.side_exits + 1;
+          mon.m_side_exits <- mon.m_side_exits + 1;
+          if t.trace then emit t (Event.Region_side_exit { region = rid; slot });
+          t.cycles_acc.(0) <-
+            t.cycles_acc.(0) +. t.cfg.perf.Perf_model.side_exit_penalty;
+          if t.trace then begin
+            charge t s_side_exit t.cfg.perf.Perf_model.side_exit_penalty;
+            region_charge t rid t.cfg.perf.Perf_model.side_exit_penalty 0
+          end;
+          if
+            t.cfg.adaptive && (not mon.m_disabled)
+            && mon.m_entries >= t.cfg.reopt_min_entries
+            && float_of_int mon.m_side_exits
+               > t.cfg.reopt_side_exit_rate *. float_of_int mon.m_entries
+          then begin
+            let over_limit =
+              Array.exists
+                (fun b -> t.dissolve_count.(b) >= t.cfg.reopt_limit)
+                re.r_region.Region.slots
+            in
+            if over_limit then mon.m_disabled <- true
+            else begin
+              if t.trace then
+                emit t
+                  (Event.Region_dissolved
+                     {
+                       region = rid;
+                       entries = mon.m_entries;
+                       side_exits = mon.m_side_exits;
+                     });
+              dissolve t re.r_region
+            end
+          end
+        end;
+        outcome
+      end
+    end
+  end
+
 (* Execute inside region [rid] starting at its entry.  Returns the
    outcome that ended region execution. *)
-let exec_region_body t rid region slot_cycles mon =
-  let perf = t.cfg.perf in
-  let tail = Region.tail_slot region in
+let exec_region_body t rid re =
+  let mon = re.r_mon in
   t.counters.Perf_model.region_entries <-
     t.counters.Perf_model.region_entries + 1;
   if t.trace then emit t (Event.Region_entry { region = rid });
   mon.m_entries <- mon.m_entries + 1;
-  t.counters.Perf_model.cycles <-
-    t.counters.Perf_model.cycles +. perf.Perf_model.optimized_dispatch;
+  t.cycles_acc.(0) <-
+    t.cycles_acc.(0) +. t.cfg.perf.Perf_model.optimized_dispatch;
   if t.trace then begin
-    charge t s_dispatch perf.Perf_model.optimized_dispatch;
-    region_charge t rid perf.Perf_model.optimized_dispatch 0
+    charge t s_dispatch t.cfg.perf.Perf_model.optimized_dispatch;
+    region_charge t rid t.cfg.perf.Perf_model.optimized_dispatch 0
   end;
-  let rec at_slot slot =
-    let bid = region.Region.slots.(slot) in
-    let b = Block_map.block t.bmap bid in
-    if Machine.pc t.machine <> b.Block_map.start_pc then begin
-      (* The region's layout no longer matches execution — surface a
-         typed error instead of dying on an assertion. *)
-      t.error <- Some (Error.Dispatch_lost { pc = Machine.pc t.machine });
-      Finished
-    end
-    else
-    let steps_before = if t.trace then Machine.steps t.machine else 0 in
-    let outcome = exec_block t b in
-    t.counters.Perf_model.cycles <-
-      t.counters.Perf_model.cycles +. slot_cycles.(slot);
-    if t.trace then begin
-      let slot_steps = Machine.steps t.machine - steps_before in
-      charge t s_region_exec ~steps:slot_steps slot_cycles.(slot);
-      region_charge t rid slot_cycles.(slot) slot_steps
-    end;
-    match outcome with
-    | Finished | Trapped _ -> outcome
-    | Flowed | Took _ ->
-        let role =
-          match outcome with
-          | Took true -> Some Region.Taken
-          | Took false -> Some Region.Not_taken
-          | Flowed -> (
-              match b.Block_map.terminator with
-              | Block_map.Goto _ | Block_map.Fallthrough _
-              | Block_map.Call_to _ ->
-                  (* A Call_to edge can be region-internal when formed
-                     with regions_across_calls (partial inlining). *)
-                  Some Region.Always
-              | Block_map.Cond _ | Block_map.Return | Block_map.Stop -> None)
-          | Finished | Trapped _ -> None
-        in
-        let matching =
-          match role with
-          | None -> None
-          | Some role ->
-              List.find_opt
-                (fun e -> e.Region.role = role)
-                (Region.out_edges region slot)
-        in
-        let has_back_edge =
-          List.exists (fun e -> e.Region.src = slot) region.Region.back_edges
-        in
-        (match matching with
-        | Some e when e.Region.dst = 0 && region.Region.kind = Region.Loop ->
-            t.counters.Perf_model.loop_backs <-
-              t.counters.Perf_model.loop_backs + 1;
-            (* Continuous loop profiling: the latch executed and looped. *)
-            mon.m_lb_seen <- mon.m_lb_seen + 1;
-            mon.m_lb_taken <- mon.m_lb_taken + 1;
-            at_slot 0
-        | Some e -> at_slot e.Region.dst
-        | None ->
-            if has_back_edge then mon.m_lb_seen <- mon.m_lb_seen + 1;
-            if has_back_edge || slot = tail then begin
-              t.counters.Perf_model.region_completions <-
-                t.counters.Perf_model.region_completions + 1;
-              if t.trace then emit t (Event.Region_completion { region = rid })
-            end
-            else begin
-              t.counters.Perf_model.side_exits <-
-                t.counters.Perf_model.side_exits + 1;
-              mon.m_side_exits <- mon.m_side_exits + 1;
-              if t.trace then
-                emit t (Event.Region_side_exit { region = rid; slot });
-              t.counters.Perf_model.cycles <-
-                t.counters.Perf_model.cycles
-                +. perf.Perf_model.side_exit_penalty;
-              if t.trace then begin
-                charge t s_side_exit perf.Perf_model.side_exit_penalty;
-                region_charge t rid perf.Perf_model.side_exit_penalty 0
-              end;
-              if
-                t.cfg.adaptive && (not mon.m_disabled)
-                && mon.m_entries >= t.cfg.reopt_min_entries
-                && float_of_int mon.m_side_exits
-                   > t.cfg.reopt_side_exit_rate *. float_of_int mon.m_entries
-              then begin
-                let over_limit =
-                  Array.exists
-                    (fun b -> t.dissolve_count.(b) >= t.cfg.reopt_limit)
-                    region.Region.slots
-                in
-                if over_limit then mon.m_disabled <- true
-                else begin
-                  if t.trace then
-                    emit t
-                      (Event.Region_dissolved
-                         {
-                           region = rid;
-                           entries = mon.m_entries;
-                           side_exits = mon.m_side_exits;
-                         });
-                  dissolve t region
-                end
-              end
-            end;
-            outcome)
-  in
-  at_slot 0
+  region_at_slot t rid re 0
 
 (* Region dispatch: look the region up defensively (a bounded cache may
    have evicted it between the dispatcher reading [region_entry] and
@@ -961,26 +1046,28 @@ let exec_region_body t rid region slot_cycles mon =
    deterministic and independent of the oracle's own effects), run the
    body, then replay-and-compare on the sampled entries. *)
 let exec_region t rid =
-  match (Hashtbl.find_opt t.regions rid, Hashtbl.find_opt t.monitors rid) with
-  | Some (region, slot_cycles), Some mon ->
+  match if rid < Array.length t.rentries then t.rentries.(rid) else None with
+  | Some re ->
       let steps_before = Machine.steps t.machine in
       if Code_cache.bounded t.cache then
         Code_cache.touch t.cache ~now:steps_before Code_cache.Region rid;
-      if Code_cache.corruption t.cache Code_cache.Region rid <> None then
+      if
+        Code_cache.has_corruption t.cache
+        && Code_cache.corruption t.cache Code_cache.Region rid <> None
+      then
         t.counters.Perf_model.corrupted_entries <-
           t.counters.Perf_model.corrupted_entries + 1;
       let sampled =
-        t.cfg.shadow_sample > 0 && mon.m_entries mod t.cfg.shadow_sample = 0
+        t.cfg.shadow_sample > 0
+        && re.r_mon.m_entries mod t.cfg.shadow_sample = 0
       in
-      let outcome = exec_region_body t rid region slot_cycles mon in
-      (if sampled && t.error = None then
-         match outcome with
-         | Trapped _ -> ()
-         | Flowed | Took _ | Finished -> shadow_check t rid ~steps_before);
+      let outcome = exec_region_body t rid re in
+      if sampled && t.error = None && outcome <> oc_trapped then
+        shadow_check t rid ~steps_before;
       outcome
-  | (None, _) | (_, None) ->
+  | None ->
       t.error <- Some (Error.Dispatch_lost { pc = Machine.pc t.machine });
-      Finished
+      oc_finished
 
 (* Injected corruption of block [bid]'s translated code.  The
    translation is discarded (the next execution pays the cold
@@ -1118,72 +1205,92 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun ~steps:_ _ -> ()) t =
     emit t (Event.Phase_begin { phase = "run" });
     Span.enter t.spans "engine.run"
   end;
+  t.cycles_acc.(0) <- t.counters.Perf_model.cycles;
   let next_checkpoint = ref checkpoint_every in
-  (* The supervisor's cooperative watchdog: polled here, at block
-     granularity, like every other dispatch-time check — a deadlined
-     task stops itself instead of wedging its worker domain. *)
-  let past_deadline () =
-    match t.cfg.deadline with
-    | Some d -> Machine.steps t.machine >= d
-    | None -> false
+  (* The supervisor's cooperative watchdog: polled per block, like
+     every other dispatch-time check — a deadlined task stops itself
+     instead of wedging its worker domain.  Hoisted to a plain int so
+     the poll is one comparison, no option match. *)
+  let deadline_step =
+    match t.cfg.deadline with Some d -> d | None -> max_int
   in
   let rec loop () =
     if Machine.halted t.machine then ()
-    else if t.error <> None then ()
-    else if past_deadline () then
-      t.error <-
-        Some
-          (Error.Deadline_exceeded
-             {
-               steps = Machine.steps t.machine;
-               deadline = Option.get t.cfg.deadline;
-             })
-    else if Machine.steps t.machine >= t.cfg.max_steps then
-      t.error <-
-        Some
-          (Error.Limit_exceeded
-             { steps = Machine.steps t.machine; max_steps = t.cfg.max_steps })
-    else begin
-      (match t.inj with
-      | Some inj when Injector.due inj ~step:(Machine.steps t.machine) ->
-          inject_dispatch_faults t inj
-      | Some _ | None -> ());
-      let pc = Machine.pc t.machine in
-      let code_len =
-        Array.length (Machine.program t.machine).Tpdbt_isa.Program.code
-      in
-      match Block_map.block_at t.bmap pc with
-      | None when pc < 0 || pc >= code_len ->
-          (* Fallthrough past the last instruction: when the final
-             block ends in a plain instruction (legal — fuzz-generated
-             images end this way once shrinking nops out the halt), the
-             machine halts on its next step, charging nothing.  Take
-             that step so the end state is bit-identical to the
-             interpreter's. *)
-          ignore (Machine.step t.machine);
-          loop ()
+    else
+      match t.error with
+      | Some _ -> ()
       | None ->
-          (* Control landed mid-block: the dispatcher and the block map
-             disagree.  Stop with a typed error instead of asserting. *)
-          t.error <- Some (Error.Dispatch_lost { pc })
-      | Some bid -> (
-          let rid = t.region_entry.(bid) in
-          let outcome =
-            if rid >= 0 && t.state.(bid) = Optimized then exec_region t rid
-            else exec_single t bid
-          in
-          if checkpoint_every > 0 && Machine.steps t.machine >= !next_checkpoint
-          then begin
-            on_checkpoint ~steps:(Machine.steps t.machine) (current_snapshot t);
-            next_checkpoint := Machine.steps t.machine + checkpoint_every
-          end;
-          match outcome with
-          | Trapped trap -> t.error <- Some (Error.Trap trap)
-          | Finished -> ()
-          | Flowed | Took _ -> loop ())
-    end
+          if Machine.steps t.machine >= deadline_step then
+            t.error <-
+              Some
+                (Error.Deadline_exceeded
+                   {
+                     steps = Machine.steps t.machine;
+                     deadline = Option.get t.cfg.deadline;
+                   })
+          else if Machine.steps t.machine >= t.cfg.max_steps then
+            t.error <-
+              Some
+                (Error.Limit_exceeded
+                   {
+                     steps = Machine.steps t.machine;
+                     max_steps = t.cfg.max_steps;
+                   })
+          else begin
+            (match t.inj with
+            | Some inj when Injector.due inj ~step:(Machine.steps t.machine) ->
+                inject_dispatch_faults t inj
+            | Some _ | None -> ());
+            let pc = Machine.pc t.machine in
+            let bid = Block_map.id_at t.bmap pc in
+            if bid < 0 then
+              if pc < 0 || pc >= t.code_len then begin
+                (* Fallthrough past the last instruction: when the
+                   final block ends in a plain instruction (legal —
+                   fuzz-generated images end this way once shrinking
+                   nops out the halt), the machine halts on its next
+                   step, charging nothing.  Take that step so the end
+                   state is bit-identical to the interpreter's. *)
+                ignore (Machine.step_code t.machine);
+                loop ()
+              end
+              else
+                (* Control landed mid-block: the dispatcher and the
+                   block map disagree.  Stop with a typed error instead
+                   of asserting. *)
+                t.error <- Some (Error.Dispatch_lost { pc })
+            else begin
+              let rid = t.region_entry.(bid) in
+              let outcome =
+                if
+                  rid >= 0
+                  &&
+                  match t.state.(bid) with
+                  | Optimized -> true
+                  | Cold | Registered -> false
+                then exec_region t rid
+                else exec_single t bid
+              in
+              if
+                checkpoint_every > 0
+                && Machine.steps t.machine >= !next_checkpoint
+              then begin
+                on_checkpoint
+                  ~steps:(Machine.steps t.machine)
+                  (current_snapshot t);
+                next_checkpoint := Machine.steps t.machine + checkpoint_every
+              end;
+              if outcome = oc_trapped then
+                match Machine.last_trap t.machine with
+                | Some trap -> t.error <- Some (Error.Trap trap)
+                | None -> t.error <- Some (Error.Dispatch_lost { pc })
+              else if outcome = oc_finished then ()
+              else loop ()
+            end
+          end
   in
   loop ();
+  t.counters.Perf_model.cycles <- t.cycles_acc.(0);
   if t.trace then begin
     (* Attribution first, inside the still-open run span, so the
        profiler hangs the stage costs beneath "engine.run". *)

@@ -76,21 +76,41 @@ let bench_rows doc =
       in
       walk [] rows
 
+(* The host stanza is load-bearing: alloc-words/instr is portable but
+   guest_ips is not, so a BENCH file that does not say what machine it
+   came from cannot be judged.  Missing or non-object [host] is a
+   validation error (CLI exit 2), not a silent "hosts match". *)
 let host_string doc =
   match Json.member "host" doc with
   | Some (Json.Obj members) ->
-      String.concat ";"
-        (List.filter_map
-           (fun (k, v) ->
-             match v with
-             | Json.Num n -> Some (Printf.sprintf "%s=%.17g" k n)
-             | Json.Str s -> Some (Printf.sprintf "%s=%s" k s)
-             | Json.Bool b -> Some (Printf.sprintf "%s=%b" k b)
-             | _ -> None)
-           members)
-  | _ -> ""
+      Ok
+        (String.concat ";"
+           (List.filter_map
+              (fun (k, v) ->
+                match v with
+                | Json.Num n -> Some (Printf.sprintf "%s=%.17g" k n)
+                | Json.Str s -> Some (Printf.sprintf "%s=%s" k s)
+                | Json.Bool b -> Some (Printf.sprintf "%s=%b" k b)
+                | _ -> None)
+              members))
+  | Some _ -> Error "\"host\" is not an object"
+  | None -> Error "no \"host\" object"
 
-let of_docs ~tolerance old_doc new_doc =
+let select_metrics only =
+  match only with
+  | None -> Ok metrics
+  | Some m -> (
+      match List.assoc_opt m metrics with
+      | Some dir -> Ok [ (m, dir) ]
+      | None ->
+          Error
+            (Printf.sprintf "unknown metric %S (tracked: %s)" m
+               (String.concat ", " (List.map fst metrics))))
+
+let of_docs ?only ~tolerance old_doc new_doc =
+  let* judged = select_metrics only in
+  let* oh = Result.map_error (fun e -> "old file: " ^ e) (host_string old_doc) in
+  let* nh = Result.map_error (fun e -> "new file: " ^ e) (host_string new_doc) in
   let* old_rows = bench_rows old_doc in
   let* new_rows = bench_rows new_doc in
   let deltas =
@@ -105,7 +125,7 @@ let of_docs ~tolerance old_doc new_doc =
                 let newer = List.assoc metric new_vs in
                 let change, verdict = judge ~tolerance direction ~older ~newer in
                 { bench; metric; older; newer; change; verdict })
-              metrics)
+              judged)
       old_rows
   in
   let missing =
@@ -119,21 +139,20 @@ let of_docs ~tolerance old_doc new_doc =
       new_rows
   in
   let host_note =
-    let oh = host_string old_doc and nh = host_string new_doc in
-    if oh <> nh && (oh <> "" || nh <> "") then
+    if oh <> nh then
       Some (Printf.sprintf "hosts differ: old [%s] vs new [%s]" oh nh)
     else None
   in
   Ok { tolerance; deltas; missing; added; host_note }
 
-let of_strings ~tolerance old_s new_s =
+let of_strings ?only ~tolerance old_s new_s =
   let* old_doc =
     Result.map_error (fun e -> "old file: " ^ e) (Json.parse old_s)
   in
   let* new_doc =
     Result.map_error (fun e -> "new file: " ^ e) (Json.parse new_s)
   in
-  of_docs ~tolerance old_doc new_doc
+  of_docs ?only ~tolerance old_doc new_doc
 
 let regressions r =
   List.filter (fun d -> d.verdict = Regression) r.deltas

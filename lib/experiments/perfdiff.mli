@@ -4,7 +4,9 @@
     strict {!Tpdbt_telemetry.Json} parser, joins their bench rows by
     name, and judges each tracked metric against a fractional
     tolerance.  The CLI exits nonzero iff {!regressions} is
-    non-empty; CI runs it warn-only against a committed baseline. *)
+    non-empty.  CI runs it twice against the committed baseline: a
+    hard allocation gate ([--alloc-only], deterministic) and a
+    warn-only wall-clock leg (hardware-dependent). *)
 
 type direction = Higher_better | Lower_better
 type verdict = Regression | Improvement | Within
@@ -39,9 +41,16 @@ val judge :
     change; both zero is no change. *)
 
 val of_strings :
-  tolerance:float -> string -> string -> (report, string) result
-(** [of_strings ~tolerance old_contents new_contents].  [Error]
-    carries a parse or shape diagnostic naming the offending file. *)
+  ?only:string -> tolerance:float -> string -> string -> (report, string) result
+(** [of_strings ?only ~tolerance old_contents new_contents].  [only]
+    restricts the judged metrics to that single metric (the CI
+    allocation gate judges [alloc_per_instr] alone — it is
+    deterministic where wall clock is not); naming an untracked metric
+    is an [Error].  Each file must carry a [host] object — a BENCH
+    file that does not say what machine it came from cannot be judged,
+    so a missing or malformed stanza is a validation [Error], not a
+    silent pass.  [Error] carries a parse or shape diagnostic naming
+    the offending file. *)
 
 val regressions : report -> delta list
 

@@ -19,16 +19,77 @@ type event =
   | Returned
   | Halted
 
+(* Int event codes returned by [step_code].  Profiling-mode
+   interpretation is the phase the paper argues must be nearly free, so
+   the per-step report to the engine is an immediate int, not an
+   allocated [event] variant.  Codes 0..5 are "still running" (the
+   engine tests [c <= ev_returned]); 6..7 are terminal. *)
+let ev_stepped = 0
+let ev_branch_not_taken = 1
+let ev_branch_taken = 2
+let ev_jumped = 3
+let ev_called = 4
+let ev_returned = 5
+let ev_halted = 6
+let ev_trapped = 7
+
+(* Flat opcode tags for the predecoded dispatch table.  Dense 0..36 so
+   the match in [step_code] compiles to a jump table. *)
+let op_movi = 0
+let op_mov = 1
+let op_load = 2
+let op_store = 3
+let op_jmp = 4
+let op_call = 5
+let op_ret = 6
+let op_rnd = 7
+let op_out = 8
+let op_halt = 9
+let op_nop = 10
+(* 11..20: Binop Add..Shr · 21..30: Binopi Add..Shr · 31..36: Br Eq..Gt *)
+
+let binop_tag = function
+  | Instr.Add -> 11
+  | Instr.Sub -> 12
+  | Instr.Mul -> 13
+  | Instr.Div -> 14
+  | Instr.Rem -> 15
+  | Instr.And -> 16
+  | Instr.Or -> 17
+  | Instr.Xor -> 18
+  | Instr.Shl -> 19
+  | Instr.Shr -> 20
+
+let cond_tag = function
+  | Instr.Eq -> 31
+  | Instr.Ne -> 32
+  | Instr.Lt -> 33
+  | Instr.Ge -> 34
+  | Instr.Le -> 35
+  | Instr.Gt -> 36
+
 type t = {
   prog : Program.t;
   code : Instr.t array;
+  code_len : int;
+  (* Predecoded instruction stream: parallel int arrays indexed by pc.
+     [dec_a]/[dec_b]/[dec_c] are register indices, [dec_imm] the
+     immediate/offset/target.  Movi immediates are pre-wrapped to 32
+     bits at decode time (wrap32 is idempotent). *)
+  dec_op : int array;
+  dec_a : int array;
+  dec_b : int array;
+  dec_c : int array;
+  dec_imm : int array;
   regs : int array;
   memory : int array;
+  mem_len : int;
   mutable pc : int;
-  mutable call_stack : int list;
+  ret_stack : int array;  (* return addresses, [0 .. call_depth) live *)
   mutable call_depth : int;
   prng : Prng.t;
-  mutable outputs_rev : int list;
+  mutable out_buf : int array;  (* grow-by-doubling output log *)
+  mutable out_len : int;
   mutable steps : int;
   mutable halted : bool;
   mutable trap : trap option;
@@ -40,6 +101,70 @@ type t = {
 
 let max_call_depth = 4096
 
+(* Normalise to signed 32-bit two's complement. *)
+let wrap32 v = ((v land 0xFFFFFFFF) lxor 0x80000000) - 0x80000000
+
+let decode code =
+  let n = Array.length code in
+  let dec_op = Array.make n 0
+  and dec_a = Array.make n 0
+  and dec_b = Array.make n 0
+  and dec_c = Array.make n 0
+  and dec_imm = Array.make n 0 in
+  for pc = 0 to n - 1 do
+    (match code.(pc) with
+    | Instr.Movi (rd, imm) ->
+        dec_op.(pc) <- op_movi;
+        dec_a.(pc) <- Reg.to_int rd;
+        dec_imm.(pc) <- wrap32 imm
+    | Instr.Mov (rd, rs) ->
+        dec_op.(pc) <- op_mov;
+        dec_a.(pc) <- Reg.to_int rd;
+        dec_b.(pc) <- Reg.to_int rs
+    | Instr.Binop (op, rd, rs1, rs2) ->
+        dec_op.(pc) <- binop_tag op;
+        dec_a.(pc) <- Reg.to_int rd;
+        dec_b.(pc) <- Reg.to_int rs1;
+        dec_c.(pc) <- Reg.to_int rs2
+    | Instr.Binopi (op, rd, rs, imm) ->
+        dec_op.(pc) <- binop_tag op + 10;
+        dec_a.(pc) <- Reg.to_int rd;
+        dec_b.(pc) <- Reg.to_int rs;
+        dec_imm.(pc) <- imm
+    | Instr.Load (rd, base, off) ->
+        dec_op.(pc) <- op_load;
+        dec_a.(pc) <- Reg.to_int rd;
+        dec_b.(pc) <- Reg.to_int base;
+        dec_imm.(pc) <- off
+    | Instr.Store (rsrc, base, off) ->
+        dec_op.(pc) <- op_store;
+        dec_a.(pc) <- Reg.to_int rsrc;
+        dec_b.(pc) <- Reg.to_int base;
+        dec_imm.(pc) <- off
+    | Instr.Br (c, rs1, rs2, target) ->
+        dec_op.(pc) <- cond_tag c;
+        dec_a.(pc) <- Reg.to_int rs1;
+        dec_b.(pc) <- Reg.to_int rs2;
+        dec_imm.(pc) <- target
+    | Instr.Jmp target ->
+        dec_op.(pc) <- op_jmp;
+        dec_imm.(pc) <- target
+    | Instr.Call target ->
+        dec_op.(pc) <- op_call;
+        dec_imm.(pc) <- target
+    | Instr.Ret -> dec_op.(pc) <- op_ret
+    | Instr.Rnd (rd, bound) ->
+        dec_op.(pc) <- op_rnd;
+        dec_a.(pc) <- Reg.to_int rd;
+        dec_imm.(pc) <- bound
+    | Instr.Out rs ->
+        dec_op.(pc) <- op_out;
+        dec_a.(pc) <- Reg.to_int rs
+    | Instr.Halt -> dec_op.(pc) <- op_halt
+    | Instr.Nop -> dec_op.(pc) <- op_nop)
+  done;
+  (dec_op, dec_a, dec_b, dec_c, dec_imm)
+
 let create ?(mem_words = 1 lsl 20) ?(seed = 1L) prog =
   let memory = Array.make mem_words 0 in
   List.iter
@@ -50,16 +175,26 @@ let create ?(mem_words = 1 lsl 20) ?(seed = 1L) prog =
              addr)
       else memory.(addr) <- value)
     prog.Program.data_init;
+  let code = prog.Program.code in
+  let dec_op, dec_a, dec_b, dec_c, dec_imm = decode code in
   {
     prog;
-    code = prog.Program.code;
+    code;
+    code_len = Array.length code;
+    dec_op;
+    dec_a;
+    dec_b;
+    dec_c;
+    dec_imm;
     regs = Array.make Reg.count 0;
     memory;
+    mem_len = mem_words;
     pc = prog.Program.entry;
-    call_stack = [];
+    ret_stack = Array.make max_call_depth 0;
     call_depth = 0;
     prng = Prng.create ~seed;
-    outputs_rev = [];
+    out_buf = Array.make 64 0;
+    out_len = 0;
     steps = 0;
     halted = false;
     trap = None;
@@ -71,32 +206,321 @@ let program t = t.prog
 let pc t = t.pc
 let halted t = t.halted
 let steps t = t.steps
+let last_trap t = t.trap
 let reg t r = t.regs.(Reg.to_int r)
-
-(* Normalise to signed 32-bit two's complement. *)
-let wrap32 v = ((v land 0xFFFFFFFF) lxor 0x80000000) - 0x80000000
-
 let set_reg t r v = t.regs.(Reg.to_int r) <- wrap32 v
 
 let mem t addr =
-  if addr < 0 || addr >= Array.length t.memory then
+  if addr < 0 || addr >= t.mem_len then
     invalid_arg (Printf.sprintf "Machine.mem: address %d out of range" addr)
   else t.memory.(addr)
 
 let set_mem t addr v =
-  if addr < 0 || addr >= Array.length t.memory then
+  if addr < 0 || addr >= t.mem_len then
     invalid_arg (Printf.sprintf "Machine.set_mem: address %d out of range" addr)
   else t.memory.(addr) <- wrap32 v
 
-let outputs t = List.rev t.outputs_rev
+let outputs t = Array.to_list (Array.sub t.out_buf 0 t.out_len)
 
 let poison t pc =
-  if pc < 0 || pc >= Array.length t.code then
+  if pc < 0 || pc >= t.code_len then
     invalid_arg (Printf.sprintf "Machine.poison: pc %d out of range" pc);
   t.has_poison <- true;
   Hashtbl.replace t.poisoned pc ()
 
 let poisoned t pc = t.has_poison && Hashtbl.mem t.poisoned pc
+
+let push_out t v =
+  if t.out_len = Array.length t.out_buf then begin
+    let bigger = Array.make (2 * t.out_len) 0 in
+    Array.blit t.out_buf 0 bigger 0 t.out_len;
+    t.out_buf <- bigger
+  end;
+  t.out_buf.(t.out_len) <- v;
+  t.out_len <- t.out_len + 1
+
+(* Halting with a trap is the one place a step may allocate: the typed
+   trap value is constructed once, at the end of the run. *)
+let trapped t tr =
+  t.halted <- true;
+  t.trap <- Some tr;
+  ev_trapped
+
+(* Taken-branch helper shared by the six [Br] arms: explicit control
+   transfers must land inside the code image. *)
+let take t pc target =
+  if target < 0 || target >= t.code_len then
+    trapped t (Branch_out_of_range { pc; target })
+  else begin
+    t.pc <- target;
+    ev_branch_taken
+  end
+
+let step_code t =
+  if t.halted then
+    match t.trap with None -> ev_halted | Some _ -> ev_trapped
+  else
+    let pc = t.pc in
+    if pc < 0 || pc >= t.code_len then begin
+      (* Falling off the end of the code array stops the machine. *)
+      t.halted <- true;
+      ev_halted
+    end
+    else begin
+      t.steps <- t.steps + 1;
+      if t.has_poison && Hashtbl.mem t.poisoned pc then
+        trapped t (Illegal_instruction pc)
+      else begin
+        let regs = t.regs in
+        (* Unsafe accesses below are in range by construction: [pc] was
+           bounds-checked against [code_len] above and the decode
+           arrays are code-length; register operands come out of
+           [Reg.to_int] at decode time, and [regs] has [Reg.count]
+           elements; memory addresses are explicitly checked against
+           [mem_len] before each access. *)
+        let a = Array.unsafe_get t.dec_a pc
+        and b = Array.unsafe_get t.dec_b pc
+        and c = Array.unsafe_get t.dec_c pc
+        and imm = Array.unsafe_get t.dec_imm pc in
+        match Array.unsafe_get t.dec_op pc with
+        | 0 (* movi *) ->
+            Array.unsafe_set regs a imm;
+            t.pc <- pc + 1;
+            ev_stepped
+        | 1 (* mov *) ->
+            Array.unsafe_set regs a (Array.unsafe_get regs b);
+            t.pc <- pc + 1;
+            ev_stepped
+        | 2 (* load *) ->
+            let addr = Array.unsafe_get regs b + imm in
+            if addr < 0 || addr >= t.mem_len then
+              trapped t (Memory_fault { pc; addr })
+            else begin
+              Array.unsafe_set regs a (Array.unsafe_get t.memory addr);
+              t.pc <- pc + 1;
+              ev_stepped
+            end
+        | 3 (* store *) ->
+            let addr = Array.unsafe_get regs b + imm in
+            if addr < 0 || addr >= t.mem_len then
+              trapped t (Memory_fault { pc; addr })
+            else begin
+              Array.unsafe_set t.memory addr (Array.unsafe_get regs a);
+              t.pc <- pc + 1;
+              ev_stepped
+            end
+        | 4 (* jmp *) ->
+            if imm < 0 || imm >= t.code_len then
+              trapped t (Branch_out_of_range { pc; target = imm })
+            else begin
+              t.pc <- imm;
+              ev_jumped
+            end
+        | 5 (* call *) ->
+            if t.call_depth >= max_call_depth then
+              trapped t (Call_stack_overflow pc)
+            else if imm < 0 || imm >= t.code_len then
+              trapped t (Branch_out_of_range { pc; target = imm })
+            else begin
+              t.ret_stack.(t.call_depth) <- pc + 1;
+              t.call_depth <- t.call_depth + 1;
+              t.pc <- imm;
+              ev_called
+            end
+        | 6 (* ret *) ->
+            if t.call_depth = 0 then trapped t (Return_without_call pc)
+            else begin
+              t.call_depth <- t.call_depth - 1;
+              t.pc <- t.ret_stack.(t.call_depth);
+              ev_returned
+            end
+        | 7 (* rnd *) ->
+            (* A non-positive bound is a guest bug, not a caller bug: it
+               must trap like a division by zero, never leak the PRNG's
+               [Invalid_argument] out of the step. *)
+            if imm <= 0 then trapped t (Invalid_rnd_bound { pc; bound = imm })
+            else begin
+              Array.unsafe_set regs a (Prng.below t.prng imm);
+              t.pc <- pc + 1;
+              ev_stepped
+            end
+        | 8 (* out *) ->
+            push_out t (Array.unsafe_get regs a);
+            t.pc <- pc + 1;
+            ev_stepped
+        | 9 (* halt *) ->
+            t.halted <- true;
+            ev_halted
+        | 10 (* nop *) ->
+            t.pc <- pc + 1;
+            ev_stepped
+        | 11 (* add *) ->
+            Array.unsafe_set regs a
+              (wrap32 (Array.unsafe_get regs b + Array.unsafe_get regs c));
+            t.pc <- pc + 1;
+            ev_stepped
+        | 12 (* sub *) ->
+            Array.unsafe_set regs a
+              (wrap32 (Array.unsafe_get regs b - Array.unsafe_get regs c));
+            t.pc <- pc + 1;
+            ev_stepped
+        | 13 (* mul *) ->
+            Array.unsafe_set regs a
+              (wrap32 (Array.unsafe_get regs b * Array.unsafe_get regs c));
+            t.pc <- pc + 1;
+            ev_stepped
+        | 14 (* div *) ->
+            let d = Array.unsafe_get regs c in
+            if d = 0 then trapped t (Division_by_zero pc)
+            else begin
+              Array.unsafe_set regs a (wrap32 (Array.unsafe_get regs b / d));
+              t.pc <- pc + 1;
+              ev_stepped
+            end
+        | 15 (* rem *) ->
+            let d = Array.unsafe_get regs c in
+            if d = 0 then trapped t (Division_by_zero pc)
+            else begin
+              Array.unsafe_set regs a (wrap32 (Array.unsafe_get regs b mod d));
+              t.pc <- pc + 1;
+              ev_stepped
+            end
+        | 16 (* and *) ->
+            Array.unsafe_set regs a
+              (Array.unsafe_get regs b land Array.unsafe_get regs c);
+            t.pc <- pc + 1;
+            ev_stepped
+        | 17 (* or *) ->
+            Array.unsafe_set regs a
+              (Array.unsafe_get regs b lor Array.unsafe_get regs c);
+            t.pc <- pc + 1;
+            ev_stepped
+        | 18 (* xor *) ->
+            Array.unsafe_set regs a
+              (Array.unsafe_get regs b lxor Array.unsafe_get regs c);
+            t.pc <- pc + 1;
+            ev_stepped
+        | 19 (* shl *) ->
+            Array.unsafe_set regs a
+              (wrap32
+                 (Array.unsafe_get regs b lsl (Array.unsafe_get regs c land 31)));
+            t.pc <- pc + 1;
+            ev_stepped
+        | 20 (* shr *) ->
+            Array.unsafe_set regs a
+              (wrap32
+                 (Array.unsafe_get regs b asr (Array.unsafe_get regs c land 31)));
+            t.pc <- pc + 1;
+            ev_stepped
+        | 21 (* addi *) ->
+            Array.unsafe_set regs a (wrap32 (Array.unsafe_get regs b + imm));
+            t.pc <- pc + 1;
+            ev_stepped
+        | 22 (* subi *) ->
+            Array.unsafe_set regs a (wrap32 (Array.unsafe_get regs b - imm));
+            t.pc <- pc + 1;
+            ev_stepped
+        | 23 (* muli *) ->
+            Array.unsafe_set regs a (wrap32 (Array.unsafe_get regs b * imm));
+            t.pc <- pc + 1;
+            ev_stepped
+        | 24 (* divi *) ->
+            if imm = 0 then trapped t (Division_by_zero pc)
+            else begin
+              Array.unsafe_set regs a (wrap32 (Array.unsafe_get regs b / imm));
+              t.pc <- pc + 1;
+              ev_stepped
+            end
+        | 25 (* remi *) ->
+            if imm = 0 then trapped t (Division_by_zero pc)
+            else begin
+              Array.unsafe_set regs a
+                (wrap32 (Array.unsafe_get regs b mod imm));
+              t.pc <- pc + 1;
+              ev_stepped
+            end
+        | 26 (* andi *) ->
+            Array.unsafe_set regs a (wrap32 (Array.unsafe_get regs b land imm));
+            t.pc <- pc + 1;
+            ev_stepped
+        | 27 (* ori *) ->
+            Array.unsafe_set regs a (wrap32 (Array.unsafe_get regs b lor imm));
+            t.pc <- pc + 1;
+            ev_stepped
+        | 28 (* xori *) ->
+            Array.unsafe_set regs a (wrap32 (Array.unsafe_get regs b lxor imm));
+            t.pc <- pc + 1;
+            ev_stepped
+        | 29 (* shli *) ->
+            Array.unsafe_set regs a
+              (wrap32 (Array.unsafe_get regs b lsl (imm land 31)));
+            t.pc <- pc + 1;
+            ev_stepped
+        | 30 (* shri *) ->
+            Array.unsafe_set regs a
+              (wrap32 (Array.unsafe_get regs b asr (imm land 31)));
+            t.pc <- pc + 1;
+            ev_stepped
+        | 31 (* beq *) ->
+            if Array.unsafe_get regs a = Array.unsafe_get regs b then
+              take t pc imm
+            else begin
+              t.pc <- pc + 1;
+              ev_branch_not_taken
+            end
+        | 32 (* bne *) ->
+            if Array.unsafe_get regs a <> Array.unsafe_get regs b then
+              take t pc imm
+            else begin
+              t.pc <- pc + 1;
+              ev_branch_not_taken
+            end
+        | 33 (* blt *) ->
+            if Array.unsafe_get regs a < Array.unsafe_get regs b then
+              take t pc imm
+            else begin
+              t.pc <- pc + 1;
+              ev_branch_not_taken
+            end
+        | 34 (* bge *) ->
+            if Array.unsafe_get regs a >= Array.unsafe_get regs b then
+              take t pc imm
+            else begin
+              t.pc <- pc + 1;
+              ev_branch_not_taken
+            end
+        | 35 (* ble *) ->
+            if Array.unsafe_get regs a <= Array.unsafe_get regs b then
+              take t pc imm
+            else begin
+              t.pc <- pc + 1;
+              ev_branch_not_taken
+            end
+        | _ (* 36, bgt *) ->
+            if Array.unsafe_get regs a > Array.unsafe_get regs b then
+              take t pc imm
+            else begin
+              t.pc <- pc + 1;
+              ev_branch_not_taken
+            end
+      end
+    end
+
+let step t =
+  match step_code t with
+  | 0 -> Ok Stepped
+  | 1 -> Ok (Branched { taken = false })
+  | 2 -> Ok (Branched { taken = true })
+  | 3 -> Ok Jumped
+  | 4 -> Ok Called
+  | 5 -> Ok Returned
+  | 6 -> Ok Halted
+  | _ -> ( match t.trap with Some tr -> Error tr | None -> assert false)
+
+(* Reference decoder: the pre-dispatch-table interpreter, matching
+   directly on [Instr.t].  Kept as the executable specification the
+   dispatch table is differentially tested against
+   (test/test_hotpath.ml); not used on any hot path. *)
 
 let eval_binop op a b ~pc =
   match op with
@@ -111,11 +535,10 @@ let eval_binop op a b ~pc =
   | Instr.Shl -> Ok (a lsl (b land 31))
   | Instr.Shr -> Ok (a asr (b land 31))
 
-let step t =
+let step_spec t =
   if t.halted then
     match t.trap with None -> Ok Halted | Some trap -> Error trap
-  else if t.pc < 0 || t.pc >= Array.length t.code then begin
-    (* Falling off the end of the code array stops the machine. *)
+  else if t.pc < 0 || t.pc >= t.code_len then begin
     t.halted <- true;
     Ok Halted
   end
@@ -136,7 +559,7 @@ let step t =
     let transfer_to target event =
       (* Explicit control transfers must land inside the code image;
          plain fallthrough past the last instruction still halts. *)
-      if target < 0 || target >= Array.length t.code then
+      if target < 0 || target >= t.code_len then
         fail (Branch_out_of_range { pc; target })
       else begin
         t.pc <- target;
@@ -146,96 +569,94 @@ let step t =
     if t.has_poison && Hashtbl.mem t.poisoned pc then
       fail (Illegal_instruction pc)
     else
-    match instr with
-    | Instr.Movi (rd, imm) ->
-        regs.(Reg.to_int rd) <- wrap32 imm;
-        continue Stepped
-    | Instr.Mov (rd, rs) ->
-        regs.(Reg.to_int rd) <- regs.(Reg.to_int rs);
-        continue Stepped
-    | Instr.Binop (op, rd, rs1, rs2) -> (
-        match eval_binop op regs.(Reg.to_int rs1) regs.(Reg.to_int rs2) ~pc with
-        | Ok v ->
-            regs.(Reg.to_int rd) <- wrap32 v;
-            continue Stepped
-        | Error trap -> fail trap)
-    | Instr.Binopi (op, rd, rs, imm) -> (
-        match eval_binop op regs.(Reg.to_int rs) imm ~pc with
-        | Ok v ->
-            regs.(Reg.to_int rd) <- wrap32 v;
-            continue Stepped
-        | Error trap -> fail trap)
-    | Instr.Load (rd, base, off) ->
-        let addr = regs.(Reg.to_int base) + off in
-        if addr < 0 || addr >= Array.length t.memory then
-          fail (Memory_fault { pc; addr })
-        else begin
-          regs.(Reg.to_int rd) <- t.memory.(addr);
+      match instr with
+      | Instr.Movi (rd, imm) ->
+          regs.(Reg.to_int rd) <- wrap32 imm;
           continue Stepped
-        end
-    | Instr.Store (rsrc, base, off) ->
-        let addr = regs.(Reg.to_int base) + off in
-        if addr < 0 || addr >= Array.length t.memory then
-          fail (Memory_fault { pc; addr })
-        else begin
-          t.memory.(addr) <- regs.(Reg.to_int rsrc);
+      | Instr.Mov (rd, rs) ->
+          regs.(Reg.to_int rd) <- regs.(Reg.to_int rs);
           continue Stepped
-        end
-    | Instr.Br (c, rs1, rs2, target) ->
-        let taken =
-          Instr.eval_cond c regs.(Reg.to_int rs1) regs.(Reg.to_int rs2)
-        in
-        if taken then transfer_to target (Branched { taken = true })
-        else begin
-          t.pc <- pc + 1;
-          Ok (Branched { taken = false })
-        end
-    | Instr.Jmp target -> transfer_to target Jumped
-    | Instr.Call target ->
-        if t.call_depth >= max_call_depth then fail (Call_stack_overflow pc)
-        else if target < 0 || target >= Array.length t.code then
-          fail (Branch_out_of_range { pc; target })
-        else begin
-          t.call_stack <- (pc + 1) :: t.call_stack;
-          t.call_depth <- t.call_depth + 1;
-          t.pc <- target;
-          Ok Called
-        end
-    | Instr.Ret -> (
-        match t.call_stack with
-        | [] -> fail (Return_without_call pc)
-        | ret :: rest ->
-            t.call_stack <- rest;
+      | Instr.Binop (op, rd, rs1, rs2) -> (
+          match
+            eval_binop op regs.(Reg.to_int rs1) regs.(Reg.to_int rs2) ~pc
+          with
+          | Ok v ->
+              regs.(Reg.to_int rd) <- wrap32 v;
+              continue Stepped
+          | Error trap -> fail trap)
+      | Instr.Binopi (op, rd, rs, imm) -> (
+          match eval_binop op regs.(Reg.to_int rs) imm ~pc with
+          | Ok v ->
+              regs.(Reg.to_int rd) <- wrap32 v;
+              continue Stepped
+          | Error trap -> fail trap)
+      | Instr.Load (rd, base, off) ->
+          let addr = regs.(Reg.to_int base) + off in
+          if addr < 0 || addr >= t.mem_len then fail (Memory_fault { pc; addr })
+          else begin
+            regs.(Reg.to_int rd) <- t.memory.(addr);
+            continue Stepped
+          end
+      | Instr.Store (rsrc, base, off) ->
+          let addr = regs.(Reg.to_int base) + off in
+          if addr < 0 || addr >= t.mem_len then fail (Memory_fault { pc; addr })
+          else begin
+            t.memory.(addr) <- regs.(Reg.to_int rsrc);
+            continue Stepped
+          end
+      | Instr.Br (c, rs1, rs2, target) ->
+          let taken =
+            Instr.eval_cond c regs.(Reg.to_int rs1) regs.(Reg.to_int rs2)
+          in
+          if taken then transfer_to target (Branched { taken = true })
+          else begin
+            t.pc <- pc + 1;
+            Ok (Branched { taken = false })
+          end
+      | Instr.Jmp target -> transfer_to target Jumped
+      | Instr.Call target ->
+          if t.call_depth >= max_call_depth then fail (Call_stack_overflow pc)
+          else if target < 0 || target >= t.code_len then
+            fail (Branch_out_of_range { pc; target })
+          else begin
+            t.ret_stack.(t.call_depth) <- pc + 1;
+            t.call_depth <- t.call_depth + 1;
+            t.pc <- target;
+            Ok Called
+          end
+      | Instr.Ret ->
+          if t.call_depth = 0 then fail (Return_without_call pc)
+          else begin
             t.call_depth <- t.call_depth - 1;
-            t.pc <- ret;
-            Ok Returned)
-    | Instr.Rnd (rd, bound) ->
-        (* A non-positive bound is a guest bug, not a caller bug: it
-           must trap like a division by zero, never leak the PRNG's
-           [Invalid_argument] out of [step]. *)
-        if bound <= 0 then fail (Invalid_rnd_bound { pc; bound })
-        else begin
-          regs.(Reg.to_int rd) <- Prng.below t.prng bound;
+            t.pc <- t.ret_stack.(t.call_depth);
+            Ok Returned
+          end
+      | Instr.Rnd (rd, bound) ->
+          (* A non-positive bound is a guest bug, not a caller bug: it
+             must trap like a division by zero, never leak the PRNG's
+             [Invalid_argument] out of [step]. *)
+          if bound <= 0 then fail (Invalid_rnd_bound { pc; bound })
+          else begin
+            regs.(Reg.to_int rd) <- Prng.below t.prng bound;
+            continue Stepped
+          end
+      | Instr.Out rs ->
+          push_out t regs.(Reg.to_int rs);
           continue Stepped
-        end
-    | Instr.Out rs ->
-        t.outputs_rev <- regs.(Reg.to_int rs) :: t.outputs_rev;
-        continue Stepped
-    | Instr.Halt ->
-        t.halted <- true;
-        Ok Halted
-    | Instr.Nop -> continue Stepped
+      | Instr.Halt ->
+          t.halted <- true;
+          Ok Halted
+      | Instr.Nop -> continue Stepped
   end
 
 let run ?(max_steps = max_int) t =
   let rec loop remaining =
     if remaining = 0 || t.halted then Ok ()
     else
-      match step t with
-      | Ok Halted -> Ok ()
-      | Ok (Stepped | Branched _ | Jumped | Called | Returned) ->
-          loop (remaining - 1)
-      | Error trap -> Error trap
+      let c = step_code t in
+      if c <= ev_returned then loop (remaining - 1)
+      else if c = ev_halted then Ok ()
+      else match t.trap with Some trap -> Error trap | None -> Ok ()
   in
   loop max_steps
 

@@ -35,6 +35,22 @@ type event =
   | Returned
   | Halted
 
+(** {2 Int event codes}
+
+    The allocation-free counterpart of {!event}, returned by
+    {!step_code}.  Codes [0..5] mean the machine is still running
+    ([c <= ev_returned]); [ev_halted]/[ev_trapped] are terminal.  After
+    [ev_trapped], {!last_trap} holds the trap. *)
+
+val ev_stepped : int
+val ev_branch_not_taken : int
+val ev_branch_taken : int
+val ev_jumped : int
+val ev_called : int
+val ev_returned : int
+val ev_halted : int
+val ev_trapped : int
+
 type t
 
 val create : ?mem_words:int -> ?seed:int64 -> Tpdbt_isa.Program.t -> t
@@ -66,10 +82,29 @@ val poison : t -> int -> unit
 
 val poisoned : t -> int -> bool
 
+val step_code : t -> int
+(** Execute one instruction and report it as an int event code
+    ({!ev_stepped} … {!ev_trapped}).  This is the hot-path entry point:
+    instructions are predecoded into flat int dispatch tables at
+    {!create} time and a steady-state step allocates nothing.  After
+    [ev_halted] (or [ev_trapped]) the machine no longer advances;
+    further calls return the same code. *)
+
+val last_trap : t -> trap option
+(** The trap that halted the machine, if any — the out-of-band channel
+    for {!step_code}'s [ev_trapped]. *)
+
 val step : t -> (event, trap) result
 (** Execute one instruction.  After [Ok Halted] (or an error) the machine
     no longer advances; further [step] calls return [Ok Halted] /
-    the same trap. *)
+    the same trap.  Equivalent to {!step_code} plus an allocated
+    report; cold callers only. *)
+
+val step_spec : t -> (event, trap) result
+(** Reference decoder: executes one instruction by matching directly on
+    [Instr.t], with no dispatch table.  The executable specification
+    {!step_code} is differentially tested against; identical observable
+    semantics, slower and allocating. *)
 
 val run : ?max_steps:int -> t -> (unit, trap) result
 (** Step until halt (or trap).  [max_steps] (default [max_int]) bounds

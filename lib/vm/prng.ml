@@ -1,21 +1,89 @@
-type t = { mutable state : int64 }
+(* SplitMix64 (Steele, Lea, Flood 2014), carried in two 32-bit halves
+   held in immediate-int fields.  The original implementation kept the
+   state in a [mutable int64], which boxes on every store and on every
+   intermediate of the mixing function — ~25 allocated words per draw.
+   [rnd] executes on the guest hot path, so the stream is produced here
+   with plain int arithmetic instead: 16-bit limb multiplication gives
+   the exact low 64 bits of each product, and a differential test
+   (test/test_hotpath.ml) pins the stream bit-for-bit against the
+   boxed-Int64 reference. *)
 
-let create ~seed = { state = seed }
-let copy t = { state = t.state }
+type t = {
+  mutable hi : int;  (* state, top 32 bits *)
+  mutable lo : int;  (* state, low 32 bits *)
+  mutable zhi : int;  (* last drawn value, top 32 bits *)
+  mutable zlo : int;  (* last drawn value, low 32 bits *)
+}
 
-(* SplitMix64 (Steele, Lea, Flood 2014). *)
+let mask32 = 0xFFFFFFFF
+
+let create ~seed =
+  {
+    hi = Int64.to_int (Int64.shift_right_logical seed 32);
+    lo = Int64.to_int (Int64.logand seed 0xFFFFFFFFL);
+    zhi = 0;
+    zlo = 0;
+  }
+
+let copy t = { hi = t.hi; lo = t.lo; zhi = t.zhi; zlo = t.zlo }
+
+(* One SplitMix64 round: advance the state by the golden-ratio constant
+   and mix it into [zhi]/[zlo].  Allocation-free. *)
+let advance t =
+  (* state += 0x9E3779B97F4A7C15 *)
+  let lo = t.lo + 0x7F4A7C15 in
+  let hi = (t.hi + 0x9E3779B9 + (lo lsr 32)) land mask32 in
+  let lo = lo land mask32 in
+  t.hi <- hi;
+  t.lo <- lo;
+  (* z ^= z >>> 30 *)
+  let zlo = lo lxor (((hi lsl 2) land mask32) lor (lo lsr 30)) in
+  let zhi = hi lxor (hi lsr 30) in
+  (* z *= 0xBF58476D1CE4E5B9 (low 64 bits, 16-bit limbs) *)
+  let a0 = zlo land 0xFFFF
+  and a1 = zlo lsr 16
+  and a2 = zhi land 0xFFFF
+  and a3 = zhi lsr 16 in
+  let t0 = a0 * 0xE5B9 in
+  let t1 = (a0 * 0x1CE4) + (a1 * 0xE5B9) + (t0 lsr 16) in
+  let t2 = (a0 * 0x476D) + (a1 * 0x1CE4) + (a2 * 0xE5B9) + (t1 lsr 16) in
+  let t3 =
+    (a0 * 0xBF58) + (a1 * 0x476D) + (a2 * 0x1CE4) + (a3 * 0xE5B9) + (t2 lsr 16)
+  in
+  let zlo = (t0 land 0xFFFF) lor ((t1 land 0xFFFF) lsl 16) in
+  let zhi = (t2 land 0xFFFF) lor ((t3 land 0xFFFF) lsl 16) in
+  (* z ^= z >>> 27 *)
+  let zlo = zlo lxor (((zhi lsl 5) land mask32) lor (zlo lsr 27)) in
+  let zhi = zhi lxor (zhi lsr 27) in
+  (* z *= 0x94D049BB133111EB *)
+  let a0 = zlo land 0xFFFF
+  and a1 = zlo lsr 16
+  and a2 = zhi land 0xFFFF
+  and a3 = zhi lsr 16 in
+  let t0 = a0 * 0x11EB in
+  let t1 = (a0 * 0x1331) + (a1 * 0x11EB) + (t0 lsr 16) in
+  let t2 = (a0 * 0x49BB) + (a1 * 0x1331) + (a2 * 0x11EB) + (t1 lsr 16) in
+  let t3 =
+    (a0 * 0x94D0) + (a1 * 0x49BB) + (a2 * 0x1331) + (a3 * 0x11EB) + (t2 lsr 16)
+  in
+  let zlo = (t0 land 0xFFFF) lor ((t1 land 0xFFFF) lsl 16) in
+  let zhi = (t2 land 0xFFFF) lor ((t3 land 0xFFFF) lsl 16) in
+  (* z ^= z >>> 31 *)
+  t.zlo <- zlo lxor (((zhi lsl 1) land mask32) lor (zlo lsr 31));
+  t.zhi <- zhi lxor (zhi lsr 31)
+
 let next_int64 t =
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+  advance t;
+  Int64.logor (Int64.shift_left (Int64.of_int t.zhi) 32) (Int64.of_int t.zlo)
 
 let below t bound =
   if bound <= 0 then invalid_arg "Prng.below: bound must be positive";
-  let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  raw mod bound
+  advance t;
+  (* z >>> 2, exactly as [Int64.to_int (z >>> 2)] of the reference *)
+  ((t.zhi lsl 30) lor (t.zlo lsr 2)) mod bound
 
 let float t =
-  let raw = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
-  raw /. 9007199254740992.0 (* 2^53 *)
+  advance t;
+  (* z >>> 11: 53 bits, exact in both int and float *)
+  float_of_int ((t.zhi lsl 21) lor (t.zlo lsr 11)) /. 9007199254740992.0
+(* 2^53 *)

@@ -19,4 +19,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("serve", Test_serve.suite);
       ("fuzz", Test_fuzz.suite);
+      ("hotpath", Test_hotpath.suite);
     ]

@@ -459,8 +459,8 @@ let test_cli_exit_taxonomy () =
           let oc = open_out path in
           output_string oc
             (Printf.sprintf
-               "{\"benches\":[{\"name\":\"g\",\"guest_ips\":%s,\
-                \"alloc_per_instr\":1.0,\"cycles\":100}]}"
+               "{\"host\":{\"cores\":1},\"benches\":[{\"name\":\"g\",\
+                \"guest_ips\":%s,\"alloc_per_instr\":1.0,\"cycles\":100}]}"
                ips);
           close_out oc
         in
