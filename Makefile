@@ -16,7 +16,7 @@ PAR_SMOKE_DIR := _build/par-smoke
 
 .PHONY: all build test fmt fmt-strict check clean faults-smoke cache-smoke \
 	par-smoke par-bench chaos-smoke chaos-serve-smoke serve-smoke \
-	profile-smoke fuzz-smoke perf-bench perfdiff alloc-gate
+	profile-smoke fuzz-smoke snapshot-smoke perf-bench perfdiff alloc-gate
 
 all: build
 
@@ -63,9 +63,11 @@ par-smoke: build
 	@echo "par-smoke: sequential and -j $(PAR_JOBS) sweeps are byte-identical"
 
 # Chaos smoke: a supervised checkpointed sweep under injected faults —
-# a stalled workload, a worker-domain crash, a panicking task, and
-# bit-flipped/truncated checkpoint files — run sequentially and at
-# -j $(PAR_JOBS) with the same seed.  tpdbt chaos exits non-zero unless
+# a stalled workload, a worker-domain crash, a panicking task, a kill
+# at an arbitrary guest instruction (resumed from its mid-run
+# snapshot), and bit-flipped/truncated checkpoint files — run
+# sequentially and at -j $(PAR_JOBS) with the same seed.  tpdbt chaos
+# exits non-zero unless
 # every non-quarantined benchmark ends byte-identical to the fault-free
 # reference, and the two deterministic summary JSONs must agree byte
 # for byte (CI uploads chaos-summary.json as an artifact).
@@ -183,6 +185,35 @@ fuzz-smoke: build
 	cmp $(FUZZ_SMOKE_DIR)/fuzz-summary.json $(FUZZ_SMOKE_DIR)/par-summary.json
 	@echo "fuzz-smoke: no divergence; summaries identical at -j 1 and -j $(PAR_JOBS)"
 
+# Suspend/resume smoke: a sweep parked at a deadline (snapshotting its
+# mid-run engine state into the checkpoint store), then resumed with
+# --resume-run, must end with stdout and checkpoint bytes identical to
+# a sweep that was never interrupted — the CLI form of the
+# docs/snapshots.md guarantee.  `tpdbt snapshot info` must read the
+# suspended slot cleanly in between.
+SNAPSHOT_SMOKE_DIR := _build/snapshot-smoke
+
+snapshot-smoke: build
+	rm -rf $(SNAPSHOT_SMOKE_DIR)
+	mkdir -p $(SNAPSHOT_SMOKE_DIR)
+	$(DUNE) exec bin/tpdbt.exe -- sweep -b gzip --jobs 1 \
+		--checkpoint $(SNAPSHOT_SMOKE_DIR)/ref-ckpt \
+		> $(SNAPSHOT_SMOKE_DIR)/ref.out
+	$(DUNE) exec bin/tpdbt.exe -- sweep -b gzip --jobs 1 \
+		--checkpoint $(SNAPSHOT_SMOKE_DIR)/sus-ckpt \
+		--snapshot-every 500000 --deadline 1000000 \
+		> $(SNAPSHOT_SMOKE_DIR)/sus.out 2> $(SNAPSHOT_SMOKE_DIR)/sus.err
+	grep -q "suspended gzip" $(SNAPSHOT_SMOKE_DIR)/sus.err \
+		|| { echo "snapshot-smoke: sweep did not suspend"; exit 1; }
+	$(DUNE) exec bin/tpdbt.exe -- snapshot info \
+		$(SNAPSHOT_SMOKE_DIR)/sus-ckpt/gzip.ckpt > /dev/null
+	$(DUNE) exec bin/tpdbt.exe -- sweep -b gzip --jobs 1 \
+		--checkpoint $(SNAPSHOT_SMOKE_DIR)/sus-ckpt --resume-run \
+		> $(SNAPSHOT_SMOKE_DIR)/res.out
+	cmp $(SNAPSHOT_SMOKE_DIR)/ref.out $(SNAPSHOT_SMOKE_DIR)/res.out
+	diff -r $(SNAPSHOT_SMOKE_DIR)/ref-ckpt $(SNAPSHOT_SMOKE_DIR)/sus-ckpt
+	@echo "snapshot-smoke: resumed sweep byte-identical to uninterrupted run"
+
 # Wall-clock/allocation perf measurement over the quick set, recorded
 # in BENCH_perf.json for perfdiff gating.
 perf-bench: build
@@ -227,7 +258,8 @@ fmt-strict:
 	$(DUNE) build @fmt
 
 check: build test faults-smoke cache-smoke par-smoke chaos-smoke \
-	chaos-serve-smoke serve-smoke profile-smoke fuzz-smoke fmt
+	chaos-serve-smoke serve-smoke profile-smoke fuzz-smoke \
+	snapshot-smoke fmt
 
 clean:
 	$(DUNE) clean

@@ -243,19 +243,109 @@ let dbt_cmd =
             "Eviction policy for a bounded cache: flush_all, lru or \
              hot_protect.")
   in
+  let snapshot_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Write mid-run execution snapshots to FILE (rewritten at each \
+             trigger).  Required with $(b,--snapshot-every) or \
+             $(b,--suspend-after).")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt int 0
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Snapshot every N guest instructions and keep running — a \
+             crash loses at most N instructions of work (0 = off).")
+  in
+  let suspend_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "suspend-after" ] ~docv:"N"
+          ~doc:
+            "Suspend the run at guest instruction N, write the snapshot \
+             and exit 0; continue later with $(b,--resume-run).")
+  in
+  let resume_run =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "resume-run" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a snapshot written by $(b,--snapshot)/\
+             $(b,--suspend-after) instead of starting fresh.  The engine \
+             flags must match the original run (digest-checked); \
+             $(b,--seed) is ignored — the PRNG state lives in the \
+             snapshot.  The completed run is byte-identical to an \
+             uninterrupted one.")
+  in
   let run file threshold seed max_steps show_regions dot cache_capacity policy
-      shadow_sample =
+      shadow_sample snapshot_file snapshot_every suspend_after resume_run =
+    let module Engine = Tpdbt_dbt.Engine in
+    let module Snap = Tpdbt_dbt.Exec_snapshot in
     let program = load_program file in
     let config =
       {
         (Tpdbt_dbt.Engine.config ~threshold ?cache_capacity
-           ~cache_policy:policy ~shadow_sample ())
+           ~cache_policy:policy ~shadow_sample ~snapshot_every
+           ?deadline:suspend_after
+           ~suspend_on_deadline:(suspend_after <> None) ())
         with
         max_steps;
       }
     in
-    let engine = Tpdbt_dbt.Engine.create ~config ~seed program in
-    let r = Tpdbt_dbt.Engine.run engine in
+    if snapshot_file = None && (snapshot_every > 0 || suspend_after <> None)
+    then begin
+      prerr_endline
+        "--snapshot FILE is required with --snapshot-every/--suspend-after";
+      exit exit_usage
+    end;
+    let engine =
+      match resume_run with
+      | None -> Engine.create ~config ~seed program
+      | Some snap_file -> (
+          match Snap.of_string (read_file snap_file) with
+          | Snap.Corrupt reason ->
+              prerr_endline ("corrupt snapshot: " ^ reason);
+              exit exit_invalid
+          | Snap.Stale_version line ->
+              prerr_endline ("stale snapshot version: " ^ line);
+              exit exit_invalid
+          | Snap.Snapshot parsed -> (
+              match Snap.restore ~config ~program parsed with
+              | Ok engine -> engine
+              | Error msg ->
+                  prerr_endline ("snapshot rejected: " ^ msg);
+                  exit exit_invalid))
+    in
+    let write_snapshot steps =
+      match snapshot_file with
+      | None -> ()
+      | Some f ->
+          write_file f
+            (Snap.to_string ~config ~program (Engine.capture engine));
+          Printf.eprintf "snapshot: %d steps -> %s\n%!" steps f
+    in
+    let rec go () =
+      let r = Tpdbt_dbt.Engine.run engine in
+      match r.Tpdbt_dbt.Engine.error with
+      | Some (Tpdbt_dbt.Error.Suspended { steps; deadline }) ->
+          write_snapshot steps;
+          if deadline then begin
+            Printf.printf "suspended after %d guest instructions%s\n" steps
+              (match snapshot_file with
+              | Some f -> " -> " ^ f
+              | None -> "");
+            exit 0
+          end
+          else go ()
+      | _ -> r
+    in
+    let r = go () in
     let c = r.Tpdbt_dbt.Engine.counters in
     warn_error r.Tpdbt_dbt.Engine.error;
     Printf.printf "steps:              %d\n" r.Tpdbt_dbt.Engine.steps;
@@ -303,10 +393,17 @@ let dbt_cmd =
     end
   in
   Cmd.v
-    (Cmd.info "dbt" ~doc:"Run a guest program under the two-phase translator.")
+    (Cmd.info "dbt"
+       ~doc:
+         "Run a guest program under the two-phase translator.  With \
+          $(b,--suspend-after)/$(b,--snapshot-every) the run can be \
+          suspended mid-flight at guest-instruction granularity and \
+          continued with $(b,--resume-run), byte-identical to an \
+          uninterrupted run.")
     Term.(
       const run $ file $ threshold $ seed_arg $ max_steps_arg $ show_regions
-      $ dot $ cache_capacity $ policy $ shadow_arg)
+      $ dot $ cache_capacity $ policy $ shadow_arg $ snapshot_file
+      $ snapshot_every $ suspend_after $ resume_run)
 
 (* ------------------------------------------------------------------ *)
 (* bench (suite inspection)                                             *)
@@ -407,7 +504,9 @@ let sweep_cmd =
           ~doc:
             "With $(b,--supervise): fail any constituent run that executes \
              more than N guest instructions with a fatal deadline error \
-             (default: no deadline).")
+             (default: no deadline).  With $(b,--snapshot-every) armed, the \
+             blown deadline instead suspends the run resumably (also \
+             honoured without $(b,--supervise)).")
   in
   let retries =
     Arg.(
@@ -418,8 +517,28 @@ let sweep_cmd =
             "With $(b,--supervise): total attempts per benchmark before it \
              is quarantined (default: 4).")
   in
+  let snapshot_every =
+    Arg.(
+      value & opt int 0
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "With $(b,--checkpoint): snapshot each benchmark's mid-run \
+             state into its checkpoint slot every N guest instructions, so \
+             a killed sweep loses at most N instructions per benchmark \
+             (0 = off).  With $(b,--deadline), a blown deadline suspends \
+             the run resumably instead of failing it.")
+  in
+  let resume_run =
+    Arg.(
+      value & flag
+      & info [ "resume-run" ]
+          ~doc:
+            "With $(b,--checkpoint): continue suspended benchmarks from \
+             their mid-run snapshots instead of re-running them from \
+             scratch.  Results are byte-identical either way.")
+  in
   let run benches figures csv_dir checkpoint_dir jobs max_steps supervise
-      deadline retries =
+      deadline retries snapshot_every resume_run =
     let module Runner = Tpdbt_experiments.Runner in
     let module Sup = Tpdbt_parallel.Supervisor in
     let selected =
@@ -438,6 +557,16 @@ let sweep_cmd =
     let progress n = function
       | Runner.Started -> Printf.eprintf "running %s...\n%!" n
       | status -> Printf.eprintf "%s: %s\n%!" n (Runner.status_name status)
+    in
+    if (snapshot_every > 0 || resume_run) && checkpoint_dir = None then begin
+      prerr_endline "--snapshot-every/--resume-run require --checkpoint DIR";
+      exit exit_usage
+    end;
+    (* With snapshots armed, a blown deadline parks the benchmark
+       resumably instead of failing it. *)
+    let suspend_on_deadline = snapshot_every > 0 && deadline <> None in
+    let on_snapshot_saved name =
+      Printf.eprintf "snapshot: %s\n%!" name
     in
     let report = report_parallel jobs in
     let sweep =
@@ -461,7 +590,9 @@ let sweep_cmd =
           match checkpoint_dir with
           | Some dir ->
               Tpdbt_experiments.Checkpoint.run_many_supervised ?max_steps
-                ?deadline ~jobs ~policy ~progress ~report ~dir selected
+                ?deadline ~snapshot_every ~suspend_on_deadline
+                ~resume_suspended:resume_run ~on_snapshot_saved ~jobs ~policy
+                ~progress ~report ~dir selected
           | None ->
               Runner.run_many_supervised ?max_steps ?deadline ~jobs ~policy
                 ~progress ~report selected
@@ -480,16 +611,30 @@ let sweep_cmd =
       else
         match checkpoint_dir with
         | Some dir ->
-            Tpdbt_experiments.Checkpoint.run_many_par ?max_steps ~jobs
-              ~progress ~report ~dir selected
+            Tpdbt_experiments.Checkpoint.run_many_par ?max_steps
+              ?deadline:(if suspend_on_deadline then deadline else None)
+              ~snapshot_every ~suspend_on_deadline
+              ~resume_suspended:resume_run ~on_snapshot_saved ~jobs ~progress
+              ~report ~dir selected
         | None ->
             Runner.run_many_par ?max_steps ~jobs ~progress ~report selected
+    in
+    let suspended, fatal =
+      List.partition Runner.suspended_failure sweep.Runner.failures
     in
     List.iter
       (fun { Runner.failed; error } ->
         Printf.eprintf "failed %s: %s\n%!" failed.Tpdbt_workloads.Spec.name
           (Tpdbt_dbt.Error.to_string error))
-      sweep.Runner.failures;
+      fatal;
+    List.iter
+      (fun { Runner.failed; _ } ->
+        Printf.eprintf
+          "suspended %s: mid-run snapshot saved; rerun with --resume-run to \
+           continue\n\
+           %!"
+          failed.Tpdbt_workloads.Spec.name)
+      suspended;
     let tables = Tpdbt_experiments.Figures.all sweep.Runner.data in
     let tables =
       match figures with
@@ -512,7 +657,7 @@ let sweep_cmd =
               (fun () ->
                 output_string oc (Tpdbt_experiments.Table.to_csv table)))
       tables;
-    if sweep.Runner.failures <> [] then exit exit_regression
+    if fatal <> [] then exit exit_regression
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -524,10 +669,14 @@ let sweep_cmd =
           the rest of the sweep still runs.  With $(b,--supervise), failing \
           benchmarks are retried with deterministic backoff and quarantined \
           by a circuit breaker, and worker-domain crashes degrade the pool \
-          instead of killing the sweep.")
+          instead of killing the sweep.  With $(b,--checkpoint) and \
+          $(b,--snapshot-every), benchmarks snapshot mid-run and a killed \
+          sweep restarted with $(b,--resume-run) continues each from its \
+          exact guest instruction.")
     Term.(
       const run $ benches $ figures $ csv_dir $ checkpoint_dir $ jobs_arg
-      $ budget_arg $ supervise $ deadline $ retries)
+      $ budget_arg $ supervise $ deadline $ retries $ snapshot_every
+      $ resume_run)
 
 (* ------------------------------------------------------------------ *)
 (* profile / analyze (the paper's collect-then-analyse workflow)        *)
@@ -1185,9 +1334,10 @@ let chaos_cmd =
       & info [ "bench"; "b" ] ~docv:"NAME"
           ~doc:
             "Benchmark to include (repeatable; default: gzip swim mgrid \
-             art).  The first few, in seed-shuffled order, each receive one \
-             fault: stall, worker crash, checkpoint bit-flip, task panic, \
-             checkpoint truncation.")
+             art mcf).  The first few, in seed-shuffled order, each receive \
+             one fault: stall, worker crash, checkpoint bit-flip, task \
+             panic, kill at a seeded mid-run guest instruction (resumed \
+             from its snapshot), checkpoint truncation.")
   in
   let dir =
     Arg.(
@@ -1291,12 +1441,13 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:
          "Attack a supervised checkpointed sweep with injected faults — a \
-          stalled workload, a worker-domain crash, a panicking task, and \
-          bit-flipped/truncated checkpoint files — then resume and verify \
-          that every non-quarantined benchmark's results are byte-identical \
-          to a fault-free sequential run.  With $(b,--serve), attack the \
-          serving path instead.  Exits non-zero unless the system survives \
-          with exactly the expected casualties.")
+          stalled workload, a worker-domain crash, a panicking task, a kill \
+          at an arbitrary guest instruction (resumed from its mid-run \
+          snapshot), and bit-flipped/truncated checkpoint files — then \
+          resume and verify that every non-quarantined benchmark's results \
+          are byte-identical to a fault-free sequential run.  With \
+          $(b,--serve), attack the serving path instead.  Exits non-zero \
+          unless the system survives with exactly the expected casualties.")
     Term.(
       const run $ benches $ seed_arg $ jobs_arg $ dir $ summary $ chaos_steps
       $ serve_mode)
@@ -1467,11 +1618,26 @@ let serve_cmd =
       & info [ "idle-timeout" ] ~docv:"SECONDS"
           ~doc:"Drop clients silent for this long.")
   in
+  let snapshot_every =
+    Arg.(
+      value & opt int 0
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "With $(b,--checkpoint): every N guest instructions each sweep \
+             benchmark publishes a mid-run snapshot into the store (and a \
+             breadcrumb into the journal), so a killed daemon's orphaned \
+             sweeps resume from the exact guest instruction on restart.  \
+             0 disables.")
+  in
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No lifecycle logging.")
   in
   let run socket queue_limit jobs deadline max_steps checkpoint journal warm
-      idle_timeout quiet =
+      snapshot_every idle_timeout quiet =
+    if snapshot_every > 0 && checkpoint = None then begin
+      prerr_endline "error: --snapshot-every requires --checkpoint DIR";
+      exit exit_usage
+    end;
     let options =
       {
         Serve.Daemon.socket;
@@ -1486,6 +1652,7 @@ let serve_cmd =
             warm_capacity = warm;
             checkpoint_dir = checkpoint;
             journal_path = journal;
+            snapshot_every;
           };
       }
     in
@@ -1506,7 +1673,8 @@ let serve_cmd =
           journal recovery (see docs/serve.md for the protocol).")
     Term.(
       const run $ socket_arg $ queue_limit $ jobs_arg $ deadline
-      $ serve_steps $ checkpoint $ journal $ warm $ idle_timeout $ quiet)
+      $ serve_steps $ checkpoint $ journal $ warm $ snapshot_every
+      $ idle_timeout $ quiet)
 
 let request_cmd =
   let payload =
@@ -1518,27 +1686,207 @@ let request_cmd =
             "The request object, e.g. '{\"op\":\"status\"}' or \
              '{\"op\":\"run\",\"workload\":\"gzip\",\"threshold\":20}'.")
   in
-  let run socket payload =
-    match Tpdbt_serve.Daemon.request ~socket payload with
-    | Error msg ->
-        prerr_endline ("error: " ^ msg);
-        exit exit_usage
-    | Ok reply -> (
-        print_endline reply;
-        match Tpdbt_telemetry.Json.parse reply with
-        | Ok doc
-          when Tpdbt_telemetry.Json.member "ok" doc
-               = Some (Tpdbt_telemetry.Json.Bool false) ->
-            exit exit_invalid
-        | Ok _ | Error _ -> ())
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry an $(i,overloaded) reply up to N times with \
+             deterministic seeded exponential backoff (50 ms base, \
+             jittered by $(b,--backoff)).  Only backpressure is retried; \
+             $(i,invalid) and $(i,draining) refusals are final.")
+  in
+  let backoff =
+    Arg.(
+      value & opt int64 7L
+      & info [ "backoff" ] ~docv:"SEED"
+          ~doc:
+            "Seed for the backoff jitter — the delay schedule is a pure \
+             function of (retries, seed), so a retrying client is \
+             reproducible while distinct seeds decorrelate a fleet.")
+  in
+  let overloaded reply =
+    match Tpdbt_telemetry.Json.parse reply with
+    | Ok doc ->
+        Tpdbt_telemetry.Json.member "kind" doc
+        = Some (Tpdbt_telemetry.Json.Str "overloaded")
+    | Error _ -> false
+  in
+  let refused reply =
+    match Tpdbt_telemetry.Json.parse reply with
+    | Ok doc ->
+        Tpdbt_telemetry.Json.member "ok" doc
+        = Some (Tpdbt_telemetry.Json.Bool false)
+    | Error _ -> false
+  in
+  let run socket payload retries backoff =
+    (* Delay schedule is precomputed (pure in retries+seed); attempt k
+       sleeps delays.(k) before resending, and the last reply — whatever
+       it is — is the one printed and classified. *)
+    let delays = Tpdbt_serve.Daemon.retry_delays ~retries ~seed:backoff in
+    let rec attempt delays =
+      match Tpdbt_serve.Daemon.request ~socket payload with
+      | Error msg ->
+          prerr_endline ("error: " ^ msg);
+          exit exit_usage
+      | Ok reply when overloaded reply -> (
+          match delays with
+          | d :: rest ->
+              Printf.eprintf "overloaded; retrying in %.3fs\n%!" d;
+              Unix.sleepf d;
+              attempt rest
+          | [] -> reply)
+      | Ok reply -> reply
+    in
+    let reply = attempt delays in
+    print_endline reply;
+    if refused reply then exit exit_invalid
   in
   Cmd.v
     (Cmd.info "request"
        ~doc:
          "Send one JSON request to a running $(b,tpdbt serve) daemon and \
-          print the reply.  Exits 2 when the daemon refuses the request \
-          (invalid, overloaded, draining).")
-    Term.(const run $ socket_arg $ payload)
+          print the reply.  With $(b,--retries), $(i,overloaded) \
+          (backpressure) replies are retried on a deterministic seeded \
+          backoff schedule before giving up.  Exit status: 0 — the daemon \
+          answered ok; 1 — usage or transport failure (bad flags, connect \
+          refused, connection dropped, framing damage); 2 — the daemon \
+          refused the request ($(i,invalid), $(i,draining), or \
+          $(i,overloaded) after retries were exhausted).")
+    Term.(const run $ socket_arg $ payload $ retries $ backoff)
+
+let snapshot_cmd =
+  let module Snap = Tpdbt_dbt.Exec_snapshot in
+  let module Checkpoint = Tpdbt_experiments.Checkpoint in
+  let module Runner = Tpdbt_experiments.Runner in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A mid-run engine snapshot ($(i,TPDBT-SNAP)) or a checkpoint \
+             store entry ($(i,TPDBT-CKPT), finished or suspended).")
+  in
+  let print_snap_info (i : Snap.info) =
+    Printf.printf "steps              %d\n" i.Snap.steps;
+    Printf.printf "halted             %b\n" i.Snap.halted;
+    Printf.printf "pc                 %d\n" i.Snap.pc;
+    Printf.printf "blocks             %d (%d optimized)\n" i.Snap.blocks
+      i.Snap.optimized_blocks;
+    Printf.printf "regions            %d\n" i.Snap.regions;
+    Printf.printf "candidate pool     %d\n" i.Snap.pool;
+    Printf.printf "cache entries      %d\n" i.Snap.cache_entries;
+    Printf.printf "quarantines        %d%s\n" i.Snap.quarantines
+      (if i.Snap.degraded then " (degraded)" else "");
+    Printf.printf "faults             %d pending, %d fired\n"
+      i.Snap.pending_faults i.Snap.fired_faults;
+    Printf.printf "cycles             %.1f\n" i.Snap.cycles;
+    Printf.printf "config digest      %s\n" i.Snap.config_digest;
+    Printf.printf "program digest     %s\n" i.Snap.program_digest
+  in
+  let embedded_info text =
+    match Snap.of_string text with
+    | Snap.Snapshot parsed -> print_snap_info (Snap.info parsed)
+    | Snap.Stale_version v ->
+        Printf.eprintf "error: embedded snapshot has stale version %s\n" v;
+        exit exit_invalid
+    | Snap.Corrupt reason ->
+        Printf.eprintf "error: embedded snapshot corrupt: %s\n" reason;
+        exit exit_invalid
+  in
+  let ckpt_bench text =
+    (* Checkpoints reference the benchmark by name; recover the spec
+       from the suite so the full validation path can run. *)
+    String.split_on_char '\n' text
+    |> List.find_map (fun line ->
+           match String.split_on_char ' ' line with
+           | [ "bench"; name ] -> Tpdbt_workloads.Suite.find name
+           | _ -> None)
+  in
+  let run file =
+    let text =
+      try read_file file
+      with Sys_error msg ->
+        prerr_endline ("error: " ^ msg);
+        exit exit_usage
+    in
+    let starts prefix =
+      String.length text >= String.length prefix
+      && String.sub text 0 (String.length prefix) = prefix
+    in
+    if starts "TPDBT-SNAP" then begin
+      Printf.printf "file               %s\n" file;
+      Printf.printf "kind               engine snapshot\n";
+      match Snap.of_string text with
+      | Snap.Snapshot parsed -> print_snap_info (Snap.info parsed)
+      | Snap.Stale_version v ->
+          Printf.eprintf "error: stale snapshot version %s\n" v;
+          exit exit_invalid
+      | Snap.Corrupt reason ->
+          Printf.eprintf "error: corrupt snapshot: %s\n" reason;
+          exit exit_invalid
+    end
+    else if starts "TPDBT-CKPT" then begin
+      let spec =
+        match ckpt_bench text with
+        | Some spec -> spec
+        | None ->
+            prerr_endline
+              "error: checkpoint names no benchmark known to the suite";
+            exit exit_invalid
+      in
+      Printf.printf "file               %s\n" file;
+      Printf.printf "bench              %s\n" spec.Tpdbt_workloads.Spec.name;
+      (* No ~thresholds: accept whatever list the file was recorded
+         under — info inspects, it does not resume. *)
+      match Checkpoint.data_of_string spec text with
+      | Checkpoint.Valid (Checkpoint.Finished data) ->
+          Printf.printf "kind               finished checkpoint\n";
+          Printf.printf "thresholds         %d\n"
+            (List.length data.Runner.runs);
+          Printf.printf "avep steps         %d\n"
+            data.Runner.avep.Tpdbt_dbt.Engine.steps
+      | Checkpoint.Valid (Checkpoint.Suspended partial) ->
+          Printf.printf "kind               suspended checkpoint\n";
+          Printf.printf "stages done        %d\n"
+            (List.length partial.Runner.p_done);
+          Printf.printf "next stage         %s\n"
+            (Runner.stage_label partial.Runner.p_next);
+          embedded_info partial.Runner.p_snapshot
+      | Checkpoint.Missing ->
+          (* data_of_string never returns Missing; keep the match total. *)
+          prerr_endline "error: empty checkpoint";
+          exit exit_invalid
+      | Checkpoint.Stale_version v ->
+          Printf.eprintf "error: stale checkpoint version %s\n" v;
+          exit exit_invalid
+      | Checkpoint.Corrupt reason ->
+          Printf.eprintf "error: corrupt checkpoint: %s\n" reason;
+          exit exit_invalid
+    end
+    else begin
+      prerr_endline
+        "error: unrecognised file (expected TPDBT-SNAP or TPDBT-CKPT)";
+      exit exit_invalid
+    end
+  in
+  let info_cmd =
+    Cmd.v
+      (Cmd.info "info"
+         ~doc:
+           "Validate a snapshot or checkpoint file (magic, CRC, payload \
+            grammar) and print what it holds.  Exits 2 on stale versions \
+            or corruption — the same classification resume would apply.")
+      Term.(const run $ file)
+  in
+  Cmd.group
+    (Cmd.info "snapshot"
+       ~doc:
+         "Inspect serialized execution state: mid-run engine snapshots \
+          ($(i,TPDBT-SNAP), see docs/snapshots.md) and checkpoint store \
+          entries ($(i,TPDBT-CKPT), finished or suspended).")
+    [ info_cmd ]
 
 let () =
   let doc = "two-phase dynamic binary translator profile-accuracy testbed" in
@@ -1550,7 +1898,7 @@ let () =
            asm_cmd; dis_cmd; check_cmd; run_cmd; dbt_cmd; bench_cmd; sweep_cmd;
            profile_cmd; perfdiff_cmd; analyze_cmd; report_cmd; ablate_cmd;
            trace_cmd; faults_cmd; cache_cmd; chaos_cmd; fuzz_cmd; serve_cmd;
-           request_cmd;
+           request_cmd; snapshot_cmd;
          ])
   in
   (* Fold cmdliner's CLI-error code (124) into the taxonomy's usage

@@ -162,6 +162,30 @@ let corruption t ekind id =
   | Some e -> e.corrupt
   | None -> None
 
+(* Snapshot support: the resident set in the deterministic victim
+   order, and the inverse — repopulating a fresh cache without running
+   any eviction accounting.  Restored entries keep their stamps and
+   corruption salts, so victim selection after a resume is identical to
+   an uninterrupted run's. *)
+
+let residents t = residents_sorted t
+
+let restore_entry t ~ekind ~id ~size ~stamp ~corrupt =
+  if size < 0 then invalid_arg "Code_cache.restore_entry: negative size";
+  (match Hashtbl.find_opt t.table (ekind, id) with
+  | Some old -> drop t old
+  | None -> ());
+  Hashtbl.replace t.table (ekind, id) { ekind; id; size; stamp; corrupt };
+  t.occupied <- t.occupied + size;
+  if corrupt <> None then t.corrupted <- t.corrupted + 1;
+  if t.occupied > t.st.peak then t.st.peak <- t.occupied
+
+let set_stats t ~evictions ~flushes ~evicted_instrs ~peak =
+  t.st.evictions <- evictions;
+  t.st.flushes <- flushes;
+  t.st.evicted_instrs <- evicted_instrs;
+  t.st.peak <- peak
+
 let policy_name = function
   | Flush_all -> "flush_all"
   | Lru -> "lru"

@@ -109,6 +109,28 @@ val has_corruption : t -> bool
     {!corruption} lookup (which allocates its key) on clean caches,
     which is every run without a [Silent_corruption] fault. *)
 
+val residents : t -> entry list
+(** Every resident entry in the deterministic victim order (stamp,
+    kind, id) — the cache's complete contents, for mid-run snapshots. *)
+
+val restore_entry :
+  t ->
+  ekind:entry_kind ->
+  id:int ->
+  size:int ->
+  stamp:int ->
+  corrupt:int64 option ->
+  unit
+(** Reinstall one {!residents} entry into a fresh cache, preserving its
+    stamp and corruption salt, without any eviction accounting.
+    @raise Invalid_argument if [size < 0]. *)
+
+val set_stats :
+  t -> evictions:int -> flushes:int -> evicted_instrs:int -> peak:int -> unit
+(** Overwrite the eviction statistics — the snapshot counterpart of
+    {!restore_entry}, so a resumed run's final stats match an
+    uninterrupted run's. *)
+
 val policy_name : policy -> string
 (** ["flush_all"], ["lru"], ["hot_protect"]. *)
 

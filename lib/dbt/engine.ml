@@ -21,6 +21,8 @@ type config = {
   perf : Perf_model.params;
   max_steps : int;
   deadline : int option;
+  snapshot_every : int;
+  suspend_on_deadline : bool;
   sink : Sink.t;
   faults : Tpdbt_faults.Plan.t option;
   retry_limit : int;
@@ -34,7 +36,8 @@ type config = {
 let config ?(pool_trigger = 16) ?(adaptive = false) ?(sink = Sink.null) ?faults
     ?(retry_limit = 3) ?cache_capacity ?(cache_policy = Code_cache.Lru)
     ?(cache_backoff = 1000) ?(shadow_sample = 0) ?(max_quarantines = 4)
-    ?deadline ~threshold () =
+    ?deadline ?(snapshot_every = 0) ?(suspend_on_deadline = false) ~threshold
+    () =
   {
     threshold;
     pool_trigger;
@@ -51,6 +54,8 @@ let config ?(pool_trigger = 16) ?(adaptive = false) ?(sink = Sink.null) ?faults
     perf = Perf_model.default;
     max_steps = 200_000_000;
     deadline;
+    snapshot_every;
+    suspend_on_deadline;
     sink;
     faults;
     retry_limit;
@@ -1206,6 +1211,11 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun ~steps:_ _ -> ()) t =
     Span.enter t.spans "engine.run"
   end;
   t.cycles_acc.(0) <- t.counters.Perf_model.cycles;
+  (* A suspension is a resumable stop, not a verdict: re-entering [run]
+     clears it and continues from exactly where the loop left off. *)
+  (match t.error with
+  | Some (Error.Suspended _) -> t.error <- None
+  | Some _ | None -> ());
   let next_checkpoint = ref checkpoint_every in
   (* The supervisor's cooperative watchdog: polled per block, like
      every other dispatch-time check — a deadlined task stops itself
@@ -1213,6 +1223,17 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun ~steps:_ _ -> ()) t =
      the poll is one comparison, no option match. *)
   let deadline_step =
     match t.cfg.deadline with Some d -> d | None -> max_int
+  in
+  (* Cooperative snapshot trigger, same shape as the deadline poll: one
+     int comparison per dispatched block, [max_int] (never fires, no
+     allocation) when disabled.  The step at which it fires is fixed at
+     entry — [run] returns [Suspended] there and the caller snapshots
+     and re-enters, so the trigger period is measured from the resume
+     point. *)
+  let snapshot_step =
+    if t.cfg.snapshot_every > 0 then
+      Machine.steps t.machine + t.cfg.snapshot_every
+    else max_int
   in
   let rec loop () =
     if Machine.halted t.machine then ()
@@ -1222,12 +1243,22 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun ~steps:_ _ -> ()) t =
       | None ->
           if Machine.steps t.machine >= deadline_step then
             t.error <-
+              (if t.cfg.suspend_on_deadline then
+                 Some
+                   (Error.Suspended
+                      { steps = Machine.steps t.machine; deadline = true })
+               else
+                 Some
+                   (Error.Deadline_exceeded
+                      {
+                        steps = Machine.steps t.machine;
+                        deadline = Option.get t.cfg.deadline;
+                      }))
+          else if Machine.steps t.machine >= snapshot_step then
+            t.error <-
               Some
-                (Error.Deadline_exceeded
-                   {
-                     steps = Machine.steps t.machine;
-                     deadline = Option.get t.cfg.deadline;
-                   })
+                (Error.Suspended
+                   { steps = Machine.steps t.machine; deadline = false })
           else if Machine.steps t.machine >= t.cfg.max_steps then
             t.error <-
               Some
@@ -1331,3 +1362,240 @@ let run ?(checkpoint_every = 0) ?(on_checkpoint = fun ~steps:_ _ -> ()) t =
     error = t.error;
     faults = Option.map Injector.report t.inj;
   }
+
+let suspended (r : result) =
+  match r.error with Some (Error.Suspended _) -> true | Some _ | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Mid-run images (snapshot / suspend / resume)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The complete evolving state of an engine between two [run] calls, as
+   plain data: the machine image plus every translation, profiling,
+   cache, recovery and fault-injection structure.  Derived state — the
+   block map, per-region slot cycles, the hot region mirrors and the
+   dispatcher's entry map — is deliberately absent: [restore] recomputes
+   it from the program and the config, exactly as the original run did,
+   so it cannot drift from the captured data. *)
+type image = {
+  ex_machine : Machine.image;
+  ex_use : int array;
+  ex_taken : int array;
+  ex_state : int array;  (* 0 = Cold, 1 = Registered, 2 = Optimized *)
+  ex_touched : bool array;
+  ex_dissolve : int array;
+  ex_regions : Region.t list;  (* formation order, oldest first *)
+  ex_monitors : (int * (int * int * int * int * bool)) list;
+      (* region id -> (entries, side_exits, lb_taken, lb_seen,
+         disabled), ascending id *)
+  ex_next_region_id : int;
+  ex_pool : int list;  (* exact pool order — the optimiser's seed order *)
+  ex_pool_trigger_now : int;
+  ex_fault_fails : int array;
+  ex_quarantined : bool array;
+  ex_quarantine_count : int;
+  ex_degraded : bool;
+  ex_last_round_step : int;
+  ex_cache : (int * int * int * int * int64 option) list;
+      (* (kind rank, id, size, stamp, corruption salt) in the cache's
+         deterministic victim order *)
+  ex_cache_stats : int * int * int * int;
+      (* evictions, flushes, evicted_instrs, peak *)
+  ex_counters : Perf_model.counters;
+  ex_pending : Fault.arm list;
+  ex_fired : Fault.shot list;
+}
+
+let block_state_code = function Cold -> 0 | Registered -> 1 | Optimized -> 2
+
+let block_state_of_code = function
+  | 0 -> Cold
+  | 1 -> Registered
+  | 2 -> Optimized
+  | c -> invalid_arg (Printf.sprintf "Engine.restore: bad block state %d" c)
+
+(* Capture is only meaningful between [run] calls (typically after a
+   [Suspended] stop): [run] has mirrored [cycles_acc] back into the
+   counters, so the counters copy is complete. *)
+let capture t =
+  let pending, fired =
+    match t.inj with Some inj -> Injector.cursor inj | None -> ([], [])
+  in
+  let cs = Code_cache.stats t.cache in
+  {
+    ex_machine = Machine.capture t.machine;
+    ex_use = Array.copy t.use;
+    ex_taken = Array.copy t.taken;
+    ex_state = Array.map block_state_code t.state;
+    ex_touched = Array.copy t.touched;
+    ex_dissolve = Array.copy t.dissolve_count;
+    ex_regions = List.rev t.regions_rev;
+    ex_monitors =
+      Hashtbl.fold
+        (fun rid m acc ->
+          ( rid,
+            (m.m_entries, m.m_side_exits, m.m_lb_taken, m.m_lb_seen,
+             m.m_disabled) )
+          :: acc)
+        t.monitors []
+      |> List.sort compare;
+    ex_next_region_id = t.next_region_id;
+    ex_pool = t.pool;
+    ex_pool_trigger_now = t.pool_trigger_now;
+    ex_fault_fails = Array.copy t.fault_fails;
+    ex_quarantined = Array.copy t.quarantined;
+    ex_quarantine_count = t.quarantine_count;
+    ex_degraded = t.degraded;
+    ex_last_round_step = t.last_round_step;
+    ex_cache =
+      List.map
+        (fun (e : Code_cache.entry) ->
+          ( (match e.Code_cache.ekind with
+            | Code_cache.Block -> 0
+            | Code_cache.Region -> 1),
+            e.Code_cache.id,
+            e.Code_cache.size,
+            e.Code_cache.stamp,
+            e.Code_cache.corrupt ))
+        (Code_cache.residents t.cache);
+    ex_cache_stats =
+      ( cs.Code_cache.evictions,
+        cs.Code_cache.flushes,
+        cs.Code_cache.evicted_instrs,
+        cs.Code_cache.peak );
+    ex_counters = { t.counters with Perf_model.cycles = t.counters.Perf_model.cycles };
+    ex_pending = pending;
+    ex_fired = fired;
+  }
+
+let restore ?config:(cfg = config ~threshold:1000 ()) program image =
+  let machine = Machine.restore program image.ex_machine in
+  let bmap = Block_map.build program in
+  let n = Block_map.block_count bmap in
+  let check_len label a =
+    if Array.length a <> n then
+      invalid_arg
+        (Printf.sprintf
+           "Engine.restore: %s has %d entries, block map has %d blocks" label
+           (Array.length a) n)
+  in
+  check_len "use" image.ex_use;
+  check_len "taken" image.ex_taken;
+  check_len "state" image.ex_state;
+  check_len "touched" image.ex_touched;
+  check_len "dissolve" image.ex_dissolve;
+  check_len "fault_fails" image.ex_fault_fails;
+  check_len "quarantined" image.ex_quarantined;
+  List.iter
+    (fun b ->
+      if b < 0 || b >= n then
+        invalid_arg (Printf.sprintf "Engine.restore: pooled block %d" b))
+    image.ex_pool;
+  let counters =
+    {
+      image.ex_counters with
+      Perf_model.cycles = image.ex_counters.Perf_model.cycles;
+    }
+  in
+  let t =
+    {
+      cfg;
+      program;
+      machine;
+      bmap;
+      code_len = Array.length program.Tpdbt_isa.Program.code;
+      use = Array.copy image.ex_use;
+      taken = Array.copy image.ex_taken;
+      state = Array.map block_state_of_code image.ex_state;
+      touched = Array.copy image.ex_touched;
+      dissolve_count = Array.copy image.ex_dissolve;
+      region_entry = Array.make n (-1);
+      regions = Hashtbl.create 32;
+      monitors = Hashtbl.create 32;
+      rentries = Array.make 32 None;
+      regions_rev = List.rev image.ex_regions;
+      next_region_id = image.ex_next_region_id;
+      pool = image.ex_pool;
+      pool_size = List.length image.ex_pool;
+      pool_trigger_now = image.ex_pool_trigger_now;
+      fault_fails = Array.copy image.ex_fault_fails;
+      cache =
+        Code_cache.create ?capacity:cfg.cache_capacity
+          ~policy:cfg.cache_policy ();
+      quarantined = Array.copy image.ex_quarantined;
+      quarantine_count = image.ex_quarantine_count;
+      degraded = image.ex_degraded;
+      last_round_step = image.ex_last_round_step;
+      inj =
+        (if image.ex_pending = [] && image.ex_fired = [] then
+           Option.map Injector.create cfg.faults
+         else
+           Some
+             (Injector.of_cursor ~pending:image.ex_pending
+                ~fired:image.ex_fired));
+      counters;
+      cycles_acc = Array.make 1 counters.Perf_model.cycles;
+      error = None;
+      trace = not (Sink.is_null cfg.sink);
+      spans = Span.create ~clock:(fun () -> Machine.steps machine) cfg.sink;
+      stage_cycles = Array.make (Array.length stage_labels) 0.0;
+      stage_steps = Array.make (Array.length stage_labels) 0;
+      stage_count = Array.make (Array.length stage_labels) 0;
+      region_cost = Hashtbl.create 16;
+    }
+  in
+  (* Reinstall the regions: slot cycles and the hot mirrors are pure
+     functions of (region, program, config), recomputed exactly as the
+     optimiser's commit computed them. *)
+  List.iter
+    (fun (r : Region.t) ->
+      Array.iter
+        (fun b ->
+          if b < 0 || b >= n then
+            invalid_arg
+              (Printf.sprintf "Engine.restore: region %d references block %d"
+                 r.Region.id b))
+        r.Region.slots;
+      let slot_cycles =
+        let code = program.Tpdbt_isa.Program.code in
+        if cfg.trace_scheduling then
+          Optimizer.region_slot_cycles_pipelined bmap ~code r
+        else Optimizer.region_slot_cycles bmap ~code r
+      in
+      Hashtbl.replace t.regions r.Region.id (r, slot_cycles);
+      let e, s, lt, ls, disabled =
+        match List.assoc_opt r.Region.id image.ex_monitors with
+        | Some m -> m
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Engine.restore: region %d has no monitor"
+                 r.Region.id)
+      in
+      let mon =
+        {
+          m_entries = e;
+          m_side_exits = s;
+          m_lb_taken = lt;
+          m_lb_seen = ls;
+          m_disabled = disabled;
+        }
+      in
+      Hashtbl.replace t.monitors r.Region.id mon;
+      set_rentry t r.Region.id (build_rentry t r slot_cycles mon))
+    image.ex_regions;
+  rebuild_region_entries t;
+  let evictions, flushes, evicted_instrs, peak = image.ex_cache_stats in
+  List.iter
+    (fun (rank, id, size, stamp, corrupt) ->
+      let ekind =
+        match rank with
+        | 0 -> Code_cache.Block
+        | 1 -> Code_cache.Region
+        | r ->
+            invalid_arg
+              (Printf.sprintf "Engine.restore: bad cache entry kind %d" r)
+      in
+      Code_cache.restore_entry t.cache ~ekind ~id ~size ~stamp ~corrupt)
+    image.ex_cache;
+  Code_cache.set_stats t.cache ~evictions ~flushes ~evicted_instrs ~peak;
+  t

@@ -57,6 +57,20 @@ type config = {
           the supervisor declaring the task stuck, and surfaces as the
           {e fatal} {!Error.Deadline_exceeded} so the supervision layer
           retries or quarantines the task instead of trusting it. *)
+  snapshot_every : int;
+      (** Cooperative snapshot trigger, polled by the step loop at block
+          granularity like [deadline]: a positive value stops the run
+          with the {e non-fatal} {!Error.Suspended} once that many
+          further guest instructions have executed, so the caller can
+          {!capture} the engine and later {!run} it (or a {!restore}d
+          copy) again.  [0] (the default) disables the trigger at zero
+          cost — the poll compares against [max_int]. *)
+  suspend_on_deadline : bool;
+      (** Turn a blown [deadline] into the resumable {!Error.Suspended}
+          (with [deadline = true]) instead of the fatal
+          {!Error.Deadline_exceeded}: the supervision layer snapshots
+          and re-queues the task rather than re-running it from
+          scratch.  Off by default. *)
   sink : Tpdbt_telemetry.Sink.t;
       (** Telemetry sink receiving structured {!Tpdbt_telemetry.Event}s
           stamped with the guest-instruction counter.  Defaults to
@@ -122,14 +136,17 @@ val config :
   ?shadow_sample:int ->
   ?max_quarantines:int ->
   ?deadline:int ->
+  ?snapshot_every:int ->
+  ?suspend_on_deadline:bool ->
   threshold:int ->
   unit ->
   config
 (** Defaults: pool trigger 16, min branch prob 0.7, 16 slots,
     duplication and diamonds on, adaptive off (side-exit rate 0.3, min
-    entries 64), {!Perf_model.default}, 200M steps, no deadline, null
-    sink, no faults, retry limit 3, unbounded cache (LRU when bounded),
-    shadow oracle off, watchdog at 4 quarantines. *)
+    entries 64), {!Perf_model.default}, 200M steps, no deadline, no
+    snapshot trigger, deadline fatal, null sink, no faults, retry
+    limit 3, unbounded cache (LRU when bounded), shadow oracle off,
+    watchdog at 4 quarantines. *)
 
 val profiling_only : config
 (** [threshold = 0]: collect AVEP / INIP(train) profiles. *)
@@ -193,3 +210,70 @@ val machine : t -> Tpdbt_vm.Machine.t
     end-of-run architectural state — registers, memory, outputs — which
     is what the differential-fuzzing fingerprint and the superoptimizer
     miner compare against a pure-interpreter reference. *)
+
+val suspended : result -> bool
+(** [true] iff [result.error] is {!Error.Suspended} — the run stopped
+    cooperatively and the engine can be {!capture}d and resumed. *)
+
+(** {2 Mid-run images}
+
+    A suspended engine ({!Error.Suspended}, via [snapshot_every] or
+    [suspend_on_deadline]) can be re-{!run} in place, or {!capture}d
+    into a plain-data {!image} and later {!restore}d — in this process
+    or another — such that resuming and running to completion yields
+    results byte-identical (cycle totals, outputs, counters, fault
+    shots, eviction statistics) to the uninterrupted run.
+
+    The image holds every piece of {e evolving} state: the machine
+    image, profile counters, per-block translation states, regions in
+    formation order with their monitor counters, the candidate pool in
+    its exact order, the fault injector's cursor, the code cache's
+    resident set with stamps, and the performance counters.  State that
+    is a {e pure function} of the program and the config — the block
+    map, region slot cycles, the dispatcher's entry map — is not
+    stored; {!restore} recomputes it, so it cannot drift from the
+    captured data.  [restore] must therefore be given the same program
+    and an equivalent config, which the serialized form
+    ({!Exec_snapshot}) enforces with a config digest. *)
+
+type image = {
+  ex_machine : Tpdbt_vm.Machine.image;
+  ex_use : int array;
+  ex_taken : int array;
+  ex_state : int array;  (** 0 = cold, 1 = registered, 2 = optimised *)
+  ex_touched : bool array;
+  ex_dissolve : int array;
+  ex_regions : Region.t list;  (** formation order, oldest first *)
+  ex_monitors : (int * (int * int * int * int * bool)) list;
+      (** region id -> (entries, side exits, loop-backs taken,
+          loop-backs seen, disabled), ascending id *)
+  ex_next_region_id : int;
+  ex_pool : int list;  (** exact pool order *)
+  ex_pool_trigger_now : int;
+  ex_fault_fails : int array;
+  ex_quarantined : bool array;
+  ex_quarantine_count : int;
+  ex_degraded : bool;
+  ex_last_round_step : int;
+  ex_cache : (int * int * int * int * int64 option) list;
+      (** (kind rank, id, size, stamp, corruption salt) in the cache's
+          deterministic victim order; kind rank 0 = block, 1 = region *)
+  ex_cache_stats : int * int * int * int;
+      (** evictions, flushes, evicted instrs, peak *)
+  ex_counters : Perf_model.counters;
+  ex_pending : Tpdbt_faults.Fault.arm list;
+  ex_fired : Tpdbt_faults.Fault.shot list;
+}
+
+val capture : t -> image
+(** Deep-copy the engine's evolving state.  Meaningful only between
+    {!run} calls (the counters are mirrored at the end of each run) —
+    in practice, after a run stopped with {!Error.Suspended}. *)
+
+val restore : ?config:config -> Tpdbt_isa.Program.t -> image -> t
+(** Rebuild an engine from a {!capture}d image.  [program] and [config]
+    must match the ones the captured engine ran under — the resumed
+    run's determinism guarantee holds only then.
+    @raise Invalid_argument if the image is inconsistent with the
+    program (array lengths vs block count, out-of-range block ids,
+    malformed cache entries or block states). *)

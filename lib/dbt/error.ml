@@ -4,6 +4,7 @@ type t =
   | Region_aborted of { region : int; block : int; attempts : int }
   | Limit_exceeded of { steps : int; max_steps : int }
   | Deadline_exceeded of { steps : int; deadline : int }
+  | Suspended of { steps : int; deadline : bool }
   | Dispatch_lost of { pc : int }
   | Corrupt_profile of { line : int; field : string; reason : string }
   | Io_error of string
@@ -15,7 +16,7 @@ exception Error of t
    went wrong: several ref workloads legitimately outlive the default
    budget, and the sweep harness has always kept their partial runs.
    Everything else ends the run. *)
-let fatal = function Limit_exceeded _ -> false | _ -> true
+let fatal = function Limit_exceeded _ | Suspended _ -> false | _ -> true
 
 let pp ppf = function
   | Trap trap -> Format.fprintf ppf "trap: %a" Tpdbt_vm.Machine.pp_trap trap
@@ -37,6 +38,12 @@ let pp ppf = function
         "task deadline: %d guest instructions executed past the supervisor's \
          step budget (%d)"
         steps deadline
+  | Suspended { steps; deadline } ->
+      Format.fprintf ppf
+        "suspended after %d guest instructions (%s) — resumable from the \
+         snapshot"
+        steps
+        (if deadline then "deadline" else "snapshot trigger")
   | Dispatch_lost { pc } ->
       Format.fprintf ppf "dispatcher lost sync with the block map at pc %d" pc
   | Corrupt_profile { line; field; reason } ->

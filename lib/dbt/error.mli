@@ -26,6 +26,13 @@ type t =
           Unlike {!Limit_exceeded} this is {e fatal} — a deadlined task
           is a stuck task, and the supervision layer retries or
           quarantines it rather than trusting its partial results *)
+  | Suspended of { steps : int; deadline : bool }
+      (** the run was cooperatively suspended mid-flight — by the
+          periodic snapshot trigger ([deadline = false]) or by a
+          deadline the configuration turned into a resumable stop
+          ([deadline = true]; see {!Engine.config}).  Non-fatal: the
+          engine's state at [steps] is sound and a snapshot of it
+          resumes to a byte-identical completion *)
   | Dispatch_lost of { pc : int }
       (** the dispatcher lost sync with the block map (control landed
           where no block starts, or a region slot's block was not at
@@ -47,11 +54,11 @@ exception Error of t
     everything else passes [t] in a [result]. *)
 
 val fatal : t -> bool
-(** Does this error invalidate the run's results?  [Limit_exceeded] is
-    the one non-fatal constructor: the run was cut short by its budget
-    but everything it did compute is sound, so the sweep harness keeps
-    the partial run (several ref workloads legitimately outlive the
-    default budget).  Every other constructor is fatal. *)
+(** Does this error invalidate the run's results?  [Limit_exceeded] and
+    [Suspended] are the non-fatal constructors: the run was cut short
+    (by its budget, or cooperatively for a snapshot) but everything it
+    did compute is sound — the sweep harness keeps the partial run, and
+    a suspended run resumes.  Every other constructor is fatal. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -131,13 +131,14 @@ module Sup = Tpdbt_parallel.Supervisor
 module Suite = Tpdbt_workloads.Suite
 module Json = Tpdbt_telemetry.Json
 
-type chaos_fault = Stall | Crash | Bitflip | Panic | Truncate
+type chaos_fault = Stall | Crash | Bitflip | Panic | Kill | Truncate
 
 let chaos_fault_name = function
   | Stall -> "stall"
   | Crash -> "crash"
   | Bitflip -> "bitflip"
   | Panic -> "panic"
+  | Kill -> "kill"
   | Truncate -> "truncate"
 
 type chaos = {
@@ -148,6 +149,7 @@ type chaos = {
   retried : int;
   worker_crashes : int;
   corrupt_checkpoints : string list;
+  resumed_from_snapshot : string list;
   survivors : string list;
   mismatched : string list;
 }
@@ -163,6 +165,7 @@ let chaos_ok c =
   && sort c.poisoned_benches = sort (victims_of Stall c)
   && sort c.corrupt_checkpoints
      = sort (victims_of Bitflip c @ victims_of Truncate c)
+  && sort c.resumed_from_snapshot = sort (victims_of Kill c)
   && c.worker_crashes >= List.length (victims_of Crash c)
   && c.retried >= List.length (victims_of Panic c)
 
@@ -183,6 +186,8 @@ let chaos_to_json c =
       ("retried", string_of_int c.retried);
       ("crashes", string_of_int c.worker_crashes);
       ("corrupt", Json.arr (List.map Json.quote c.corrupt_checkpoints));
+      ( "resumed_from_snapshot",
+        Json.arr (List.map Json.quote c.resumed_from_snapshot) );
       ("survivors", Json.arr (List.map Json.quote c.survivors));
       ("mismatched", Json.arr (List.map Json.quote c.mismatched));
       ("ok", if chaos_ok c then "true" else "false");
@@ -200,12 +205,16 @@ let render_chaos ppf c =
     "  retried %d, worker crashes %d@,\
     \  poisoned: %s@,\
     \  corrupt checkpoints: %s@,\
+    \  resumed from mid-run snapshot: %s@,\
     \  survivors byte-identical to fault-free run: %d/%d@,"
     c.retried c.worker_crashes
     (match c.poisoned_benches with
     | [] -> "none"
     | l -> String.concat ", " l)
     (match c.corrupt_checkpoints with
+    | [] -> "none"
+    | l -> String.concat ", " l)
+    (match c.resumed_from_snapshot with
     | [] -> "none"
     | l -> String.concat ", " l)
     (List.length c.survivors)
@@ -236,7 +245,8 @@ let chaos ?(jobs = 1) ?benches ?thresholds ?max_steps ?progress ~dir ~seed ()
   let benches =
     match benches with
     | Some l -> l
-    | None -> List.filter_map Suite.find [ "gzip"; "swim"; "mgrid"; "art" ]
+    | None ->
+        List.filter_map Suite.find [ "gzip"; "swim"; "mgrid"; "art"; "mcf" ]
   in
   let names = List.map (fun (b : Spec.t) -> b.Spec.name) benches in
   let n = List.length benches in
@@ -251,10 +261,14 @@ let chaos ?(jobs = 1) ?benches ?thresholds ?max_steps ?progress ~dir ~seed ()
     order.(i) <- order.(j);
     order.(j) <- t
   done;
+  (* One extra draw after the shuffle seeds the kill point's jitter;
+     taken unconditionally so the shuffle itself is unchanged whether
+     or not a kill victim gets dealt. *)
+  let kill_jitter = Prng.below prng 1_000_000 in
   let injected_faults =
     List.filteri
       (fun k _ -> k < n)
-      [ Stall; Crash; Bitflip; Panic; Truncate ]
+      [ Stall; Crash; Bitflip; Panic; Kill; Truncate ]
     |> List.mapi (fun k f -> (order.(k), f))
   in
   let fault_of name =
@@ -285,6 +299,23 @@ let chaos ?(jobs = 1) ?benches ?thresholds ?max_steps ?progress ~dir ~seed ()
     Runner.run_benchmark_result ?thresholds ?max_steps
       ~deadline:stall_deadline bench
   in
+  (* The kill victim's suspension point: a seeded guest-instruction
+     count strictly inside its first (avep) stage, so the run is
+     interrupted at an arbitrary mid-run instruction — never at a
+     stage boundary, never past the end. *)
+  let kill_deadline name =
+    match
+      List.find_map
+        (fun (d : Runner.data) ->
+          if String.equal d.Runner.bench.Spec.name name then
+            Some d.Runner.avep.Engine.steps
+          else None)
+        reference.Runner.data
+    with
+    | Some steps when steps >= 4 ->
+        (steps / 4) + (kill_jitter mod max 1 (steps / 2))
+    | Some _ | None -> 1
+  in
   (* Pass 1: tasks panic and workers crash on their first attempt, the
      stall victim never fits its deadline, and the checkpoint victims'
      files are damaged right after they are written. *)
@@ -307,13 +338,22 @@ let chaos ?(jobs = 1) ?benches ?thresholds ?max_steps ?progress ~dir ~seed ()
     | Some Truncate ->
         damage (fun text len ->
             chaos_write_file file (String.sub text 0 (len / 2)))
-    | Some Stall | Some Crash | Some Panic | None -> ()
+    | Some Stall | Some Crash | Some Panic | Some Kill | None -> ()
   in
   let run_task_pass1 ~task:_ ~attempt (bench : Spec.t) =
     match fault_of bench.Spec.name with
     | Some Panic when attempt = 1 -> failwith "chaos: injected task panic"
     | Some Crash when attempt = 1 -> raise Sup.Crash_worker
     | Some Stall -> stall_run bench
+    | Some Kill ->
+        (* Killed at a seeded guest instruction: the run suspends
+           there, publishes its mid-run snapshot into the store (the
+           worker is that file's only writer) and is parked — the
+           supervisor neither retries nor poisons it. *)
+        Runner.run_benchmark_result ?thresholds ?max_steps
+          ~deadline:(kill_deadline bench.Spec.name) ~suspend_on_deadline:true
+          ~on_snapshot:(fun p -> Checkpoint.save_suspended ~dir p)
+          bench
     | _ -> Runner.run_benchmark_result ?thresholds ?max_steps bench
   in
   let _sweep1, sup1 =
@@ -322,12 +362,24 @@ let chaos ?(jobs = 1) ?benches ?thresholds ?max_steps ?progress ~dir ~seed ()
   in
   (* Pass 2: resume from the (partly damaged) store.  Only the stall is
      a persistent fault; panicking and crashing tasks already recovered
-     in pass 1 and resume from their checkpoints, while the damaged
-     checkpoints are classified corrupt and re-run cleanly. *)
+     in pass 1 and resume from their checkpoints, the kill victim
+     continues from its mid-run snapshot, and the damaged checkpoints
+     are classified corrupt and re-run cleanly. *)
+  let resumed_from_snapshot =
+    List.filter_map
+      (fun (b : Spec.t) ->
+        if Option.is_some (Checkpoint.load_suspended ?thresholds ~dir b) then
+          Some b.Spec.name
+        else None)
+      benches
+  in
   let run_task_pass2 ~task:_ ~attempt:_ (bench : Spec.t) =
     match fault_of bench.Spec.name with
     | Some Stall -> stall_run bench
-    | _ -> Runner.run_benchmark_result ?thresholds ?max_steps bench
+    | _ ->
+        Runner.run_benchmark_result ?thresholds ?max_steps
+          ?resume:(Checkpoint.load_suspended ?thresholds ~dir bench)
+          bench
   in
   let sweep2, sup2 =
     Checkpoint.run_many_supervised ?thresholds ?max_steps ~jobs ?progress
@@ -365,6 +417,7 @@ let chaos ?(jobs = 1) ?benches ?thresholds ?max_steps ?progress ~dir ~seed ()
     retried = sup1.Runner.sup.Sup.retries + sup2.Runner.sup.Sup.retries;
     worker_crashes = sup1.Runner.sup.Sup.crashes + sup2.Runner.sup.Sup.crashes;
     corrupt_checkpoints;
+    resumed_from_snapshot;
     survivors = List.rev survivors;
     mismatched = List.rev mismatched;
   }

@@ -93,6 +93,11 @@ type chaos_fault =
   | Crash  (** the worker domain dies on the first attempt *)
   | Bitflip  (** one byte of the written checkpoint is flipped *)
   | Panic  (** the task raises on its first attempt *)
+  | Kill
+      (** the run is killed at a seeded guest instruction strictly
+          inside its first engine stage; it suspends there, leaving a
+          mid-run snapshot in the store, and the resume pass must
+          continue it to a byte-identical result *)
   | Truncate  (** the written checkpoint loses its second half *)
 
 type chaos = {
@@ -107,6 +112,10 @@ type chaos = {
   worker_crashes : int;
   corrupt_checkpoints : string list;
       (** damaged checkpoints the resume scan caught and re-ran *)
+  resumed_from_snapshot : string list;
+      (** benchmarks whose slot held a mid-run (suspended) snapshot
+          when the resume pass started — expected: the kill victims,
+          which must then end up in [survivors] *)
   survivors : string list;
       (** non-poisoned benchmarks whose final serialised results are
           byte-identical to the fault-free sequential reference *)
@@ -127,16 +136,21 @@ val chaos :
     then a supervised sweep under injected faults (checkpointing into
     [dir], whose [*.ckpt] files it deletes first — the harness owns the
     directory), then a resume pass over the damaged store.  Defaults:
-    [jobs] 1, benchmarks gzip/swim/mgrid/art (one fault each: stall,
-    crash, bitflip, panic).  Everything in the returned record is a
-    pure function of [(benches, seed, max_steps)] — identical at every
-    job count and across repeated runs.
+    [jobs] 1, benchmarks gzip/swim/mgrid/art/mcf (one fault each:
+    stall, crash, bitflip, panic, kill — truncate needs a sixth).
+    Everything in the returned record is a pure function of
+    [(benches, seed, max_steps)] — identical at every job count and
+    across repeated runs; in particular the kill victim's suspension
+    point, its snapshot and its resumed final results are the same at
+    every [-j].
     @raise Invalid_argument if a benchmark fails without faults. *)
 
 val chaos_ok : chaos -> bool
 (** The pass criterion: no mismatches, poisoned = the stall victims
-    exactly, corrupt = the checkpoint victims exactly, and the crash
-    and panic victims actually exercised recovery. *)
+    exactly, corrupt = the checkpoint victims exactly, resumed = the
+    kill victims exactly (whose results, like every survivor's, are
+    byte-identical to the fault-free reference), and the crash and
+    panic victims actually exercised recovery. *)
 
 val chaos_fault_name : chaos_fault -> string
 

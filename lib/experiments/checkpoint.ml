@@ -4,17 +4,24 @@ module Spec = Tpdbt_workloads.Spec
 module Suite = Tpdbt_workloads.Suite
 module Profile_io = Tpdbt_profiles.Profile_io
 
-(* Version 3 made the store crash-consistent: the header carries a
-   CRC32 and byte length of the payload, saves fsync before the atomic
-   rename, and loads classify damage (truncation, bit flips, trailing
-   garbage, stale versions) instead of conflating it with absence.
-   Version 2 widened the counters line with the code-cache and
-   shadow-oracle fields. *)
-let magic = "TPDBT-CKPT 3"
+(* Version 4 lets the store hold mid-run state: a file is either a
+   finished benchmark (the v3 payload behind a "kind finished" line)
+   or a suspended one — the completed stages plus the in-flight
+   engine's serialized image — so a killed sweep resumes at
+   guest-instruction granularity instead of re-running.  Version 3
+   made the store crash-consistent: the header carries a CRC32 and
+   byte length of the payload, saves fsync before the atomic rename,
+   and loads classify damage (truncation, bit flips, trailing garbage,
+   stale versions) instead of conflating it with absence.  Version 2
+   widened the counters line with the code-cache and shadow-oracle
+   fields. *)
+let magic = "TPDBT-CKPT 4"
 let magic_prefix = "TPDBT-CKPT "
 
+type stored = Finished of Runner.data | Suspended of Runner.partial
+
 type classified =
-  | Valid of Runner.data
+  | Valid of stored
   | Missing
   | Stale_version of string
   | Corrupt of string
@@ -88,6 +95,7 @@ let payload_of_data (d : Runner.data) =
   let buf = Buffer.create 8192 in
   let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   add "bench %s" d.Runner.bench.Spec.name;
+  add "kind finished";
   add "thresholds %d" (List.length d.Runner.runs);
   List.iter
     (fun (r : Runner.threshold_run) ->
@@ -105,10 +113,43 @@ let payload_of_data (d : Runner.data) =
   add "end";
   Buffer.contents buf
 
-let data_to_string (d : Runner.data) =
-  let payload = payload_of_data d in
+let stage_header (s : Runner.stage) =
+  match s with
+  | Runner.Avep -> "avep"
+  | Runner.Train -> "train"
+  | Runner.Threshold (label, scaled) -> Printf.sprintf "run %s %d" label scaled
+
+let payload_of_partial (p : Runner.partial) =
+  let buf = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "bench %s" p.Runner.p_bench.Spec.name;
+  add "kind suspended";
+  add "thresholds %d" (List.length p.Runner.p_thresholds);
+  List.iter
+    (fun (label, scaled) -> add "threshold %s %d" label scaled)
+    p.Runner.p_thresholds;
+  add "done %d" (List.length p.Runner.p_done);
+  List.iter
+    (fun (stage, result) ->
+      add "stage %s" (stage_header stage);
+      result_to_buf buf result)
+    p.Runner.p_done;
+  add "next %s" (stage_header p.Runner.p_next);
+  let text = p.Runner.p_snapshot in
+  let nlines =
+    String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 text
+  in
+  add "exec %d" nlines;
+  Buffer.add_string buf text;
+  add "end";
+  Buffer.contents buf
+
+let seal payload =
   Printf.sprintf "%s\ncrc %s %d\n%s" magic (crc_hex payload)
     (String.length payload) payload
+
+let data_to_string (d : Runner.data) = seal (payload_of_data d)
+let partial_to_string (p : Runner.partial) = seal (payload_of_partial p)
 
 (* ---- parsing ----------------------------------------------------------- *)
 
@@ -230,6 +271,14 @@ let parse_payload ?expect_thresholds spec text =
       faults = None;
     }
   in
+  let finish_checks () =
+    expect "end";
+    (* the payload always ends "end\n", so the final split element is
+       one empty string; anything more is garbage a broken writer
+       appended inside the measured payload *)
+    if not (!cursor = Array.length lines - 1 && lines.(!cursor) = "") then
+      raise (Malformed "trailing garbage after end marker")
+  in
   try
     (match words () with
     | [ "bench"; name ] when name = spec.Spec.name -> ()
@@ -239,6 +288,11 @@ let parse_payload ?expect_thresholds spec text =
              (Printf.sprintf "checkpoint is for benchmark %s, not %s" name
                 spec.Spec.name))
     | _ -> raise (Malformed "bad bench line"));
+    let kind =
+      match words () with
+      | [ "kind"; k ] -> k
+      | _ -> raise (Malformed "bad kind line")
+    in
     let nruns =
       match words () with
       | [ "thresholds"; n ] -> int_exn n
@@ -254,26 +308,83 @@ let parse_payload ?expect_thresholds spec text =
     | Some expected when labels <> expected ->
         raise (Malformed "recorded under a different threshold list")
     | _ -> ());
-    expect "avep";
-    let avep = read_result () in
-    expect "train";
-    let train = read_result () in
-    let raw_runs =
-      List.map
-        (fun (label, scaled) ->
-          (match words () with
-          | [ "run"; l; s ] when l = label && int_exn s = scaled -> ()
-          | _ -> raise (Malformed "run header out of order"));
-          (label, scaled, read_result ()))
-        labels
-    in
-    expect "end";
-    (* [data_to_string] always ends the payload "end\n", so the final
-       split element is one empty string; anything more is garbage a
-       broken writer appended inside the measured payload. *)
-    if not (!cursor = Array.length lines - 1 && lines.(!cursor) = "") then
-      raise (Malformed "trailing garbage after end marker");
-    Valid (Runner.assemble spec avep train raw_runs)
+    match kind with
+    | "finished" ->
+        expect "avep";
+        let avep = read_result () in
+        expect "train";
+        let train = read_result () in
+        let raw_runs =
+          List.map
+            (fun (label, scaled) ->
+              (match words () with
+              | [ "run"; l; s ] when l = label && int_exn s = scaled -> ()
+              | _ -> raise (Malformed "run header out of order"));
+              (label, scaled, read_result ()))
+            labels
+        in
+        finish_checks ();
+        Valid (Finished (Runner.assemble spec avep train raw_runs))
+    | "suspended" ->
+        let stage_of = function
+          | [ "avep" ] -> Runner.Avep
+          | [ "train" ] -> Runner.Train
+          | [ "run"; label; scaled ]
+            when List.assoc_opt label labels = Some (int_exn scaled) ->
+              Runner.Threshold (label, int_exn scaled)
+          | _ -> raise (Malformed "bad stage descriptor")
+        in
+        let ndone =
+          match words () with
+          | [ "done"; n ] -> int_exn n
+          | _ -> raise (Malformed "bad done line")
+        in
+        if ndone < 0 then raise (Malformed "negative done count");
+        let p_done =
+          List.init ndone (fun _ ->
+              match words () with
+              | "stage" :: rest ->
+                  let stage = stage_of rest in
+                  (stage, read_result ())
+              | _ -> raise (Malformed "bad stage line"))
+        in
+        let p_next =
+          match words () with
+          | "next" :: rest -> stage_of rest
+          | _ -> raise (Malformed "bad next line")
+        in
+        let nlines =
+          match words () with
+          | [ "exec"; n ] -> int_exn n
+          | _ -> raise (Malformed "bad exec line")
+        in
+        if nlines < 0 then raise (Malformed "negative exec length");
+        let exec_buf = Buffer.create 4096 in
+        for _ = 1 to nlines do
+          Buffer.add_string exec_buf (next ());
+          Buffer.add_char exec_buf '\n'
+        done;
+        let p_snapshot = Buffer.contents exec_buf in
+        (* The embedded engine snapshot carries its own magic and CRC —
+           validate it now so a damaged one classifies the whole store
+           entry as corrupt instead of failing at resume time. *)
+        (match Tpdbt_dbt.Exec_snapshot.of_string p_snapshot with
+        | Tpdbt_dbt.Exec_snapshot.Snapshot _ -> ()
+        | Tpdbt_dbt.Exec_snapshot.Stale_version line ->
+            raise (Malformed ("embedded snapshot is stale: " ^ line))
+        | Tpdbt_dbt.Exec_snapshot.Corrupt reason ->
+            raise (Malformed ("embedded snapshot rejected: " ^ reason)));
+        finish_checks ();
+        Valid
+          (Suspended
+             {
+               Runner.p_bench = spec;
+               p_thresholds = labels;
+               p_done;
+               p_next;
+               p_snapshot;
+             })
+    | k -> raise (Malformed (Printf.sprintf "unknown kind %S" k))
   with Malformed reason -> Corrupt reason
 
 let split_line s pos =
@@ -328,15 +439,14 @@ let data_of_string ?thresholds spec text =
 
 let path ~dir spec = Filename.concat dir (spec.Spec.name ^ ".ckpt")
 
-let save ~dir (d : Runner.data) =
+let write_atomic ~dir final text =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let final = path ~dir d.Runner.bench in
   let tmp = final ^ ".tmp" in
   let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (data_to_string d);
+      output_string oc text;
       (* Crash consistency: the payload must be durable before the
          rename publishes it, or a power cut can leave a complete-
          looking file full of zeroes. *)
@@ -356,6 +466,16 @@ let save ~dir (d : Runner.data) =
         ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
         (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ()))
 
+let save ~dir (d : Runner.data) =
+  write_atomic ~dir (path ~dir d.Runner.bench) (data_to_string d)
+
+(* A mid-run snapshot lives in the same per-benchmark slot the
+   finished result will occupy: the file monotonically progresses
+   suspended -> ... -> suspended -> finished, and a crash at any point
+   leaves the previous (complete, CRC-guarded) state. *)
+let save_suspended ~dir (p : Runner.partial) =
+  write_atomic ~dir (path ~dir p.Runner.p_bench) (partial_to_string p)
+
 let read_file file =
   let ic = open_in_bin file in
   Fun.protect
@@ -371,13 +491,24 @@ let classify ?(thresholds = Suite.thresholds) ~dir spec =
     | exception Sys_error reason -> Corrupt reason
 
 let load ?thresholds ~dir spec =
-  match classify ?thresholds ~dir spec with Valid d -> Some d | _ -> None
+  match classify ?thresholds ~dir spec with
+  | Valid (Finished d) -> Some d
+  | _ -> None
+
+let load_suspended ?thresholds ~dir spec =
+  match classify ?thresholds ~dir spec with
+  | Valid (Suspended p) -> Some p
+  | _ -> None
 
 let hooks ?thresholds ?(on_bad = fun _ _ -> ()) ~dir () =
   ( (fun d -> save ~dir d),
     fun spec ->
       match classify ?thresholds ~dir spec with
-      | Valid d -> Some d
+      | Valid (Finished d) -> Some d
+      | Valid (Suspended _) ->
+          (* healthy mid-run state, not a finished result: the
+             suspended-resume path owns it *)
+          None
       | Missing -> None
       | Stale_version line ->
           on_bad spec ("stale checkpoint version: " ^ line);
@@ -386,19 +517,48 @@ let hooks ?thresholds ?(on_bad = fun _ _ -> ()) ~dir () =
           on_bad spec reason;
           None )
 
-let run_many ?thresholds ?max_steps ?deadline ?progress ~dir benches =
+(* Wire the suspend/resume plumbing for one sweep call: where mid-run
+   snapshots land ([on_snapshot]) and where resumable state comes from
+   ([load_suspended], gated on [resume]). *)
+let snapshot_hooks ?thresholds ?on_snapshot_saved ~resume ~dir () =
+  let on_snapshot (p : Runner.partial) =
+    save_suspended ~dir p;
+    match on_snapshot_saved with
+    | Some f -> f p.Runner.p_bench.Spec.name
+    | None -> ()
+  in
+  let load_suspended spec =
+    if resume then load_suspended ?thresholds ~dir spec else None
+  in
+  (on_snapshot, load_suspended)
+
+let run_many ?thresholds ?max_steps ?deadline ?snapshot_every
+    ?suspend_on_deadline ?(resume_suspended = true) ?on_snapshot_saved
+    ?progress ~dir benches =
   let save, load = hooks ?thresholds ~dir () in
-  Runner.run_many ?thresholds ?max_steps ?deadline ?progress ~save ~load
+  let on_snapshot, load_suspended =
+    snapshot_hooks ?thresholds ?on_snapshot_saved ~resume:resume_suspended
+      ~dir ()
+  in
+  Runner.run_many ?thresholds ?max_steps ?deadline ?snapshot_every
+    ?suspend_on_deadline ~on_snapshot ~load_suspended ?progress ~save ~load
     benches
 
-let run_many_par ?thresholds ?max_steps ?deadline ?jobs ?progress ?sink
-    ?metrics ?report ~dir benches =
+let run_many_par ?thresholds ?max_steps ?deadline ?snapshot_every
+    ?suspend_on_deadline ?(resume_suspended = true) ?on_snapshot_saved ?jobs
+    ?progress ?sink ?metrics ?report ~dir benches =
   let save, load = hooks ?thresholds ~dir () in
-  Runner.run_many_par ?thresholds ?max_steps ?deadline ?jobs ?progress ?sink
+  let on_snapshot, load_suspended =
+    snapshot_hooks ?thresholds ?on_snapshot_saved ~resume:resume_suspended
+      ~dir ()
+  in
+  Runner.run_many_par ?thresholds ?max_steps ?deadline ?snapshot_every
+    ?suspend_on_deadline ~on_snapshot ~load_suspended ?jobs ?progress ?sink
     ?metrics ?report ~save ~load benches
 
-let run_many_supervised ?thresholds ?max_steps ?deadline ?jobs ?policy
-    ?progress ?sink ?metrics ?report ?run_task ~dir benches =
+let run_many_supervised ?thresholds ?max_steps ?deadline ?snapshot_every
+    ?suspend_on_deadline ?(resume_suspended = true) ?on_snapshot_saved ?jobs
+    ?policy ?progress ?sink ?metrics ?report ?run_task ~dir benches =
   let module Tel = Tpdbt_telemetry in
   let corrupt = ref [] in
   let seq = ref 0 in
@@ -416,8 +576,13 @@ let run_many_supervised ?thresholds ?max_steps ?deadline ?jobs ?policy
       metrics
   in
   let save, load = hooks ?thresholds ~on_bad ~dir () in
+  let on_snapshot, load_suspended =
+    snapshot_hooks ?thresholds ?on_snapshot_saved ~resume:resume_suspended
+      ~dir ()
+  in
   let sweep, supervision =
-    Runner.run_many_supervised ?thresholds ?max_steps ?deadline ?jobs ?policy
-      ?progress ?sink ?metrics ?report ?run_task ~save ~load benches
+    Runner.run_many_supervised ?thresholds ?max_steps ?deadline
+      ?snapshot_every ?suspend_on_deadline ~on_snapshot ~load_suspended ?jobs
+      ?policy ?progress ?sink ?metrics ?report ?run_task ~save ~load benches
   in
   (sweep, { supervision with Runner.corrupt = List.rev !corrupt })

@@ -1,13 +1,22 @@
-(** Resumable sweeps: one checkpoint file per completed benchmark.
+(** Resumable sweeps: one checkpoint file per benchmark, holding either
+    its finished results or its mid-run suspended state.
 
-    A checkpoint stores only the {e raw} engine results (snapshots via
-    {!Tpdbt_profiles.Profile_io}, counters with the cycles float in
-    lossless [%h] form, steps, outputs, region stats); every derived
-    comparison is recomputed on load through {!Runner.assemble}, which
-    is pure — so a sweep resumed from checkpoints produces output
-    byte-identical to an uninterrupted one.
+    A {e finished} checkpoint stores only the {e raw} engine results
+    (snapshots via {!Tpdbt_profiles.Profile_io}, counters with the
+    cycles float in lossless [%h] form, steps, outputs, region stats);
+    every derived comparison is recomputed on load through
+    {!Runner.assemble}, which is pure — so a sweep resumed from
+    checkpoints produces output byte-identical to an uninterrupted one.
 
-    The store is crash-consistent (format v3): files carry a CRC32 and
+    A {e suspended} checkpoint (format v4) additionally exists mid-run:
+    the completed stages plus the in-flight engine's serialized image
+    ({!Tpdbt_dbt.Exec_snapshot}).  A benchmark's file monotonically
+    progresses suspended -> ... -> suspended -> finished in the same
+    slot, so a sweep killed at {e any} guest instruction resumes from
+    its last snapshot — and, by the engine's capture/restore guarantee,
+    still produces byte-identical final results.
+
+    The store is crash-consistent (since v3): files carry a CRC32 and
     byte length over the payload, are written to a temp file, fsynced
     and atomically renamed into place — a sweep killed (or a machine
     losing power) mid-write never publishes a partial checkpoint.  On
@@ -17,24 +26,34 @@
     damaged entries instead of trusting them — so the repaired sweep
     is byte-identical to one that never lost the file. *)
 
+type stored =
+  | Finished of Runner.data  (** a completed benchmark's results *)
+  | Suspended of Runner.partial  (** mid-run state, resumable *)
+
 type classified =
-  | Valid of Runner.data  (** header, CRC, length and payload all check out *)
+  | Valid of stored  (** header, CRC, length and payload all check out *)
   | Missing  (** no checkpoint file *)
   | Stale_version of string
       (** an earlier format's magic line — sound when written, but not
           readable by this version; re-run *)
   | Corrupt of string
       (** damaged (truncated, bit-flipped, trailing garbage, empty,
-          wrong benchmark, different threshold list, …); the string
-          says how *)
+          wrong benchmark, different threshold list, damaged embedded
+          engine snapshot, …); the string says how *)
 
 val path : dir:string -> Tpdbt_workloads.Spec.t -> string
 (** [<dir>/<bench-name>.ckpt]. *)
 
 val save : dir:string -> Runner.data -> unit
-(** Write the benchmark's checkpoint crash-consistently (temp file,
-    fsync, atomic rename, then fsync of [dir] so the rename itself
-    survives a power cut), creating [dir] if needed.
+(** Write the benchmark's finished checkpoint crash-consistently (temp
+    file, fsync, atomic rename, then fsync of [dir] so the rename
+    itself survives a power cut), creating [dir] if needed.
+    @raise Sys_error on I/O failure. *)
+
+val save_suspended : dir:string -> Runner.partial -> unit
+(** Write mid-run state into the benchmark's slot, with the same
+    crash-consistency; a later {!save} overwrites it with the finished
+    result.
     @raise Sys_error on I/O failure. *)
 
 val classify :
@@ -52,9 +71,16 @@ val load :
   dir:string ->
   Tpdbt_workloads.Spec.t ->
   Runner.data option
-(** [None] if the file is absent, malformed, for another benchmark, or
-    recorded under a different threshold list (default
-    {!Tpdbt_workloads.Suite.thresholds}). *)
+(** The {e finished} result — [None] if the file is absent, malformed,
+    suspended, for another benchmark, or recorded under a different
+    threshold list (default {!Tpdbt_workloads.Suite.thresholds}). *)
+
+val load_suspended :
+  ?thresholds:(string * int) list ->
+  dir:string ->
+  Tpdbt_workloads.Spec.t ->
+  Runner.partial option
+(** The {e suspended} mid-run state, under the same validation. *)
 
 val hooks :
   ?thresholds:(string * int) list ->
@@ -64,25 +90,38 @@ val hooks :
   (Runner.data -> unit) * (Tpdbt_workloads.Spec.t -> Runner.data option)
 (** [(save, load)] closures for {!Runner.run_many}'s [?save]/[?load].
     [on_bad spec reason] fires when a checkpoint exists but is
-    {!Corrupt} or {!Stale_version} (never for {!Missing}) — the hook
-    behind [checkpoint.corrupt] telemetry. *)
+    {!Corrupt} or {!Stale_version} (never for {!Missing} or a healthy
+    {!Suspended} entry) — the hook behind [checkpoint.corrupt]
+    telemetry. *)
 
 val run_many :
   ?thresholds:(string * int) list ->
   ?max_steps:int ->
   ?deadline:int ->
+  ?snapshot_every:int ->
+  ?suspend_on_deadline:bool ->
+  ?resume_suspended:bool ->
+  ?on_snapshot_saved:(string -> unit) ->
   ?progress:(string -> Runner.status -> unit) ->
   dir:string ->
   Tpdbt_workloads.Spec.t list ->
   Runner.sweep
 (** {!Runner.run_many} with checkpointing wired in: completed
     benchmarks are saved to [dir] and already-checkpointed ones are
-    restored instead of re-run. *)
+    restored instead of re-run.  [snapshot_every]/[suspend_on_deadline]
+    arm mid-run snapshots, each saved into the benchmark's slot (then
+    reported to [on_snapshot_saved] with the benchmark name);
+    [resume_suspended] (default [true]) continues suspended entries
+    from their snapshot instead of restarting them. *)
 
 val run_many_par :
   ?thresholds:(string * int) list ->
   ?max_steps:int ->
   ?deadline:int ->
+  ?snapshot_every:int ->
+  ?suspend_on_deadline:bool ->
+  ?resume_suspended:bool ->
+  ?on_snapshot_saved:(string -> unit) ->
   ?jobs:int ->
   ?progress:(string -> Runner.status -> unit) ->
   ?sink:Tpdbt_telemetry.Sink.t ->
@@ -91,18 +130,23 @@ val run_many_par :
   dir:string ->
   Tpdbt_workloads.Spec.t list ->
   Runner.sweep
-(** {!Runner.run_many_par} with the same checkpoint hooks.  All file
-    I/O stays on the calling (collector) domain: the resume scan runs
-    before any worker spawns, and each completed benchmark is saved
-    atomically as its result arrives — so checkpoint files are
-    byte-identical to a sequential run's at every job count, and a
-    sweep killed mid-parallel-flight resumes exactly like a
-    sequential one. *)
+(** {!Runner.run_many_par} with the same checkpoint hooks.  Finished
+    results are saved on the calling (collector) domain as they
+    arrive, and the resume scan runs before any worker spawns —
+    checkpoint files are byte-identical to a sequential run's at every
+    job count.  Mid-run snapshots are the one exception: each is saved
+    by the worker driving that benchmark, which is that file's only
+    writer until the task completes, so the single-writer-per-file
+    invariant still holds. *)
 
 val run_many_supervised :
   ?thresholds:(string * int) list ->
   ?max_steps:int ->
   ?deadline:int ->
+  ?snapshot_every:int ->
+  ?suspend_on_deadline:bool ->
+  ?resume_suspended:bool ->
+  ?on_snapshot_saved:(string -> unit) ->
   ?jobs:int ->
   ?policy:Tpdbt_parallel.Supervisor.policy ->
   ?progress:(string -> Runner.status -> unit) ->
@@ -121,13 +165,17 @@ val run_many_supervised :
     hooks.  Damaged checkpoints found during the resume scan are
     re-run, returned in [supervision.corrupt] (scan order), emitted as
     [checkpoint.corrupt] telemetry events, and counted in the
-    [checkpoint.corrupt] metric.  Together with the supervisor this
-    closes the loop: a sweep survives task failures, worker crashes
-    {e and} a corrupted checkpoint store, and still produces results
-    byte-identical to an undisturbed run for every non-poisoned
-    benchmark. *)
+    [checkpoint.corrupt] metric.  Suspended entries resume from their
+    mid-run snapshot (at every attempt — a retry of a task whose
+    earlier attempt crashed after a snapshot continues rather than
+    restarts).  Together with the supervisor this closes the loop: a
+    sweep survives task failures, worker crashes, a kill at an
+    arbitrary guest instruction {e and} a corrupted checkpoint store,
+    and still produces results byte-identical to an undisturbed run
+    for every non-poisoned benchmark. *)
 
 val data_to_string : Runner.data -> string
+val partial_to_string : Runner.partial -> string
 
 val data_of_string :
   ?thresholds:(string * int) list ->

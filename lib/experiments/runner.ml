@@ -33,14 +33,6 @@ let override_budget ?max_steps ?deadline (config : Engine.config) =
   | None -> config
   | Some d -> { config with Engine.deadline = Some d }
 
-let run_input program (input : Spec.input) config =
-  let program = Spec.apply_input program input in
-  let engine = Engine.create ~config ~seed:input.Spec.seed program in
-  let result = Engine.run engine in
-  match result.Engine.error with
-  | Some e when Error.fatal e -> Error e
-  | _ -> Ok result
-
 let ( let* ) = Result.bind
 
 (* Derived data (comparisons, flat metrics, offline regions) is a pure
@@ -67,24 +59,133 @@ let assemble bench avep train raw_runs =
   in
   { bench; avep; train; train_flat; train_regions; runs }
 
+(* A benchmark is a fixed sequence of engine runs ("stages"): the AVEP
+   and training profiles, then one optimised run per threshold.  The
+   suspend/resume machinery is expressed over this sequence — a
+   mid-run snapshot records the finished stages plus the in-flight
+   engine's serialized image. *)
+type stage = Avep | Train | Threshold of string * int
+
+let stage_label = function
+  | Avep -> "avep"
+  | Train -> "train"
+  | Threshold (label, _) -> label
+
+type partial = {
+  p_bench : Spec.t;
+  p_thresholds : (string * int) list;
+  p_done : (stage * Engine.result) list;  (* finished stages, in order *)
+  p_next : stage;  (* the stage the snapshot interrupts *)
+  p_snapshot : string;  (* Exec_snapshot.to_string of the engine *)
+}
+
+module Exec_snapshot = Tpdbt_dbt.Exec_snapshot
+
 let run_benchmark_result ?(thresholds = Suite.thresholds) ?max_steps ?deadline
+    ?(snapshot_every = 0) ?(suspend_on_deadline = false) ?on_snapshot ?resume
     bench =
   let budget = override_budget ?max_steps ?deadline in
-  let program, ref_input, train_input = Spec.build bench in
-  let* avep = run_input program ref_input (budget Engine.profiling_only) in
-  let* train = run_input program train_input (budget Engine.profiling_only) in
-  let rec threshold_runs acc = function
-    | [] -> Ok (List.rev acc)
-    | (label, scaled) :: tl -> (
-        match
-          run_input program ref_input
-            (budget (Engine.config ~threshold:scaled ()))
-        with
-        | Ok result -> threshold_runs ((label, scaled, result) :: acc) tl
-        | Error e -> Error e)
+  let arm config =
+    if snapshot_every = 0 && not suspend_on_deadline then config
+    else { config with Engine.snapshot_every; suspend_on_deadline }
   in
-  let* raw_runs = threshold_runs [] thresholds in
-  Ok (assemble bench avep train raw_runs)
+  let program, ref_input, train_input = Spec.build bench in
+  let stages =
+    Avep :: Train :: List.map (fun (l, s) -> Threshold (l, s)) thresholds
+  in
+  let stage_config stage =
+    arm
+      (budget
+         (match stage with
+         | Avep | Train -> Engine.profiling_only
+         | Threshold (_, scaled) -> Engine.config ~threshold:scaled ()))
+  in
+  let stage_input = function
+    | Train -> train_input
+    | Avep | Threshold _ -> ref_input
+  in
+  let* () =
+    match resume with
+    | Some p when not (String.equal p.p_bench.Spec.name bench.Spec.name) ->
+        Error
+          (Error.Io_error
+             (Printf.sprintf "suspended state is for benchmark %s, not %s"
+                p.p_bench.Spec.name bench.Spec.name))
+    | Some p when p.p_thresholds <> thresholds ->
+        Error
+          (Error.Io_error
+             "suspended state recorded under a different threshold list")
+    | _ -> Ok ()
+  in
+  (* Drive one stage to completion.  A snapshot-trigger suspension
+     publishes the partial state and keeps running the same engine; a
+     deadline suspension publishes it and stops the whole benchmark —
+     the caller resumes it later, from exactly this point. *)
+  let exec done_ stage =
+    let config = stage_config stage in
+    let input = stage_input stage in
+    let aprogram = Spec.apply_input program input in
+    let* engine =
+      match resume with
+      | Some p when p.p_next = stage -> (
+          match Exec_snapshot.of_string p.p_snapshot with
+          | Exec_snapshot.Snapshot parsed -> (
+              match Exec_snapshot.restore ~config ~program:aprogram parsed with
+              | Ok t -> Ok t
+              | Error reason ->
+                  Error (Error.Io_error ("snapshot rejected: " ^ reason)))
+          | Exec_snapshot.Stale_version line ->
+              Error (Error.Io_error ("stale snapshot version: " ^ line))
+          | Exec_snapshot.Corrupt reason ->
+              Error (Error.Io_error ("corrupt snapshot: " ^ reason)))
+      | _ -> Ok (Engine.create ~config ~seed:input.Spec.seed aprogram)
+    in
+    let rec go () =
+      let result = Engine.run engine in
+      match result.Engine.error with
+      | Some (Error.Suspended { deadline = hard; _ } as e) ->
+          (match on_snapshot with
+          | Some f ->
+              f
+                {
+                  p_bench = bench;
+                  p_thresholds = thresholds;
+                  p_done = List.rev done_;
+                  p_next = stage;
+                  p_snapshot =
+                    Exec_snapshot.to_string ~config ~program:aprogram
+                      (Engine.capture engine);
+                }
+          | None -> ());
+          if hard then Error e else go ()
+      | Some e when Error.fatal e -> Error e
+      | _ -> Ok result
+    in
+    go ()
+  in
+  let rec stages_loop done_ = function
+    | [] -> Ok (List.rev done_)
+    | stage :: tl -> (
+        match
+          Option.bind resume (fun p -> List.assoc_opt stage p.p_done)
+        with
+        | Some result -> stages_loop ((stage, result) :: done_) tl
+        | None ->
+            let* result = exec done_ stage in
+            stages_loop ((stage, result) :: done_) tl)
+  in
+  let* all = stages_loop [] stages in
+  match all with
+  | (Avep, avep) :: (Train, train) :: rest ->
+      let raw_runs =
+        List.map
+          (function
+            | Threshold (label, scaled), r -> (label, scaled, r)
+            | (Avep | Train), _ -> assert false)
+          rest
+      in
+      Ok (assemble bench avep train raw_runs)
+  | _ -> assert false
 
 let run_benchmark ?thresholds ?max_steps ?deadline bench =
   match run_benchmark_result ?thresholds ?max_steps ?deadline bench with
@@ -191,6 +292,7 @@ type status =
   | Failed of Error.t
   | Resumed
   | Quarantined of string
+  | Suspended
 
 type failure = { failed : Spec.t; error : Error.t }
 type sweep = { data : data list; failures : failure list }
@@ -201,12 +303,22 @@ let status_name = function
   | Failed _ -> "failed"
   | Resumed -> "resumed"
   | Quarantined _ -> "poisoned"
+  | Suspended -> "suspended"
+
+(* A benchmark that stopped on a resumable suspension is parked, not
+   broken: it lands in [failures] carrying [Error.Suspended] so the
+   sweep stays honest about incomplete data, but progress reporting
+   and the supervisor treat it as "come back later", never as a
+   failure to retry. *)
+let suspended_failure (f : failure) =
+  match f.error with Error.Suspended _ -> true | _ -> false
 
 (* Sequential reference path.  [run_many_par] must produce the same
    merged sweep (and, via [save], the same checkpoint bytes) for every
    job count — keep the two in lockstep. *)
-let run_many ?thresholds ?max_steps ?deadline ?(progress = fun _ _ -> ())
-    ?save ?load benches =
+let run_many ?thresholds ?max_steps ?deadline ?snapshot_every
+    ?suspend_on_deadline ?on_snapshot ?load_suspended
+    ?(progress = fun _ _ -> ()) ?save ?load benches =
   let data = ref [] and failures = ref [] in
   List.iter
     (fun bench ->
@@ -217,13 +329,18 @@ let run_many ?thresholds ?max_steps ?deadline ?(progress = fun _ _ -> ())
           data := d :: !data
       | None -> (
           progress name Started;
-          match run_benchmark_result ?thresholds ?max_steps ?deadline bench with
+          let resume = Option.bind load_suspended (fun f -> f bench) in
+          match
+            run_benchmark_result ?thresholds ?max_steps ?deadline
+              ?snapshot_every ?suspend_on_deadline ?on_snapshot ?resume bench
+          with
           | Ok d ->
               Option.iter (fun f -> f d) save;
               progress name Finished;
               data := d :: !data
           | Error e ->
-              progress name (Failed e);
+              progress name
+                (match e with Error.Suspended _ -> Suspended | _ -> Failed e);
               failures := { failed = bench; error = e } :: !failures))
     benches;
   { data = List.rev !data; failures = List.rev !failures }
@@ -281,17 +398,21 @@ let record_parallel_stats metrics (stats : Pool.stats) =
     (Float.max 0.0
        ((float_of_int stats.Pool.jobs *. stats.Pool.elapsed) -. stats.Pool.busy))
 
-let run_many_par ?thresholds ?max_steps ?deadline ?jobs
+let run_many_par ?thresholds ?max_steps ?deadline ?snapshot_every
+    ?suspend_on_deadline ?on_snapshot ?load_suspended ?jobs
     ?(progress = fun _ _ -> ()) ?save ?load ?sink ?metrics ?report benches =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
   if jobs <= 1 then
-    run_many ?thresholds ?max_steps ?deadline ~progress ?save ?load benches
+    run_many ?thresholds ?max_steps ?deadline ?snapshot_every
+      ?suspend_on_deadline ?on_snapshot ?load_suspended ~progress ?save ?load
+      benches
   else begin
     (* Resume scan up front, on the collector domain: checkpoint reads
        never race the workers, and a resumed benchmark never becomes a
-       task at all. *)
+       task at all.  Suspended mid-run state is scanned here too — a
+       worker then continues the engine instead of restarting it. *)
     let entries =
       List.map
         (fun bench ->
@@ -305,9 +426,13 @@ let run_many_par ?thresholds ?max_steps ?deadline ?jobs
     let pending =
       Array.of_list
         (List.filter_map
-           (fun (b, d) -> if d = None then Some b else None)
+           (fun (b, d) ->
+             if d = None then
+               Some (b, Option.bind load_suspended (fun f -> f b))
+             else None)
            entries)
     in
+    let name task = (fst pending.(task)).Spec.name in
     let on_event =
       let forward =
         match sink with None -> fun _ -> () | Some s -> worker_sink_events s
@@ -315,21 +440,27 @@ let run_many_par ?thresholds ?max_steps ?deadline ?jobs
       fun (e : Pool.event) ->
         forward e;
         match e with
-        | Pool.Start { task; _ } -> progress pending.(task).Spec.name Started
+        | Pool.Start { task; _ } -> progress (name task) Started
         | Pool.Steal _ | Pool.Finish _ -> ()
     in
     (* Completion arrival order is nondeterministic, but every
        checkpoint [save] happens here, on the collector domain, and
-       each file's bytes depend only on its own task's result. *)
+       each file's bytes depend only on its own task's result.
+       (Mid-run snapshots are the exception: [on_snapshot] runs on the
+       worker, but each benchmark's file has that worker as its only
+       writer until the task completes.) *)
     let on_result task = function
       | Ok d ->
           Option.iter (fun f -> f d) save;
-          progress pending.(task).Spec.name Finished
-      | Error e -> progress pending.(task).Spec.name (Failed e)
+          progress (name task) Finished
+      | Error (Error.Suspended _) -> progress (name task) Suspended
+      | Error e -> progress (name task) (Failed e)
     in
     let results, stats =
       Pool.map ~jobs ~on_event ~on_result
-        (fun bench -> run_benchmark_result ?thresholds ?max_steps ?deadline bench)
+        (fun (bench, resume) ->
+          run_benchmark_result ?thresholds ?max_steps ?deadline
+            ?snapshot_every ?suspend_on_deadline ?on_snapshot ?resume bench)
         pending
     in
     Option.iter (fun m -> record_parallel_stats m stats) metrics;
@@ -393,7 +524,8 @@ let record_supervision_metrics metrics (s : Sup.stats) =
   Tel.Metrics.add (Tel.Metrics.counter metrics "supervisor.crashes")
     s.Sup.crashes
 
-let run_many_supervised ?thresholds ?max_steps ?deadline ?jobs ?policy
+let run_many_supervised ?thresholds ?max_steps ?deadline ?snapshot_every
+    ?suspend_on_deadline ?on_snapshot ?load_suspended ?jobs ?policy
     ?(progress = fun _ _ -> ()) ?save ?load ?sink ?metrics ?report ?run_task
     benches =
   let module Tel = Tpdbt_telemetry in
@@ -417,8 +549,15 @@ let run_many_supervised ?thresholds ?max_steps ?deadline ?jobs ?policy
     match run_task with
     | Some f -> f
     | None ->
+        (* The suspended-state lookup runs per attempt, on the worker:
+           a retry of a task whose earlier attempt crashed after a
+           mid-run snapshot continues from that snapshot instead of
+           restarting.  Only this task writes this benchmark's file,
+           so the read cannot race another writer. *)
         fun ~task:_ ~attempt:_ bench ->
-          run_benchmark_result ?thresholds ?max_steps ?deadline bench
+          let resume = Option.bind load_suspended (fun f -> f bench) in
+          run_benchmark_result ?thresholds ?max_steps ?deadline
+            ?snapshot_every ?suspend_on_deadline ?on_snapshot ?resume bench
   in
   (* The last fatal typed error each task produced: a poisoned task's
      entry in [failures] keeps the engine's own diagnosis when there is
@@ -479,6 +618,10 @@ let run_many_supervised ?thresholds ?max_steps ?deadline ?jobs ?policy
   in
   let failed task = function
     | Ok _ -> None
+    | Error (Error.Suspended _) ->
+        (* Parked, not failed: the snapshot is on disk and a later
+           sweep resumes it — retrying now would just re-suspend. *)
+        None
     | Error e ->
         last_error.(task) <- Some e;
         Some (Error.to_string e)
@@ -487,6 +630,7 @@ let run_many_supervised ?thresholds ?max_steps ?deadline ?jobs ?policy
     | Ok d ->
         Option.iter (fun f -> f d) save;
         progress (name task) Finished
+    | Error (Error.Suspended _) -> progress (name task) Suspended
     | Error _ -> ()
   in
   let outcomes, stats =
@@ -508,8 +652,9 @@ let run_many_supervised ?thresholds ?max_steps ?deadline ?jobs ?policy
           match outcomes.(task) with
           | Sup.Done (Ok d) -> data := d :: !data
           | Sup.Done (Error e) ->
-              (* unreachable: the classifier rejects typed errors, so
-                 they can only resolve poisoned — but stay total *)
+              (* a suspended task resolves here (the classifier lets it
+                 through without retry); any other typed error is
+                 rejected by the classifier and resolves poisoned *)
               failures := { failed = bench; error = e } :: !failures
           | Sup.Poisoned { reason; _ } ->
               let error =

@@ -46,14 +46,60 @@ val run_benchmark :
     error) is kept as a partial run — several ref workloads
     legitimately outlive the default budget. *)
 
+(** {2 Suspend / resume}
+
+    A benchmark is a fixed sequence of engine runs ("stages"): the AVEP
+    profile, the training profile, then one optimised run per
+    threshold.  The suspension machinery works over this sequence: a
+    mid-run snapshot is the finished stages plus the in-flight engine's
+    serialized image ({!Tpdbt_dbt.Exec_snapshot}), and resuming a
+    {!partial} then running to completion produces a {!data} — and
+    hence checkpoint bytes — identical to an uninterrupted run's. *)
+
+type stage =
+  | Avep
+  | Train
+  | Threshold of string * int  (** label, scaled threshold *)
+
+val stage_label : stage -> string
+(** ["avep"], ["train"], or the threshold label. *)
+
+type partial = {
+  p_bench : Tpdbt_workloads.Spec.t;
+  p_thresholds : (string * int) list;
+  p_done : (stage * Tpdbt_dbt.Engine.result) list;
+      (** finished stages, in stage order *)
+  p_next : stage;  (** the stage the snapshot interrupts *)
+  p_snapshot : string;  (** {!Tpdbt_dbt.Exec_snapshot.to_string} text *)
+}
+
 val run_benchmark_result :
   ?thresholds:(string * int) list ->
   ?max_steps:int ->
   ?deadline:int ->
+  ?snapshot_every:int ->
+  ?suspend_on_deadline:bool ->
+  ?on_snapshot:(partial -> unit) ->
+  ?resume:partial ->
   Tpdbt_workloads.Spec.t ->
   (data, Tpdbt_dbt.Error.t) result
 (** Like {!run_benchmark} but failures stay values — the form sweeps
-    use to isolate a failing benchmark without losing the others. *)
+    use to isolate a failing benchmark without losing the others.
+
+    [snapshot_every n] (default 0 = off) publishes a {!partial} to
+    [on_snapshot] roughly every [n] guest instructions of the in-flight
+    stage, then {e continues}; the final result is byte-identical to a
+    run without the trigger.  [suspend_on_deadline] (default false)
+    turns a blown [deadline] into a parked benchmark: the last state is
+    published to [on_snapshot] and the call returns
+    [Error (Suspended _)] — a {e non-fatal} error marking work to
+    resume, not a failure.  [resume] continues from a previously
+    published {!partial}: finished stages are reused as recorded, the
+    interrupted stage continues from its engine image, and the rest run
+    normally.  A damaged or mismatched [resume] (wrong benchmark,
+    different thresholds, corrupt or stale snapshot text, config or
+    program digest mismatch) yields [Error (Io_error _)] — never a
+    wrong result. *)
 
 val assemble :
   Tpdbt_workloads.Spec.t ->
@@ -115,19 +161,31 @@ type status =
   | Quarantined of string
       (** supervised sweeps only: the task was poisoned (retry budget
           exhausted or circuit breaker opened) *)
+  | Suspended
+      (** parked on a resumable mid-run snapshot (deadline suspension);
+          appears in [failures] with {!Tpdbt_dbt.Error.Suspended} *)
 
 type failure = { failed : Tpdbt_workloads.Spec.t; error : Tpdbt_dbt.Error.t }
 
 type sweep = { data : data list; failures : failure list }
 (** Both in input order; a benchmark appears in exactly one list. *)
 
+val suspended_failure : failure -> bool
+(** [true] iff the failure is a parked, resumable suspension rather
+    than a broken benchmark. *)
+
 val status_name : status -> string
-(** ["started"], ["ok"], ["failed"], ["resumed"], ["poisoned"]. *)
+(** ["started"], ["ok"], ["failed"], ["resumed"], ["poisoned"],
+    ["suspended"]. *)
 
 val run_many :
   ?thresholds:(string * int) list ->
   ?max_steps:int ->
   ?deadline:int ->
+  ?snapshot_every:int ->
+  ?suspend_on_deadline:bool ->
+  ?on_snapshot:(partial -> unit) ->
+  ?load_suspended:(Tpdbt_workloads.Spec.t -> partial option) ->
   ?progress:(string -> status -> unit) ->
   ?save:(data -> unit) ->
   ?load:(Tpdbt_workloads.Spec.t -> data option) ->
@@ -139,12 +197,20 @@ val run_many :
     one starts and again when it finishes (ok / failed / resumed).
     [load] is consulted before running a benchmark — returning [Some]
     skips the run entirely — and [save] receives each freshly computed
-    {!data}; wire both to {!Checkpoint.hooks} for resumable sweeps. *)
+    {!data}; wire both to {!Checkpoint.hooks} for resumable sweeps.
+    [load_suspended] is consulted for benchmarks [load] does not
+    satisfy: a returned {!partial} resumes the benchmark mid-run.  The
+    snapshot controls ([snapshot_every], [suspend_on_deadline],
+    [on_snapshot]) pass through to {!run_benchmark_result}. *)
 
 val run_many_par :
   ?thresholds:(string * int) list ->
   ?max_steps:int ->
   ?deadline:int ->
+  ?snapshot_every:int ->
+  ?suspend_on_deadline:bool ->
+  ?on_snapshot:(partial -> unit) ->
+  ?load_suspended:(Tpdbt_workloads.Spec.t -> partial option) ->
   ?jobs:int ->
   ?progress:(string -> status -> unit) ->
   ?save:(data -> unit) ->
@@ -175,7 +241,12 @@ val run_many_par :
     events stamped with a scheduler sequence number; [metrics] gains
     the [parallel.speedup] and [parallel.jobs] gauges plus the
     [parallel.steals] / [parallel.tasks] counters; [report] is called
-    once with the pool's {!Tpdbt_parallel.Pool.stats}. *)
+    once with the pool's {!Tpdbt_parallel.Pool.stats}.
+
+    Exception to the single-writer rule: [on_snapshot] runs on the
+    {e worker} executing the benchmark.  Each benchmark's suspended
+    state has that worker as its only writer until the task completes,
+    so per-benchmark files (the checkpoint store) stay race-free. *)
 
 type supervision = {
   sup : Tpdbt_parallel.Supervisor.stats;
@@ -192,6 +263,10 @@ val run_many_supervised :
   ?thresholds:(string * int) list ->
   ?max_steps:int ->
   ?deadline:int ->
+  ?snapshot_every:int ->
+  ?suspend_on_deadline:bool ->
+  ?on_snapshot:(partial -> unit) ->
+  ?load_suspended:(Tpdbt_workloads.Spec.t -> partial option) ->
   ?jobs:int ->
   ?policy:Tpdbt_parallel.Supervisor.policy ->
   ?progress:(string -> status -> unit) ->
@@ -226,7 +301,14 @@ val run_many_supervised :
     [run_task] replaces the benchmark execution itself (defaulting to
     {!run_benchmark_result}) with the task index and 1-based attempt
     number — the chaos harness's injection point: deterministic fault
-    plans key on [(task, attempt)], so retries genuinely re-execute. *)
+    plans key on [(task, attempt)], so retries genuinely re-execute.
+
+    A task that returns [Error (Suspended _)] is {e not} retried: the
+    benchmark is parked on its on-disk snapshot ([Suspended] progress)
+    and lands in [failures] for the caller to resume later.  The
+    default [run_task] consults [load_suspended] on {e every} attempt,
+    so a retry of a task whose earlier attempt crashed after a mid-run
+    snapshot continues from that snapshot instead of restarting. *)
 
 val run_ref :
   ?sink:Tpdbt_telemetry.Sink.t ->

@@ -26,3 +26,8 @@ let fired t = List.rev t.fired_rev
 
 let report t =
   { Fault.fired = List.rev t.fired_rev; unfired = t.pending }
+
+let cursor t = (t.pending, List.rev t.fired_rev)
+
+let of_cursor ~pending ~fired =
+  { pending; fired_rev = List.rev fired }

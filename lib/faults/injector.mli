@@ -24,3 +24,11 @@ val fired : t -> Fault.shot list
 (** Shots so far, in firing order. *)
 
 val report : t -> Fault.report
+
+val cursor : t -> Fault.arm list * Fault.shot list
+(** [(pending, fired)] — pending arms in armed order and shots in
+    firing order: the injector's complete progress through its plan,
+    for mid-run snapshots. *)
+
+val of_cursor : pending:Fault.arm list -> fired:Fault.shot list -> t
+(** Rebuild an injector mid-plan from {!cursor} output. *)

@@ -237,4 +237,77 @@ let check ?(perturb = fun ~arm:_ fp -> fp) ~seed program =
                       Printf.sprintf "stage steps sum %d <> steps %d"
                         !stage_steps sres.Engine.steps)
                     (!stage_steps = sres.Engine.steps)));
+          (* Suspend/resume identity: stop the optimizing arm at a
+             seeded guest instruction, round-trip the engine image
+             through its serialized text (capture -> to_string ->
+             of_string -> restore), complete the run and demand the
+             uninterrupted arm's exact fingerprint and cycle count.
+             The suspension point is a pure function of the case seed,
+             so the verdict stays deterministic at every job count. *)
+          (match find "t2" with
+          | Some (a, res, raw) when res.Engine.steps > 0 -> (
+              let module Snap = Tpdbt_dbt.Exec_snapshot in
+              let suspend_at =
+                1
+                + Int64.(
+                    to_int
+                      (rem (logand seed 0x7FFFFFFFL) (of_int res.Engine.steps)))
+              in
+              let sus_config =
+                {
+                  a.config with
+                  Engine.deadline = Some suspend_at;
+                  suspend_on_deadline = true;
+                }
+              in
+              match
+                let eng =
+                  Engine.create ~config:sus_config ~mem_words ~seed program
+                in
+                let first = Engine.run eng in
+                match first.Engine.error with
+                | Some (Error.Suspended _) -> (
+                    let text =
+                      Snap.to_string ~config:sus_config ~program
+                        (Engine.capture eng)
+                    in
+                    match Snap.of_string text with
+                    | Snap.Snapshot parsed -> (
+                        (* The resume re-arms no triggers; the digest
+                           check must accept that (triggers are
+                           excluded from it by design). *)
+                        match Snap.restore ~config:a.config ~program parsed with
+                        | Ok resumed ->
+                            let fin = Engine.run resumed in
+                            Ok (Some (fin, Engine.machine resumed))
+                        | Error msg -> Error ("restore rejected: " ^ msg))
+                    | Snap.Stale_version v -> Error ("stale version: " ^ v)
+                    | Snap.Corrupt reason ->
+                        Error ("round-trip corrupt: " ^ reason))
+                | _ ->
+                    (* The program halted before the next dispatch
+                       poll; nothing was interrupted. *)
+                    Ok None
+              with
+              | exception exn ->
+                  incr checks;
+                  report "t2-resume" "crash" (Printexc.to_string exn)
+              | Error msg ->
+                  incr checks;
+                  report "t2-resume" "metamorphic:resume-roundtrip" msg
+              | Ok None -> ()
+              | Ok (Some (fin, m)) ->
+                  incr checks;
+                  let d = Fingerprint.diff raw (fingerprint_of fin m) in
+                  if d <> [] then
+                    report "t2-resume" "metamorphic:resume-identity"
+                      (String.concat "; " d);
+                  expect "t2-resume" "metamorphic:resume-identity"
+                    (fun () ->
+                      Printf.sprintf "cycles %.1f vs uninterrupted %.1f"
+                        fin.Engine.counters.Perf_model.cycles
+                        res.Engine.counters.Perf_model.cycles)
+                    (Float.equal fin.Engine.counters.Perf_model.cycles
+                       res.Engine.counters.Perf_model.cycles))
+          | Some _ | None -> ());
           { divergences = List.rev !divs; skipped = None; checks = !checks })

@@ -24,7 +24,12 @@
       changes neither the fingerprint, the cycle count, nor the
       profiling-op count — telemetry must be observation only;
     - {b stage-step partition}: with a live sink, the per-stage step
-      attribution sums exactly to the executed instruction count.
+      attribution sums exactly to the executed instruction count;
+    - {b suspend/resume identity}: suspending one optimizing arm at a
+      seeded guest instruction, round-tripping the engine image
+      through its serialized snapshot text and completing the run
+      reproduces the uninterrupted arm's fingerprint and cycle count
+      exactly (the fuzz-scale form of docs/snapshots.md's guarantee).
 
     Everything is deterministic: same program + seed, same verdict. *)
 

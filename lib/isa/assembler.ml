@@ -81,5 +81,12 @@ let assemble src =
   | p -> Ok p
   | exception Invalid_argument msg -> Error msg
 
+exception Assembly_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Assembly_error msg -> Some (Printf.sprintf "Assembler.Assembly_error %S" msg)
+    | _ -> None)
+
 let assemble_exn src =
-  match assemble src with Ok p -> p | Error msg -> failwith msg
+  match assemble src with Ok p -> p | Error msg -> raise (Assembly_error msg)

@@ -7,5 +7,12 @@
 val assemble : string -> (Program.t, string) result
 (** Assemble a full source string. *)
 
+exception Assembly_error of string
+(** An assembly error, carrying {!assemble}'s error message.  Typed —
+    rather than a bare [Failure] — so callers can match it without
+    string-matching, and registered with {!Printexc} so an escaped
+    raise still prints the message. *)
+
 val assemble_exn : string -> Program.t
-(** @raise Failure with the error message on any assembly error. *)
+(** @raise Assembly_error on any assembly error.  Untrusted source
+    should go through {!assemble} instead. *)

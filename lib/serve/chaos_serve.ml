@@ -124,7 +124,9 @@ let run ?benches ?max_steps ~dir ~seed () =
         | Some n when !finished >= n -> raise Chaos_kill
         | _ -> ())
     | Runner.Resumed -> incr resumed
-    | Runner.Started | Runner.Failed _ | Runner.Quarantined _ -> ()
+    | Runner.Started | Runner.Suspended | Runner.Failed _ | Runner.Quarantined _
+      ->
+        ()
   in
   let run_task ~task:_ ~attempt (spec : Spec.t) =
     if String.equal spec.Spec.name stall_victim then

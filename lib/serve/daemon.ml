@@ -185,3 +185,13 @@ let request ~socket ?(max_frame = 64 * 1024 * 1024) payload =
       | Sys_error msg ->
           finally ();
           Error msg)
+
+(* Deterministic client backoff: the delay sequence is a pure function
+   of (retries, seed), so retry behaviour is reproducible in tests and
+   across a fleet of clients the seeds can be spread to avoid
+   synchronised retry storms. *)
+let retry_delays ~retries ~seed =
+  let prng = Tpdbt_vm.Prng.create ~seed in
+  List.init (max 0 retries) (fun k ->
+      let base = 0.05 *. (2. ** float_of_int k) in
+      base *. (0.5 +. Tpdbt_vm.Prng.float prng))

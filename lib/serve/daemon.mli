@@ -53,3 +53,11 @@ val request :
     transport failure (connect refused, daemon closed the connection,
     framing damage); protocol-level failures are [Ok] replies with
     [ok:false]. *)
+
+val retry_delays : retries:int -> seed:int64 -> float list
+(** The client's backoff schedule for [overloaded] replies: [retries]
+    delays in seconds, exponential from 50 ms with seeded jitter in
+    [0.5x, 1.5x) — a pure function of [(retries, seed)], so a retrying
+    client ([tpdbt request --retries]) is deterministic given its seed
+    while distinct seeds decorrelate a fleet's retry storms.  Empty
+    for [retries <= 0]. *)

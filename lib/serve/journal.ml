@@ -33,6 +33,7 @@ let crc_hex s = Printf.sprintf "%08lx" (crc32 s)
 
 type record =
   | Sweep_begin of { id : int; benches : string list }
+  | Snapshot_ref of { id : int; bench : string }
   | Sweep_end of { id : int }
   | Drained
 
@@ -40,6 +41,7 @@ type recovery = {
   records : int;
   torn : int;
   inflight : (int * string list) list;
+  snapshot_refs : (int * string) list;
 }
 
 type t = { oc : out_channel }
@@ -48,6 +50,7 @@ let record_to_string = function
   | Sweep_begin { id; benches } ->
       Printf.sprintf "sweep_begin %d %d%s" id (List.length benches)
         (String.concat "" (List.map (fun b -> " " ^ b) benches))
+  | Snapshot_ref { id; bench } -> Printf.sprintf "snapshot_ref %d %s" id bench
   | Sweep_end { id } -> Printf.sprintf "sweep_end %d" id
   | Drained -> "drained"
 
@@ -60,6 +63,8 @@ let record_of_string s =
              && List.for_all (fun b -> b <> "") benches ->
           Some (Sweep_begin { id; benches })
       | _ -> None)
+  | [ "snapshot_ref"; id; bench ] when bench <> "" ->
+      Option.map (fun id -> Snapshot_ref { id; bench }) (int_of_string_opt id)
   | [ "sweep_end"; id ] ->
       Option.map (fun id -> Sweep_end { id }) (int_of_string_opt id)
   | [ "drained" ] -> Some Drained
@@ -112,6 +117,7 @@ let scan text =
   else begin
     let inflight = Hashtbl.create 8 in
     let order = ref [] in
+    let refs = ref [] in
     let records = ref 0 in
     let pos = ref header_len in
     let good = ref header_len in
@@ -129,10 +135,14 @@ let scan text =
               | Sweep_begin { id; benches } ->
                   Hashtbl.replace inflight id benches;
                   order := id :: !order
-              | Sweep_end { id } -> Hashtbl.remove inflight id
+              | Snapshot_ref { id; bench } -> refs := (id, bench) :: !refs
+              | Sweep_end { id } ->
+                  Hashtbl.remove inflight id;
+                  refs := List.filter (fun (i, _) -> i <> id) !refs
               | Drained ->
                   Hashtbl.reset inflight;
-                  order := []);
+                  order := [];
+                  refs := []);
               pos := i + 1;
               good := !pos)
     done;
@@ -146,7 +156,18 @@ let scan text =
                  Some (id, benches)
              | None -> None)
     in
-    Some (!good, !records, inflight_list, !damaged)
+    (* Surviving refs point at mid-run snapshots of still-in-flight
+       sweeps; a bench may appear several times (one ref per snapshot
+       saved) — keep the set, in first-ref order. *)
+    let snapshot_refs =
+      List.fold_left
+        (fun acc (id, bench) ->
+          if List.mem (id, bench) acc then acc else (id, bench) :: acc)
+        []
+        (List.rev !refs)
+      |> List.rev
+    in
+    Some (!good, !records, inflight_list, snapshot_refs, !damaged)
   end
 
 let open_ ~path =
@@ -156,7 +177,7 @@ let open_ ~path =
     flush oc;
     Unix.fsync (Unix.descr_of_out_channel oc);
     fsync_dir path;
-    ({ oc }, { records = 0; torn = 0; inflight = [] })
+    ({ oc }, { records = 0; torn = 0; inflight = []; snapshot_refs = [] })
   in
   if not (Sys.file_exists path) then fresh ()
   else
@@ -166,12 +187,18 @@ let open_ ~path =
            beyond its first line).  Crash-only: start over. *)
         let t, r = fresh () in
         (t, { r with torn = 1 })
-    | Some (good, records, inflight, damaged) ->
+    | Some (good, records, inflight, snapshot_refs, damaged) ->
         if damaged then Unix.truncate path good;
         let oc =
           open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
         in
-        ({ oc }, { records; torn = (if damaged then 1 else 0); inflight })
+        ( { oc },
+          {
+            records;
+            torn = (if damaged then 1 else 0);
+            inflight;
+            snapshot_refs;
+          } )
 
 let append t r =
   output_string t.oc (frame_record r);

@@ -21,6 +21,11 @@
 type record =
   | Sweep_begin of { id : int; benches : string list }
       (** a sweep request was admitted; [benches] in input order *)
+  | Snapshot_ref of { id : int; bench : string }
+      (** sweep [id] published a mid-run snapshot of [bench] into the
+          checkpoint store — a breadcrumb telling a recovering daemon
+          that the orphaned sweep can {e resume} that benchmark from
+          mid-run state instead of re-running it *)
   | Sweep_end of { id : int }  (** its results are fully checkpointed *)
   | Drained  (** the daemon shut down gracefully; nothing in flight *)
 
@@ -29,6 +34,9 @@ type recovery = {
   torn : int;  (** damaged records truncated away (0 or 1 region) *)
   inflight : (int * string list) list;
       (** sweeps begun but not ended, in begin order *)
+  snapshot_refs : (int * string) list;
+      (** mid-run snapshot refs of still-in-flight sweeps (ended
+          sweeps' refs are dropped), deduplicated, first-ref order *)
 }
 
 type t

@@ -19,6 +19,7 @@ type config = {
   warm_capacity : int;
   checkpoint_dir : string option;
   journal_path : string option;
+  snapshot_every : int;
 }
 
 let default_config =
@@ -31,6 +32,7 @@ let default_config =
     warm_capacity = 1_000_000;
     checkpoint_dir = None;
     journal_path = None;
+    snapshot_every = 0;
   }
 
 type job = {
@@ -45,7 +47,11 @@ type t = {
   reg : Metrics.t;
   warm : Warm_cache.t;
   journal : Journal.t option;
+  journal_lock : Mutex.t;
+      (** snapshot refs are appended from worker domains mid-sweep;
+          every other append happens on the calling domain *)
   recovered : (int * string list) list;
+  recovered_snapshots : (int * string) list;
   queue : job Queue.t;
   dead : (int, unit) Hashtbl.t;  (** disconnected clients *)
   run_task :
@@ -88,7 +94,10 @@ let refresh_gauges t =
 let create ?run_task ?on_progress config =
   let journal, recovery =
     match config.journal_path with
-    | None -> (None, { Journal.records = 0; torn = 0; inflight = [] })
+    | None ->
+        ( None,
+          { Journal.records = 0; torn = 0; inflight = []; snapshot_refs = [] }
+        )
     | Some path ->
         let j, r = Journal.open_ ~path in
         (Some j, r)
@@ -99,7 +108,9 @@ let create ?run_task ?on_progress config =
       reg = Metrics.create ();
       warm = Warm_cache.create ~capacity:config.warm_capacity;
       journal;
+      journal_lock = Mutex.create ();
       recovered = recovery.Journal.inflight;
+      recovered_snapshots = recovery.Journal.snapshot_refs;
       queue = Queue.create ();
       dead = Hashtbl.create 16;
       run_task;
@@ -116,6 +127,9 @@ let create ?run_task ?on_progress config =
   in
   Metrics.add (c t "serve.journal.records") recovery.Journal.records;
   Metrics.add (c t "serve.journal.torn") recovery.Journal.torn;
+  Metrics.add
+    (c t "serve.journal.snapshot_refs")
+    (List.length recovery.Journal.snapshot_refs);
   (* Re-enqueue in-flight sweeps as orphans: no client to answer, but
      the work completes and lands in the checkpoint store exactly as
      if the predecessor had never been killed.  Recovery bypasses the
@@ -142,8 +156,12 @@ let journal_append t r =
   match t.journal with
   | None -> ()
   | Some j ->
-      Journal.append j r;
-      incr t "serve.journal.records"
+      Mutex.lock t.journal_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.journal_lock)
+        (fun () ->
+          Journal.append j r;
+          incr t "serve.journal.records")
 
 (* ---- execution --------------------------------------------------------- *)
 
@@ -247,9 +265,23 @@ let exec_sweep t job ~benches ~max_steps ~return_results =
     let sweep, supervision =
       match t.config.checkpoint_dir with
       | Some dir ->
+          (* With [snapshot_every] armed, each benchmark periodically
+             publishes its mid-run state into the store; the matching
+             journal ref lets a restarted daemon see that its orphaned
+             sweep will resume mid-run rather than re-run. *)
+          let on_snapshot_saved =
+            if t.config.snapshot_every > 0 then
+              Some
+                (fun bench ->
+                  journal_append t
+                    (Journal.Snapshot_ref { id = journal_id; bench }))
+            else None
+          in
           Checkpoint.run_many_supervised ?max_steps
-            ?deadline:t.config.deadline ~jobs:t.config.jobs
-            ?progress:t.on_progress ?run_task:t.run_task ~dir selected
+            ?deadline:t.config.deadline
+            ~snapshot_every:t.config.snapshot_every ?on_snapshot_saved
+            ~jobs:t.config.jobs ?progress:t.on_progress ?run_task:t.run_task
+            ~dir selected
       | None ->
           Runner.run_many_supervised ?max_steps ?deadline:t.config.deadline
             ~jobs:t.config.jobs ?progress:t.on_progress ?run_task:t.run_task
@@ -500,6 +532,7 @@ let idle t = Queue.is_empty t.queue
 let pending t = Queue.length t.queue
 let queue_peak t = t.peak
 let recovered t = t.recovered
+let recovered_snapshots t = t.recovered_snapshots
 let metrics t = t.reg
 
 let close t =

@@ -34,8 +34,10 @@
     marked complete after their results are checkpointed.  A server
     created over the journal of a killed predecessor re-enqueues every
     in-flight sweep as an {e orphan} job (no client to answer); its
-    finished benchmarks restore from checkpoints, the rest re-run —
-    results byte-identical to a never-killed run. *)
+    finished benchmarks restore from checkpoints, benchmarks with a
+    journalled mid-run snapshot ({!Journal.Snapshot_ref}) resume from
+    that exact guest instruction, and the rest re-run — results
+    byte-identical to a never-killed run. *)
 
 type config = {
   queue_limit : int;  (** admission bound (default 8) *)
@@ -52,11 +54,18 @@ type config = {
   checkpoint_dir : string option;
       (** sweep checkpoint store; also the recovery substrate *)
   journal_path : string option;  (** session journal; [None] = volatile *)
+  snapshot_every : int;
+      (** with a checkpoint dir: every N guest instructions, each
+          sweep benchmark publishes its mid-run state into the store
+          (and a {!Journal.Snapshot_ref} into the journal), so a
+          killed daemon's orphaned sweeps {e resume} mid-run instead
+          of re-running from scratch; [0] (default) disables *)
 }
 
 val default_config : config
 (** queue limit 8, 4 MiB frames, 1 job, no deadline, no step cap,
-    1M-instruction warm cache, no checkpoint dir, no journal. *)
+    1M-instruction warm cache, no checkpoint dir, no journal, no
+    mid-run snapshots. *)
 
 type t
 
@@ -120,6 +129,11 @@ val queue_peak : t -> int
 
 val recovered : t -> (int * string list) list
 (** Journal-recovered in-flight sweeps re-enqueued at creation. *)
+
+val recovered_snapshots : t -> (int * string) list
+(** Journal-recovered mid-run snapshot refs of those sweeps: which
+    benchmarks the checkpoint store can resume at guest-instruction
+    granularity rather than re-run. *)
 
 val metrics : t -> Tpdbt_telemetry.Metrics.t
 (** The [serve.*] registry (gauges refreshed on read via {!offer}'s

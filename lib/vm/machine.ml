@@ -649,6 +649,86 @@ let step_spec t =
       | Instr.Nop -> continue Stepped
   end
 
+(* ------------------------------------------------------------------ *)
+(* Mid-run images (snapshot / resume)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything that evolves during a run, as plain data.  Memory is
+   stored sparsely (only non-zero words) because the default data
+   memory is 2^20 words and guest working sets are tiny.  The program
+   itself is NOT part of the image: resume rebuilds it from the same
+   source the original run used, and the decode arrays are derived. *)
+type image = {
+  im_mem_words : int;
+  im_regs : int array;
+  im_mem : (int * int) array;  (* non-zero words, ascending address *)
+  im_pc : int;
+  im_ret_stack : int array;  (* live prefix, bottom first *)
+  im_prng : int * int * int * int;
+  im_outputs : int array;
+  im_steps : int;
+  im_halted : bool;
+  im_poisoned : int list;  (* ascending *)
+}
+
+let capture t =
+  let nonzero = ref 0 in
+  for i = 0 to t.mem_len - 1 do
+    if t.memory.(i) <> 0 then incr nonzero
+  done;
+  let mem = Array.make !nonzero (0, 0) in
+  let k = ref 0 in
+  for i = 0 to t.mem_len - 1 do
+    if t.memory.(i) <> 0 then begin
+      mem.(!k) <- (i, t.memory.(i));
+      incr k
+    end
+  done;
+  {
+    im_mem_words = t.mem_len;
+    im_regs = Array.copy t.regs;
+    im_mem = mem;
+    im_pc = t.pc;
+    im_ret_stack = Array.sub t.ret_stack 0 t.call_depth;
+    im_prng = Prng.state t.prng;
+    im_outputs = Array.sub t.out_buf 0 t.out_len;
+    im_steps = t.steps;
+    im_halted = t.halted;
+    im_poisoned =
+      List.sort compare
+        (Hashtbl.fold (fun pc () acc -> pc :: acc) t.poisoned []);
+  }
+
+let restore prog image =
+  let t = create ~mem_words:image.im_mem_words prog in
+  if Array.length image.im_regs <> Reg.count then
+    invalid_arg "Machine.restore: register file has wrong size";
+  Array.blit image.im_regs 0 t.regs 0 Reg.count;
+  (* [create] applied the program's data bindings; the image holds the
+     complete non-zero memory contents, so start from all zeroes. *)
+  Array.fill t.memory 0 t.mem_len 0;
+  Array.iter
+    (fun (addr, v) ->
+      if addr < 0 || addr >= t.mem_len then
+        invalid_arg "Machine.restore: memory address out of range";
+      t.memory.(addr) <- v)
+    image.im_mem;
+  t.pc <- image.im_pc;
+  let depth = Array.length image.im_ret_stack in
+  if depth > max_call_depth then
+    invalid_arg "Machine.restore: call stack deeper than the machine's";
+  Array.blit image.im_ret_stack 0 t.ret_stack 0 depth;
+  t.call_depth <- depth;
+  Prng.set t.prng image.im_prng;
+  let n = Array.length image.im_outputs in
+  if n > Array.length t.out_buf then t.out_buf <- Array.make n 0;
+  Array.blit image.im_outputs 0 t.out_buf 0 n;
+  t.out_len <- n;
+  t.steps <- image.im_steps;
+  t.halted <- image.im_halted;
+  List.iter (fun pc -> poison t pc) image.im_poisoned;
+  t
+
 let run ?(max_steps = max_int) t =
   let rec loop remaining =
     if remaining = 0 || t.halted then Ok ()

@@ -111,4 +111,38 @@ val run : ?max_steps:int -> t -> (unit, trap) result
     the number of instructions; exceeding it returns [Ok ()] with the
     machine still runnable (check {!halted}). *)
 
+(** {2 Mid-run images}
+
+    A complete, plain-data copy of everything that evolves during a
+    run: registers, (sparse) data memory, pc, the live call stack, the
+    PRNG limbs, the output log, the step count and any poisoned pcs.
+    The program is {e not} captured — {!restore} pairs an image with
+    the same program the original run used, and a restored machine then
+    produces exactly the byte-for-byte run an uninterrupted machine
+    would.  Powers the engine's snapshot/suspend/resume subsystem. *)
+
+type image = {
+  im_mem_words : int;  (** data memory size the machine was created with *)
+  im_regs : int array;
+  im_mem : (int * int) array;  (** non-zero words, ascending address *)
+  im_pc : int;
+  im_ret_stack : int array;  (** live prefix, bottom first *)
+  im_prng : int * int * int * int;  (** {!Prng.state} *)
+  im_outputs : int array;
+  im_steps : int;
+  im_halted : bool;
+  im_poisoned : int list;  (** ascending *)
+}
+
+val capture : t -> image
+(** Deterministic copy of the machine's mutable state; the machine is
+    not disturbed and can keep running. *)
+
+val restore : Tpdbt_isa.Program.t -> image -> t
+(** Fresh machine continuing exactly where {!capture} left off.  The
+    program must be the one the captured machine was running.
+    @raise Invalid_argument if the image is structurally invalid
+    (register-file size, out-of-range memory address or poisoned pc,
+    over-deep call stack, bad PRNG limbs). *)
+
 val pp_trap : Format.formatter -> trap -> unit

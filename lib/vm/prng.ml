@@ -26,6 +26,21 @@ let create ~seed =
   }
 
 let copy t = { hi = t.hi; lo = t.lo; zhi = t.zhi; zlo = t.zlo }
+let state t = (t.hi, t.lo, t.zhi, t.zlo)
+
+let of_state (hi, lo, zhi, zlo) =
+  if
+    hi lor lo lor zhi lor zlo < 0
+    || hi > mask32 || lo > mask32 || zhi > mask32 || zlo > mask32
+  then invalid_arg "Prng.of_state: limbs must fit 32 bits";
+  { hi; lo; zhi; zlo }
+
+let set t s =
+  let s = of_state s in
+  t.hi <- s.hi;
+  t.lo <- s.lo;
+  t.zhi <- s.zhi;
+  t.zlo <- s.zlo
 
 (* One SplitMix64 round: advance the state by the golden-ratio constant
    and mix it into [zhi]/[zlo].  Allocation-free. *)

@@ -277,7 +277,9 @@ let test_checkpoint_roundtrip () =
   | Checkpoint.Missing | Checkpoint.Stale_version _ ->
       Alcotest.fail "roundtrip misclassified"
   | Checkpoint.Corrupt reason -> Alcotest.fail ("roundtrip rejected: " ^ reason)
-  | Checkpoint.Valid reloaded ->
+  | Checkpoint.Valid (Checkpoint.Suspended _) ->
+      Alcotest.fail "finished checkpoint classified as suspended"
+  | Checkpoint.Valid (Checkpoint.Finished reloaded) ->
       Alcotest.check Alcotest.string "byte-identical reserialisation" text
         (Checkpoint.data_to_string reloaded);
       checkb "cycles float exact" true

@@ -17,6 +17,7 @@ let () =
       ("profiling", Test_profiling.suite);
       ("parallel", Test_parallel.suite);
       ("robustness", Test_robustness.suite);
+      ("snapshots", Test_snapshots.suite);
       ("serve", Test_serve.suite);
       ("fuzz", Test_fuzz.suite);
       ("hotpath", Test_hotpath.suite);
